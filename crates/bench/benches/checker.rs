@@ -1,0 +1,75 @@
+//! E12 — checker scalability: wall time of conflict derivation, DSG
+//! construction and full classification as history size grows.
+
+use adya_core::{classify, detect_all, Dsg};
+use adya_workloads::histgen::{random_history, HistGenConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn history_of(txns: usize) -> adya_history::History {
+    let cfg = HistGenConfig {
+        txns,
+        objects: (txns / 2).max(4),
+        ops_per_txn: 6,
+        write_prob: 0.5,
+        dirty_read_prob: 0.2,
+        abort_prob: 0.1,
+        shuffle_order_prob: 0.0,
+    };
+    random_history(&cfg, 42)
+}
+
+fn bench_dsg_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsg_build");
+    for txns in [10usize, 50, 250, 1000] {
+        let h = history_of(txns);
+        group.throughput(Throughput::Elements(txns as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(txns), &h, |b, h| {
+            b.iter(|| Dsg::build(h))
+        });
+    }
+    group.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_all_levels");
+    for txns in [10usize, 50, 250, 1000] {
+        let h = history_of(txns);
+        group.throughput(Throughput::Elements(txns as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(txns), &h, |b, h| {
+            b.iter(|| classify(h))
+        });
+    }
+    group.finish();
+}
+
+fn bench_detect_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detect_all_phenomena");
+    for txns in [10usize, 100, 500] {
+        let h = history_of(txns);
+        group.throughput(Throughput::Elements(txns as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(txns), &h, |b, h| {
+            b.iter(|| detect_all(h))
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_histories(c: &mut Criterion) {
+    // Micro: full classification of each named paper history.
+    let mut group = c.benchmark_group("paper_histories");
+    for (name, h) in adya_core::paper::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &h, |b, h| {
+            b.iter(|| classify(h))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dsg_build,
+    bench_classify,
+    bench_detect_all,
+    bench_paper_histories
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E10 (Criterion form) — engine throughput per scheme and contention
+//! level under the deterministic driver. The shapes (who wins where)
+//! are the reproduction target; absolute numbers are machine-local.
+
+use adya_engine::{
+    CertifyLevel, Engine, LockConfig, LockingEngine, MvccEngine, MvccMode, MvtoEngine, OccEngine,
+    SgtEngine,
+};
+use adya_workloads::{mixed_workload, run_deterministic, DriverConfig, MixedConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn run_once(make: &dyn Fn() -> Box<dyn Engine>, cfg: &MixedConfig) -> usize {
+    let engine = make();
+    let (_, programs) = mixed_workload(engine.as_ref(), cfg);
+    let stats = run_deterministic(
+        engine.as_ref(),
+        programs,
+        &DriverConfig {
+            seed: cfg.seed,
+            ..Default::default()
+        },
+    );
+    stats.committed
+}
+
+type EngineFactory = Box<dyn Fn() -> Box<dyn Engine>>;
+
+fn bench_schemes(c: &mut Criterion) {
+    let schemes: Vec<(&str, EngineFactory)> = vec![
+        (
+            "2pl_ser",
+            Box::new(|| Box::new(LockingEngine::new(LockConfig::serializable())) as Box<dyn Engine>),
+        ),
+        (
+            "2pl_rc",
+            Box::new(|| {
+                Box::new(LockingEngine::new(LockConfig::read_committed())) as Box<dyn Engine>
+            }),
+        ),
+        ("occ", Box::new(|| Box::new(OccEngine::new()) as Box<dyn Engine>)),
+        (
+            "sgt_pl3",
+            Box::new(|| Box::new(SgtEngine::new(CertifyLevel::PL3)) as Box<dyn Engine>),
+        ),
+        (
+            "mvcc_si",
+            Box::new(|| {
+                Box::new(MvccEngine::new(MvccMode::SnapshotIsolation)) as Box<dyn Engine>
+            }),
+        ),
+        (
+            "mvcc_rc",
+            Box::new(|| Box::new(MvccEngine::new(MvccMode::ReadCommitted)) as Box<dyn Engine>),
+        ),
+        (
+            "mvto",
+            Box::new(|| Box::new(MvtoEngine::new()) as Box<dyn Engine>),
+        ),
+    ];
+
+    for (contention, keys, theta) in [("low", 256u64, 0.0), ("high", 8u64, 1.0)] {
+        let mut group = c.benchmark_group(format!("workload_{contention}_contention"));
+        group.sample_size(10);
+        for (name, make) in &schemes {
+            let cfg = MixedConfig {
+                keys,
+                txns: 32,
+                ops_per_txn: 4,
+                write_ratio: 0.5,
+                abort_prob: 0.0,
+                delete_prob: 0.0,
+                theta,
+                seed: 5,
+            };
+            group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+                b.iter(|| run_once(make.as_ref(), cfg))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

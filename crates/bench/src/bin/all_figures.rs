@@ -1,0 +1,54 @@
+//! Runs every figure/section reproduction binary in sequence — the
+//! one-shot CI entry point. Each child asserts the paper's claims and
+//! exits non-zero on any mismatch.
+
+use std::process::{Command, ExitCode};
+
+const BINARIES: &[&str] = &[
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "section3",
+    "section4",
+    "mixing",
+    "permissiveness",
+    "perf_sweep",
+    "extensions",
+    "lattice",
+];
+
+fn main() -> ExitCode {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for name in BINARIES {
+        let path = dir.join(name);
+        println!("\n──────── running {name} ────────");
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name}: exited with {s}");
+                failed.push(*name);
+            }
+            Err(e) => {
+                eprintln!(
+                    "{name}: cannot run {path:?}: {e}\n(build all bins first: \
+                     `cargo build --release -p adya-bench --bins`)"
+                );
+                failed.push(*name);
+            }
+        }
+    }
+    println!("\n════════ summary ════════");
+    if failed.is_empty() {
+        println!("all {} paper artifacts reproduce", BINARIES.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("FAILED: {failed:?}");
+        ExitCode::FAILURE
+    }
+}

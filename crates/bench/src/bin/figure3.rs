@@ -1,0 +1,45 @@
+//! Figure 3 — the DSG of H_serial (§4.4.4): regenerates the edge set
+//! and the drawing (as DOT), and checks the paper's claimed
+//! serialization order T1; T2; T3.
+
+use adya_bench::{banner, verdict, Table};
+use adya_core::{paper, DepKind, Dsg};
+use adya_history::TxnId;
+
+fn main() {
+    banner("Figure 3: DSG for history H_serial");
+    let h = paper::h_serial();
+    println!("H_serial = {h}\n");
+    let dsg = Dsg::build(&h);
+
+    let mut table = Table::new(&["edge", "present"]);
+    let expected = [
+        (1, 2, DepKind::ItemReadDep),
+        (1, 2, DepKind::WriteDep),
+        (1, 3, DepKind::WriteDep),
+        (2, 3, DepKind::ItemReadDep),
+        (2, 3, DepKind::ItemAntiDep),
+    ];
+    let mut ok = true;
+    for (f, t, k) in expected {
+        let present = dsg.has_edge(TxnId(f), TxnId(t), k);
+        ok &= present;
+        table.row(&[
+            format!("T{f} -{k}-> T{t}"),
+            adya_bench::mark(present).to_string(),
+        ]);
+    }
+    // No reverse edges.
+    let no_reverse = !dsg.has_edge(TxnId(2), TxnId(1), DepKind::WriteDep)
+        && !dsg.has_edge(TxnId(3), TxnId(1), DepKind::WriteDep)
+        && !dsg.has_edge(TxnId(3), TxnId(2), DepKind::ItemReadDep);
+    ok &= no_reverse;
+    println!("{}", table.render());
+
+    let order = dsg.serial_order();
+    println!("equivalent serial order: {:?}", order);
+    ok &= order == Some(vec![TxnId(1), TxnId(2), TxnId(3)]);
+
+    println!("\nDOT:\n{}", dsg.to_dot("Figure3_Hserial"));
+    verdict("figure3", ok);
+}

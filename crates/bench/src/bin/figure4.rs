@@ -1,0 +1,23 @@
+//! Figure 4 — the DSG of H_wcycle (§5.1): a pure write-dependency
+//! cycle, the shape G0 proscribes at PL-1.
+
+use adya_bench::{banner, verdict};
+use adya_core::{classify, paper, Dsg, IsolationLevel};
+
+fn main() {
+    banner("Figure 4: DSG for history H_wcycle");
+    let h = paper::h_wcycle();
+    println!("H_wcycle = {h}\n");
+    let dsg = Dsg::build(&h);
+    let cycle = dsg.write_cycle();
+    match &cycle {
+        Some(c) => println!("G0 write cycle: {c}"),
+        None => println!("no write cycle found (MISMATCH)"),
+    }
+    let report = classify(&h);
+    println!("\nlevel verdicts:\n{report}");
+    println!("\nDOT:\n{}", dsg.to_dot("Figure4_Hwcycle"));
+    let ok = cycle.map(|c| c.len() == 2).unwrap_or(false)
+        && !report.satisfies(IsolationLevel::PL1);
+    verdict("figure4", ok);
+}

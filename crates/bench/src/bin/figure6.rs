@@ -1,0 +1,95 @@
+//! Figure 6 — "Summary of portable ANSI isolation levels": regenerated
+//! as a history × level admission matrix over the paper's named
+//! histories plus canonical anomalies, with the strongest satisfied
+//! ANSI level per history.
+
+use adya_bench::{banner, mark, verdict, Table};
+use adya_core::{classify, paper, IsolationLevel};
+use adya_history::{parse_history, History};
+
+fn canonical_extras() -> Vec<(&'static str, History)> {
+    vec![
+        (
+            "dirty-read-cycle",
+            parse_history("w1(x,1) w2(y,2) r1(y2) r2(x1) c1 c2").unwrap(),
+        ),
+        (
+            "lost-update",
+            parse_history("r1(xinit,0) r2(xinit,0) w1(x,1) c1 w2(x,2) c2").unwrap(),
+        ),
+        (
+            "write-skew",
+            parse_history(
+                "b1 b2 r1(xinit,5) r1(yinit,5) r2(xinit,5) r2(yinit,5) \
+                 w1(x,1) w2(y,1) c1 c2",
+            )
+            .unwrap(),
+        ),
+        (
+            "serial",
+            parse_history("w1(x,1) c1 r2(x1) w2(x,2) c2").unwrap(),
+        ),
+    ]
+}
+
+fn main() {
+    banner("Figure 6: portable isolation level summary (admission matrix)");
+    println!(
+        "PL-1 proscribes G0; PL-2 proscribes G1; PL-2.99 proscribes G1, G2-item; \
+         PL-3 proscribes G1, G2.\nExtension levels: PL-CS (G-cursor), PL-2+ (G-single), \
+         PL-SI (G-SIa/b), PL-MAV (G-monotonic).\n"
+    );
+
+    let mut histories = paper::all();
+    histories.extend(canonical_extras());
+
+    let mut table = Table::new(&[
+        "history",
+        "PL-1",
+        "PL-2",
+        "PL-CS",
+        "PL-MAV",
+        "PL-2+",
+        "PL-2.99",
+        "PL-SI",
+        "PL-3",
+        "strongest ANSI",
+    ]);
+    for (name, h) in &histories {
+        let r = classify(h);
+        table.row(&[
+            name.to_string(),
+            mark(r.satisfies(IsolationLevel::PL1)).to_string(),
+            mark(r.satisfies(IsolationLevel::PL2)).to_string(),
+            mark(r.satisfies(IsolationLevel::PLCS)).to_string(),
+            mark(r.satisfies(IsolationLevel::PLMAV)).to_string(),
+            mark(r.satisfies(IsolationLevel::PL2Plus)).to_string(),
+            mark(r.satisfies(IsolationLevel::PL299)).to_string(),
+            mark(r.satisfies(IsolationLevel::PLSI)).to_string(),
+            mark(r.satisfies(IsolationLevel::PL3)).to_string(),
+            r.strongest_ansi()
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "below PL-1".to_string()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Spot-check the paper's claims.
+    let get = |n: &str| {
+        histories
+            .iter()
+            .find(|(name, _)| *name == n)
+            .map(|(_, h)| classify(h))
+            .expect("history present")
+    };
+    let ok = !get("H_wcycle").satisfies(IsolationLevel::PL1)
+        && get("H1").strongest_ansi() == Some(IsolationLevel::PL2)
+        && get("H2").strongest_ansi() == Some(IsolationLevel::PL2)
+        && get("H1'").satisfies(IsolationLevel::PL3)
+        && get("H2'").satisfies(IsolationLevel::PL3)
+        && get("H_phantom").strongest_ansi() == Some(IsolationLevel::PL299)
+        && get("write-skew").satisfies(IsolationLevel::PLSI)
+        && !get("write-skew").satisfies(IsolationLevel::PL3)
+        && get("serial").satisfies(IsolationLevel::PL3);
+    verdict("figure6", ok);
+}

@@ -1,0 +1,52 @@
+//! The isolation-level lattice (thesis Figure 4-5): the static
+//! implication matrix, verified for reflexivity/transitivity and
+//! printed for the report.
+
+use adya_bench::{banner, mark, verdict, Table};
+use adya_core::IsolationLevel;
+
+fn main() {
+    banner("Isolation level lattice: a implies b (row implies column)");
+    let levels = IsolationLevel::ALL;
+    let mut header: Vec<String> = vec!["".to_string()];
+    header.extend(levels.iter().map(|l| l.to_string()));
+    let mut table = Table::new(&header);
+    for a in levels {
+        let mut row = vec![a.to_string()];
+        for b in levels {
+            row.push(mark(a.implies(b)).to_string());
+        }
+        table.row(&row);
+    }
+    println!("{}", table.render());
+
+    // Structural sanity: reflexive, transitive, and PL-3 at the top of
+    // everything except PL-SI's start-ordering clause.
+    let mut ok = true;
+    for a in levels {
+        ok &= a.implies(a);
+        for b in levels {
+            for c in levels {
+                if a.implies(b) && b.implies(c) {
+                    ok &= a.implies(c);
+                }
+            }
+        }
+    }
+    use IsolationLevel::*;
+    ok &= PL3.implies(PL299)
+        && PL3.implies(PL2Plus)
+        && PL3.implies(PLMAV)
+        && PL3.implies(PLCS)
+        && PL3.implies(PL2)
+        && PL3.implies(PL1)
+        && !PL3.implies(PLSI) // SI's start-dependency clause is extra
+        && PLSI.implies(PL2Plus)
+        && PL2Plus.implies(PLMAV)
+        && !PL299.implies(PL2Plus);
+    println!(
+        "reflexive + transitive; PL-3 tops the DSG-only levels; PL-SI adds the \
+         start-ordering clause PL-3 does not claim."
+    );
+    verdict("lattice", ok);
+}

@@ -1,0 +1,59 @@
+//! §3 — "Restrictiveness of the Preventative Approach": H1 and H2 are
+//! bad (both definitions reject them at the serializable level), but
+//! H1′ and H2′ are perfectly serializable histories that the
+//! preventative phenomena P1/P2 reject anyway — the paper's core
+//! permissiveness claim, mechanically verified.
+
+use adya_bench::{banner, mark, verdict, Table};
+use adya_core::{classify, paper, IsolationLevel};
+use adya_prevent::{check_locking, detect_all_p, LockingLevel};
+
+fn main() {
+    banner("Section 3: preventative (P) vs generalized (G) at the serializable level");
+    let histories = [
+        ("H1 (inconsistent read)", paper::h1()),
+        ("H2 (read skew)", paper::h2()),
+        ("H1' (dirty reads, right order)", paper::h1_prime()),
+        ("H2' (old reads, commits first)", paper::h2_prime()),
+    ];
+
+    let mut table = Table::new(&[
+        "history",
+        "P-phenomena",
+        "preventative SERIALIZABLE",
+        "generalized PL-3",
+    ]);
+    let mut rows = Vec::new();
+    for (name, h) in &histories {
+        let p = check_locking(h, LockingLevel::Serializable).ok();
+        let g = classify(h).satisfies(IsolationLevel::PL3);
+        let kinds: Vec<String> = detect_all_p(h).iter().map(|x| x.kind.to_string()).collect();
+        table.row(&[
+            name.to_string(),
+            if kinds.is_empty() {
+                "none".to_string()
+            } else {
+                kinds.join(",")
+            },
+            if p { "admits" } else { "rejects" }.to_string(),
+            if g { "admits" } else { "rejects" }.to_string(),
+        ]);
+        rows.push((p, g));
+    }
+    println!("{}", table.render());
+
+    let ok = rows[0] == (false, false)   // H1: both reject
+        && rows[1] == (false, false)     // H2: both reject
+        && rows[2] == (false, true)      // H1': P over-rejects
+        && rows[3] == (false, true); // H2': P over-rejects
+    println!(
+        "H1'/H2' are serializable histories produced by optimistic and multi-version \
+         schemes; the preventative definitions reject them (P1/P2), the generalized \
+         ones admit them — 'the preventative approach is overly restrictive'."
+    );
+    let mut t2 = Table::new(&["claim", "holds"]);
+    t2.row(&["H1, H2 rejected by both", mark(rows[0] == (false, false) && rows[1] == (false, false))]);
+    t2.row(&["H1', H2' admitted by PL-3 only", mark(rows[2] == (false, true) && rows[3] == (false, true))]);
+    println!("{}", t2.render());
+    verdict("section3", ok);
+}

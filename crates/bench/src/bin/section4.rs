@@ -1,0 +1,98 @@
+//! §4 — the model's worked examples: H_write_order (version order vs
+//! commit order), H_pred_read (minimal predicate conflicts), H_insert
+//! (predicate-based insert) and H_pred_update (predicate modification
+//! at PL-1).
+
+use adya_bench::{banner, mark, verdict, Table};
+use adya_core::{classify, paper, DepKind, Dsg, IsolationLevel};
+use adya_history::{TxnId, VersionId};
+
+fn main() {
+    banner("Section 4: model examples");
+    let mut table = Table::new(&["history", "claim", "holds"]);
+    let mut all = true;
+    let mut check = |table: &mut Table, name: &str, claim: &str, holds: bool| {
+        table.row(&[name, claim, mark(holds)]);
+        all &= holds;
+    };
+
+    // H_write_order: version order may contradict commit order.
+    let h = paper::h_write_order();
+    println!("H_write_order = {h}\n");
+    let x = h.object_by_name("x").expect("x exists");
+    let before = h.version_precedes(
+        x,
+        VersionId::new(TxnId(2), 1),
+        VersionId::new(TxnId(1), 1),
+    );
+    check(
+        &mut table,
+        "H_write_order",
+        "x2 << x1 although c1 precedes c2",
+        before,
+    );
+    check(
+        &mut table,
+        "H_write_order",
+        "committed projection is PL-3 (T2 serialized before T1)",
+        classify(&h).satisfies(IsolationLevel::PL3),
+    );
+
+    // H_pred_read: predicate-read-dependency from the latest
+    // match-changing transaction only.
+    let h = paper::h_pred_read();
+    println!("H_pred_read = {h}\n");
+    let dsg = Dsg::build(&h);
+    check(
+        &mut table,
+        "H_pred_read",
+        "T1 -wr(pred)-> T3 (T1 moved x out of Sales)",
+        dsg.has_edge(TxnId(1), TxnId(3), DepKind::PredReadDep),
+    );
+    check(
+        &mut table,
+        "H_pred_read",
+        "no predicate edge from T2 (irrelevant phone update)",
+        !dsg.has_edge(TxnId(2), TxnId(3), DepKind::PredReadDep)
+            && !dsg.has_edge(TxnId(3), TxnId(2), DepKind::PredAntiDep),
+    );
+    check(
+        &mut table,
+        "H_pred_read",
+        "serializable in the order T0, T1, T3, T2",
+        dsg.is_valid_serial_order(&[TxnId(0), TxnId(1), TxnId(3), TxnId(2)]),
+    );
+
+    // H_insert: the BONUS insert example.
+    let h = paper::h_insert();
+    println!("H_insert = {h}\n");
+    let dsg = Dsg::build(&h);
+    check(
+        &mut table,
+        "H_insert",
+        "T1 predicate- and item-read-depends on T0; history serializable",
+        dsg.has_edge(TxnId(0), TxnId(1), DepKind::PredReadDep)
+            && dsg.has_edge(TxnId(0), TxnId(1), DepKind::ItemReadDep)
+            && classify(&h).satisfies(IsolationLevel::PL3),
+    );
+
+    // H_pred_update: weak predicate guarantees at PL-1.
+    let h = paper::h_pred_update();
+    println!("H_pred_update = {h}\n");
+    let r = classify(&h);
+    check(
+        &mut table,
+        "H_pred_update",
+        "interleaved predicate update allowed at PL-1",
+        r.satisfies(IsolationLevel::PL1),
+    );
+    check(
+        &mut table,
+        "H_pred_update",
+        "but not serializable (PL-3 rejects)",
+        !r.satisfies(IsolationLevel::PL3),
+    );
+
+    println!("{}", table.render());
+    verdict("section4", all);
+}

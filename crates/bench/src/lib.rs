@@ -1,0 +1,145 @@
+//! Shared infrastructure for the figure-regeneration binaries and
+//! Criterion benches.
+//!
+//! Every table and figure of the paper has a binary here that
+//! regenerates it from the live implementation:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `figure1` | Figure 1 — locking levels ↔ proscribed phenomena (run on the real 2PL engine) |
+//! | `figure2` | Figure 2 — direct-conflict definitions, demonstrated on minimal histories |
+//! | `figure3` | Figure 3 — the DSG of H_serial (edges + DOT) |
+//! | `figure4` | Figure 4 — the DSG of H_wcycle (G0 cycle) |
+//! | `figure5` | Figure 5 — the DSG of H_phantom (predicate anti-dependency cycle) |
+//! | `figure6` | Figure 6 — the PL-level summary as a history × level matrix |
+//! | `section3` | §3 — H1/H2/H1′/H2′ under preventative vs generalized definitions |
+//! | `section4` | §4 — H_write_order, H_pred_read, H_insert, H_pred_update reconstructions |
+//! | `mixing` | §5.5 — Definition 9 / Mixing Theorem on engine-mixed and sampled histories |
+//! | `permissiveness` | E11 — admission-rate gap between P- and G-definitions |
+//! | `perf_sweep` | E10 — scheme comparison across contention (the §1/§3 motivation) |
+//! | `extensions` | E13 — thesis-level separations (SI / CS / MAV / 2+), cursor engine, MVTO version orders |
+//! | `lattice` | the level-implication matrix (thesis lattice), checked for coherence |
+//! | `all_figures` | runs every binary above in sequence (CI entry point) |
+//!
+//! Run them all with `cargo run -p adya-bench --bin <name>`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// A minimal fixed-width table printer for the report binaries.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Display>(header: &[S]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row<S: Display>(&mut self, cells: &[S]) {
+        let mut row: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                let pad = widths[i] - c.chars().count();
+                s.push(' ');
+                s.push_str(c);
+                s.push_str(&" ".repeat(pad + 1));
+                s.push('|');
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a boolean as the check/cross marks used in the reports.
+pub fn mark(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "-"
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Exit helper: prints the verdict and panics on failure so CI-style
+/// invocations notice mismatches.
+pub fn verdict(name: &str, ok: bool) {
+    if ok {
+        println!("[{name}] reproduction OK");
+    } else {
+        panic!("[{name}] MISMATCH with the paper's claims");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["level", "ok"]);
+        t.row(&["PL-1", "yes"]);
+        t.row(&["PL-2.99", "-"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(s.contains("PL-2.99"));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["x"]);
+        assert!(t.render().contains("x"));
+    }
+
+    #[test]
+    fn marks() {
+        assert_eq!(mark(true), "yes");
+        assert_eq!(mark(false), "-");
+    }
+}

@@ -1,0 +1,93 @@
+//! One-call full analysis of a history.
+
+use std::fmt;
+
+use adya_history::History;
+
+use crate::dsg::Dsg;
+use crate::levels::{classify, LevelReport};
+use crate::mixing::{check_mixing, MixingReport};
+use crate::phenomena::{detect_all, Phenomenon};
+
+/// Everything the checker can say about one history: the DSG, every
+/// phenomenon present (with witnesses), the verdict at every level,
+/// and the mixed-level verdict.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The direct serialization graph.
+    pub dsg: Dsg,
+    /// One witness per phenomenon kind present.
+    pub phenomena: Vec<Phenomenon>,
+    /// Per-level verdicts.
+    pub levels: LevelReport,
+    /// Definition 9 on the recorded per-transaction levels.
+    pub mixing: MixingReport,
+}
+
+/// Analyzes `h` fully.
+///
+/// ```
+/// use adya_core::analyze;
+/// use adya_history::parse_history;
+///
+/// let h = parse_history("w1(x,1) c1 r2(x1) c2").unwrap();
+/// let a = analyze(&h);
+/// assert!(a.phenomena.is_empty());
+/// assert!(a.mixing.is_correct());
+/// ```
+pub fn analyze(h: &History) -> Analysis {
+    Analysis {
+        dsg: Dsg::build(h),
+        phenomena: detect_all(h),
+        levels: classify(h),
+        mixing: check_mixing(h),
+    }
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DSG: {} committed txns, {} edges",
+            self.dsg.graph().node_count(),
+            self.dsg.graph().edge_count()
+        )?;
+        if self.phenomena.is_empty() {
+            writeln!(f, "phenomena: none")?;
+        } else {
+            writeln!(f, "phenomena:")?;
+            for p in &self.phenomena {
+                writeln!(f, "  {p}")?;
+            }
+        }
+        writeln!(f, "{}", self.levels)?;
+        write!(f, "mixing: {}", self.mixing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IsolationLevel;
+    use adya_history::parse_history;
+
+    #[test]
+    fn clean_history_analysis() {
+        let h = parse_history("w1(x,1) c1 r2(x1) c2").unwrap();
+        let a = analyze(&h);
+        assert!(a.phenomena.is_empty());
+        assert!(a.levels.satisfies(IsolationLevel::PL3));
+        assert!(a.dsg.is_acyclic());
+        let s = a.to_string();
+        assert!(s.contains("phenomena: none"));
+        assert!(s.contains("mixing-correct"));
+    }
+
+    #[test]
+    fn dirty_analysis_lists_phenomena() {
+        let h = parse_history("w1(x,1) r2(x1) a1 c2").unwrap();
+        let a = analyze(&h);
+        assert!(!a.phenomena.is_empty());
+        assert!(a.to_string().contains("G1a"));
+    }
+}

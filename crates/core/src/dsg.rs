@@ -1,0 +1,210 @@
+//! The Direct Serialization Graph (Definition 7).
+
+use adya_graph::{Cycle, DiGraph, DotOptions};
+use adya_history::{History, TxnId};
+
+use crate::conflicts::{direct_conflicts, Conflict, DepKind};
+
+/// The Direct Serialization Graph of a history: one node per committed
+/// transaction, edges for the direct conflicts of Figure 2.
+///
+/// A `Dsg` keeps both the deduplicated graph (for cycle analysis) and
+/// the full conflict list with provenance (for explanations). The
+/// paper's figures omit `Tinit`, and so does this graph — `Tinit`
+/// could only ever have outgoing edges, so it can never participate in
+/// a cycle and its omission is sound.
+#[derive(Debug, Clone)]
+pub struct Dsg {
+    graph: DiGraph<TxnId, DepKind>,
+    conflicts: Vec<Conflict>,
+}
+
+impl Dsg {
+    /// Builds the DSG of `h`.
+    pub fn build(h: &History) -> Dsg {
+        let conflicts = direct_conflicts(h);
+        let mut graph = DiGraph::with_capacity(h.committed_txns().count());
+        for t in h.committed_txns() {
+            graph.add_node(t);
+        }
+        for c in &conflicts {
+            graph.add_edge_dedup(c.from, c.to, c.kind);
+        }
+        Dsg { graph, conflicts }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DiGraph<TxnId, DepKind> {
+        &self.graph
+    }
+
+    /// Every direct conflict with provenance (may contain several
+    /// conflicts per graph edge — one per object/predicate involved).
+    pub fn conflicts(&self) -> &[Conflict] {
+        &self.conflicts
+    }
+
+    /// True if some `from → to` edge of the given kind exists.
+    pub fn has_edge(&self, from: TxnId, to: TxnId, kind: DepKind) -> bool {
+        self.graph.has_edge_where(&from, &to, |&k| k == kind)
+    }
+
+    /// A cycle of only write-dependency edges (the G0 shape).
+    pub fn write_cycle(&self) -> Option<Cycle<TxnId, DepKind>> {
+        self.graph.find_cycle(|k| k.is_write_dep(), |_| true)
+    }
+
+    /// A cycle of only dependency edges (the G1c shape).
+    pub fn dependency_cycle(&self) -> Option<Cycle<TxnId, DepKind>> {
+        self.graph.find_cycle(|k| k.is_dependency(), |_| true)
+    }
+
+    /// A cycle with at least one anti-dependency edge (the G2 shape).
+    pub fn anti_cycle(&self) -> Option<Cycle<TxnId, DepKind>> {
+        self.graph.find_cycle(|_| true, |k| k.is_anti())
+    }
+
+    /// A cycle with at least one *item* anti-dependency edge (the
+    /// G2-item shape).
+    pub fn item_anti_cycle(&self) -> Option<Cycle<TxnId, DepKind>> {
+        self.graph.find_cycle(|_| true, |k| k.is_item_anti())
+    }
+
+    /// A cycle with *exactly one* anti-dependency edge (the G-single
+    /// shape of PL-2+, Adya's thesis §4.2).
+    pub fn single_anti_cycle(&self) -> Option<Cycle<TxnId, DepKind>> {
+        self.graph
+            .find_cycle_exactly_one(|k| k.is_anti(), |k| k.is_dependency())
+    }
+
+    /// Any cycle at all (acyclicity ⇔ conflict-serializability once
+    /// G1a/G1b are also absent).
+    pub fn any_cycle(&self) -> Option<Cycle<TxnId, DepKind>> {
+        self.graph.find_cycle(|_| true, |_| true)
+    }
+
+    /// True if the DSG is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.graph.is_acyclic()
+    }
+
+    /// An equivalent serial order of the committed transactions, when
+    /// the DSG is acyclic.
+    pub fn serial_order(&self) -> Option<Vec<TxnId>> {
+        self.graph
+            .topo_order()
+            .map(|ixs| ixs.into_iter().map(|ix| *self.graph.node(ix)).collect())
+    }
+
+    /// True if `order` is an equivalent serial order: it lists every
+    /// committed transaction exactly once and every DSG edge points
+    /// forward in it.
+    pub fn is_valid_serial_order(&self, order: &[TxnId]) -> bool {
+        if order.len() != self.graph.node_count() {
+            return false;
+        }
+        let pos: std::collections::HashMap<TxnId, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i))
+            .collect();
+        if pos.len() != order.len() {
+            return false;
+        }
+        self.graph.edges().all(|e| {
+            match (pos.get(e.from), pos.get(e.to)) {
+                (Some(a), Some(b)) => a < b,
+                _ => false,
+            }
+        })
+    }
+
+    /// Graphviz DOT rendering (cf. Figures 3–5).
+    pub fn to_dot(&self, name: &str) -> String {
+        self.graph.to_dot(&DotOptions {
+            name: name.to_string(),
+            left_to_right: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adya_history::parse_history;
+
+    /// H_serial of §4.4.4 (Figure 3).
+    fn h_serial() -> History {
+        parse_history(
+            "w1(z,1) w1(x,1) w1(y,1) w3(x,3) c1 r2(x1) w2(y,2) c2 r3(y2) w3(z,3) c3 \
+             [x1 << x3, y1 << y2, z1 << z3]",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure3_edge_set_exact() {
+        let dsg = Dsg::build(&h_serial());
+        let (t1, t2, t3) = (TxnId(1), TxnId(2), TxnId(3));
+        // Figure 3: T1 -wr-> T2, T1 -ww-> T3, T1 -rw? no: edges are
+        // T1->T2 wr, T2->T3 wr and rw? Let's assert the paper's set:
+        // T1 -wr-> T2 (T2 reads x1), T1 -ww-> T3 (x1 << x3),
+        // T1 -ww-> T2 (y1 << y2), T2 -wr-> T3 (T3 reads y2),
+        // T2 -rw-> T3 (T2 read x1, T3 installs x3),
+        // T1 -ww-> T3 (z1 << z3).
+        assert!(dsg.has_edge(t1, t2, DepKind::ItemReadDep));
+        assert!(dsg.has_edge(t1, t2, DepKind::WriteDep));
+        assert!(dsg.has_edge(t1, t3, DepKind::WriteDep));
+        assert!(dsg.has_edge(t2, t3, DepKind::ItemReadDep));
+        assert!(dsg.has_edge(t2, t3, DepKind::ItemAntiDep));
+        // No reverse edges.
+        assert!(!dsg.has_edge(t2, t1, DepKind::WriteDep));
+        assert!(!dsg.has_edge(t3, t1, DepKind::WriteDep));
+        assert!(!dsg.has_edge(t3, t2, DepKind::ItemReadDep));
+    }
+
+    #[test]
+    fn figure3_is_acyclic_and_serializes_t1_t2_t3() {
+        let dsg = Dsg::build(&h_serial());
+        assert!(dsg.is_acyclic());
+        let order = dsg.serial_order().unwrap();
+        assert_eq!(order, vec![TxnId(1), TxnId(2), TxnId(3)]);
+    }
+
+    #[test]
+    fn figure4_wcycle() {
+        // H_wcycle of §5.1 (Figure 4): pure write-dependency cycle.
+        let h = parse_history(
+            "w1(x,2) w2(x,5) w2(y,5) c2 w1(y,8) c1 [x1 << x2, y2 << y1]",
+        )
+        .unwrap();
+        let dsg = Dsg::build(&h);
+        let cyc = dsg.write_cycle().expect("G0 cycle");
+        assert_eq!(cyc.len(), 2);
+        assert!(cyc.edges().iter().all(|e| e.label.is_write_dep()));
+    }
+
+    #[test]
+    fn dedup_keeps_graph_small() {
+        // Two reads of the same version produce one wr edge but two
+        // conflict records.
+        let h = parse_history("w1(x,1) w1(y,2) c1 r2(x1) r2(y1) c2").unwrap();
+        let dsg = Dsg::build(&h);
+        assert_eq!(dsg.graph().edge_count(), 1);
+        assert_eq!(
+            dsg.conflicts()
+                .iter()
+                .filter(|c| c.kind == DepKind::ItemReadDep)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn dot_output_mentions_transactions() {
+        let dsg = Dsg::build(&h_serial());
+        let dot = dsg.to_dot("Hserial");
+        assert!(dot.contains("T1") && dot.contains("T2") && dot.contains("T3"));
+        assert!(dot.contains("ww") && dot.contains("wr"));
+    }
+}

@@ -1,0 +1,267 @@
+//! The item/predicate lock table used by the locking engine.
+//!
+//! Locks are never waited on inside the engine: acquisition either
+//! succeeds or reports the conflicting holders, and the caller decides
+//! whether to retry (driver-level waiting) or abort (deadlock
+//! victim). Predicate locks are *precision locks*: a writer conflicts
+//! with a predicate lock only if the row's before- or after-image
+//! actually satisfies the predicate — the flexible implementation the
+//! paper explicitly admits (§4.4.2).
+
+use std::collections::{BTreeSet, HashMap};
+
+use adya_history::TxnId;
+
+use crate::types::{Key, TableId, TablePred};
+
+/// Lock modes for item locks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) lock.
+    Shared,
+    /// Exclusive (write) lock.
+    Exclusive,
+}
+
+/// A lock request outcome is either granted or a set of conflicting
+/// holders.
+pub type LockRequest = Result<(), Vec<TxnId>>;
+
+#[derive(Debug, Default)]
+struct ItemLock {
+    sharers: BTreeSet<TxnId>,
+    exclusive: Option<TxnId>,
+}
+
+/// One held predicate read lock.
+#[derive(Clone)]
+pub(crate) struct PredLock {
+    pub txn: TxnId,
+    pub pred: TablePred,
+}
+
+/// The lock table.
+#[derive(Default)]
+pub(crate) struct LockTable {
+    items: HashMap<(TableId, Key), ItemLock>,
+    preds: Vec<PredLock>,
+}
+
+impl LockTable {
+    pub fn new() -> LockTable {
+        LockTable::default()
+    }
+
+    /// Tries to acquire an item lock; re-entrant, with S→X upgrade
+    /// when `txn` is the sole sharer. A shared request by the current
+    /// exclusive holder is a no-op (X subsumes S), so a later
+    /// short-duration shared release can never drop a long exclusive
+    /// claim.
+    pub fn try_item(
+        &mut self,
+        txn: TxnId,
+        table: TableId,
+        key: Key,
+        mode: LockMode,
+    ) -> LockRequest {
+        let entry = self.items.entry((table, key)).or_default();
+        match mode {
+            LockMode::Shared => {
+                if let Some(x) = entry.exclusive {
+                    if x != txn {
+                        return Err(vec![x]);
+                    }
+                    return Ok(()); // X subsumes S
+                }
+                entry.sharers.insert(txn);
+                Ok(())
+            }
+            LockMode::Exclusive => {
+                if let Some(x) = entry.exclusive {
+                    if x != txn {
+                        return Err(vec![x]);
+                    }
+                    return Ok(());
+                }
+                let others: Vec<TxnId> =
+                    entry.sharers.iter().copied().filter(|&s| s != txn).collect();
+                if !others.is_empty() {
+                    return Err(others);
+                }
+                // Upgrade: the share (if any) is replaced by the
+                // exclusive claim.
+                entry.sharers.remove(&txn);
+                entry.exclusive = Some(txn);
+                Ok(())
+            }
+        }
+    }
+
+    /// True if `txn` holds any claim (shared or exclusive) on the item.
+    pub fn holds_any(&self, txn: TxnId, table: TableId, key: Key) -> bool {
+        self.items
+            .get(&(table, key))
+            .is_some_and(|e| e.exclusive == Some(txn) || e.sharers.contains(&txn))
+    }
+
+    /// Releases `txn`'s *shared* claim on one item. Its exclusive
+    /// claim, if any, is untouched.
+    pub fn release_shared(&mut self, txn: TxnId, table: TableId, key: Key) {
+        if let Some(entry) = self.items.get_mut(&(table, key)) {
+            entry.sharers.remove(&txn);
+            if entry.sharers.is_empty() && entry.exclusive.is_none() {
+                self.items.remove(&(table, key));
+            }
+        }
+    }
+
+    /// Releases `txn`'s *exclusive* claim on one item (short write
+    /// locks, Degree 0).
+    pub fn release_exclusive(&mut self, txn: TxnId, table: TableId, key: Key) {
+        if let Some(entry) = self.items.get_mut(&(table, key)) {
+            if entry.exclusive == Some(txn) {
+                entry.exclusive = None;
+            }
+            if entry.sharers.is_empty() && entry.exclusive.is_none() {
+                self.items.remove(&(table, key));
+            }
+        }
+    }
+
+    /// Registers a predicate read lock.
+    pub fn add_pred(&mut self, txn: TxnId, pred: TablePred) {
+        self.preds.push(PredLock { txn, pred });
+    }
+
+    /// Predicate locks held by transactions other than `txn` on
+    /// `table`.
+    pub fn pred_locks_of_others(&self, txn: TxnId, table: TableId) -> Vec<&PredLock> {
+        self.preds
+            .iter()
+            .filter(|p| p.txn != txn && p.pred.table == table)
+            .collect()
+    }
+
+    /// Transactions (other than `txn`) holding an exclusive lock on
+    /// `(table, key)`.
+    pub fn exclusive_holder(&self, txn: TxnId, table: TableId, key: Key) -> Option<TxnId> {
+        self.items
+            .get(&(table, key))
+            .and_then(|e| e.exclusive)
+            .filter(|&x| x != txn)
+    }
+
+    /// Releases every lock held by `txn`.
+    pub fn release_all(&mut self, txn: TxnId) {
+        self.items.retain(|_, e| {
+            e.sharers.remove(&txn);
+            if e.exclusive == Some(txn) {
+                e.exclusive = None;
+            }
+            !(e.sharers.is_empty() && e.exclusive.is_none())
+        });
+        self.preds.retain(|p| p.txn != txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adya_history::Value;
+
+    const T1: TxnId = TxnId(1);
+    const T2: TxnId = TxnId(2);
+    const TBL: TableId = TableId(0);
+    const K: Key = Key(1);
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lt = LockTable::new();
+        assert!(lt.try_item(T1, TBL, K, LockMode::Shared).is_ok());
+        assert!(lt.try_item(T2, TBL, K, LockMode::Shared).is_ok());
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_shared() {
+        let mut lt = LockTable::new();
+        lt.try_item(T1, TBL, K, LockMode::Shared).unwrap();
+        let holders = lt.try_item(T2, TBL, K, LockMode::Exclusive).unwrap_err();
+        assert_eq!(holders, vec![T1]);
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_exclusive() {
+        let mut lt = LockTable::new();
+        lt.try_item(T1, TBL, K, LockMode::Exclusive).unwrap();
+        assert!(lt.try_item(T2, TBL, K, LockMode::Exclusive).is_err());
+        assert!(lt.try_item(T2, TBL, K, LockMode::Shared).is_err());
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let mut lt = LockTable::new();
+        lt.try_item(T1, TBL, K, LockMode::Shared).unwrap();
+        // Sole sharer upgrades.
+        assert!(lt.try_item(T1, TBL, K, LockMode::Exclusive).is_ok());
+        assert!(lt.try_item(T1, TBL, K, LockMode::Exclusive).is_ok());
+        // But not when someone else shares.
+        let mut lt = LockTable::new();
+        lt.try_item(T1, TBL, K, LockMode::Shared).unwrap();
+        lt.try_item(T2, TBL, K, LockMode::Shared).unwrap();
+        assert_eq!(
+            lt.try_item(T1, TBL, K, LockMode::Exclusive).unwrap_err(),
+            vec![T2]
+        );
+    }
+
+    #[test]
+    fn release_all_frees_everything() {
+        let mut lt = LockTable::new();
+        lt.try_item(T1, TBL, K, LockMode::Exclusive).unwrap();
+        lt.add_pred(T1, TablePred::new("p", TBL, |_| true));
+        lt.release_all(T1);
+        assert!(lt.try_item(T2, TBL, K, LockMode::Exclusive).is_ok());
+        assert!(lt.pred_locks_of_others(T2, TBL).is_empty());
+    }
+
+    #[test]
+    fn release_item_allows_regrant() {
+        let mut lt = LockTable::new();
+        lt.try_item(T1, TBL, K, LockMode::Exclusive).unwrap();
+        lt.release_exclusive(T1, TBL, K);
+        assert!(lt.try_item(T2, TBL, K, LockMode::Exclusive).is_ok());
+    }
+
+    #[test]
+    fn short_shared_release_preserves_long_exclusive() {
+        // The bug class this API prevents: a short read lock taken and
+        // released by the exclusive holder must not drop its X claim.
+        let mut lt = LockTable::new();
+        lt.try_item(T1, TBL, K, LockMode::Exclusive).unwrap();
+        lt.try_item(T1, TBL, K, LockMode::Shared).unwrap();
+        lt.release_shared(T1, TBL, K);
+        assert!(lt.try_item(T2, TBL, K, LockMode::Shared).is_err());
+        assert!(lt.holds_any(T1, TBL, K));
+        assert!(!lt.holds_any(T2, TBL, K));
+    }
+
+    #[test]
+    fn pred_locks_filter_by_table_and_owner() {
+        let mut lt = LockTable::new();
+        let p = TablePred::new("pos", TBL, |v| matches!(v, Value::Int(i) if *i > 0));
+        lt.add_pred(T1, p);
+        assert_eq!(lt.pred_locks_of_others(T2, TBL).len(), 1);
+        assert!(lt.pred_locks_of_others(T1, TBL).is_empty());
+        assert!(lt.pred_locks_of_others(T2, TableId(9)).is_empty());
+        lt.release_all(T1);
+        assert!(lt.pred_locks_of_others(T2, TBL).is_empty());
+    }
+
+    #[test]
+    fn exclusive_holder_lookup() {
+        let mut lt = LockTable::new();
+        lt.try_item(T1, TBL, K, LockMode::Exclusive).unwrap();
+        assert_eq!(lt.exclusive_holder(T2, TBL, K), Some(T1));
+        assert_eq!(lt.exclusive_holder(T1, TBL, K), None);
+    }
+}

@@ -1,0 +1,468 @@
+//! Multi-version concurrency control: Snapshot Isolation and
+//! multi-version read committed.
+//!
+//! Snapshot Isolation (Oracle's "serializable", analyzed in the
+//! Berenson et al. critique and given a generalized definition —
+//! PL-SI — in Adya's thesis) reads a begin-time snapshot and enforces
+//! first-committer-wins on write sets. Multi-version read committed
+//! reads the latest committed version at each read. Neither ever
+//! blocks a reader, and the version order of each object equals commit
+//! order — so G0/G1 are excluded *structurally*, while write skew
+//! (G2, exactly two anti-dependency edges) remains possible under SI:
+//! the shape the checker's PL-SI level admits and PL-3 rejects.
+
+use std::collections::{HashMap, HashSet};
+
+use adya_history::{History, RequestedLevel, TxnId, Value};
+use parking_lot::Mutex;
+
+use crate::engine::Engine;
+use crate::recorder::Recorder;
+use crate::store::Store;
+use crate::types::{AbortReason, Catalog, EngineError, Key, OpResult, TableId, TablePred};
+
+/// Which multi-version flavour an [`MvccEngine`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MvccMode {
+    /// Begin-time snapshot reads, first-committer-wins writes (PL-SI).
+    SnapshotIsolation,
+    /// Latest-committed reads at each operation, unconditional
+    /// installs (a deliberately weak PL-2 engine: lost updates are
+    /// possible and the checker should find the G2 cycles).
+    ReadCommitted,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnStatus {
+    Active,
+    Committed,
+    Aborted,
+}
+
+struct TxnState {
+    status: TxnStatus,
+    snapshot: u64,
+    writes: Vec<(TableId, Key, Option<Value>)>,
+}
+
+struct Inner {
+    store: Store,
+    txns: HashMap<TxnId, TxnState>,
+    stamp: u64,
+    known_tables: HashSet<TableId>,
+    incarnations: HashMap<(TableId, Key), u32>,
+}
+
+/// The multi-version engine.
+pub struct MvccEngine {
+    catalog: Catalog,
+    recorder: Recorder,
+    mode: MvccMode,
+    inner: Mutex<Inner>,
+}
+
+impl MvccEngine {
+    /// Creates an engine in the given mode.
+    pub fn new(mode: MvccMode) -> MvccEngine {
+        MvccEngine {
+            catalog: Catalog::new(),
+            recorder: Recorder::new(),
+            mode,
+            inner: Mutex::new(Inner {
+                store: Store::new(),
+                txns: HashMap::new(),
+                stamp: 0,
+                known_tables: HashSet::new(),
+                incarnations: HashMap::new(),
+            }),
+        }
+    }
+
+    fn ensure_table(&self, inner: &mut Inner, table: TableId) {
+        if inner.known_tables.insert(table) {
+            self.recorder
+                .register_table(table, &self.catalog.table_name(table));
+        }
+    }
+
+    fn check_active(inner: &Inner, txn: TxnId) -> OpResult<()> {
+        match inner.txns.get(&txn) {
+            None => Err(EngineError::UnknownTxn),
+            Some(s) => match s.status {
+                TxnStatus::Active => Ok(()),
+                TxnStatus::Aborted => Err(EngineError::Aborted(AbortReason::WriteConflict)),
+                TxnStatus::Committed => Err(EngineError::UnknownTxn),
+            },
+        }
+    }
+
+    fn buffered(state: &TxnState, table: TableId, key: Key) -> Option<Option<Value>> {
+        state
+            .writes
+            .iter()
+            .rev()
+            .find(|(t, k, _)| *t == table && *k == key)
+            .map(|(_, _, v)| v.clone())
+    }
+
+    /// The read stamp of `txn`: its snapshot under SI, "now" under
+    /// read committed.
+    fn read_stamp(&self, inner: &Inner, txn: TxnId) -> u64 {
+        match self.mode {
+            MvccMode::SnapshotIsolation => inner.txns[&txn].snapshot,
+            MvccMode::ReadCommitted => inner.stamp,
+        }
+    }
+}
+
+impl Engine for MvccEngine {
+    fn name(&self) -> String {
+        match self.mode {
+            MvccMode::SnapshotIsolation => "MVCC-SI".to_string(),
+            MvccMode::ReadCommitted => "MVCC-RC".to_string(),
+        }
+    }
+
+    fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn begin(&self) -> TxnId {
+        let t = self.recorder.begin_txn();
+        self.recorder.set_level(
+            t,
+            match self.mode {
+                MvccMode::SnapshotIsolation => RequestedLevel::PL3,
+                MvccMode::ReadCommitted => RequestedLevel::PL2,
+            },
+        );
+        let mut inner = self.inner.lock();
+        let snapshot = inner.stamp;
+        inner.txns.insert(
+            t,
+            TxnState {
+                status: TxnStatus::Active,
+                snapshot,
+                writes: Vec::new(),
+            },
+        );
+        t
+    }
+
+    fn read(&self, txn: TxnId, table: TableId, key: Key) -> OpResult<Option<Value>> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+        self.ensure_table(&mut inner, table);
+        if let Some(v) = Self::buffered(&inner.txns[&txn], table, key) {
+            return Ok(v);
+        }
+        let stamp = self.read_stamp(&inner, txn);
+        // Visit every incarnation: the snapshot may predate the
+        // current one.
+        let mut selected = None;
+        for &ix in inner.store.table_chains(table) {
+            let chain = &inner.store.chains[ix];
+            if chain.key != key {
+                continue;
+            }
+            if let Some(v) = chain.version_at(stamp) {
+                selected = Some((chain.object, v.version_id(), v.value.clone()));
+            }
+        }
+        match selected {
+            Some((obj, vid, Some(value))) => {
+                self.recorder.read(txn, obj, vid);
+                Ok(Some(value))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn write(&self, txn: TxnId, table: TableId, key: Key, value: Value) -> OpResult<()> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+        self.ensure_table(&mut inner, table);
+        inner
+            .txns
+            .get_mut(&txn)
+            .expect("active")
+            .writes
+            .push((table, key, Some(value)));
+        Ok(())
+    }
+
+    fn delete(&self, txn: TxnId, table: TableId, key: Key) -> OpResult<()> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+        self.ensure_table(&mut inner, table);
+        inner
+            .txns
+            .get_mut(&txn)
+            .expect("active")
+            .writes
+            .push((table, key, None));
+        Ok(())
+    }
+
+    fn select(&self, txn: TxnId, pred: &TablePred) -> OpResult<Vec<(Key, Value)>> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+        self.ensure_table(&mut inner, pred.table);
+        let table = pred.table;
+        let stamp = self.read_stamp(&inner, txn);
+        let mut vset = Vec::new();
+        let mut matches = Vec::new();
+        for &ix in inner.store.table_chains(table) {
+            let chain = &inner.store.chains[ix];
+            let Some(v) = chain.version_at(stamp) else {
+                continue; // not visible in this snapshot: implicit unborn
+            };
+            vset.push((chain.object, v.version_id()));
+            if let Some(value) = &v.value {
+                if pred.matches(value) {
+                    matches.push((chain.key, chain.object, v.version_id(), value.clone()));
+                }
+            }
+        }
+        // Overlay own buffered writes.
+        let state = &inner.txns[&txn];
+        let mut result: Vec<(Key, Value)> = matches
+            .iter()
+            .map(|(k, _, _, v)| (*k, v.clone()))
+            .collect();
+        for (t, k, v) in &state.writes {
+            if *t != table {
+                continue;
+            }
+            result.retain(|(rk, _)| rk != k);
+            if let Some(val) = v {
+                if pred.matches(val) {
+                    result.push((*k, val.clone()));
+                }
+            }
+        }
+        self.recorder.predicate_read(txn, pred, vset);
+        for (_, obj, vid, _) in &matches {
+            self.recorder.read(txn, *obj, *vid);
+        }
+        Ok(result)
+    }
+
+    fn commit(&self, txn: TxnId) -> OpResult<()> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+
+        if self.mode == MvccMode::SnapshotIsolation {
+            // First-committer-wins: abort if any written key gained a
+            // committed version after our snapshot.
+            let state = &inner.txns[&txn];
+            let snapshot = state.snapshot;
+            let conflict = state.writes.iter().any(|(table, key, _)| {
+                inner.store.chain_index(*table, *key).is_some_and(|ix| {
+                    inner.store.chains[ix]
+                        .versions
+                        .iter()
+                        .any(|v| v.commit_stamp.is_some_and(|s| s > snapshot))
+                })
+            });
+            if conflict {
+                inner.txns.get_mut(&txn).expect("active").status = TxnStatus::Aborted;
+                self.recorder.abort(txn);
+                return Err(EngineError::Aborted(AbortReason::WriteConflict));
+            }
+        }
+
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        let writes = std::mem::take(&mut inner.txns.get_mut(&txn).expect("active").writes);
+        for (table, key, value) in writes {
+            let existing_ix = inner.store.chain_index(table, key);
+            if value.is_none() {
+                let exists = existing_ix
+                    .and_then(|ix| inner.store.chains[ix].committed_tip())
+                    .is_some_and(|v| !v.is_dead());
+                if !exists {
+                    continue;
+                }
+            }
+            let needs_new = match existing_ix {
+                None => true,
+                Some(ix) => {
+                    let chain = &inner.store.chains[ix];
+                    chain.versions.is_empty()
+                        || chain.tip().is_some_and(|v| v.is_dead())
+                        || chain.own_latest(txn).is_some_and(|v| v.is_dead())
+                }
+            };
+            let chain_ix = if needs_new {
+                let inc = {
+                    let e = inner.incarnations.entry((table, key)).or_insert(0);
+                    let v = *e;
+                    *e += 1;
+                    v
+                };
+                let obj = self.recorder.register_object(table, key, inc);
+                inner.store.new_incarnation(table, key, obj)
+            } else {
+                existing_ix.expect("checked")
+            };
+            let obj = inner.store.chains[chain_ix].object;
+            let vid = match &value {
+                Some(v) => self.recorder.write(txn, obj, v.clone()),
+                None => self.recorder.delete(txn, obj),
+            };
+            inner.store.chains[chain_ix].push(txn, vid.seq, value);
+            inner.store.chains[chain_ix].commit_writer(txn, stamp);
+        }
+        inner.txns.get_mut(&txn).expect("active").status = TxnStatus::Committed;
+        self.recorder.commit(txn);
+        Ok(())
+    }
+
+    fn abort(&self, txn: TxnId) -> OpResult<()> {
+        let mut inner = self.inner.lock();
+        match inner.txns.get(&txn) {
+            None => return Err(EngineError::UnknownTxn),
+            Some(s) if s.status != TxnStatus::Active => return Ok(()),
+            _ => {}
+        }
+        inner.txns.get_mut(&txn).expect("known").status = TxnStatus::Aborted;
+        self.recorder.abort(txn);
+        Ok(())
+    }
+
+    fn finalize(&self) -> History {
+        let inner = self.inner.lock();
+        for chain in &inner.store.chains {
+            self.recorder
+                .set_version_order(chain.object, chain.committed_order());
+        }
+        self.recorder.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(mode: MvccMode) -> (MvccEngine, TableId) {
+        let e = MvccEngine::new(mode);
+        let t = e.catalog().table("acct");
+        (e, t)
+    }
+
+    #[test]
+    fn snapshot_reads_ignore_later_commits() {
+        let (e, tbl) = setup(MvccMode::SnapshotIsolation);
+        let t0 = e.begin();
+        e.write(t0, tbl, Key(1), Value::Int(1)).unwrap();
+        e.commit(t0).unwrap();
+        let t1 = e.begin();
+        // T2 commits a new version after T1's snapshot.
+        let t2 = e.begin();
+        e.write(t2, tbl, Key(1), Value::Int(2)).unwrap();
+        e.commit(t2).unwrap();
+        // T1 still sees the snapshot value.
+        assert_eq!(e.read(t1, tbl, Key(1)).unwrap(), Some(Value::Int(1)));
+        e.commit(t1).unwrap();
+    }
+
+    #[test]
+    fn first_committer_wins() {
+        let (e, tbl) = setup(MvccMode::SnapshotIsolation);
+        let t0 = e.begin();
+        e.write(t0, tbl, Key(1), Value::Int(0)).unwrap();
+        e.commit(t0).unwrap();
+        let t1 = e.begin();
+        let t2 = e.begin();
+        e.write(t1, tbl, Key(1), Value::Int(1)).unwrap();
+        e.write(t2, tbl, Key(1), Value::Int(2)).unwrap();
+        e.commit(t1).unwrap();
+        assert!(matches!(
+            e.commit(t2),
+            Err(EngineError::Aborted(AbortReason::WriteConflict))
+        ));
+    }
+
+    #[test]
+    fn write_skew_commits_under_si() {
+        let (e, tbl) = setup(MvccMode::SnapshotIsolation);
+        let t0 = e.begin();
+        e.write(t0, tbl, Key(1), Value::Int(5)).unwrap();
+        e.write(t0, tbl, Key(2), Value::Int(5)).unwrap();
+        e.commit(t0).unwrap();
+        let t1 = e.begin();
+        let t2 = e.begin();
+        e.read(t1, tbl, Key(1)).unwrap();
+        e.read(t1, tbl, Key(2)).unwrap();
+        e.read(t2, tbl, Key(1)).unwrap();
+        e.read(t2, tbl, Key(2)).unwrap();
+        e.write(t1, tbl, Key(1), Value::Int(0)).unwrap();
+        e.write(t2, tbl, Key(2), Value::Int(0)).unwrap();
+        e.commit(t1).unwrap();
+        e.commit(t2).unwrap(); // disjoint write sets: both commit
+        let h = e.finalize();
+        assert_eq!(h.committed_txns().count(), 3);
+    }
+
+    #[test]
+    fn rc_mode_reads_latest_committed_each_time() {
+        let (e, tbl) = setup(MvccMode::ReadCommitted);
+        let t0 = e.begin();
+        e.write(t0, tbl, Key(1), Value::Int(1)).unwrap();
+        e.commit(t0).unwrap();
+        let t1 = e.begin();
+        assert_eq!(e.read(t1, tbl, Key(1)).unwrap(), Some(Value::Int(1)));
+        let t2 = e.begin();
+        e.write(t2, tbl, Key(1), Value::Int(2)).unwrap();
+        e.commit(t2).unwrap();
+        // Non-repeatable read: T1 sees the new value.
+        assert_eq!(e.read(t1, tbl, Key(1)).unwrap(), Some(Value::Int(2)));
+        e.commit(t1).unwrap();
+    }
+
+    #[test]
+    fn snapshot_select_sees_consistent_predicate_state() {
+        let (e, tbl) = setup(MvccMode::SnapshotIsolation);
+        let p = TablePred::new("pos", tbl, |v| matches!(v, Value::Int(i) if *i > 0));
+        let t0 = e.begin();
+        e.write(t0, tbl, Key(1), Value::Int(1)).unwrap();
+        e.commit(t0).unwrap();
+        let t1 = e.begin();
+        let t2 = e.begin();
+        e.write(t2, tbl, Key(2), Value::Int(9)).unwrap();
+        e.commit(t2).unwrap();
+        // T1's snapshot predates T2: only one match.
+        assert_eq!(e.select(t1, &p).unwrap().len(), 1);
+        e.commit(t1).unwrap();
+    }
+
+    #[test]
+    fn deletes_respect_snapshots() {
+        let (e, tbl) = setup(MvccMode::SnapshotIsolation);
+        let t0 = e.begin();
+        e.write(t0, tbl, Key(1), Value::Int(1)).unwrap();
+        e.commit(t0).unwrap();
+        let t1 = e.begin();
+        let t2 = e.begin();
+        e.delete(t2, tbl, Key(1)).unwrap();
+        e.commit(t2).unwrap();
+        // T1's snapshot still sees the row.
+        assert_eq!(e.read(t1, tbl, Key(1)).unwrap(), Some(Value::Int(1)));
+        e.commit(t1).unwrap();
+        // A fresh transaction does not.
+        let t3 = e.begin();
+        assert_eq!(e.read(t3, tbl, Key(1)).unwrap(), None);
+        e.commit(t3).unwrap();
+    }
+
+    #[test]
+    fn si_history_records_begin_events() {
+        let (e, tbl) = setup(MvccMode::SnapshotIsolation);
+        let t1 = e.begin();
+        e.write(t1, tbl, Key(1), Value::Int(1)).unwrap();
+        e.commit(t1).unwrap();
+        let h = e.finalize();
+        assert!(h.txn(t1).unwrap().begin_event.is_some());
+    }
+}

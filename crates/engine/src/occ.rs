@@ -1,0 +1,510 @@
+//! Kung–Robinson style optimistic concurrency control.
+//!
+//! Transactions read the committed state and buffer their writes;
+//! commit runs backward validation — the read set (items *and*
+//! predicates) is checked against the write sets of transactions that
+//! committed after this one began. Validation failures abort; there is
+//! no blocking anywhere, which is exactly the class of implementation
+//! the preventative definitions exclude (§3) and the generalized ones
+//! admit.
+
+use std::collections::{HashMap, HashSet};
+
+use adya_history::{History, RequestedLevel, TxnId, Value};
+use parking_lot::Mutex;
+
+use crate::engine::Engine;
+use crate::recorder::Recorder;
+use crate::store::Store;
+use crate::types::{AbortReason, Catalog, EngineError, Key, OpResult, TableId, TablePred};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnStatus {
+    Active,
+    Committed,
+    Aborted,
+}
+
+struct TxnState {
+    status: TxnStatus,
+    start_stamp: u64,
+    /// Keys whose value (or absence) the transaction observed.
+    read_keys: HashSet<(TableId, Key)>,
+    /// Predicates the transaction evaluated.
+    pred_reads: Vec<TablePred>,
+    /// Buffered writes in program order (`None` value = delete).
+    writes: Vec<(TableId, Key, Option<Value>)>,
+}
+
+/// One entry of the committed-transaction log used by backward
+/// validation.
+struct CommitLogEntry {
+    stamp: u64,
+    /// `(table, key, before image, after image)` per written row.
+    writes: Vec<(TableId, Key, Option<Value>, Option<Value>)>,
+}
+
+struct Inner {
+    store: Store,
+    txns: HashMap<TxnId, TxnState>,
+    stamp: u64,
+    log: Vec<CommitLogEntry>,
+    known_tables: HashSet<TableId>,
+    incarnations: HashMap<(TableId, Key), u32>,
+}
+
+/// The optimistic engine.
+pub struct OccEngine {
+    catalog: Catalog,
+    recorder: Recorder,
+    inner: Mutex<Inner>,
+}
+
+impl Default for OccEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OccEngine {
+    /// Creates an empty optimistic engine.
+    pub fn new() -> OccEngine {
+        OccEngine {
+            catalog: Catalog::new(),
+            recorder: Recorder::new(),
+            inner: Mutex::new(Inner {
+                store: Store::new(),
+                txns: HashMap::new(),
+                stamp: 0,
+                log: Vec::new(),
+                known_tables: HashSet::new(),
+                incarnations: HashMap::new(),
+            }),
+        }
+    }
+
+    fn ensure_table(&self, inner: &mut Inner, table: TableId) {
+        if inner.known_tables.insert(table) {
+            self.recorder
+                .register_table(table, &self.catalog.table_name(table));
+        }
+    }
+
+    fn check_active(inner: &Inner, txn: TxnId) -> OpResult<()> {
+        match inner.txns.get(&txn) {
+            None => Err(EngineError::UnknownTxn),
+            Some(s) => match s.status {
+                TxnStatus::Active => Ok(()),
+                TxnStatus::Aborted => {
+                    Err(EngineError::Aborted(AbortReason::ValidationFailed))
+                }
+                TxnStatus::Committed => Err(EngineError::UnknownTxn),
+            },
+        }
+    }
+
+    /// The buffered value `txn` would see for `(table, key)`, if it
+    /// wrote it.
+    fn buffered(state: &TxnState, table: TableId, key: Key) -> Option<Option<Value>> {
+        state
+            .writes
+            .iter()
+            .rev()
+            .find(|(t, k, _)| *t == table && *k == key)
+            .map(|(_, _, v)| v.clone())
+    }
+
+    fn do_abort(&self, inner: &mut Inner, txn: TxnId, _reason: AbortReason) {
+        let state = inner.txns.get_mut(&txn).expect("known txn");
+        state.status = TxnStatus::Aborted;
+        self.recorder.abort(txn);
+    }
+}
+
+impl Engine for OccEngine {
+    fn name(&self) -> String {
+        "OCC".to_string()
+    }
+
+    fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn begin(&self) -> TxnId {
+        let t = self.recorder.begin_txn();
+        self.recorder.set_level(t, RequestedLevel::PL3);
+        let mut inner = self.inner.lock();
+        let start_stamp = inner.stamp;
+        inner.txns.insert(
+            t,
+            TxnState {
+                status: TxnStatus::Active,
+                start_stamp,
+                read_keys: HashSet::new(),
+                pred_reads: Vec::new(),
+                writes: Vec::new(),
+            },
+        );
+        t
+    }
+
+    fn read(&self, txn: TxnId, table: TableId, key: Key) -> OpResult<Option<Value>> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+        self.ensure_table(&mut inner, table);
+        // Own buffered write wins (no history event: the write itself
+        // is only recorded at install time).
+        if let Some(v) = Self::buffered(&inner.txns[&txn], table, key) {
+            return Ok(v);
+        }
+        inner
+            .txns
+            .get_mut(&txn)
+            .expect("active")
+            .read_keys
+            .insert((table, key));
+        let selected = inner
+            .store
+            .chain_index(table, key)
+            .and_then(|ix| {
+                let chain = &inner.store.chains[ix];
+                chain
+                    .committed_tip()
+                    .map(|v| (chain.object, v.version_id(), v.value.clone()))
+            });
+        match selected {
+            Some((obj, vid, Some(value))) => {
+                self.recorder.read(txn, obj, vid);
+                Ok(Some(value))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn write(&self, txn: TxnId, table: TableId, key: Key, value: Value) -> OpResult<()> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+        self.ensure_table(&mut inner, table);
+        inner
+            .txns
+            .get_mut(&txn)
+            .expect("active")
+            .writes
+            .push((table, key, Some(value)));
+        Ok(())
+    }
+
+    fn delete(&self, txn: TxnId, table: TableId, key: Key) -> OpResult<()> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+        self.ensure_table(&mut inner, table);
+        inner
+            .txns
+            .get_mut(&txn)
+            .expect("active")
+            .writes
+            .push((table, key, None));
+        Ok(())
+    }
+
+    fn select(&self, txn: TxnId, pred: &TablePred) -> OpResult<Vec<(Key, Value)>> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+        self.ensure_table(&mut inner, pred.table);
+        let table = pred.table;
+
+        let mut vset = Vec::new();
+        let mut matches = Vec::new();
+        for &ix in inner.store.table_chains(table) {
+            let chain = &inner.store.chains[ix];
+            let Some(v) = chain.committed_tip() else {
+                continue;
+            };
+            vset.push((chain.object, v.version_id()));
+            if let Some(value) = &v.value {
+                if pred.matches(value) {
+                    matches.push((chain.key, chain.object, v.version_id(), value.clone()));
+                }
+            }
+        }
+        // Overlay the transaction's own buffered writes on the result
+        // (read-your-own-writes for predicate queries).
+        let state = inner.txns.get_mut(&txn).expect("active");
+        let mut result: Vec<(Key, Value)> = matches
+            .iter()
+            .map(|(k, _, _, v)| (*k, v.clone()))
+            .collect();
+        for (t, k, v) in &state.writes {
+            if *t != table {
+                continue;
+            }
+            result.retain(|(rk, _)| rk != k);
+            if let Some(val) = v {
+                if pred.matches(val) {
+                    result.push((*k, val.clone()));
+                }
+            }
+        }
+        state.pred_reads.push(pred.clone());
+        for (k, _, _, _) in &matches {
+            state.read_keys.insert((table, *k));
+        }
+        self.recorder.predicate_read(txn, pred, vset);
+        for (_, obj, vid, _) in &matches {
+            self.recorder.read(txn, *obj, *vid);
+        }
+        Ok(result)
+    }
+
+    fn commit(&self, txn: TxnId) -> OpResult<()> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+
+        // Backward validation against transactions that committed
+        // after we began.
+        let state = &inner.txns[&txn];
+        let start = state.start_stamp;
+        let mut conflict = false;
+        for entry in inner.log.iter().rev() {
+            if entry.stamp <= start {
+                break;
+            }
+            for (t, k, before, after) in &entry.writes {
+                if state.read_keys.contains(&(*t, *k)) {
+                    conflict = true;
+                    break;
+                }
+                for p in &state.pred_reads {
+                    if p.table == *t
+                        && (before.as_ref().map(|v| p.matches(v)).unwrap_or(false)
+                            || after.as_ref().map(|v| p.matches(v)).unwrap_or(false))
+                    {
+                        conflict = true;
+                        break;
+                    }
+                }
+                if conflict {
+                    break;
+                }
+            }
+            if conflict {
+                break;
+            }
+        }
+        if conflict {
+            self.do_abort(&mut inner, txn, AbortReason::ValidationFailed);
+            return Err(EngineError::Aborted(AbortReason::ValidationFailed));
+        }
+
+        // Install buffered writes.
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        let writes = std::mem::take(&mut inner.txns.get_mut(&txn).expect("active").writes);
+        let mut log_writes = Vec::with_capacity(writes.len());
+        for (table, key, value) in writes {
+            // Deleting an absent row is a no-op.
+            let existing_ix = inner.store.chain_index(table, key);
+            let before = existing_ix
+                .and_then(|ix| inner.store.chains[ix].committed_tip())
+                .and_then(|v| v.value.clone());
+            if value.is_none() && before.is_none() {
+                continue;
+            }
+            let needs_new = match existing_ix {
+                None => true,
+                Some(ix) => {
+                    let chain = &inner.store.chains[ix];
+                    chain.versions.is_empty()
+                        || chain.tip().is_some_and(|v| v.is_dead())
+                        || chain.own_latest(txn).is_some_and(|v| v.is_dead())
+                }
+            };
+            let chain_ix = if needs_new {
+                let inc = {
+                    let e = inner.incarnations.entry((table, key)).or_insert(0);
+                    let v = *e;
+                    *e += 1;
+                    v
+                };
+                let obj = self.recorder.register_object(table, key, inc);
+                inner.store.new_incarnation(table, key, obj)
+            } else {
+                existing_ix.expect("checked")
+            };
+            let obj = inner.store.chains[chain_ix].object;
+            let vid = match &value {
+                Some(v) => self.recorder.write(txn, obj, v.clone()),
+                None => self.recorder.delete(txn, obj),
+            };
+            inner.store.chains[chain_ix].push(txn, vid.seq, value.clone());
+            inner.store.chains[chain_ix].commit_writer(txn, stamp);
+            log_writes.push((table, key, before, value));
+        }
+        inner.log.push(CommitLogEntry {
+            stamp,
+            writes: log_writes,
+        });
+        inner.txns.get_mut(&txn).expect("active").status = TxnStatus::Committed;
+        self.recorder.commit(txn);
+        Ok(())
+    }
+
+    fn abort(&self, txn: TxnId) -> OpResult<()> {
+        let mut inner = self.inner.lock();
+        match inner.txns.get(&txn) {
+            None => return Err(EngineError::UnknownTxn),
+            Some(s) if s.status != TxnStatus::Active => return Ok(()),
+            _ => {}
+        }
+        self.do_abort(&mut inner, txn, AbortReason::Requested);
+        Ok(())
+    }
+
+    fn finalize(&self) -> History {
+        let inner = self.inner.lock();
+        for chain in &inner.store.chains {
+            self.recorder
+                .set_version_order(chain.object, chain.committed_order());
+        }
+        self.recorder.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (OccEngine, TableId) {
+        let e = OccEngine::new();
+        let t = e.catalog().table("acct");
+        (e, t)
+    }
+
+    #[test]
+    fn reads_never_block() {
+        let (e, tbl) = setup();
+        let t0 = e.begin();
+        e.write(t0, tbl, Key(1), Value::Int(1)).unwrap();
+        e.commit(t0).unwrap();
+        let t1 = e.begin();
+        e.write(t1, tbl, Key(1), Value::Int(2)).unwrap();
+        // T2 reads while T1's write is buffered: sees the committed
+        // state, never blocks, and commits first without trouble.
+        let t2 = e.begin();
+        assert_eq!(e.read(t2, tbl, Key(1)).unwrap(), Some(Value::Int(1)));
+        e.commit(t2).unwrap();
+        e.commit(t1).unwrap();
+    }
+
+    #[test]
+    fn backward_validation_is_conservative_about_read_overlap() {
+        // T2 read key 1 before T1 overwrote and committed it; classic
+        // Kung–Robinson aborts T2 even though T2 could serialize
+        // before T1.
+        let (e, tbl) = setup();
+        let t0 = e.begin();
+        e.write(t0, tbl, Key(1), Value::Int(1)).unwrap();
+        e.commit(t0).unwrap();
+        let t1 = e.begin();
+        e.write(t1, tbl, Key(1), Value::Int(2)).unwrap();
+        let t2 = e.begin();
+        e.read(t2, tbl, Key(1)).unwrap();
+        e.commit(t1).unwrap();
+        assert!(matches!(
+            e.commit(t2),
+            Err(EngineError::Aborted(AbortReason::ValidationFailed))
+        ));
+    }
+
+    #[test]
+    fn validation_aborts_stale_reader_writer() {
+        let (e, tbl) = setup();
+        let t0 = e.begin();
+        e.write(t0, tbl, Key(1), Value::Int(1)).unwrap();
+        e.commit(t0).unwrap();
+        // T1 reads key 1; T2 overwrites it and commits first; T1 must
+        // fail validation.
+        let t1 = e.begin();
+        e.read(t1, tbl, Key(1)).unwrap();
+        e.write(t1, tbl, Key(2), Value::Int(10)).unwrap();
+        let t2 = e.begin();
+        e.write(t2, tbl, Key(1), Value::Int(7)).unwrap();
+        e.commit(t2).unwrap();
+        assert!(matches!(
+            e.commit(t1),
+            Err(EngineError::Aborted(AbortReason::ValidationFailed))
+        ));
+    }
+
+    #[test]
+    fn blind_writes_do_not_conflict() {
+        let (e, tbl) = setup();
+        let t1 = e.begin();
+        let t2 = e.begin();
+        e.write(t1, tbl, Key(1), Value::Int(1)).unwrap();
+        e.write(t2, tbl, Key(1), Value::Int(2)).unwrap();
+        e.commit(t1).unwrap();
+        // T2 never read key 1, so backward validation passes (Thomas-
+        // write-rule-like behaviour; the committed history stays
+        // serializable because version order follows commit order).
+        e.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn predicate_validation_catches_phantoms() {
+        let (e, tbl) = setup();
+        let p = TablePred::new("pos", tbl, |v| matches!(v, Value::Int(i) if *i > 0));
+        let t1 = e.begin();
+        assert!(e.select(t1, &p).unwrap().is_empty());
+        // T2 inserts a matching row and commits.
+        let t2 = e.begin();
+        e.write(t2, tbl, Key(5), Value::Int(42)).unwrap();
+        e.commit(t2).unwrap();
+        // T1 writes something and tries to commit: phantom detected.
+        e.write(t1, tbl, Key(9), Value::Int(-3)).unwrap();
+        assert!(matches!(
+            e.commit(t1),
+            Err(EngineError::Aborted(AbortReason::ValidationFailed))
+        ));
+    }
+
+    #[test]
+    fn own_buffered_writes_visible() {
+        let (e, tbl) = setup();
+        let t1 = e.begin();
+        e.write(t1, tbl, Key(1), Value::Int(5)).unwrap();
+        assert_eq!(e.read(t1, tbl, Key(1)).unwrap(), Some(Value::Int(5)));
+        e.delete(t1, tbl, Key(1)).unwrap();
+        assert_eq!(e.read(t1, tbl, Key(1)).unwrap(), None);
+        e.commit(t1).unwrap();
+    }
+
+    #[test]
+    fn select_overlays_buffered_writes() {
+        let (e, tbl) = setup();
+        let p = TablePred::new("pos", tbl, |v| matches!(v, Value::Int(i) if *i > 0));
+        let t0 = e.begin();
+        e.write(t0, tbl, Key(1), Value::Int(3)).unwrap();
+        e.commit(t0).unwrap();
+        let t1 = e.begin();
+        e.write(t1, tbl, Key(2), Value::Int(4)).unwrap();
+        e.delete(t1, tbl, Key(1)).unwrap();
+        let rows = e.select(t1, &p).unwrap();
+        assert_eq!(rows, vec![(Key(2), Value::Int(4))]);
+        e.commit(t1).unwrap();
+    }
+
+    #[test]
+    fn history_of_validated_run_is_recorded() {
+        let (e, tbl) = setup();
+        let t1 = e.begin();
+        e.write(t1, tbl, Key(1), Value::Int(1)).unwrap();
+        e.commit(t1).unwrap();
+        let t2 = e.begin();
+        e.read(t2, tbl, Key(1)).unwrap();
+        e.write(t2, tbl, Key(1), Value::Int(2)).unwrap();
+        e.commit(t2).unwrap();
+        let h = e.finalize();
+        assert_eq!(h.committed_txns().count(), 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! Records engine operations into a validated history.
+//!
+//! The recorder is the only bridge between the engines and the
+//! checker: every read, write, predicate read, begin, commit and abort
+//! flows through it, and [`Recorder::finalize`] assembles an
+//! [`adya_history::History`] with explicit version orders (physical
+//! install order) and predicate match tables re-derived from the
+//! engines' own predicate closures.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use adya_history::{
+    History, HistoryBuilder, ObjectId, PredicateId, RelationId, TxnId, Value, VersionId,
+};
+use parking_lot::Mutex;
+
+use crate::types::{Key, TableId, TablePred};
+
+#[derive(Default)]
+struct Rec {
+    b: HistoryBuilder,
+    next_txn: u32,
+    rel_of_table: HashMap<TableId, RelationId>,
+    /// Predicates are identified by the address of their shared test
+    /// closure, so cloned `TablePred`s map to one history predicate.
+    pred_of: HashMap<usize, PredicateId>,
+    /// Explicit version orders to apply at finalize.
+    orders: Vec<(ObjectId, Vec<VersionId>)>,
+}
+
+/// Thread-safe history recorder shared by an engine's operations.
+#[derive(Default)]
+pub struct Recorder {
+    inner: Mutex<Rec>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Allocates a transaction id and records its begin event.
+    pub fn begin_txn(&self) -> TxnId {
+        let mut r = self.inner.lock();
+        let t = TxnId(r.next_txn);
+        r.next_txn += 1;
+        r.b.begin(t);
+        t
+    }
+
+    /// Registers `table` as a history relation (idempotent).
+    pub fn register_table(&self, table: TableId, name: &str) -> RelationId {
+        let mut r = self.inner.lock();
+        if let Some(&rel) = r.rel_of_table.get(&table) {
+            return rel;
+        }
+        let rel = r.b.relation(name);
+        r.rel_of_table.insert(table, rel);
+        rel
+    }
+
+    /// Registers a fresh object (row incarnation) in `table`.
+    pub fn register_object(&self, table: TableId, key: Key, incarnation: u32) -> ObjectId {
+        let mut r = self.inner.lock();
+        let rel = *r
+            .rel_of_table
+            .get(&table)
+            .expect("table must be registered before its rows");
+        let name = if incarnation == 0 {
+            format!("{}{}", table, key)
+        } else {
+            format!("{}{}@{}", table, key, incarnation)
+        };
+        r.b.object_in(name, rel)
+    }
+
+    /// Records the requested isolation level of `txn` (for the
+    /// mixed-history analysis of §5.5).
+    pub fn set_level(&self, txn: TxnId, level: adya_history::RequestedLevel) {
+        self.inner.lock().b.txn_level(txn, level);
+    }
+
+    /// Records a visible write; returns the created version id.
+    pub fn write(&self, txn: TxnId, object: ObjectId, value: Value) -> VersionId {
+        self.inner.lock().b.write(txn, object, value)
+    }
+
+    /// Records a delete (dead version); returns the created version id.
+    pub fn delete(&self, txn: TxnId, object: ObjectId) -> VersionId {
+        self.inner.lock().b.delete(txn, object)
+    }
+
+    /// Records an item read of an explicit version.
+    pub fn read(&self, txn: TxnId, object: ObjectId, version: VersionId) {
+        self.inner.lock().b.read_version(txn, object, version);
+    }
+
+    /// Records a cursor read of an explicit version (Cursor
+    /// Stability).
+    pub fn cursor_read(&self, txn: TxnId, object: ObjectId, version: VersionId) {
+        self.inner.lock().b.cursor_read_version(txn, object, version);
+    }
+
+    /// Records a predicate read with its version set, registering the
+    /// predicate (and scheduling its match-table derivation) on first
+    /// use.
+    pub fn predicate_read(
+        &self,
+        txn: TxnId,
+        pred: &TablePred,
+        vset: Vec<(ObjectId, VersionId)>,
+    ) {
+        let mut r = self.inner.lock();
+        let key = Arc::as_ptr(&pred.test) as *const () as usize;
+        let pid = match r.pred_of.get(&key) {
+            Some(&p) => p,
+            None => {
+                let rel = *r
+                    .rel_of_table
+                    .get(&pred.table)
+                    .expect("predicate over unregistered table");
+                let pid = r.b.predicate(pred.name.clone(), &[rel]);
+                let test = Arc::clone(&pred.test);
+                r.b.derive_matches(pid, move |v| test(v));
+                r.pred_of.insert(key, pid);
+                pid
+            }
+        };
+        r.b.predicate_read_versions(txn, pid, vset);
+    }
+
+    /// Records a commit.
+    pub fn commit(&self, txn: TxnId) {
+        self.inner.lock().b.commit(txn);
+    }
+
+    /// Records an abort.
+    pub fn abort(&self, txn: TxnId) {
+        self.inner.lock().b.abort(txn);
+    }
+
+    /// Supplies the physical version order of one object (committed
+    /// final versions, install order), to be applied at finalize.
+    pub fn set_version_order(&self, object: ObjectId, order: Vec<VersionId>) {
+        self.inner.lock().orders.push((object, order));
+    }
+
+    /// Builds the validated history. Still-running transactions are
+    /// completed with aborts (the paper's completion rule), which is
+    /// what a crash at this instant would have meant.
+    ///
+    /// Panics if the recorded event stream violates the model's
+    /// well-formedness rules — that would be an engine bug, and the
+    /// whole point of the recorder is to make such bugs loud.
+    pub fn finalize(&self) -> History {
+        let mut r = self.inner.lock();
+        let orders = std::mem::take(&mut r.orders);
+        // Rebuild the builder by value to call the consuming build.
+        let mut b = std::mem::take(&mut r.b);
+        for (obj, order) in orders {
+            b.version_order(obj, &order);
+        }
+        b.build_completed()
+            .expect("engine recorded an ill-formed history (engine bug)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_a_round_trip() {
+        let rec = Recorder::new();
+        let table = TableId(0);
+        rec.register_table(table, "acct");
+        let obj = rec.register_object(table, Key(1), 0);
+        let t1 = rec.begin_txn();
+        let v1 = rec.write(t1, obj, Value::Int(5));
+        rec.commit(t1);
+        let t2 = rec.begin_txn();
+        rec.read(t2, obj, v1);
+        rec.commit(t2);
+        rec.set_version_order(obj, vec![v1]);
+        let h = rec.finalize();
+        assert_eq!(h.committed_txns().count(), 2);
+        assert_eq!(h.version_order(obj).len(), 2);
+    }
+
+    #[test]
+    fn incomplete_txns_get_aborted() {
+        let rec = Recorder::new();
+        let table = TableId(0);
+        rec.register_table(table, "acct");
+        let obj = rec.register_object(table, Key(1), 0);
+        let t1 = rec.begin_txn();
+        rec.write(t1, obj, Value::Int(5));
+        let h = rec.finalize();
+        assert!(!h.is_committed(t1));
+    }
+
+    #[test]
+    fn predicate_registration_dedups_by_closure() {
+        let rec = Recorder::new();
+        let table = TableId(0);
+        rec.register_table(table, "emp");
+        let obj = rec.register_object(table, Key(1), 0);
+        let p = TablePred::new("pos", table, |v| matches!(v, Value::Int(i) if *i > 0));
+        let t1 = rec.begin_txn();
+        let v = rec.write(t1, obj, Value::Int(3));
+        rec.commit(t1);
+        let t2 = rec.begin_txn();
+        rec.predicate_read(t2, &p.clone(), vec![(obj, v)]);
+        rec.predicate_read(t2, &p, vec![(obj, v)]);
+        rec.commit(t2);
+        let h = rec.finalize();
+        assert_eq!(h.predicates().count(), 1);
+        let (pid, _) = h.predicates().next().unwrap();
+        assert!(h.matches(pid, obj, v), "match table derived from closure");
+    }
+
+    #[test]
+    fn incarnation_names_are_distinct() {
+        let rec = Recorder::new();
+        let table = TableId(0);
+        rec.register_table(table, "t");
+        let a = rec.register_object(table, Key(7), 0);
+        let b = rec.register_object(table, Key(7), 1);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,695 @@
+//! A serialization-graph-testing certifier.
+//!
+//! This engine is the most direct executable reading of the paper: it
+//! tracks (a conservative superset of) the paper's own conflict edges
+//! *online* — write-dependencies, read-dependencies and
+//! anti-dependencies — and aborts a transaction the moment one of its
+//! operations would close a cycle proscribed at the engine's
+//! certification level. Reads are allowed to observe **uncommitted**
+//! tips (the mobile / disconnected-operation scenario of §3), with
+//! commit-ordering obligations enforced instead:
+//!
+//! * a transaction that read from an uncommitted writer cannot commit
+//!   until the writer commits (no G1a/G1b for committed transactions);
+//! * if the writer aborts, the reader is cascaded.
+//!
+//! The result is an engine that violates P0, P1 and P2 routinely while
+//! every history it commits passes the corresponding PL level — the
+//! mechanical witness for the paper's permissiveness claim.
+
+use std::collections::{HashMap, HashSet};
+
+use adya_graph::DiGraph;
+
+use adya_history::{History, RequestedLevel, TxnId, Value};
+use parking_lot::Mutex;
+
+use crate::engine::Engine;
+use crate::recorder::Recorder;
+use crate::store::Store;
+use crate::types::{AbortReason, Catalog, EngineError, Key, OpResult, TableId, TablePred};
+
+/// Which cycles the certifier proscribes — the engine's isolation
+/// level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertifyLevel {
+    /// Abort only on write-dependency cycles (G0) ⇒ PL-1. Dirty reads
+    /// commit freely.
+    PL1,
+    /// Additionally proscribe dependency cycles (G1c) and enforce the
+    /// commit-ordering obligations (no G1a/G1b) ⇒ PL-2.
+    PL2,
+    /// Proscribe every cycle ⇒ PL-3 (conflict-serializability).
+    PL3,
+}
+
+impl CertifyLevel {
+    fn to_requested(self) -> RequestedLevel {
+        match self {
+            CertifyLevel::PL1 => RequestedLevel::PL1,
+            CertifyLevel::PL2 => RequestedLevel::PL2,
+            CertifyLevel::PL3 => RequestedLevel::PL3,
+        }
+    }
+}
+
+/// Edge kinds of the online conflict graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dep {
+    Ww,
+    Wr,
+    Rw,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnStatus {
+    Active,
+    Committed,
+    Aborted,
+}
+
+struct TxnState {
+    status: TxnStatus,
+    /// Writers this transaction read uncommitted data from.
+    read_from: HashSet<TxnId>,
+    /// Chains this transaction wrote.
+    written_chains: HashSet<usize>,
+    /// Readers that consumed this transaction's uncommitted writes
+    /// (for cascading aborts).
+    readers_of_mine: HashSet<TxnId>,
+}
+
+struct Inner {
+    store: Store,
+    txns: HashMap<TxnId, TxnState>,
+    graph: DiGraph<TxnId, Dep>,
+    /// Readers per chain: (reader, version read).
+    chain_readers: HashMap<usize, Vec<(TxnId, adya_history::VersionId)>>,
+    /// Predicate readers per table (phantom-conservative).
+    table_readers: HashMap<TableId, Vec<TxnId>>,
+    stamp: u64,
+    known_tables: HashSet<TableId>,
+    incarnations: HashMap<(TableId, Key), u32>,
+}
+
+/// The SGT certifier engine.
+pub struct SgtEngine {
+    catalog: Catalog,
+    recorder: Recorder,
+    level: CertifyLevel,
+    inner: Mutex<Inner>,
+}
+
+impl SgtEngine {
+    /// Creates a certifier at the given level.
+    pub fn new(level: CertifyLevel) -> SgtEngine {
+        SgtEngine {
+            catalog: Catalog::new(),
+            recorder: Recorder::new(),
+            level,
+            inner: Mutex::new(Inner {
+                store: Store::new(),
+                txns: HashMap::new(),
+                graph: DiGraph::new(),
+                chain_readers: HashMap::new(),
+                table_readers: HashMap::new(),
+                stamp: 0,
+                known_tables: HashSet::new(),
+                incarnations: HashMap::new(),
+            }),
+        }
+    }
+
+    fn ensure_table(&self, inner: &mut Inner, table: TableId) {
+        if inner.known_tables.insert(table) {
+            self.recorder
+                .register_table(table, &self.catalog.table_name(table));
+        }
+    }
+
+    fn check_active(inner: &Inner, txn: TxnId) -> OpResult<()> {
+        match inner.txns.get(&txn) {
+            None => Err(EngineError::UnknownTxn),
+            Some(s) => match s.status {
+                TxnStatus::Active => Ok(()),
+                TxnStatus::Aborted => Err(EngineError::Aborted(AbortReason::CycleDetected)),
+                TxnStatus::Committed => Err(EngineError::UnknownTxn),
+            },
+        }
+    }
+
+    /// True if a proscribed cycle *through `txn`* exists in the
+    /// conflict graph restricted to non-aborted nodes.
+    ///
+    /// Every edge the engine adds is incident to the operating
+    /// transaction, so any newly-created cycle passes through it; a
+    /// DFS from `txn` back to itself is therefore a complete check and
+    /// avoids rebuilding the (ever-growing) graph per operation.
+    fn on_proscribed_cycle(inner: &Inner, txn: TxnId, level: CertifyLevel) -> bool {
+        let edge_ok = |k: &Dep| match level {
+            CertifyLevel::PL1 => *k == Dep::Ww,
+            CertifyLevel::PL2 => *k != Dep::Rw,
+            CertifyLevel::PL3 => true,
+        };
+        let alive =
+            |t: &TxnId| inner.txns.get(t).map(|s| s.status) != Some(TxnStatus::Aborted);
+        if !alive(&txn) {
+            return false;
+        }
+        let mut stack: Vec<TxnId> = Vec::new();
+        let mut seen: HashSet<TxnId> = HashSet::new();
+        for e in inner.graph.edges_from(&txn) {
+            if edge_ok(e.label) && alive(e.to) && seen.insert(*e.to) {
+                stack.push(*e.to);
+            }
+        }
+        while let Some(v) = stack.pop() {
+            if v == txn {
+                return true;
+            }
+            for e in inner.graph.edges_from(&v) {
+                if !edge_ok(e.label) || !alive(e.to) {
+                    continue;
+                }
+                if *e.to == txn {
+                    return true;
+                }
+                if seen.insert(*e.to) {
+                    stack.push(*e.to);
+                }
+            }
+        }
+        false
+    }
+
+    /// Aborts `txn` and cascades to its dirty readers (at PL-2+).
+    fn do_abort(&self, inner: &mut Inner, txn: TxnId) {
+        let state = inner.txns.get_mut(&txn).expect("known");
+        if state.status != TxnStatus::Active {
+            return;
+        }
+        state.status = TxnStatus::Aborted;
+        let written: Vec<usize> = state.written_chains.iter().copied().collect();
+        let readers: Vec<TxnId> = state.readers_of_mine.iter().copied().collect();
+        for ix in written {
+            inner.store.chains[ix].remove_writer(txn);
+            if inner.store.chains[ix].versions.is_empty() {
+                let (table, key) = {
+                    let c = &inner.store.chains[ix];
+                    (c.table, c.key)
+                };
+                inner.store.retire_if_current(table, key, ix);
+            }
+        }
+        self.recorder.abort(txn);
+        if self.level != CertifyLevel::PL1 {
+            for r in readers {
+                if inner.txns.get(&r).map(|s| s.status) == Some(TxnStatus::Active) {
+                    self.do_abort(inner, r);
+                }
+            }
+        }
+    }
+
+    /// Adds the conservative conflict edges for a write by `txn` to
+    /// `chain_ix`, then certifies; aborts `txn` on a proscribed cycle.
+    fn edges_for_write(&self, inner: &mut Inner, txn: TxnId, chain_ix: usize) -> OpResult<()> {
+        // ww from every earlier writer in the chain (a superset of the
+        // true version-order adjacency, sound under aborts).
+        let writers: Vec<TxnId> = inner.store.chains[chain_ix]
+            .versions
+            .iter()
+            .map(|v| v.writer)
+            .filter(|&w| w != txn)
+            .collect();
+        for w in writers {
+            inner.graph.add_edge_dedup(w, txn, Dep::Ww);
+        }
+        // rw from every earlier reader of the chain.
+        let readers: Vec<TxnId> = inner
+            .chain_readers
+            .get(&chain_ix)
+            .map(|v| v.iter().map(|&(r, _)| r).filter(|&r| r != txn).collect())
+            .unwrap_or_default();
+        for r in readers {
+            inner.graph.add_edge_dedup(r, txn, Dep::Rw);
+        }
+        // This write may have turned the writer's *own earlier*
+        // version into an intermediate one; any other transaction that
+        // read it is now headed for G1b and must be cascaded (PL-2+).
+        if self.level != CertifyLevel::PL1 {
+            let new_seq = inner.store.chains[chain_ix]
+                .own_latest(txn)
+                .map(|v| v.seq)
+                .unwrap_or(1);
+            let doomed: Vec<TxnId> = inner
+                .chain_readers
+                .get(&chain_ix)
+                .map(|v| {
+                    v.iter()
+                        .filter(|&&(r, vid)| {
+                            r != txn && vid.txn == txn && vid.seq < new_seq
+                        })
+                        .map(|&(r, _)| r)
+                        .collect()
+                })
+                .unwrap_or_default();
+            for r in doomed {
+                if inner.txns.get(&r).map(|s| s.status) == Some(TxnStatus::Active) {
+                    self.do_abort(inner, r);
+                }
+            }
+        }
+        // rw from predicate readers of the table (phantom edges).
+        let table = inner.store.chains[chain_ix].table;
+        let preaders: Vec<TxnId> = inner
+            .table_readers
+            .get(&table)
+            .map(|v| v.iter().copied().filter(|&r| r != txn).collect())
+            .unwrap_or_default();
+        for r in preaders {
+            inner.graph.add_edge_dedup(r, txn, Dep::Rw);
+        }
+        self.certify(inner, txn)
+    }
+
+    fn certify(&self, inner: &mut Inner, txn: TxnId) -> OpResult<()> {
+        if Self::on_proscribed_cycle(inner, txn, self.level) {
+            self.do_abort(inner, txn);
+            return Err(EngineError::Aborted(AbortReason::CycleDetected));
+        }
+        Ok(())
+    }
+}
+
+impl Engine for SgtEngine {
+    fn name(&self) -> String {
+        format!("SGT-{:?}", self.level)
+    }
+
+    fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn begin(&self) -> TxnId {
+        let t = self.recorder.begin_txn();
+        self.recorder.set_level(t, self.level.to_requested());
+        let mut inner = self.inner.lock();
+        inner.graph.add_node(t);
+        inner.txns.insert(
+            t,
+            TxnState {
+                status: TxnStatus::Active,
+                read_from: HashSet::new(),
+                written_chains: HashSet::new(),
+                readers_of_mine: HashSet::new(),
+            },
+        );
+        t
+    }
+
+    fn read(&self, txn: TxnId, table: TableId, key: Key) -> OpResult<Option<Value>> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+        self.ensure_table(&mut inner, table);
+        let Some(chain_ix) = inner.store.chain_index(table, key) else {
+            return Ok(None);
+        };
+        let selected = {
+            let chain = &inner.store.chains[chain_ix];
+            chain
+                .own_latest(txn)
+                .or_else(|| chain.tip())
+                .map(|v| (v.writer, v.version_id(), v.value.clone(), v.committed))
+        };
+        let Some((writer, vid, value, committed)) = selected else {
+            return Ok(None);
+        };
+        if value.is_none() {
+            return Ok(None); // dead tip: row absent
+        }
+        let obj = inner.store.chains[chain_ix].object;
+        self.recorder.read(txn, obj, vid);
+        inner
+            .chain_readers
+            .entry(chain_ix)
+            .or_default()
+            .push((txn, vid));
+        if writer != txn {
+            inner.graph.add_edge_dedup(writer, txn, Dep::Wr);
+            if !committed {
+                inner
+                    .txns
+                    .get_mut(&txn)
+                    .expect("active")
+                    .read_from
+                    .insert(writer);
+                if let Some(ws) = inner.txns.get_mut(&writer) {
+                    ws.readers_of_mine.insert(txn);
+                }
+            }
+            self.certify(&mut inner, txn)?;
+        }
+        Ok(value)
+    }
+
+    fn write(&self, txn: TxnId, table: TableId, key: Key, value: Value) -> OpResult<()> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+        self.ensure_table(&mut inner, table);
+        let existing_ix = inner.store.chain_index(table, key);
+        let needs_new = match existing_ix {
+            None => true,
+            Some(ix) => {
+                let chain = &inner.store.chains[ix];
+                chain.versions.is_empty()
+                    || chain.tip().is_some_and(|v| v.is_dead())
+                    || chain.own_latest(txn).is_some_and(|v| v.is_dead())
+            }
+        };
+        let chain_ix = if needs_new {
+            let inc = {
+                let e = inner.incarnations.entry((table, key)).or_insert(0);
+                let v = *e;
+                *e += 1;
+                v
+            };
+            let obj = self.recorder.register_object(table, key, inc);
+            inner.store.new_incarnation(table, key, obj)
+        } else {
+            existing_ix.expect("checked")
+        };
+        let obj = inner.store.chains[chain_ix].object;
+        let vid = self.recorder.write(txn, obj, value.clone());
+        inner.store.chains[chain_ix].push(txn, vid.seq, Some(value));
+        inner
+            .txns
+            .get_mut(&txn)
+            .expect("active")
+            .written_chains
+            .insert(chain_ix);
+        self.edges_for_write(&mut inner, txn, chain_ix)
+    }
+
+    fn delete(&self, txn: TxnId, table: TableId, key: Key) -> OpResult<()> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+        self.ensure_table(&mut inner, table);
+        let Some(chain_ix) = inner.store.chain_index(table, key) else {
+            return Ok(());
+        };
+        let visible = {
+            let chain = &inner.store.chains[chain_ix];
+            chain
+                .own_latest(txn)
+                .or_else(|| chain.tip())
+                .is_some_and(|v| !v.is_dead())
+        };
+        if !visible {
+            return Ok(());
+        }
+        let obj = inner.store.chains[chain_ix].object;
+        let vid = self.recorder.delete(txn, obj);
+        inner.store.chains[chain_ix].push(txn, vid.seq, None);
+        inner
+            .txns
+            .get_mut(&txn)
+            .expect("active")
+            .written_chains
+            .insert(chain_ix);
+        self.edges_for_write(&mut inner, txn, chain_ix)
+    }
+
+    fn select(&self, txn: TxnId, pred: &TablePred) -> OpResult<Vec<(Key, Value)>> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+        self.ensure_table(&mut inner, pred.table);
+        let table = pred.table;
+        let mut vset = Vec::new();
+        let mut matches = Vec::new();
+        let mut edge_sources: Vec<(TxnId, bool)> = Vec::new(); // (writer, committed)
+        let mut read_chains = Vec::new();
+        for &ix in inner.store.table_chains(table) {
+            let chain = &inner.store.chains[ix];
+            let Some(v) = chain.own_latest(txn).or_else(|| chain.tip()) else {
+                continue;
+            };
+            vset.push((chain.object, v.version_id()));
+            read_chains.push((ix, v.version_id()));
+            if v.writer != txn {
+                edge_sources.push((v.writer, v.committed));
+            }
+            if let Some(value) = &v.value {
+                if pred.matches(value) {
+                    matches.push((chain.key, chain.object, v.version_id(), value.clone()));
+                }
+            }
+        }
+        self.recorder.predicate_read(txn, pred, vset);
+        for (_, obj, vid, _) in &matches {
+            self.recorder.read(txn, *obj, *vid);
+        }
+        for (ix, vid) in read_chains {
+            inner.chain_readers.entry(ix).or_default().push((txn, vid));
+        }
+        inner.table_readers.entry(table).or_default().push(txn);
+        for (writer, committed) in edge_sources {
+            inner.graph.add_edge_dedup(writer, txn, Dep::Wr);
+            if !committed {
+                inner
+                    .txns
+                    .get_mut(&txn)
+                    .expect("active")
+                    .read_from
+                    .insert(writer);
+                if let Some(ws) = inner.txns.get_mut(&writer) {
+                    ws.readers_of_mine.insert(txn);
+                }
+            }
+        }
+        self.certify(&mut inner, txn)?;
+        Ok(matches
+            .into_iter()
+            .map(|(k, _, _, v)| (k, v))
+            .collect())
+    }
+
+    fn commit(&self, txn: TxnId) -> OpResult<()> {
+        let mut inner = self.inner.lock();
+        Self::check_active(&inner, txn)?;
+        if self.level != CertifyLevel::PL1 {
+            // Commit-ordering obligations: wait for dirty-read sources.
+            let state = &inner.txns[&txn];
+            let mut holders = Vec::new();
+            let mut cascade = false;
+            for &w in &state.read_from {
+                match inner.txns.get(&w).map(|s| s.status) {
+                    Some(TxnStatus::Active) => holders.push(w),
+                    Some(TxnStatus::Aborted) => cascade = true,
+                    _ => {}
+                }
+            }
+            if cascade {
+                self.do_abort(&mut inner, txn);
+                return Err(EngineError::Aborted(AbortReason::CascadedAbort));
+            }
+            if !holders.is_empty() {
+                holders.sort_unstable();
+                return Err(EngineError::Blocked { holders });
+            }
+        }
+        // Final certification.
+        if Self::on_proscribed_cycle(&inner, txn, self.level) {
+            self.do_abort(&mut inner, txn);
+            return Err(EngineError::Aborted(AbortReason::CycleDetected));
+        }
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        let written: Vec<usize> = inner.txns[&txn].written_chains.iter().copied().collect();
+        for ix in written {
+            inner.store.chains[ix].commit_writer(txn, stamp);
+        }
+        inner.txns.get_mut(&txn).expect("active").status = TxnStatus::Committed;
+        self.recorder.commit(txn);
+        Ok(())
+    }
+
+    fn abort(&self, txn: TxnId) -> OpResult<()> {
+        let mut inner = self.inner.lock();
+        match inner.txns.get(&txn) {
+            None => return Err(EngineError::UnknownTxn),
+            Some(s) if s.status != TxnStatus::Active => return Ok(()),
+            _ => {}
+        }
+        self.do_abort(&mut inner, txn);
+        Ok(())
+    }
+
+    fn finalize(&self) -> History {
+        let inner = self.inner.lock();
+        for chain in &inner.store.chains {
+            self.recorder
+                .set_version_order(chain.object, chain.committed_order());
+        }
+        self.recorder.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(level: CertifyLevel) -> (SgtEngine, TableId) {
+        let e = SgtEngine::new(level);
+        let t = e.catalog().table("acct");
+        (e, t)
+    }
+
+    #[test]
+    fn h1_prime_scenario_commits() {
+        // T2 reads T1's uncommitted writes of x and y; both commit in
+        // order. Forbidden by P1; accepted here and PL-3 valid.
+        let (e, tbl) = setup(CertifyLevel::PL3);
+        let t0 = e.begin();
+        e.write(t0, tbl, Key(1), Value::Int(5)).unwrap();
+        e.write(t0, tbl, Key(2), Value::Int(5)).unwrap();
+        e.commit(t0).unwrap();
+        let t1 = e.begin();
+        e.read(t1, tbl, Key(1)).unwrap();
+        e.write(t1, tbl, Key(1), Value::Int(1)).unwrap();
+        e.read(t1, tbl, Key(2)).unwrap();
+        e.write(t1, tbl, Key(2), Value::Int(9)).unwrap();
+        let t2 = e.begin();
+        // Dirty reads of both of T1's writes.
+        assert_eq!(e.read(t2, tbl, Key(1)).unwrap(), Some(Value::Int(1)));
+        assert_eq!(e.read(t2, tbl, Key(2)).unwrap(), Some(Value::Int(9)));
+        // T2 cannot commit before T1 (commit ordering).
+        assert!(matches!(
+            e.commit(t2),
+            Err(EngineError::Blocked { ref holders }) if holders == &[t1]
+        ));
+        e.commit(t1).unwrap();
+        e.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn cascaded_abort_on_dirty_read() {
+        let (e, tbl) = setup(CertifyLevel::PL3);
+        let t1 = e.begin();
+        e.write(t1, tbl, Key(1), Value::Int(1)).unwrap();
+        let t2 = e.begin();
+        e.read(t2, tbl, Key(1)).unwrap();
+        e.abort(t1).unwrap();
+        assert!(matches!(
+            e.commit(t2),
+            Err(EngineError::Aborted(AbortReason::CascadedAbort))
+                | Err(EngineError::Aborted(AbortReason::CycleDetected))
+        ));
+        let h = e.finalize();
+        assert_eq!(h.committed_txns().count(), 0);
+    }
+
+    #[test]
+    fn read_skew_cycle_aborts_at_pl3() {
+        // T2 reads old x, T1 updates x and y, T2 then reads new y:
+        // the rw + wr cycle must abort someone.
+        let (e, tbl) = setup(CertifyLevel::PL3);
+        let t0 = e.begin();
+        e.write(t0, tbl, Key(1), Value::Int(5)).unwrap();
+        e.write(t0, tbl, Key(2), Value::Int(5)).unwrap();
+        e.commit(t0).unwrap();
+        let t2 = e.begin();
+        e.read(t2, tbl, Key(1)).unwrap();
+        let t1 = e.begin();
+        e.write(t1, tbl, Key(1), Value::Int(1)).unwrap();
+        e.write(t1, tbl, Key(2), Value::Int(9)).unwrap();
+        e.commit(t1).unwrap();
+        // T2 now reads the new y: closes T1 -wr-> T2 -rw-> T1.
+        let r = e.read(t2, tbl, Key(2));
+        assert!(matches!(r, Err(EngineError::Aborted(_))), "{r:?}");
+    }
+
+    #[test]
+    fn pl1_allows_dirty_reads_to_commit() {
+        let (e, tbl) = setup(CertifyLevel::PL1);
+        let t1 = e.begin();
+        e.write(t1, tbl, Key(1), Value::Int(1)).unwrap();
+        let t2 = e.begin();
+        e.read(t2, tbl, Key(1)).unwrap();
+        // At PL-1 the reader may commit before the writer.
+        e.commit(t2).unwrap();
+        e.abort(t1).unwrap(); // G1a in the history — allowed at PL-1
+        let h = e.finalize();
+        assert_eq!(h.committed_txns().count(), 1);
+    }
+
+    #[test]
+    fn write_cycle_aborts_even_at_pl1() {
+        let (e, tbl) = setup(CertifyLevel::PL1);
+        let t1 = e.begin();
+        let t2 = e.begin();
+        e.write(t1, tbl, Key(1), Value::Int(1)).unwrap();
+        e.write(t2, tbl, Key(1), Value::Int(2)).unwrap(); // ww T1->T2
+        e.write(t2, tbl, Key(2), Value::Int(2)).unwrap();
+        // T1 writing key 2 closes a ww cycle: abort.
+        assert!(matches!(
+            e.write(t1, tbl, Key(2), Value::Int(1)),
+            Err(EngineError::Aborted(AbortReason::CycleDetected))
+        ));
+    }
+
+    #[test]
+    fn phantom_edge_aborts_serializability_violation() {
+        let (e, tbl) = setup(CertifyLevel::PL3);
+        let p = TablePred::new("pos", tbl, |v| matches!(v, Value::Int(i) if *i > 0));
+        let sums = e.catalog().table("sums");
+        let t0 = e.begin();
+        e.write(t0, tbl, Key(1), Value::Int(10)).unwrap();
+        e.write(t0, sums, Key(0), Value::Int(10)).unwrap();
+        e.commit(t0).unwrap();
+        // T1 queries the predicate, T2 inserts a matching row and
+        // updates the sum, T1 then reads the sum: Hphantom shape.
+        let t1 = e.begin();
+        e.select(t1, &p).unwrap();
+        let t2 = e.begin();
+        e.write(t2, tbl, Key(2), Value::Int(10)).unwrap();
+        e.write(t2, sums, Key(0), Value::Int(20)).unwrap();
+        e.commit(t2).unwrap();
+        let r = e.read(t1, sums, Key(0));
+        assert!(
+            matches!(r, Err(EngineError::Aborted(_))),
+            "phantom cycle must abort T1, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn rewrite_after_dirty_read_cascades_reader() {
+        // Regression: T2 reads T1's first version of x; T1 writes x
+        // again. T2's read is now intermediate (G1b) — T2 must be
+        // cascaded instead of committing.
+        let (e, tbl) = setup(CertifyLevel::PL2);
+        let t1 = e.begin();
+        e.write(t1, tbl, Key(1), Value::Int(1)).unwrap();
+        let t2 = e.begin();
+        assert_eq!(e.read(t2, tbl, Key(1)).unwrap(), Some(Value::Int(1)));
+        e.write(t1, tbl, Key(1), Value::Int(2)).unwrap();
+        e.commit(t1).unwrap();
+        assert!(matches!(e.commit(t2), Err(EngineError::Aborted(_))));
+        let h = e.finalize();
+        use adya_core::IsolationLevel;
+        assert!(adya_core::classify(&h).satisfies(IsolationLevel::PL2));
+    }
+
+    #[test]
+    fn committed_histories_from_sgt_are_recorded() {
+        let (e, tbl) = setup(CertifyLevel::PL3);
+        let t1 = e.begin();
+        e.write(t1, tbl, Key(1), Value::Int(1)).unwrap();
+        e.commit(t1).unwrap();
+        let t2 = e.begin();
+        e.read(t2, tbl, Key(1)).unwrap();
+        e.commit(t2).unwrap();
+        let h = e.finalize();
+        assert_eq!(h.committed_txns().count(), 2);
+    }
+}

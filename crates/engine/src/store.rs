@@ -1,0 +1,267 @@
+//! The shared multi-version row store.
+//!
+//! Every engine stores data the same way — per-row version chains in
+//! physical install order — and differs only in *which* version an
+//! operation selects and in when transactions are forced to block or
+//! abort. Chains correspond 1:1 to history objects; a
+//! deleted-then-reinserted key starts a fresh chain (the model's
+//! "distinct incarnations" rule).
+
+use std::collections::HashMap;
+
+use adya_history::{ObjectId, TxnId, Value, VersionId};
+
+use crate::types::{Key, TableId};
+
+/// One version in a chain.
+#[derive(Debug, Clone)]
+pub(crate) struct StoredVersion {
+    /// Writing transaction.
+    pub writer: TxnId,
+    /// Per-(writer, object) modification counter.
+    pub seq: u32,
+    /// `None` encodes a dead (deleted) version.
+    pub value: Option<Value>,
+    /// Set when the writer commits.
+    pub committed: bool,
+    /// Commit stamp (monotone), set when the writer commits; used by
+    /// snapshot reads.
+    pub commit_stamp: Option<u64>,
+}
+
+impl StoredVersion {
+    /// The history version id.
+    pub fn version_id(&self) -> VersionId {
+        VersionId::new(self.writer, self.seq)
+    }
+
+    /// True for dead (deletion) versions.
+    pub fn is_dead(&self) -> bool {
+        self.value.is_none()
+    }
+}
+
+/// One object incarnation: a chain of versions in install order.
+#[derive(Debug, Clone)]
+pub(crate) struct RowChain {
+    /// The table the row lives in.
+    pub table: TableId,
+    /// The row key (shared across incarnations).
+    pub key: Key,
+    /// The history object this incarnation maps to.
+    pub object: ObjectId,
+    /// Versions in physical install order.
+    pub versions: Vec<StoredVersion>,
+}
+
+impl RowChain {
+    /// The newest version regardless of commit status (dirty tip).
+    pub fn tip(&self) -> Option<&StoredVersion> {
+        self.versions.last()
+    }
+
+    /// The newest committed version.
+    pub fn committed_tip(&self) -> Option<&StoredVersion> {
+        self.versions.iter().rev().find(|v| v.committed)
+    }
+
+    /// The newest version written by `txn` (read-your-own-writes).
+    pub fn own_latest(&self, txn: TxnId) -> Option<&StoredVersion> {
+        self.versions.iter().rev().find(|v| v.writer == txn)
+    }
+
+    /// The newest version committed at or before `stamp` (snapshot
+    /// visibility).
+    pub fn version_at(&self, stamp: u64) -> Option<&StoredVersion> {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.commit_stamp.is_some_and(|s| s <= stamp))
+    }
+
+    /// Appends a version.
+    pub fn push(&mut self, writer: TxnId, seq: u32, value: Option<Value>) {
+        self.versions.push(StoredVersion {
+            writer,
+            seq,
+            value,
+            committed: false,
+            commit_stamp: None,
+        });
+    }
+
+    /// Marks `txn`'s versions committed at `stamp`.
+    pub fn commit_writer(&mut self, txn: TxnId, stamp: u64) {
+        for v in &mut self.versions {
+            if v.writer == txn {
+                v.committed = true;
+                v.commit_stamp = Some(stamp);
+            }
+        }
+    }
+
+    /// Removes `txn`'s versions (abort undo). Returns true if any were
+    /// removed.
+    pub fn remove_writer(&mut self, txn: TxnId) -> bool {
+        let before = self.versions.len();
+        self.versions.retain(|v| v.writer != txn);
+        self.versions.len() != before
+    }
+
+    /// The committed version order entries for the history: final
+    /// committed versions in physical order.
+    pub fn committed_order(&self) -> Vec<VersionId> {
+        // A writer's final seq on this object.
+        let mut final_seq: HashMap<TxnId, u32> = HashMap::new();
+        for v in &self.versions {
+            if v.committed {
+                let e = final_seq.entry(v.writer).or_insert(v.seq);
+                if v.seq > *e {
+                    *e = v.seq;
+                }
+            }
+        }
+        self.versions
+            .iter()
+            .filter(|v| v.committed && final_seq.get(&v.writer) == Some(&v.seq))
+            .map(StoredVersion::version_id)
+            .collect()
+    }
+}
+
+/// The store: chains by (table, key), with incarnation tracking.
+#[derive(Debug, Default)]
+pub(crate) struct Store {
+    /// Current incarnation per key.
+    current: HashMap<(TableId, Key), usize>,
+    /// All chains ever created, including superseded incarnations.
+    pub chains: Vec<RowChain>,
+    /// Chain indices per table, in creation order.
+    by_table: HashMap<TableId, Vec<usize>>,
+}
+
+impl Store {
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// Index of the current incarnation.
+    pub fn chain_index(&self, table: TableId, key: Key) -> Option<usize> {
+        self.current.get(&(table, key)).copied()
+    }
+
+    /// Creates a fresh incarnation for `(table, key)` mapped to
+    /// history object `object`, and makes it current.
+    pub fn new_incarnation(&mut self, table: TableId, key: Key, object: ObjectId) -> usize {
+        let ix = self.chains.len();
+        self.chains.push(RowChain {
+            table,
+            key,
+            object,
+            versions: Vec::new(),
+        });
+        self.current.insert((table, key), ix);
+        self.by_table.entry(table).or_default().push(ix);
+        ix
+    }
+
+    /// Retires the current incarnation mapping of `(table, key)` if it
+    /// still points at `chain_ix` (used when an aborted insert leaves
+    /// an empty chain: the next writer must get a fresh object).
+    pub fn retire_if_current(&mut self, table: TableId, key: Key, chain_ix: usize) {
+        if self.current.get(&(table, key)) == Some(&chain_ix) {
+            self.current.remove(&(table, key));
+        }
+    }
+
+    /// All chain indices of `table` (every incarnation).
+    pub fn table_chains(&self, table: TableId) -> &[usize] {
+        self.by_table
+            .get(&table)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adya_history::ObjectId;
+
+    fn chain() -> RowChain {
+        RowChain {
+            table: TableId(0),
+            key: Key(1),
+            object: ObjectId(0),
+            versions: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn visibility_selectors() {
+        let mut c = chain();
+        c.push(TxnId(1), 1, Some(Value::Int(10)));
+        c.commit_writer(TxnId(1), 1);
+        c.push(TxnId(2), 1, Some(Value::Int(20)));
+        // Dirty tip is T2's uncommitted version; committed tip is T1's.
+        assert_eq!(c.tip().unwrap().writer, TxnId(2));
+        assert_eq!(c.committed_tip().unwrap().writer, TxnId(1));
+        assert_eq!(c.own_latest(TxnId(2)).unwrap().seq, 1);
+        assert!(c.own_latest(TxnId(3)).is_none());
+        // Snapshot visibility.
+        assert_eq!(c.version_at(1).unwrap().writer, TxnId(1));
+        assert!(c.version_at(0).is_none());
+        c.commit_writer(TxnId(2), 5);
+        assert_eq!(c.version_at(4).unwrap().writer, TxnId(1));
+        assert_eq!(c.version_at(5).unwrap().writer, TxnId(2));
+    }
+
+    #[test]
+    fn abort_removes_versions() {
+        let mut c = chain();
+        c.push(TxnId(1), 1, Some(Value::Int(10)));
+        c.push(TxnId(2), 1, Some(Value::Int(20)));
+        assert!(c.remove_writer(TxnId(2)));
+        assert_eq!(c.versions.len(), 1);
+        assert!(!c.remove_writer(TxnId(2)));
+    }
+
+    #[test]
+    fn committed_order_keeps_final_versions_in_install_order() {
+        let mut c = chain();
+        c.push(TxnId(1), 1, Some(Value::Int(1)));
+        c.push(TxnId(1), 2, Some(Value::Int(2))); // T1 writes twice
+        c.push(TxnId(2), 1, Some(Value::Int(3)));
+        c.commit_writer(TxnId(1), 1);
+        c.commit_writer(TxnId(2), 2);
+        let order = c.committed_order();
+        assert_eq!(
+            order,
+            vec![
+                VersionId::new(TxnId(1), 2),
+                VersionId::new(TxnId(2), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn committed_order_skips_uncommitted() {
+        let mut c = chain();
+        c.push(TxnId(1), 1, Some(Value::Int(1)));
+        c.push(TxnId(2), 1, Some(Value::Int(2)));
+        c.commit_writer(TxnId(2), 1);
+        assert_eq!(c.committed_order(), vec![VersionId::new(TxnId(2), 1)]);
+    }
+
+    #[test]
+    fn incarnations_are_distinct_chains() {
+        let mut s = Store::new();
+        let a = s.new_incarnation(TableId(0), Key(1), ObjectId(0));
+        let b = s.new_incarnation(TableId(0), Key(1), ObjectId(1));
+        assert_ne!(a, b);
+        let cur = s.chain_index(TableId(0), Key(1)).unwrap();
+        assert_eq!(s.chains[cur].object, ObjectId(1));
+        assert_eq!(s.table_chains(TableId(0)), &[a, b]);
+    }
+
+}

@@ -1,0 +1,221 @@
+//! Shared engine types: tables, keys, predicates, operation results.
+
+use std::fmt;
+use std::sync::Arc;
+
+use adya_history::{TxnId, Value};
+use parking_lot::Mutex;
+
+/// Identifier of a table (maps 1:1 to a history relation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table{}", self.0)
+    }
+}
+
+/// A row key within a table. Rows are objects of the history model;
+/// a deleted-then-reinserted key becomes a fresh object (the model
+/// treats incarnations as distinct).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(pub u64);
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The table catalog, shared by all engines.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: Mutex<Vec<String>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers (or looks up) a table by name.
+    pub fn table(&self, name: &str) -> TableId {
+        let mut tables = self.tables.lock();
+        if let Some(ix) = tables.iter().position(|t| t == name) {
+            return TableId(ix as u32);
+        }
+        tables.push(name.to_string());
+        TableId((tables.len() - 1) as u32)
+    }
+
+    /// Name of `table`.
+    pub fn table_name(&self, table: TableId) -> String {
+        self.tables.lock()[table.0 as usize].clone()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.lock().len()
+    }
+
+    /// True when no table has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.lock().is_empty()
+    }
+}
+
+/// A predicate over one table: the engine-side counterpart of the
+/// history model's predicates (boolean condition + relation).
+///
+/// The closure receives a row's value and decides membership; the
+/// recorder re-evaluates the same closure over every recorded version
+/// to build the history's match table, so engine and checker are
+/// guaranteed to agree on what "matches" means.
+#[derive(Clone)]
+pub struct TablePred {
+    /// Human-readable condition, e.g. `"dept = Sales"`.
+    pub name: String,
+    /// The table the condition ranges over.
+    pub table: TableId,
+    /// The condition itself.
+    pub test: Arc<dyn Fn(&Value) -> bool + Send + Sync>,
+}
+
+impl TablePred {
+    /// Creates a predicate.
+    pub fn new(
+        name: impl Into<String>,
+        table: TableId,
+        test: impl Fn(&Value) -> bool + Send + Sync + 'static,
+    ) -> TablePred {
+        TablePred {
+            name: name.into(),
+            table,
+            test: Arc::new(test),
+        }
+    }
+
+    /// Evaluates the condition on a row value.
+    pub fn matches(&self, value: &Value) -> bool {
+        (self.test)(value)
+    }
+}
+
+impl fmt::Debug for TablePred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TablePred")
+            .field("name", &self.name)
+            .field("table", &self.table)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why an engine aborted a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The application asked for the abort.
+    Requested,
+    /// Optimistic validation failed (read set overlapped a
+    /// concurrent committer's write set).
+    ValidationFailed,
+    /// First-committer-wins write conflict (Snapshot Isolation).
+    WriteConflict,
+    /// Committing would have closed a proscribed cycle in the
+    /// serialization graph (SGT certifier), or an operation would
+    /// have.
+    CycleDetected,
+    /// A transaction this one read from aborted (cascaded abort).
+    CascadedAbort,
+    /// The driver chose this transaction as a deadlock victim.
+    DeadlockVictim,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::Requested => write!(f, "requested"),
+            AbortReason::ValidationFailed => write!(f, "validation failed"),
+            AbortReason::WriteConflict => write!(f, "write-write conflict"),
+            AbortReason::CycleDetected => write!(f, "serialization cycle"),
+            AbortReason::CascadedAbort => write!(f, "cascaded abort"),
+            AbortReason::DeadlockVictim => write!(f, "deadlock victim"),
+        }
+    }
+}
+
+/// The outcome of one engine operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The operation cannot proceed right now: the listed transactions
+    /// hold conflicting locks (or must commit first). Retrying the
+    /// identical call later is safe — blocked operations have no side
+    /// effects.
+    Blocked {
+        /// Current conflict holders, for the driver's wait-for graph.
+        holders: Vec<TxnId>,
+    },
+    /// The transaction has been aborted (by this call or earlier).
+    Aborted(AbortReason),
+    /// The handle does not name a live transaction.
+    UnknownTxn,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Blocked { holders } => {
+                write!(f, "blocked on")?;
+                for h in holders {
+                    write!(f, " {h}")?;
+                }
+                Ok(())
+            }
+            EngineError::Aborted(r) => write!(f, "aborted: {r}"),
+            EngineError::UnknownTxn => write!(f, "unknown transaction"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result of an engine operation.
+pub type OpResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_dedups_by_name() {
+        let c = Catalog::new();
+        let a = c.table("acct");
+        let b = c.table("acct");
+        assert_eq!(a, b);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.table_name(a), "acct");
+        let d = c.table("emp");
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn predicate_evaluates() {
+        let c = Catalog::new();
+        let t = c.table("emp");
+        let p = TablePred::new("positive", t, |v| matches!(v, Value::Int(i) if *i > 0));
+        assert!(p.matches(&Value::Int(3)));
+        assert!(!p.matches(&Value::Int(-1)));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = EngineError::Blocked {
+            holders: vec![TxnId(3)],
+        };
+        assert!(e.to_string().contains("T3"));
+        assert!(EngineError::Aborted(AbortReason::WriteConflict)
+            .to_string()
+            .contains("conflict"));
+    }
+}

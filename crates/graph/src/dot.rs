@@ -1,0 +1,108 @@
+//! Graphviz DOT export for serialization graphs.
+//!
+//! The paper illustrates its histories with DSG drawings (Figures 3, 4
+//! and 5); the `figure3`/`figure4`/`figure5` harness binaries emit these
+//! drawings as DOT so they can be rendered and compared with the paper.
+
+use std::fmt::Display;
+use std::hash::Hash;
+
+use crate::digraph::DiGraph;
+
+/// Rendering options for [`DiGraph::to_dot`].
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name emitted in the `digraph <name> { … }` header.
+    pub name: String,
+    /// Lay out left-to-right (like the paper's figures) instead of
+    /// top-to-bottom.
+    pub left_to_right: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "DSG".to_string(),
+            left_to_right: true,
+        }
+    }
+}
+
+impl<N, E> DiGraph<N, E>
+where
+    N: Eq + Hash + Clone + Display,
+    E: Display,
+{
+    /// Renders the graph in Graphviz DOT syntax.
+    pub fn to_dot(&self, opts: &DotOptions) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("digraph {} {{\n", sanitize(&opts.name)));
+        if opts.left_to_right {
+            s.push_str("  rankdir=LR;\n");
+        }
+        s.push_str("  node [shape=circle];\n");
+        for n in self.nodes() {
+            s.push_str(&format!("  \"{}\";\n", escape(&n.to_string())));
+        }
+        for e in self.edges() {
+            s.push_str(&format!(
+                "  \"{}\" -> \"{}\" [label=\"{}\"];\n",
+                escape(&e.from.to_string()),
+                escape(&e.to.to_string()),
+                escape(&e.label.to_string())
+            ));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "G".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g: DiGraph<&str, &str> = DiGraph::new();
+        g.add_edge("T1", "T2", "ww");
+        let dot = g.to_dot(&DotOptions::default());
+        assert!(dot.starts_with("digraph DSG {"));
+        assert!(dot.contains("\"T1\" -> \"T2\" [label=\"ww\"];"));
+        assert!(dot.contains("rankdir=LR;"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut g: DiGraph<String, &str> = DiGraph::new();
+        g.add_edge("a\"b".to_string(), "c".to_string(), "x");
+        let dot = g.to_dot(&DotOptions::default());
+        assert!(dot.contains("a\\\"b"));
+    }
+
+    #[test]
+    fn dot_sanitizes_graph_name() {
+        let g: DiGraph<&str, &str> = DiGraph::new();
+        let dot = g.to_dot(&DotOptions {
+            name: "my graph!".to_string(),
+            left_to_right: false,
+        });
+        assert!(dot.starts_with("digraph my_graph_ {"));
+        assert!(!dot.contains("rankdir"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Generic directed-graph utilities for serialization graphs.
+//!
+//! The paper "Generalized Isolation Level Definitions" (Adya, Liskov,
+//! O'Neil — ICDE 2000) defines every isolation level by proscribing a
+//! class of cycles in a serialization graph: cycles of only
+//! write-dependencies (G0), cycles of only dependencies (G1c), cycles
+//! containing an anti-dependency (G2), and so on. This crate provides the
+//! one graph implementation shared by the Direct Serialization Graph
+//! (DSG), the Mixed Serialization Graph (MSG), the Start-ordered
+//! Serialization Graph (SSG, for Snapshot Isolation) and the lock
+//! manager's wait-for graph:
+//!
+//! * a labelled multi-digraph [`DiGraph`] over arbitrary node keys,
+//! * Tarjan strongly-connected components ([`DiGraph::sccs`]),
+//! * constrained cycle search returning concrete witness cycles
+//!   ([`DiGraph::find_cycle`], [`DiGraph::find_cycle_exactly_one`]),
+//! * Graphviz DOT export ([`DiGraph::to_dot`]).
+//!
+//! Cycle searches never return a bare boolean: they return a [`Cycle`]
+//! listing the exact edges, so a checker can explain *why* a history was
+//! rejected.
+
+#![warn(missing_docs)]
+
+mod cycle;
+mod digraph;
+mod dot;
+mod scc;
+
+pub use cycle::{Cycle, CycleEdge};
+pub use digraph::{DiGraph, EdgeRef, NodeIdx};
+pub use dot::DotOptions;

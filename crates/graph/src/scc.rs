@@ -1,0 +1,302 @@
+//! Iterative Tarjan strongly-connected components.
+//!
+//! Phenomenon detection reduces to SCC computation over a subgraph of
+//! permitted edge kinds: a cycle of the permitted kinds exists iff some
+//! SCC restricted to those edges is non-trivial. Tarjan is implemented
+//! iteratively so deep histories (hundreds of thousands of transactions)
+//! cannot overflow the stack.
+
+use std::hash::Hash;
+
+use crate::digraph::{DiGraph, NodeIdx};
+
+impl<N, E> DiGraph<N, E>
+where
+    N: Eq + Hash + Clone,
+{
+    /// Strongly-connected components over the subgraph of edges whose
+    /// label satisfies `edge_ok`.
+    ///
+    /// Returns the components in reverse topological order (Tarjan's
+    /// natural output order). Singleton components without a self-loop
+    /// are included; callers that want only *cyclic* components should
+    /// filter with [`DiGraph::scc_is_cyclic`].
+    pub fn sccs_filtered(&self, mut edge_ok: impl FnMut(&E) -> bool) -> Vec<Vec<NodeIdx>> {
+        let n = self.node_count();
+        let mut state = TarjanState::new(n);
+        for start in 0..n {
+            if state.index_of[start].is_none() {
+                state.run(self, NodeIdx(start as u32), &mut edge_ok);
+            }
+        }
+        state.components
+    }
+
+    /// Strongly-connected components over all edges.
+    pub fn sccs(&self) -> Vec<Vec<NodeIdx>> {
+        self.sccs_filtered(|_| true)
+    }
+
+    /// True if component `comp` contains a cycle using only edges whose
+    /// label satisfies `edge_ok`: either it has at least two nodes, or
+    /// its single node carries a satisfying self-loop.
+    pub fn scc_is_cyclic(&self, comp: &[NodeIdx], mut edge_ok: impl FnMut(&E) -> bool) -> bool {
+        match comp {
+            [] => false,
+            [only] => self.out[only.index()]
+                .iter()
+                .any(|e| e.to == *only && edge_ok(&e.label)),
+            _ => true,
+        }
+    }
+
+    /// True if the subgraph of edges satisfying `edge_ok` is acyclic.
+    pub fn is_acyclic_filtered(&self, mut edge_ok: impl FnMut(&E) -> bool) -> bool {
+        self.sccs_filtered(&mut edge_ok)
+            .iter()
+            .all(|c| !self.scc_is_cyclic(c, &mut edge_ok))
+    }
+
+    /// True if the whole graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.is_acyclic_filtered(|_| true)
+    }
+
+    /// A topological order of the nodes, or `None` if the graph is
+    /// cyclic. Useful for deriving an equivalent serial order from an
+    /// acyclic DSG.
+    pub fn topo_order(&self) -> Option<Vec<NodeIdx>> {
+        let comps = self.sccs();
+        let mut order = Vec::with_capacity(self.node_count());
+        for comp in comps.iter().rev() {
+            if self.scc_is_cyclic(comp, |_| true) {
+                return None;
+            }
+            order.extend_from_slice(comp);
+        }
+        Some(order)
+    }
+}
+
+struct TarjanState {
+    index_of: Vec<Option<u32>>,
+    lowlink: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<NodeIdx>,
+    next_index: u32,
+    components: Vec<Vec<NodeIdx>>,
+}
+
+enum Frame {
+    /// Visit `node` for the first time.
+    Enter(NodeIdx),
+    /// Resume `node` after returning from visiting `child`.
+    Resume(NodeIdx, NodeIdx),
+}
+
+impl TarjanState {
+    fn new(n: usize) -> Self {
+        TarjanState {
+            index_of: vec![None; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next_index: 0,
+            components: Vec::new(),
+        }
+    }
+
+    fn run<N, E>(
+        &mut self,
+        g: &DiGraph<N, E>,
+        root: NodeIdx,
+        edge_ok: &mut impl FnMut(&E) -> bool,
+    ) where
+        N: Eq + Hash + Clone,
+    {
+        let mut work = vec![Frame::Enter(root)];
+        // Per-node cursor into the adjacency list, so each edge is
+        // examined once across the whole traversal.
+        let mut cursor = vec![0usize; g.node_count()];
+
+        while let Some(frame) = work.pop() {
+            let v = match frame {
+                Frame::Enter(v) => {
+                    self.index_of[v.index()] = Some(self.next_index);
+                    self.lowlink[v.index()] = self.next_index;
+                    self.next_index += 1;
+                    self.stack.push(v);
+                    self.on_stack[v.index()] = true;
+                    v
+                }
+                Frame::Resume(v, child) => {
+                    let cl = self.lowlink[child.index()];
+                    if cl < self.lowlink[v.index()] {
+                        self.lowlink[v.index()] = cl;
+                    }
+                    v
+                }
+            };
+
+            // Advance v's edge cursor, descending into unvisited children.
+            let mut descended = false;
+            while cursor[v.index()] < g.out[v.index()].len() {
+                let ei = cursor[v.index()];
+                cursor[v.index()] += 1;
+                let edge = &g.out[v.index()][ei];
+                if !edge_ok(&edge.label) {
+                    continue;
+                }
+                let w = edge.to;
+                match self.index_of[w.index()] {
+                    None => {
+                        work.push(Frame::Resume(v, w));
+                        work.push(Frame::Enter(w));
+                        descended = true;
+                        break;
+                    }
+                    Some(wi) => {
+                        if self.on_stack[w.index()] && wi < self.lowlink[v.index()] {
+                            self.lowlink[v.index()] = wi;
+                        }
+                    }
+                }
+            }
+            if descended {
+                continue;
+            }
+
+            // v is finished; if it is a root, pop its component.
+            if Some(self.lowlink[v.index()]) == self.index_of[v.index()] {
+                let mut comp = Vec::new();
+                loop {
+                    let w = self.stack.pop().expect("tarjan stack underflow");
+                    self.on_stack[w.index()] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                self.components.push(comp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DiGraph;
+
+    fn labels(g: &DiGraph<&str, u8>, comps: &[Vec<crate::NodeIdx>]) -> Vec<Vec<String>> {
+        let mut out: Vec<Vec<String>> = comps
+            .iter()
+            .map(|c| {
+                let mut v: Vec<String> = c.iter().map(|&ix| g.node(ix).to_string()).collect();
+                v.sort();
+                v
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn single_node_no_selfloop_is_acyclic() {
+        let mut g: DiGraph<&str, u8> = DiGraph::new();
+        g.add_node("a");
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let mut g: DiGraph<&str, u8> = DiGraph::new();
+        g.add_edge("a", "a", 0);
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut g: DiGraph<&str, u8> = DiGraph::new();
+        g.add_edge("a", "b", 0);
+        g.add_edge("b", "a", 0);
+        assert!(!g.is_acyclic());
+        let comps = g.sccs();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 2);
+    }
+
+    #[test]
+    fn dag_components_are_singletons() {
+        let mut g: DiGraph<&str, u8> = DiGraph::new();
+        g.add_edge("a", "b", 0);
+        g.add_edge("b", "c", 0);
+        g.add_edge("a", "c", 0);
+        assert!(g.is_acyclic());
+        assert_eq!(g.sccs().len(), 3);
+    }
+
+    #[test]
+    fn filter_hides_cycle_edges() {
+        let mut g: DiGraph<&str, u8> = DiGraph::new();
+        g.add_edge("a", "b", 1);
+        g.add_edge("b", "a", 2);
+        assert!(!g.is_acyclic());
+        // Ignoring label-2 edges breaks the cycle.
+        assert!(g.is_acyclic_filtered(|&l| l == 1));
+    }
+
+    #[test]
+    fn nested_sccs() {
+        let mut g: DiGraph<&str, u8> = DiGraph::new();
+        // Component {a,b,c}, component {d,e}, bridge c->d.
+        g.add_edge("a", "b", 0);
+        g.add_edge("b", "c", 0);
+        g.add_edge("c", "a", 0);
+        g.add_edge("c", "d", 0);
+        g.add_edge("d", "e", 0);
+        g.add_edge("e", "d", 0);
+        let comps = g.sccs();
+        let ls = labels(&g, &comps);
+        assert!(ls.contains(&vec!["a".to_string(), "b".to_string(), "c".to_string()]));
+        assert!(ls.contains(&vec!["d".to_string(), "e".to_string()]));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let mut g: DiGraph<&str, u8> = DiGraph::new();
+        g.add_edge("a", "b", 0);
+        g.add_edge("b", "c", 0);
+        g.add_edge("a", "c", 0);
+        let order = g.topo_order().expect("acyclic");
+        let pos = |name: &str| {
+            order
+                .iter()
+                .position(|&ix| *g.node(ix) == name)
+                .expect("present")
+        };
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("c"));
+    }
+
+    #[test]
+    fn topo_order_none_when_cyclic() {
+        let mut g: DiGraph<&str, u8> = DiGraph::new();
+        g.add_edge("a", "b", 0);
+        g.add_edge("b", "a", 0);
+        assert!(g.topo_order().is_none());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // A 200k-node path plus a closing edge: recursion would blow the
+        // stack, the iterative implementation must not.
+        let mut g: DiGraph<u32, ()> = DiGraph::with_capacity(200_000);
+        for i in 0..200_000u32 {
+            g.add_edge(i, i + 1, ());
+        }
+        g.add_edge(200_000, 0, ());
+        assert!(!g.is_acyclic());
+        let comps = g.sccs();
+        assert!(comps.iter().any(|c| c.len() == 200_001));
+    }
+}

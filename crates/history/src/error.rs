@@ -1,0 +1,274 @@
+//! Well-formedness errors (§4.2 of the paper).
+//!
+//! A [`crate::History`] is validated at construction, so every checker
+//! in `adya-core` can assume the §4.2 invariants hold. Violations are
+//! reported with enough context to pinpoint the offending event.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{ObjectId, PredicateId, RelationId, TxnId, VersionId};
+
+/// A violation of the history well-formedness rules.
+///
+/// Variant fields carry the offending transaction/object/version and,
+/// where useful, the event index; they are self-describing and
+/// rendered by the `Display` implementation.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryError {
+    /// `Tinit` is conceptual; it may not appear as an explicit event.
+    InitTxnEvent { index: usize },
+    /// An event follows the transaction's commit or abort.
+    EventAfterEnd { txn: TxnId, index: usize },
+    /// A transaction has two commit/abort events.
+    DuplicateTerminal { txn: TxnId, index: usize },
+    /// An explicit `Begin` is not the transaction's first event.
+    BeginNotFirst { txn: TxnId, index: usize },
+    /// A transaction has read/write events but no commit or abort
+    /// (histories must be complete; use `build_completed` to append
+    /// aborts).
+    IncompleteTxn { txn: TxnId },
+    /// Write sequence numbers of a (transaction, object) pair must be
+    /// 1, 2, 3, … in event order.
+    NonContiguousWriteSeq {
+        txn: TxnId,
+        object: ObjectId,
+        expected: u32,
+        got: u32,
+    },
+    /// A transaction wrote an object again after deleting it (a dead
+    /// version is terminal; reinsertion is a distinct object).
+    WriteAfterDead { txn: TxnId, object: ObjectId },
+    /// An event references an object that was never registered.
+    UnknownObject { object: ObjectId },
+    /// An object references a relation that was never registered.
+    UnknownRelation { relation: RelationId },
+    /// An event references a predicate that was never registered.
+    UnknownPredicate { predicate: PredicateId },
+    /// `r_j(x_{i:m})` occurs before `w_i(x_{i:m})` (§4.2, constraint 2),
+    /// or the version does not exist at all.
+    ReadBeforeWrite {
+        txn: TxnId,
+        object: ObjectId,
+        version: VersionId,
+        index: usize,
+    },
+    /// A transaction that previously wrote an object read a version
+    /// other than its own latest write (§4.2, constraint 3).
+    ReadOwnStale {
+        txn: TxnId,
+        object: ObjectId,
+        expected: VersionId,
+        got: VersionId,
+    },
+    /// An item read observed an unborn or dead version; only visible
+    /// versions may be read (§4.2).
+    ReadInvisible {
+        txn: TxnId,
+        object: ObjectId,
+        version: VersionId,
+    },
+    /// A version-set entry lists an object outside the predicate's
+    /// relations.
+    VsetObjectOutsidePredicate {
+        predicate: PredicateId,
+        object: ObjectId,
+    },
+    /// A version set selected two versions of the same object.
+    VsetDuplicateObject {
+        predicate: PredicateId,
+        object: ObjectId,
+    },
+    /// A version-set entry references a version that does not exist at
+    /// the point of the read.
+    VsetUnknownVersion {
+        predicate: PredicateId,
+        object: ObjectId,
+        version: VersionId,
+    },
+    /// A version order was supplied for an unregistered object.
+    VersionOrderUnknownObject { object: ObjectId },
+    /// A version order does not start with the initial version.
+    VersionOrderMissingInit { object: ObjectId },
+    /// A version appears twice in one version order.
+    VersionOrderDuplicate { object: ObjectId, version: VersionId },
+    /// A version order lists a version that was never written.
+    VersionOrderUnknownVersion { object: ObjectId, version: VersionId },
+    /// Version orders contain committed versions only.
+    VersionOrderNotCommitted { object: ObjectId, version: VersionId },
+    /// Version orders contain only *final* versions `x_i`, never
+    /// intermediate `x_{i:m}` ones.
+    VersionOrderNotFinal { object: ObjectId, version: VersionId },
+    /// A committed transaction wrote the object but is missing from its
+    /// version order.
+    VersionOrderMissingWriter { object: ObjectId, txn: TxnId },
+    /// A committed dead version must be the last version in the order.
+    DeadNotLast { object: ObjectId },
+    /// An object has more than one committed dead version.
+    MultipleDead { object: ObjectId },
+    /// A match-table entry references a version that does not exist.
+    MatchUnknownVersion {
+        predicate: PredicateId,
+        object: ObjectId,
+        version: VersionId,
+    },
+    /// Unborn and dead versions can never match a predicate (§4.3).
+    MatchNonVisible {
+        predicate: PredicateId,
+        object: ObjectId,
+        version: VersionId,
+    },
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use HistoryError::*;
+        match self {
+            InitTxnEvent { index } => {
+                write!(f, "event #{index}: Tinit may not appear as an explicit event")
+            }
+            EventAfterEnd { txn, index } => {
+                write!(f, "event #{index}: {txn} already committed or aborted")
+            }
+            DuplicateTerminal { txn, index } => {
+                write!(f, "event #{index}: duplicate commit/abort for {txn}")
+            }
+            BeginNotFirst { txn, index } => {
+                write!(f, "event #{index}: begin of {txn} is not its first event")
+            }
+            IncompleteTxn { txn } => {
+                write!(f, "{txn} has neither commit nor abort (history incomplete)")
+            }
+            NonContiguousWriteSeq {
+                txn,
+                object,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{txn} write of {object}: expected seq {expected}, got {got}"
+            ),
+            WriteAfterDead { txn, object } => {
+                write!(f, "{txn} wrote {object} after deleting it")
+            }
+            UnknownObject { object } => write!(f, "unregistered object {object}"),
+            UnknownRelation { relation } => write!(f, "unregistered relation {relation}"),
+            UnknownPredicate { predicate } => write!(f, "unregistered predicate {predicate}"),
+            ReadBeforeWrite {
+                txn,
+                object,
+                version,
+                index,
+            } => write!(
+                f,
+                "event #{index}: {txn} reads {object}[{version}] before it is written"
+            ),
+            ReadOwnStale {
+                txn,
+                object,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{txn} must read its own last write {object}[{expected}], read [{got}]"
+            ),
+            ReadInvisible {
+                txn,
+                object,
+                version,
+            } => write!(
+                f,
+                "{txn} reads non-visible version {object}[{version}]"
+            ),
+            VsetObjectOutsidePredicate { predicate, object } => write!(
+                f,
+                "version set of {predicate} selects {object} outside its relations"
+            ),
+            VsetDuplicateObject { predicate, object } => write!(
+                f,
+                "version set of {predicate} selects {object} twice"
+            ),
+            VsetUnknownVersion {
+                predicate,
+                object,
+                version,
+            } => write!(
+                f,
+                "version set of {predicate}: version {object}[{version}] does not exist yet"
+            ),
+            VersionOrderUnknownObject { object } => {
+                write!(f, "version order given for unregistered object {object}")
+            }
+            VersionOrderMissingInit { object } => {
+                write!(f, "version order of {object} must start with the init version")
+            }
+            VersionOrderDuplicate { object, version } => {
+                write!(f, "version order of {object} lists [{version}] twice")
+            }
+            VersionOrderUnknownVersion { object, version } => {
+                write!(f, "version order of {object} lists unknown version [{version}]")
+            }
+            VersionOrderNotCommitted { object, version } => write!(
+                f,
+                "version order of {object} lists uncommitted/aborted version [{version}]"
+            ),
+            VersionOrderNotFinal { object, version } => write!(
+                f,
+                "version order of {object} lists intermediate version [{version}]"
+            ),
+            VersionOrderMissingWriter { object, txn } => write!(
+                f,
+                "version order of {object} is missing committed writer {txn}"
+            ),
+            DeadNotLast { object } => {
+                write!(f, "dead version of {object} is not last in its version order")
+            }
+            MultipleDead { object } => {
+                write!(f, "{object} has more than one committed dead version")
+            }
+            MatchUnknownVersion {
+                predicate,
+                object,
+                version,
+            } => write!(
+                f,
+                "match table of {predicate}: unknown version {object}[{version}]"
+            ),
+            MatchNonVisible {
+                predicate,
+                object,
+                version,
+            } => write!(
+                f,
+                "match table of {predicate}: {object}[{version}] is unborn/dead and cannot match"
+            ),
+        }
+    }
+}
+
+impl Error for HistoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_with_context() {
+        let e = HistoryError::ReadOwnStale {
+            txn: TxnId(2),
+            object: ObjectId(0),
+            expected: VersionId::new(TxnId(2), 2),
+            got: VersionId::new(TxnId(1), 1),
+        };
+        let s = e.to_string();
+        assert!(s.contains("T2"));
+        assert!(s.contains("obj0"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn Error) {}
+        takes_err(&HistoryError::IncompleteTxn { txn: TxnId(1) });
+    }
+}

@@ -1,0 +1,35 @@
+//! The *preventative* baseline: phenomena P0–P3 of Berenson et al.
+//! ("A Critique of ANSI SQL Isolation Levels", SIGMOD 1995), which §2–3
+//! of the Adya/Liskov/O'Neil paper analyzes and generalizes.
+//!
+//! The preventative phenomena are patterns over single-object event
+//! sequences:
+//!
+//! ```text
+//! P0: w1[x] … w2[x] …            (c1 or a1)
+//! P1: w1[x] … r2[x] …            (c1 or a1)
+//! P2: r1[x] … w2[x] …            (c1 or a1)
+//! P3: r1[P] … w2[y in P] …       (c1 or a1)
+//! ```
+//!
+//! i.e. a conflicting operation by `T2` occurring while `T1` is still
+//! uncommitted — exactly the situations a long-lock implementation
+//! *prevents*. Note that P1/P2 do not care which *version* was read:
+//! `T2` reading an **old committed** version of `x` while `T1` holds an
+//! uncommitted write still matches P1, which is precisely why the
+//! preventative definitions exclude multi-version and optimistic
+//! implementations (§3 of the paper).
+//!
+//! This crate detects P0–P3 over the same [`adya_history::History`]
+//! values the generalized checker consumes, so the two approaches can
+//! be compared mechanically: the paper's claim that the G-definitions
+//! are strictly more permissive becomes an executable experiment
+//! (`adya-bench`, experiments E7/E11).
+
+#![warn(missing_docs)]
+
+mod locking;
+mod phenomena;
+
+pub use locking::{check_locking, LockingCheck, LockingLevel};
+pub use phenomena::{detect_all_p, p0, p1, p2, p3, PKind, PPhenomenon};

@@ -1,0 +1,153 @@
+//! The locking isolation levels of Figure 1, as admissibility checks.
+
+use std::fmt;
+
+use adya_history::History;
+
+use crate::phenomena::{p0, p1, p2, p3, PKind, PPhenomenon};
+
+/// A row of Figure 1: a locking level defined by the preventative
+/// phenomena it proscribes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockingLevel {
+    /// Degree 0 — short write locks only; proscribes nothing.
+    Degree0,
+    /// Degree 1 = Locking READ UNCOMMITTED — long write locks;
+    /// proscribes P0.
+    ReadUncommitted,
+    /// Degree 2 = Locking READ COMMITTED — long write locks, short
+    /// read locks; proscribes P0, P1.
+    ReadCommitted,
+    /// Locking REPEATABLE READ — long write and data-item read locks,
+    /// short phantom read locks; proscribes P0, P1, P2.
+    RepeatableRead,
+    /// Degree 3 = Locking SERIALIZABLE — long read/write item and
+    /// predicate locks; proscribes P0, P1, P2, P3.
+    Serializable,
+}
+
+impl LockingLevel {
+    /// All rows of Figure 1, weakest first.
+    pub const ALL: [LockingLevel; 5] = [
+        LockingLevel::Degree0,
+        LockingLevel::ReadUncommitted,
+        LockingLevel::ReadCommitted,
+        LockingLevel::RepeatableRead,
+        LockingLevel::Serializable,
+    ];
+
+    /// The preventative phenomena this level proscribes (the
+    /// "Proscribed Phenomena" column of Figure 1).
+    pub fn proscribes(self) -> &'static [PKind] {
+        match self {
+            LockingLevel::Degree0 => &[],
+            LockingLevel::ReadUncommitted => &[PKind::P0],
+            LockingLevel::ReadCommitted => &[PKind::P0, PKind::P1],
+            LockingLevel::RepeatableRead => &[PKind::P0, PKind::P1, PKind::P2],
+            LockingLevel::Serializable => &[PKind::P0, PKind::P1, PKind::P2, PKind::P3],
+        }
+    }
+}
+
+impl fmt::Display for LockingLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockingLevel::Degree0 => write!(f, "Degree 0"),
+            LockingLevel::ReadUncommitted => write!(f, "Locking READ UNCOMMITTED"),
+            LockingLevel::ReadCommitted => write!(f, "Locking READ COMMITTED"),
+            LockingLevel::RepeatableRead => write!(f, "Locking REPEATABLE READ"),
+            LockingLevel::Serializable => write!(f, "Locking SERIALIZABLE"),
+        }
+    }
+}
+
+/// The verdict of the preventative check at one level.
+#[derive(Debug, Clone)]
+pub struct LockingCheck {
+    /// The level checked.
+    pub level: LockingLevel,
+    /// Proscribed phenomena that occurred.
+    pub violations: Vec<PPhenomenon>,
+}
+
+impl LockingCheck {
+    /// True if the history would be admitted by a lock-based
+    /// implementation at this level.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for LockingCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ok() {
+            write!(f, "{}: admitted", self.level)
+        } else {
+            write!(f, "{}: rejected —", self.level)?;
+            for v in &self.violations {
+                write!(f, " [{v}]")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks whether `h` is admitted at `level` under the preventative
+/// interpretation (Figure 1).
+pub fn check_locking(h: &History, level: LockingLevel) -> LockingCheck {
+    let violations = level
+        .proscribes()
+        .iter()
+        .filter_map(|k| match k {
+            PKind::P0 => p0(h),
+            PKind::P1 => p1(h),
+            PKind::P2 => p2(h),
+            PKind::P3 => p3(h),
+        })
+        .collect();
+    LockingCheck { level, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adya_history::parse_history;
+
+    #[test]
+    fn figure1_proscription_sets() {
+        assert_eq!(LockingLevel::Degree0.proscribes(), &[] as &[PKind]);
+        assert_eq!(LockingLevel::ReadUncommitted.proscribes(), &[PKind::P0]);
+        assert_eq!(
+            LockingLevel::Serializable.proscribes(),
+            &[PKind::P0, PKind::P1, PKind::P2, PKind::P3]
+        );
+    }
+
+    #[test]
+    fn monotone_rejection_along_the_chain() {
+        // A dirty read: admitted at Degree 0 and READ UNCOMMITTED,
+        // rejected from READ COMMITTED up.
+        let h = parse_history("w1(x,1) r2(x1) c1 c2").unwrap();
+        assert!(check_locking(&h, LockingLevel::Degree0).ok());
+        assert!(check_locking(&h, LockingLevel::ReadUncommitted).ok());
+        assert!(!check_locking(&h, LockingLevel::ReadCommitted).ok());
+        assert!(!check_locking(&h, LockingLevel::RepeatableRead).ok());
+        assert!(!check_locking(&h, LockingLevel::Serializable).ok());
+    }
+
+    #[test]
+    fn serial_history_admitted_everywhere() {
+        let h = parse_history("w1(x,1) c1 r2(x1) w2(x,2) c2").unwrap();
+        for l in LockingLevel::ALL {
+            assert!(check_locking(&h, l).ok(), "serial must pass {l}");
+        }
+    }
+
+    #[test]
+    fn display_verdicts() {
+        let h = parse_history("w1(x,1) w2(x,2) c1 c2").unwrap();
+        let c = check_locking(&h, LockingLevel::ReadUncommitted);
+        assert!(c.to_string().contains("rejected"));
+        assert!(c.to_string().contains("P0"));
+    }
+}

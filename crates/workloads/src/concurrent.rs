@@ -1,0 +1,337 @@
+//! A real-threads driver.
+//!
+//! The deterministic driver proves *what* each scheme admits; this one
+//! proves the engines are actually thread-safe: N OS threads hammer
+//! one engine concurrently, spinning (with yields) on `Blocked`
+//! operations and falling back to timeout-based deadlock victims. The
+//! resulting history is still a single totally-ordered record (the
+//! recorder serializes events), so the checker applies unchanged.
+//!
+//! Nondeterministic by nature — every run is a fresh schedule — which
+//! is exactly what makes it a good stress test: the soundness property
+//! ("every committed history satisfies the engine's level") must hold
+//! for *all* schedules, not just seeded ones.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use adya_engine::{AbortReason, Engine, EngineError, Value};
+use crossbeam::thread;
+
+use crate::driver::RunStats;
+use crate::program::{Program, Step};
+
+/// Knobs for the concurrent driver.
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Consecutive `Blocked` retries of one operation before the
+    /// session declares itself a deadlock victim and restarts.
+    pub spin_limit: usize,
+    /// Restart budget per program.
+    pub max_restarts: usize,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        ConcurrentConfig {
+            threads: 4,
+            spin_limit: 2_000,
+            max_restarts: 24,
+        }
+    }
+}
+
+/// Runs `programs` against `engine` from `cfg.threads` OS threads;
+/// each thread claims the next unclaimed program and executes it to
+/// commit (restarting on aborts/deadlocks) before claiming another.
+pub fn run_concurrent(
+    engine: &dyn Engine,
+    programs: &[Program],
+    cfg: &ConcurrentConfig,
+) -> RunStats {
+    let next = AtomicUsize::new(0);
+    let committed = AtomicUsize::new(0);
+    let gave_up = AtomicUsize::new(0);
+    let blocked = AtomicUsize::new(0);
+    let ops = AtomicUsize::new(0);
+    let victims = AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..cfg.threads.max(1) {
+            scope.spawn(|_| loop {
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                let Some(program) = programs.get(ix) else {
+                    return;
+                };
+                if run_program(
+                    engine, program, cfg, &blocked, &ops, &victims,
+                ) {
+                    committed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    gave_up.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    })
+    .expect("driver threads must not panic");
+
+    let mut stats = RunStats {
+        committed: committed.into_inner(),
+        gave_up: gave_up.into_inner(),
+        ops: ops.into_inner(),
+        blocked: blocked.into_inner(),
+        deadlock_victims: victims.into_inner(),
+        ..Default::default()
+    };
+    // Aggregate outcomes are enough for the concurrent driver; per-
+    // session outcome order is meaningless across threads.
+    stats.outcomes.clear();
+    stats
+}
+
+/// Executes one program to completion; true on commit.
+fn run_program(
+    engine: &dyn Engine,
+    program: &Program,
+    cfg: &ConcurrentConfig,
+    blocked: &AtomicUsize,
+    ops: &AtomicUsize,
+    victims: &AtomicUsize,
+) -> bool {
+    let mut regs = vec![0i64; program.register_count().max(1)];
+    // Predicates compiled once per program run so their identity is
+    // stable across blocked retries.
+    let preds: Vec<Option<adya_engine::TablePred>> = program
+        .steps
+        .iter()
+        .map(|s| match s {
+            Step::Select { table, pred, .. } => Some(pred.compile(*table)),
+            _ => None,
+        })
+        .collect();
+
+    'attempt: for _ in 0..=cfg.max_restarts {
+        let txn = engine.begin();
+        regs.iter_mut().for_each(|r| *r = 0);
+        let mut pc = 0usize;
+        let mut spins = 0usize;
+        loop {
+            ops.fetch_add(1, Ordering::Relaxed);
+            let result: Result<(), EngineError> = if pc >= program.steps.len() {
+                match engine.commit(txn) {
+                    Ok(()) => return true,
+                    Err(e) => Err(e),
+                }
+            } else {
+                match &program.steps[pc] {
+                    Step::Read { table, key, reg } => {
+                        engine.read(txn, *table, *key).map(|v| {
+                            regs[*reg] = match v {
+                                Some(Value::Int(i)) => i,
+                                _ => 0,
+                            };
+                        })
+                    }
+                    Step::Write { table, key, value } => {
+                        let v = value.eval(&regs);
+                        engine.write(txn, *table, *key, Value::Int(v))
+                    }
+                    Step::Delete { table, key } => engine.delete(txn, *table, *key),
+                    Step::Select {
+                        count_reg, sum_reg, ..
+                    } => {
+                        let pred = preds[pc].as_ref().expect("select step has predicate");
+                        engine.select(txn, pred).map(|rows| {
+                            if let Some(r) = count_reg {
+                                regs[*r] = rows.len() as i64;
+                            }
+                            if let Some(r) = sum_reg {
+                                regs[*r] =
+                                    rows.iter().map(|(_, v)| v.as_int().unwrap_or(0)).sum();
+                            }
+                        })
+                    }
+                    Step::Abort => {
+                        let _ = engine.abort(txn);
+                        return false;
+                    }
+                }
+            };
+            match result {
+                Ok(()) => {
+                    pc += 1;
+                    spins = 0;
+                }
+                Err(EngineError::Blocked { .. }) => {
+                    blocked.fetch_add(1, Ordering::Relaxed);
+                    spins += 1;
+                    if spins > cfg.spin_limit {
+                        // Timeout-based deadlock victim.
+                        victims.fetch_add(1, Ordering::Relaxed);
+                        let _ = engine.abort(txn);
+                        continue 'attempt;
+                    }
+                    std::thread::yield_now();
+                }
+                Err(EngineError::Aborted(AbortReason::Requested)) => return false,
+                Err(EngineError::Aborted(_)) => continue 'attempt,
+                Err(EngineError::UnknownTxn) => return false,
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{bank_workload, mixed_workload, BankConfig, MixedConfig};
+    use adya_core::{classify, IsolationLevel};
+    use adya_engine::{
+        CertifyLevel, Key, LockConfig, LockingEngine, MvccEngine, MvccMode, OccEngine, SgtEngine,
+    };
+
+    #[test]
+    fn concurrent_2pl_preserves_invariant_and_serializability() {
+        let e = LockingEngine::new(LockConfig::serializable());
+        let (table, programs) = bank_workload(
+            &e,
+            &BankConfig {
+                accounts: 6,
+                initial_balance: 100,
+                transfers: 40,
+                audits: 10,
+                seed: 3,
+            },
+        );
+        let stats = run_concurrent(&e, &programs, &ConcurrentConfig::default());
+        assert!(stats.committed > 0, "{stats:?}");
+        let tx = e.begin();
+        let total: i64 = (0..6)
+            .map(|k| {
+                e.read(tx, table, Key(k))
+                    .unwrap()
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0)
+            })
+            .sum();
+        e.commit(tx).unwrap();
+        assert_eq!(total, 600);
+        let h = e.finalize();
+        assert!(classify(&h).satisfies(IsolationLevel::PL3));
+    }
+
+    #[test]
+    fn concurrent_occ_and_mvcc_histories_check() {
+        for (engine, level) in [
+            (
+                Box::new(OccEngine::new()) as Box<dyn adya_engine::Engine>,
+                IsolationLevel::PL3,
+            ),
+            (
+                Box::new(MvccEngine::new(MvccMode::SnapshotIsolation)),
+                IsolationLevel::PLSI,
+            ),
+            (
+                Box::new(MvccEngine::new(MvccMode::ReadCommitted)),
+                IsolationLevel::PL2,
+            ),
+        ] {
+            let (_, programs) = mixed_workload(
+                engine.as_ref(),
+                &MixedConfig {
+                    keys: 8,
+                    txns: 40,
+                    ops_per_txn: 4,
+                    write_ratio: 0.5,
+                    abort_prob: 0.0,
+                    delete_prob: 0.0,
+                    theta: 0.8,
+                    seed: 9,
+                },
+            );
+            let stats =
+                run_concurrent(engine.as_ref(), &programs, &ConcurrentConfig::default());
+            assert!(stats.committed > 0, "{}", engine.name());
+            let h = engine.finalize();
+            assert!(
+                classify(&h).satisfies(level),
+                "{} under threads must satisfy {level}",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_locking_levels_check() {
+        for (config, level) in [
+            (LockConfig::read_uncommitted(), IsolationLevel::PL1),
+            (LockConfig::read_committed(), IsolationLevel::PL2),
+            (LockConfig::repeatable_read(), IsolationLevel::PL299),
+        ] {
+            let e = LockingEngine::new(config);
+            let (_, programs) = mixed_workload(
+                &e,
+                &MixedConfig {
+                    keys: 6,
+                    txns: 30,
+                    ops_per_txn: 3,
+                    write_ratio: 0.5,
+                    abort_prob: 0.0,
+                    delete_prob: 0.1,
+                    theta: 0.7,
+                    seed: 21,
+                },
+            );
+            let _ = run_concurrent(&e, &programs, &ConcurrentConfig::default());
+            let h = e.finalize();
+            assert!(
+                classify(&h).satisfies(level),
+                "{config:?} under threads must satisfy {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_mvto_histories_check() {
+        let e = adya_engine::MvtoEngine::new();
+        let (_, programs) = mixed_workload(
+            &e,
+            &MixedConfig {
+                keys: 8,
+                txns: 30,
+                ops_per_txn: 3,
+                write_ratio: 0.5,
+                abort_prob: 0.0,
+                delete_prob: 0.0,
+                theta: 0.6,
+                seed: 17,
+            },
+        );
+        let _ = run_concurrent(&e, &programs, &ConcurrentConfig::default());
+        let h = e.finalize();
+        assert!(classify(&h).satisfies(IsolationLevel::PL3));
+    }
+
+    #[test]
+    fn concurrent_sgt_histories_check() {
+        let e = SgtEngine::new(CertifyLevel::PL3);
+        let (_, programs) = mixed_workload(
+            &e,
+            &MixedConfig {
+                keys: 8,
+                txns: 30,
+                ops_per_txn: 3,
+                write_ratio: 0.5,
+                abort_prob: 0.0,
+                delete_prob: 0.0,
+                theta: 0.6,
+                seed: 13,
+            },
+        );
+        let _ = run_concurrent(&e, &programs, &ConcurrentConfig::default());
+        let h = e.finalize();
+        assert!(classify(&h).satisfies(IsolationLevel::PL3));
+    }
+}

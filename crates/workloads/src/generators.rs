@@ -1,0 +1,454 @@
+//! Workload generators: the paper's motivating scenarios as program
+//! sets.
+
+use adya_engine::{Engine, Key, TableId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::program::{Expr, PredSpec, Program, Step};
+use crate::zipf::Zipf;
+
+/// Bank workload: transfers between accounts plus auditors reading
+/// pairs — the multi-object invariant (`x + y = const`) of §3.
+#[derive(Debug, Clone)]
+pub struct BankConfig {
+    /// Number of accounts.
+    pub accounts: u64,
+    /// Initial balance per account.
+    pub initial_balance: i64,
+    /// Number of transfer transactions.
+    pub transfers: usize,
+    /// Number of audit transactions.
+    pub audits: usize,
+    /// RNG seed for key selection.
+    pub seed: u64,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig {
+            accounts: 8,
+            initial_balance: 100,
+            transfers: 24,
+            audits: 8,
+            seed: 1,
+        }
+    }
+}
+
+/// Seeds the accounts table and returns the transfer/audit programs.
+pub fn bank_workload(engine: &dyn Engine, cfg: &BankConfig) -> (TableId, Vec<Program>) {
+    let table = engine.catalog().table("acct");
+    let tx = engine.begin();
+    for k in 0..cfg.accounts {
+        engine
+            .write(tx, table, Key(k), Value::Int(cfg.initial_balance))
+            .expect("seeding cannot block on an empty engine");
+    }
+    engine.commit(tx).expect("seed commit");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut programs = Vec::with_capacity(cfg.transfers + cfg.audits);
+    for _ in 0..cfg.transfers {
+        let a = rng.gen_range(0..cfg.accounts);
+        let mut b = rng.gen_range(0..cfg.accounts);
+        if b == a {
+            b = (b + 1) % cfg.accounts;
+        }
+        let amount = rng.gen_range(1..=10);
+        programs.push(Program::new(
+            "transfer",
+            vec![
+                Step::Read {
+                    table,
+                    key: Key(a),
+                    reg: 0,
+                },
+                Step::Read {
+                    table,
+                    key: Key(b),
+                    reg: 1,
+                },
+                Step::Write {
+                    table,
+                    key: Key(a),
+                    value: Expr::reg_plus(0, -amount),
+                },
+                Step::Write {
+                    table,
+                    key: Key(b),
+                    value: Expr::reg_plus(1, amount),
+                },
+            ],
+        ));
+    }
+    for _ in 0..cfg.audits {
+        let a = rng.gen_range(0..cfg.accounts);
+        let mut b = rng.gen_range(0..cfg.accounts);
+        if b == a {
+            b = (b + 1) % cfg.accounts;
+        }
+        programs.push(Program::new(
+            "audit",
+            vec![
+                Step::Read {
+                    table,
+                    key: Key(a),
+                    reg: 0,
+                },
+                Step::Read {
+                    table,
+                    key: Key(b),
+                    reg: 1,
+                },
+            ],
+        ));
+    }
+    programs.shuffle_seeded(&mut rng);
+    (table, programs)
+}
+
+/// Phantom workload: the employee/Sales scenario of §5.4 — auditors
+/// compare a predicate sum against a maintained total while hirers
+/// insert new matching rows and update the total.
+#[derive(Debug, Clone)]
+pub struct PhantomConfig {
+    /// Initial number of employees (all "in Sales": value = salary).
+    pub initial_employees: u64,
+    /// Salary per employee.
+    pub salary: i64,
+    /// Number of hire transactions (insert + update total).
+    pub hires: usize,
+    /// Number of audit transactions (predicate sum + total read).
+    pub audits: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PhantomConfig {
+    fn default() -> Self {
+        PhantomConfig {
+            initial_employees: 4,
+            salary: 10,
+            hires: 8,
+            audits: 8,
+            seed: 2,
+        }
+    }
+}
+
+/// Seeds the employee and totals tables and returns hire/audit
+/// programs. Keys for new hires start above the initial population.
+pub fn phantom_workload(
+    engine: &dyn Engine,
+    cfg: &PhantomConfig,
+) -> (TableId, TableId, Vec<Program>) {
+    let emp = engine.catalog().table("emp");
+    let sums = engine.catalog().table("sums");
+    let tx = engine.begin();
+    for k in 0..cfg.initial_employees {
+        engine
+            .write(tx, emp, Key(k), Value::Int(cfg.salary))
+            .expect("seed");
+    }
+    engine
+        .write(
+            tx,
+            sums,
+            Key(0),
+            Value::Int(cfg.salary * cfg.initial_employees as i64),
+        )
+        .expect("seed");
+    engine.commit(tx).expect("seed commit");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut programs = Vec::new();
+    for i in 0..cfg.hires {
+        let new_key = cfg.initial_employees + i as u64;
+        programs.push(Program::new(
+            "hire",
+            vec![
+                Step::Read {
+                    table: sums,
+                    key: Key(0),
+                    reg: 0,
+                },
+                Step::Write {
+                    table: emp,
+                    key: Key(new_key),
+                    value: Expr::Const(cfg.salary),
+                },
+                Step::Write {
+                    table: sums,
+                    key: Key(0),
+                    value: Expr::reg_plus(0, cfg.salary),
+                },
+            ],
+        ));
+    }
+    for _ in 0..cfg.audits {
+        programs.push(Program::new(
+            "audit",
+            vec![
+                Step::Select {
+                    table: emp,
+                    pred: PredSpec::IntRange {
+                        lo: 1,
+                        hi: i64::MAX,
+                    },
+                    count_reg: Some(0),
+                    sum_reg: Some(1),
+                },
+                Step::Read {
+                    table: sums,
+                    key: Key(0),
+                    reg: 2,
+                },
+            ],
+        ));
+    }
+    programs.shuffle_seeded(&mut rng);
+    (emp, sums, programs)
+}
+
+/// Hotspot workload: increments concentrated on a few keys — the
+/// high-traffic scenario of §3 where reading uncommitted data is
+/// attractive.
+#[derive(Debug, Clone)]
+pub struct HotspotConfig {
+    /// Total keys.
+    pub keys: u64,
+    /// Number of increment transactions.
+    pub txns: usize,
+    /// Zipf skew (0 = uniform).
+    pub theta: f64,
+    /// Extra reads per transaction.
+    pub reads_per_txn: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HotspotConfig {
+    fn default() -> Self {
+        HotspotConfig {
+            keys: 16,
+            txns: 32,
+            theta: 1.0,
+            reads_per_txn: 2,
+            seed: 3,
+        }
+    }
+}
+
+/// Seeds the counters and returns increment programs.
+pub fn hotspot_workload(engine: &dyn Engine, cfg: &HotspotConfig) -> (TableId, Vec<Program>) {
+    let table = engine.catalog().table("counter");
+    let tx = engine.begin();
+    for k in 0..cfg.keys {
+        engine.write(tx, table, Key(k), Value::Int(0)).expect("seed");
+    }
+    engine.commit(tx).expect("seed commit");
+
+    let zipf = Zipf::new(cfg.keys as usize, cfg.theta);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut programs = Vec::with_capacity(cfg.txns);
+    for _ in 0..cfg.txns {
+        let mut steps = Vec::new();
+        for r in 0..cfg.reads_per_txn {
+            let k = zipf.sample(&mut rng) as u64;
+            steps.push(Step::Read {
+                table,
+                key: Key(k),
+                reg: r + 1,
+            });
+        }
+        let hot = zipf.sample(&mut rng) as u64;
+        steps.push(Step::Read {
+            table,
+            key: Key(hot),
+            reg: 0,
+        });
+        steps.push(Step::Write {
+            table,
+            key: Key(hot),
+            value: Expr::reg_plus(0, 1),
+        });
+        programs.push(Program::new("increment", steps));
+    }
+    (table, programs)
+}
+
+/// General random mix with tunable contention.
+#[derive(Debug, Clone)]
+pub struct MixedConfig {
+    /// Total keys.
+    pub keys: u64,
+    /// Number of transactions.
+    pub txns: usize,
+    /// Operations per transaction.
+    pub ops_per_txn: usize,
+    /// Probability that an operation writes.
+    pub write_ratio: f64,
+    /// Probability that a transaction voluntarily aborts at the end
+    /// (failure injection).
+    pub abort_prob: f64,
+    /// Probability that a write operation is a delete instead
+    /// (exercises dead versions and row re-incarnation).
+    pub delete_prob: f64,
+    /// Zipf skew of key choice.
+    pub theta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MixedConfig {
+    fn default() -> Self {
+        MixedConfig {
+            keys: 32,
+            txns: 40,
+            ops_per_txn: 4,
+            write_ratio: 0.5,
+            abort_prob: 0.0,
+            delete_prob: 0.0,
+            theta: 0.6,
+            seed: 4,
+        }
+    }
+}
+
+/// Seeds the table and returns random read/write programs.
+pub fn mixed_workload(engine: &dyn Engine, cfg: &MixedConfig) -> (TableId, Vec<Program>) {
+    let table = engine.catalog().table("data");
+    let tx = engine.begin();
+    for k in 0..cfg.keys {
+        engine
+            .write(tx, table, Key(k), Value::Int(k as i64))
+            .expect("seed");
+    }
+    engine.commit(tx).expect("seed commit");
+
+    let zipf = Zipf::new(cfg.keys as usize, cfg.theta);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut programs = Vec::with_capacity(cfg.txns);
+    for _ in 0..cfg.txns {
+        let mut steps = Vec::new();
+        for op in 0..cfg.ops_per_txn {
+            let k = zipf.sample(&mut rng) as u64;
+            if rng.gen_bool(cfg.write_ratio) {
+                if cfg.delete_prob > 0.0 && rng.gen_bool(cfg.delete_prob) {
+                    steps.push(Step::Delete { table, key: Key(k) });
+                    continue;
+                }
+                steps.push(Step::Read {
+                    table,
+                    key: Key(k),
+                    reg: op,
+                });
+                steps.push(Step::Write {
+                    table,
+                    key: Key(k),
+                    value: Expr::reg_plus(op, 1),
+                });
+            } else {
+                steps.push(Step::Read {
+                    table,
+                    key: Key(k),
+                    reg: op,
+                });
+            }
+        }
+        if cfg.abort_prob > 0.0 && rng.gen_bool(cfg.abort_prob) {
+            steps.push(Step::Abort);
+        }
+        programs.push(Program::new("mixed", steps));
+    }
+    (table, programs)
+}
+
+/// Seeded Fisher–Yates shuffle, so generated workloads are
+/// reproducible without pulling in `rand`'s slice extensions.
+trait ShuffleSeeded {
+    fn shuffle_seeded(&mut self, rng: &mut StdRng);
+}
+
+impl<T> ShuffleSeeded for Vec<T> {
+    fn shuffle_seeded(&mut self, rng: &mut StdRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_deterministic, DriverConfig};
+    use adya_core::{classify, IsolationLevel};
+    use adya_engine::{LockConfig, LockingEngine, MvccEngine, MvccMode, SgtEngine};
+
+    #[test]
+    fn bank_workload_preserves_total_under_serializable_2pl() {
+        let e = LockingEngine::new(LockConfig::serializable());
+        let (table, programs) = bank_workload(&e, &BankConfig::default());
+        let stats = run_deterministic(&e, programs, &DriverConfig::default());
+        assert!(stats.committed > 0);
+        let tx = e.begin();
+        let total: i64 = (0..8)
+            .map(|k| {
+                e.read(tx, table, Key(k))
+                    .unwrap()
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0)
+            })
+            .sum();
+        e.commit(tx).unwrap();
+        assert_eq!(total, 800);
+    }
+
+    #[test]
+    fn phantom_workload_history_valid_on_sgt() {
+        let e = SgtEngine::new(adya_engine::CertifyLevel::PL3);
+        let (_, _, programs) = phantom_workload(&e, &PhantomConfig::default());
+        let stats = run_deterministic(&e, programs, &DriverConfig::default());
+        assert!(stats.committed > 0);
+        let h = e.finalize();
+        let r = classify(&h);
+        assert!(r.satisfies(IsolationLevel::PL3), "{r}");
+    }
+
+    #[test]
+    fn hotspot_on_si_commits_and_history_checks() {
+        let e = MvccEngine::new(MvccMode::SnapshotIsolation);
+        let (_, programs) = hotspot_workload(&e, &HotspotConfig::default());
+        let stats = run_deterministic(&e, programs, &DriverConfig::default());
+        assert!(stats.committed > 0);
+        let h = e.finalize();
+        assert!(classify(&h).satisfies(IsolationLevel::PLSI));
+    }
+
+    #[test]
+    fn mixed_workload_with_aborts_still_validates() {
+        let e = LockingEngine::new(LockConfig::read_committed());
+        let cfg = MixedConfig {
+            abort_prob: 0.3,
+            ..Default::default()
+        };
+        let (_, programs) = mixed_workload(&e, &cfg);
+        let stats = run_deterministic(&e, programs, &DriverConfig::default());
+        assert!(stats.committed > 0);
+        let h = e.finalize();
+        // Locking read committed guarantees PL-2.
+        assert!(classify(&h).satisfies(IsolationLevel::PL2));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let gen = || {
+            let e = LockingEngine::new(LockConfig::serializable());
+            let (_, p) = bank_workload(&e, &BankConfig::default());
+            p.iter().map(|x| x.steps.len()).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(), gen());
+    }
+}

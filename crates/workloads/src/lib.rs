@@ -1,0 +1,34 @@
+//! Workloads, drivers and random-history generation for the
+//! reproduction experiments.
+//!
+//! Three layers:
+//!
+//! * [`Program`] — a small deterministic transaction language
+//!   (register machine over integer rows) that drivers can interleave
+//!   step by step;
+//! * [`run_deterministic`] — a seeded driver that interleaves many
+//!   programs against any [`adya_engine::Engine`], handling blocking,
+//!   deadlock victims and restarts, and reporting [`RunStats`];
+//! * generators — the paper-motivated workloads (bank transfers with
+//!   the `x + y = 10`-style invariant of §3, the employee/Sales
+//!   phantom scenario of §5.4, hotspot counters, zipfian mixes) plus a
+//!   [`histgen`] module that samples random *histories* directly for
+//!   permissiveness experiments and property tests.
+
+#![warn(missing_docs)]
+
+mod concurrent;
+mod driver;
+mod generators;
+pub mod histgen;
+mod program;
+mod zipf;
+
+pub use concurrent::{run_concurrent, ConcurrentConfig};
+pub use driver::{run_deterministic, DriverConfig, RunStats, SessionOutcome};
+pub use generators::{
+    bank_workload, hotspot_workload, mixed_workload, phantom_workload, BankConfig,
+    HotspotConfig, MixedConfig, PhantomConfig,
+};
+pub use program::{Expr, PredSpec, Program, Step};
+pub use zipf::Zipf;

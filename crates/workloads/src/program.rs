@@ -1,0 +1,217 @@
+//! The transaction program language.
+//!
+//! Programs are finite step lists over integer-valued rows, with a
+//! tiny register machine for data flow ("read x into r0, write r0−10
+//! back"). Keeping programs first-order (no closures) is what lets the
+//! deterministic driver interleave them step by step and replay them
+//! after restarts.
+
+use adya_engine::{Key, TableId, TablePred, Value};
+
+/// An integer expression over the session's registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A constant.
+    Const(i64),
+    /// The value of a register (0 if never written).
+    Reg(usize),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluates against a register file.
+    pub fn eval(&self, regs: &[i64]) -> i64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Reg(r) => regs.get(*r).copied().unwrap_or(0),
+            Expr::Add(a, b) => a.eval(regs).wrapping_add(b.eval(regs)),
+            Expr::Sub(a, b) => a.eval(regs).wrapping_sub(b.eval(regs)),
+        }
+    }
+
+    /// `Reg(r)` shorthand.
+    pub fn reg(r: usize) -> Expr {
+        Expr::Reg(r)
+    }
+
+    /// `Reg(r) + c` shorthand.
+    pub fn reg_plus(r: usize, c: i64) -> Expr {
+        Expr::Add(Box::new(Expr::Reg(r)), Box::new(Expr::Const(c)))
+    }
+}
+
+/// A declarative predicate usable by generated programs (compiled to
+/// an [`adya_engine::TablePred`] on demand, deterministically).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredSpec {
+    /// Every visible row.
+    All,
+    /// Rows whose integer value lies in `[lo, hi]`.
+    IntRange {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+}
+
+impl PredSpec {
+    /// Compiles to an engine predicate over `table`.
+    pub fn compile(&self, table: TableId) -> TablePred {
+        match *self {
+            PredSpec::All => TablePred::new("all", table, |_| true),
+            PredSpec::IntRange { lo, hi } => TablePred::new(
+                format!("{lo}<=v<={hi}"),
+                table,
+                move |v| matches!(v, Value::Int(i) if (lo..=hi).contains(i)),
+            ),
+        }
+    }
+}
+
+/// One step of a program. A commit is implicit after the last step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Read `(table, key)`'s integer value into `reg` (0 when the row
+    /// is absent or non-integer).
+    Read {
+        /// Table to read from.
+        table: TableId,
+        /// Row key.
+        key: Key,
+        /// Destination register.
+        reg: usize,
+    },
+    /// Write `value` to `(table, key)`.
+    Write {
+        /// Table to write to.
+        table: TableId,
+        /// Row key.
+        key: Key,
+        /// Value expression.
+        value: Expr,
+    },
+    /// Delete `(table, key)`.
+    Delete {
+        /// Table.
+        table: TableId,
+        /// Row key.
+        key: Key,
+    },
+    /// Predicate read over `table`; the *count* of matches lands in
+    /// `count_reg` and their integer *sum* in `sum_reg` when given.
+    Select {
+        /// Table to scan.
+        table: TableId,
+        /// The predicate.
+        pred: PredSpec,
+        /// Register receiving the match count.
+        count_reg: Option<usize>,
+        /// Register receiving the sum of matching integer values.
+        sum_reg: Option<usize>,
+    },
+    /// Voluntarily abort (failure injection).
+    Abort,
+}
+
+/// A transaction program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Display label ("transfer", "audit", …).
+    pub label: String,
+    /// The steps; an implicit commit follows the last one.
+    pub steps: Vec<Step>,
+}
+
+impl Program {
+    /// Creates a program.
+    pub fn new(label: impl Into<String>, steps: Vec<Step>) -> Program {
+        Program {
+            label: label.into(),
+            steps,
+        }
+    }
+
+    /// Number of registers the program touches.
+    pub fn register_count(&self) -> usize {
+        fn expr_max(e: &Expr) -> usize {
+            match e {
+                Expr::Const(_) => 0,
+                Expr::Reg(r) => r + 1,
+                Expr::Add(a, b) | Expr::Sub(a, b) => expr_max(a).max(expr_max(b)),
+            }
+        }
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Read { reg, .. } => reg + 1,
+                Step::Write { value, .. } => expr_max(value),
+                Step::Select {
+                    count_reg, sum_reg, ..
+                } => count_reg
+                    .map(|r| r + 1)
+                    .max(sum_reg.map(|r| r + 1))
+                    .unwrap_or(0),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_evaluation() {
+        let regs = [10, 20];
+        assert_eq!(Expr::Const(5).eval(&regs), 5);
+        assert_eq!(Expr::Reg(1).eval(&regs), 20);
+        assert_eq!(Expr::Reg(9).eval(&regs), 0);
+        assert_eq!(Expr::reg_plus(0, -3).eval(&regs), 7);
+        assert_eq!(
+            Expr::Sub(Box::new(Expr::Reg(1)), Box::new(Expr::Reg(0))).eval(&regs),
+            10
+        );
+    }
+
+    #[test]
+    fn pred_spec_compiles() {
+        let p = PredSpec::IntRange { lo: 0, hi: 5 }.compile(TableId(0));
+        assert!(p.matches(&Value::Int(3)));
+        assert!(!p.matches(&Value::Int(9)));
+        assert!(!p.matches(&Value::Str("x".into())));
+        let all = PredSpec::All.compile(TableId(0));
+        assert!(all.matches(&Value::Int(-1)));
+    }
+
+    #[test]
+    fn register_count_covers_all_steps() {
+        let p = Program::new(
+            "t",
+            vec![
+                Step::Read {
+                    table: TableId(0),
+                    key: Key(1),
+                    reg: 2,
+                },
+                Step::Write {
+                    table: TableId(0),
+                    key: Key(1),
+                    value: Expr::reg_plus(4, 1),
+                },
+                Step::Select {
+                    table: TableId(0),
+                    pred: PredSpec::All,
+                    count_reg: Some(6),
+                    sum_reg: None,
+                },
+            ],
+        );
+        assert_eq!(p.register_count(), 7);
+    }
+}

@@ -1,0 +1,108 @@
+//! A small Zipfian sampler for skewed key selection.
+//!
+//! Implemented from the classic inverse-CDF construction (precomputed
+//! cumulative weights, binary search) because the sanctioned `rand`
+//! crate carries no Zipf distribution. `theta = 0` degenerates to
+//! uniform; larger `theta` concentrates probability on low indices —
+//! the standard model of hotspot contention.
+
+use rand::Rng;
+
+/// A Zipf(θ) distribution over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta >= 0`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite, >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cumulative.push(total);
+        }
+        // Normalize.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false (the constructor rejects empty domains).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples an index in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_prefers_low_indices() {
+        let z = Zipf::new(16, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 16];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[8] * 4, "{counts:?}");
+        assert!(counts[0] > counts[15] * 6, "{counts:?}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 0.8);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(z.len(), 3);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_domain() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

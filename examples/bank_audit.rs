@@ -1,0 +1,95 @@
+//! The bank-invariant scenario of §3 (`x + y = 10`) run end-to-end on
+//! three real engines, with the checker judging the recorded
+//! histories:
+//!
+//! * Snapshot Isolation lets write skew through (PL-SI holds, PL-3
+//!   does not);
+//! * serializable 2PL and OCC produce PL-3 histories;
+//! * the checker pinpoints the G2 cycle SI admitted.
+//!
+//! ```sh
+//! cargo run --example bank_audit
+//! ```
+
+use adya::core::{analyze, classify, IsolationLevel};
+use adya::engine::{
+    Engine, Key, LockConfig, LockingEngine, MvccEngine, MvccMode, OccEngine, Value,
+};
+
+/// Two "transactions" that each check the constraint `a + b >= 0` and
+/// then withdraw from one account — the canonical write-skew pair.
+fn write_skew_session(engine: &dyn Engine) -> adya::history::History {
+    let t = engine.catalog().table("acct");
+    let seed = engine.begin();
+    engine.write(seed, t, Key(0), Value::Int(5)).unwrap();
+    engine.write(seed, t, Key(1), Value::Int(5)).unwrap();
+    engine.commit(seed).unwrap();
+
+    let t1 = engine.begin();
+    let t2 = engine.begin();
+    // Both read both balances…
+    let step = |txn, key| {
+        engine
+            .read(txn, t, Key(key))
+            .map(|v| v.and_then(|v| v.as_int()).unwrap_or(0))
+    };
+    let _ = step(t1, 0);
+    let _ = step(t1, 1);
+    let _ = step(t2, 0);
+    let _ = step(t2, 1);
+    // …and each zeroes a different account ("the other one still
+    // covers the constraint").
+    let w1 = engine.write(t1, t, Key(0), Value::Int(-5));
+    let w2 = engine.write(t2, t, Key(1), Value::Int(-5));
+    let c1 = w1.and_then(|_| engine.commit(t1));
+    let c2 = w2.and_then(|_| engine.commit(t2));
+    println!(
+        "  {}: T1 {} / T2 {}",
+        engine.name(),
+        if c1.is_ok() { "committed" } else { "aborted/blocked" },
+        if c2.is_ok() { "committed" } else { "aborted/blocked" },
+    );
+    engine.finalize()
+}
+
+fn main() {
+    println!("write-skew attempt per engine:");
+
+    // Snapshot Isolation: both commit — write skew.
+    let si = MvccEngine::new(MvccMode::SnapshotIsolation);
+    let h = write_skew_session(&si);
+    let r = classify(&h);
+    println!(
+        "    PL-SI: {}   PL-3: {}",
+        r.satisfies(IsolationLevel::PLSI),
+        r.satisfies(IsolationLevel::PL3)
+    );
+    assert!(r.satisfies(IsolationLevel::PLSI));
+    if !r.satisfies(IsolationLevel::PL3) {
+        let a = analyze(&h);
+        for p in a.phenomena {
+            if matches!(p.kind(), adya::core::PhenomenonKind::G2) {
+                println!("    checker witness: {p}");
+            }
+        }
+    }
+
+    // Serializable 2PL: one side blocks; the history that commits is
+    // PL-3.
+    let tpl = LockingEngine::new(LockConfig::serializable());
+    let h = write_skew_session(&tpl);
+    assert!(classify(&h).satisfies(IsolationLevel::PL3));
+    println!("    2PL history is PL-3\n");
+
+    // OCC: one side fails validation; the history is PL-3.
+    let occ = OccEngine::new();
+    let h = write_skew_session(&occ);
+    assert!(classify(&h).satisfies(IsolationLevel::PL3));
+    println!("    OCC history is PL-3");
+
+    println!(
+        "\nTakeaway: the same program exhibits write skew only under SI, and the \
+         generalized checker distinguishes the outcomes purely from the recorded \
+         histories."
+    );
+}

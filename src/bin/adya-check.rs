@@ -1,0 +1,207 @@
+//! `adya-check` — analyze a transaction history from the command line.
+//!
+//! Reads a history in the paper's textual notation (from a file or
+//! stdin) and prints the full analysis: detected phenomena with
+//! witnesses, per-level verdicts, the mixed-level verdict, and
+//! optionally the DSG as Graphviz DOT.
+//!
+//! ```sh
+//! echo "w1(x,2) w2(x,5) w2(y,5) c2 w1(y,8) c1 [x1 << x2, y2 << y1]" \
+//!   | cargo run --bin adya-check
+//!
+//! cargo run --bin adya-check -- --dot history.txt
+//! cargo run --bin adya-check -- --level PL-3 history.txt   # exit 1 on violation
+//! ```
+//!
+//! Notation: `w1(x,5)` write, `r2(x1)` read of T1's version,
+//! `rc2(x1)` cursor read, `b1`/`c1`/`a1` begin/commit/abort,
+//! `#pred(P,lo,hi)` + `rp1(P: x0,y2)` predicate reads, trailing
+//! `[x1 << x2]` version orders. Lines starting with `#` (other than
+//! `#pred`) are comments.
+
+use std::fmt::Write as _;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use adya::core::{analyze, Analysis, IsolationLevel};
+use adya::history::parse_history_completed;
+
+struct Args {
+    path: Option<String>,
+    dot: bool,
+    json: bool,
+    level: Option<IsolationLevel>,
+}
+
+/// Minimal JSON string escaping (the only dynamic content is names and
+/// witness strings).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the analysis as a JSON object (hand-rolled: the sanctioned
+/// dependency set has no serializer, and the shape is small).
+fn to_json(history: &adya::history::History, a: &Analysis) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"transactions\": {},", history.txns().count());
+    let _ = writeln!(
+        s,
+        "  \"committed\": {},",
+        history.committed_txns().count()
+    );
+    s.push_str("  \"phenomena\": [");
+    for (i, p) in a.phenomena.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "{{\"kind\": \"{}\", \"witness\": \"{}\"}}",
+            p.kind(),
+            esc(&p.to_string())
+        );
+    }
+    s.push_str("],\n  \"levels\": {");
+    for (i, c) in a.levels.checks.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{}\": {}", c.level, c.ok());
+    }
+    s.push_str("},\n");
+    let _ = writeln!(
+        s,
+        "  \"strongest_ansi\": {},",
+        a.levels
+            .strongest_ansi()
+            .map(|l| format!("\"{l}\""))
+            .unwrap_or_else(|| "null".to_string())
+    );
+    let _ = writeln!(s, "  \"mixing_correct\": {}", a.mixing.is_correct());
+    s.push('}');
+    s
+}
+
+fn parse_level(s: &str) -> Option<IsolationLevel> {
+    IsolationLevel::ALL
+        .iter()
+        .copied()
+        .find(|l| l.to_string().eq_ignore_ascii_case(s))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        path: None,
+        dot: false,
+        json: false,
+        level: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dot" => args.dot = true,
+            "--json" => args.json = true,
+            "--level" => {
+                let v = it.next().ok_or("--level needs a value (e.g. PL-3)")?;
+                args.level =
+                    Some(parse_level(&v).ok_or_else(|| format!("unknown level {v:?}"))?);
+            }
+            "--help" | "-h" => {
+                return Err(USAGE.to_string());
+            }
+            p if !p.starts_with('-') => args.path = Some(p.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "usage: adya-check [--dot] [--json] [--level PL-3] [FILE]
+Reads a history (paper notation) from FILE or stdin and analyzes it.
+  --dot          also print the DSG as Graphviz DOT
+  --json         machine-readable output instead of the text report
+  --level LEVEL  exit non-zero unless the history satisfies LEVEL
+                 (PL-1, PL-2, PL-CS, PL-MAV, PL-2+, PL-2.99, PL-SI, PL-3)";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let raw = match &args.path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("adya-check: cannot read {p}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("adya-check: cannot read stdin: {e}");
+                return ExitCode::from(2);
+            }
+            s
+        }
+    };
+    // Strip comment lines (but keep #pred directives).
+    let text: String = raw
+        .lines()
+        .filter(|l| {
+            let t = l.trim_start();
+            !t.starts_with('#') || t.starts_with("#pred(")
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+
+    let history = match parse_history_completed(&text) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("adya-check: invalid history: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let a = analyze(&history);
+    if args.json {
+        println!("{}", to_json(&history, &a));
+    } else {
+        println!("history: {history}");
+        println!(
+            "transactions: {} ({} committed)\n",
+            history.txns().count(),
+            history.committed_txns().count()
+        );
+        println!("{a}");
+        if args.dot {
+            println!("\n{}", a.dsg.to_dot("history"));
+        }
+    }
+    if let Some(level) = args.level {
+        let ok = a.levels.satisfies(level);
+        if !args.json {
+            println!("\n{level}: {}", if ok { "SATISFIED" } else { "VIOLATED" });
+        }
+        if !ok {
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

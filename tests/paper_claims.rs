@@ -1,0 +1,141 @@
+//! Integration tests asserting every headline claim of the paper
+//! end-to-end (the figure binaries print these; here they gate CI).
+
+use adya::core::{check_mixing, classify, paper, DepKind, Dsg, IsolationLevel};
+use adya::history::{parse_history, TxnId};
+use adya::prevent::{check_locking, LockingLevel};
+
+#[test]
+fn section3_h1_h2_bad_under_both_definitions() {
+    for h in [paper::h1(), paper::h2()] {
+        assert!(!classify(&h).satisfies(IsolationLevel::PL3));
+        assert!(!check_locking(&h, LockingLevel::Serializable).ok());
+    }
+}
+
+#[test]
+fn section3_h1_prime_h2_prime_show_preventative_over_rejection() {
+    for h in [paper::h1_prime(), paper::h2_prime()] {
+        assert!(
+            classify(&h).satisfies(IsolationLevel::PL3),
+            "generalized definitions admit the serializable history"
+        );
+        assert!(
+            !check_locking(&h, LockingLevel::Serializable).ok(),
+            "preventative definitions reject it (P1/P2)"
+        );
+    }
+}
+
+#[test]
+fn figure3_hserial_dsg() {
+    let dsg = Dsg::build(&paper::h_serial());
+    assert!(dsg.has_edge(TxnId(1), TxnId(2), DepKind::ItemReadDep));
+    assert!(dsg.has_edge(TxnId(1), TxnId(2), DepKind::WriteDep));
+    assert!(dsg.has_edge(TxnId(1), TxnId(3), DepKind::WriteDep));
+    assert!(dsg.has_edge(TxnId(2), TxnId(3), DepKind::ItemReadDep));
+    assert!(dsg.has_edge(TxnId(2), TxnId(3), DepKind::ItemAntiDep));
+    assert_eq!(
+        dsg.serial_order().expect("acyclic"),
+        vec![TxnId(1), TxnId(2), TxnId(3)]
+    );
+}
+
+#[test]
+fn figure4_hwcycle_fails_pl1_only_there() {
+    let h = paper::h_wcycle();
+    let r = classify(&h);
+    assert!(!r.satisfies(IsolationLevel::PL1));
+    assert_eq!(r.strongest_ansi(), None);
+}
+
+#[test]
+fn figure5_hphantom_splits_pl299_from_pl3() {
+    let h = paper::h_phantom();
+    let r = classify(&h);
+    assert!(r.satisfies(IsolationLevel::PL299));
+    assert!(!r.satisfies(IsolationLevel::PL3));
+    let dsg = Dsg::build(&h);
+    assert!(dsg.has_edge(TxnId(1), TxnId(2), DepKind::PredAntiDep));
+    assert!(dsg.has_edge(TxnId(2), TxnId(1), DepKind::ItemReadDep));
+}
+
+#[test]
+fn figure6_matrix_spot_checks() {
+    // Chain inclusion: any history satisfying a stronger ANSI level
+    // satisfies every weaker one.
+    for (_, h) in paper::all() {
+        let r = classify(&h);
+        let ansi = [
+            IsolationLevel::PL1,
+            IsolationLevel::PL2,
+            IsolationLevel::PL299,
+            IsolationLevel::PL3,
+        ];
+        for w in ansi.windows(2) {
+            if r.satisfies(w[1]) {
+                assert!(r.satisfies(w[0]), "{} ⊂ {} violated", w[1], w[0]);
+            }
+        }
+    }
+}
+
+#[test]
+fn hwrite_order_version_order_vs_commit_order() {
+    let h = paper::h_write_order();
+    let x = h.object_by_name("x").unwrap();
+    let v1 = adya::history::VersionId::new(TxnId(1), 1);
+    let v2 = adya::history::VersionId::new(TxnId(2), 1);
+    assert!(h.version_precedes(x, v2, v1), "x2 << x1");
+    // T1 committed before T2 in event order.
+    let c1 = h.txn(TxnId(1)).unwrap().end_event;
+    let c2 = h.txn(TxnId(2)).unwrap().end_event;
+    assert!(c1 < c2);
+    // T2 serializes before T1.
+    let dsg = Dsg::build(&h);
+    assert!(dsg.is_valid_serial_order(&[TxnId(2), TxnId(1)]));
+}
+
+#[test]
+fn hpred_read_minimal_conflict_rule() {
+    // The latest match-changing transaction gets the edge; the
+    // irrelevant updater does not.
+    let dsg = Dsg::build(&paper::h_pred_read());
+    assert!(dsg.has_edge(TxnId(1), TxnId(3), DepKind::PredReadDep));
+    assert!(!dsg.has_edge(TxnId(2), TxnId(3), DepKind::PredReadDep));
+}
+
+#[test]
+fn mixing_theorem_consistency_on_paper_histories() {
+    // All-PL-3 histories: mixing-correct ⇔ PL-3.
+    for (name, h) in paper::all() {
+        assert_eq!(
+            check_mixing(&h).is_correct(),
+            classify(&h).satisfies(IsolationLevel::PL3),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn dirty_read_fragments_of_g1() {
+    // The history fragments of §5.2, as concrete histories.
+    // G1a: w1(x1:i) … r2(x1:i) … (a1 and c2 in any order).
+    let h = parse_history("w1(x,1) r2(x1) a1 c2").unwrap();
+    assert!(!classify(&h).satisfies(IsolationLevel::PL2));
+    // G1b: w1(x1:i) … r2(x1:i) … w1(x1:j) … c2.
+    let h = parse_history("w1(x,1) r2(x1:1) w1(x,2) c1 c2").unwrap();
+    assert!(!classify(&h).satisfies(IsolationLevel::PL2));
+    // But final-version reads of committed data are fine.
+    let h = parse_history("w1(x,1) w1(x,2) c1 r2(x1:2) c2").unwrap();
+    assert!(classify(&h).satisfies(IsolationLevel::PL3));
+}
+
+#[test]
+fn pl1_weak_predicate_guarantee() {
+    // H_pred_update: interleaved predicate-based updates pass PL-1.
+    let h = paper::h_pred_update();
+    let r = classify(&h);
+    assert!(r.satisfies(IsolationLevel::PL1));
+    assert!(!r.satisfies(IsolationLevel::PL3));
+}
