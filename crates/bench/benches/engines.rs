@@ -29,7 +29,9 @@ fn bench_schemes(c: &mut Criterion) {
     let schemes: Vec<(&str, EngineFactory)> = vec![
         (
             "2pl_ser",
-            Box::new(|| Box::new(LockingEngine::new(LockConfig::serializable())) as Box<dyn Engine>),
+            Box::new(|| {
+                Box::new(LockingEngine::new(LockConfig::serializable())) as Box<dyn Engine>
+            }),
         ),
         (
             "2pl_rc",
@@ -37,16 +39,17 @@ fn bench_schemes(c: &mut Criterion) {
                 Box::new(LockingEngine::new(LockConfig::read_committed())) as Box<dyn Engine>
             }),
         ),
-        ("occ", Box::new(|| Box::new(OccEngine::new()) as Box<dyn Engine>)),
+        (
+            "occ",
+            Box::new(|| Box::new(OccEngine::new()) as Box<dyn Engine>),
+        ),
         (
             "sgt_pl3",
             Box::new(|| Box::new(SgtEngine::new(CertifyLevel::PL3)) as Box<dyn Engine>),
         ),
         (
             "mvcc_si",
-            Box::new(|| {
-                Box::new(MvccEngine::new(MvccMode::SnapshotIsolation)) as Box<dyn Engine>
-            }),
+            Box::new(|| Box::new(MvccEngine::new(MvccMode::SnapshotIsolation)) as Box<dyn Engine>),
         ),
         (
             "mvcc_rc",

@@ -1,8 +1,16 @@
 //! Runs every figure/section reproduction binary in sequence — the
 //! one-shot CI entry point. Each child asserts the paper's claims and
 //! exits non-zero on any mismatch.
+//!
+//! With `--report <path>`, writes a JSON summary (per-binary status
+//! and wall time) to `<path>` and forwards a derived
+//! `<path stem>.perf_sweep.json` to the `perf_sweep` child so its
+//! detailed metrics report lands next to the summary.
 
 use std::process::{Command, ExitCode};
+use std::time::Instant;
+
+use adya_obs::json::JsonWriter;
 
 const BINARIES: &[&str] = &[
     "figure1",
@@ -20,19 +28,70 @@ const BINARIES: &[&str] = &[
     "lattice",
 ];
 
+/// `out.json` → `out.perf_sweep.json`; extensionless paths just get
+/// the suffix appended.
+fn child_report_path(report: &str, child: &str) -> String {
+    match report.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}.{child}.{ext}"),
+        _ => format!("{report}.{child}.json"),
+    }
+}
+
+struct BinRun {
+    name: &'static str,
+    ok: bool,
+    millis: u64,
+}
+
+fn write_summary(path: &str, runs: &[BinRun], perf_sweep_report: &str) -> std::io::Result<()> {
+    let mut w = JsonWriter::new();
+    w.open_object(None);
+    w.str_field("report", "all_figures");
+    w.u64_field("binaries_total", runs.len() as u64);
+    w.u64_field(
+        "binaries_failed",
+        runs.iter().filter(|r| !r.ok).count() as u64,
+    );
+    w.str_field("perf_sweep_report", perf_sweep_report);
+    w.open_array(Some("binaries"));
+    for r in runs {
+        w.open_object(None);
+        w.str_field("name", r.name);
+        w.bool_field("ok", r.ok);
+        w.u64_field("millis", r.millis);
+        w.close_object();
+    }
+    w.close_array();
+    w.close_object();
+    let mut json = w.finish();
+    json.push('\n');
+    std::fs::write(path, json)
+}
+
 fn main() -> ExitCode {
+    let report_path = adya_bench::report_path_from_args();
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
+    let mut runs = Vec::new();
     let mut failed = Vec::new();
     for name in BINARIES {
         let path = dir.join(name);
-        println!("\n──────── running {name} ────────");
-        let status = Command::new(&path).status();
-        match status {
-            Ok(s) if s.success() => {}
+        eprintln!("\n──────── running {name} ────────");
+        let mut cmd = Command::new(&path);
+        if *name == "perf_sweep" {
+            if let Some(report) = &report_path {
+                cmd.args(["--report", &child_report_path(report, "perf_sweep")]);
+            }
+        }
+        let start = Instant::now();
+        let status = cmd.status();
+        let millis = start.elapsed().as_millis() as u64;
+        let ok = match status {
+            Ok(s) if s.success() => true,
             Ok(s) => {
                 eprintln!("{name}: exited with {s}");
                 failed.push(*name);
+                false
             }
             Err(e) => {
                 eprintln!(
@@ -40,8 +99,18 @@ fn main() -> ExitCode {
                      `cargo build --release -p adya-bench --bins`)"
                 );
                 failed.push(*name);
+                false
             }
+        };
+        runs.push(BinRun { name, ok, millis });
+    }
+    if let Some(report) = &report_path {
+        let sweep = child_report_path(report, "perf_sweep");
+        if let Err(e) = write_summary(report, &runs, &sweep) {
+            eprintln!("all_figures: cannot write report {report}: {e}");
+            return ExitCode::FAILURE;
         }
+        eprintln!("summary report written to {report}");
     }
     println!("\n════════ summary ════════");
     if failed.is_empty() {

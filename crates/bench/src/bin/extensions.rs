@@ -77,16 +77,17 @@ fn main() {
     let t1 = e.begin();
     let v = e.cursor_read(t1, tbl, Key(1)).unwrap().unwrap();
     let t2 = e.begin();
-    let blocked = e
-        .write(t2, tbl, Key(1), Value::Int(99))
-        .is_err();
+    let blocked = e.write(t2, tbl, Key(1), Value::Int(99)).is_err();
     e.write(t1, tbl, Key(1), Value::Int(v.as_int().unwrap() + 1))
         .unwrap();
     e.commit(t1).unwrap();
     let _ = e.abort(t2);
     let h = e.finalize();
     let cs_ok = blocked && classify(&h).satisfies(IsolationLevel::PLCS);
-    println!("cursor-stability engine: concurrent writer blocked = {blocked}, history PL-CS = {}", classify(&h).satisfies(IsolationLevel::PLCS));
+    println!(
+        "cursor-stability engine: concurrent writer blocked = {blocked}, history PL-CS = {}",
+        classify(&h).satisfies(IsolationLevel::PLCS)
+    );
     ok &= cs_ok;
 
     // MVTO: version order beats commit order (the §4.2 flexibility).
@@ -101,12 +102,13 @@ fn main() {
     let h = e.finalize();
     let x = h.object_by_name("table0#1").expect("row exists");
     let ts_order = h.version_precedes(x, VersionId::new(t1, 1), VersionId::new(t2, 1));
-    let commit_reversed =
-        h.txn(t1).unwrap().end_event > h.txn(t2).unwrap().end_event;
+    let commit_reversed = h.txn(t1).unwrap().end_event > h.txn(t2).unwrap().end_event;
     let pl3 = classify(&h).satisfies(IsolationLevel::PL3);
     println!(
         "MVTO: version order x(T{}) << x(T{}) with reversed commit order = {}, PL-3 = {pl3}",
-        t1.0, t2.0, ts_order && commit_reversed
+        t1.0,
+        t2.0,
+        ts_order && commit_reversed
     );
     ok &= ts_order && commit_reversed && pl3;
 

@@ -9,8 +9,7 @@ use adya_core::{classify, IsolationLevel};
 use adya_engine::{Engine, LockConfig, LockingEngine};
 use adya_prevent::{detect_all_p, PKind};
 use adya_workloads::{
-    mixed_workload, phantom_workload, run_deterministic, DriverConfig, MixedConfig,
-    PhantomConfig,
+    mixed_workload, phantom_workload, run_deterministic, DriverConfig, MixedConfig, PhantomConfig,
 };
 
 /// The generalized level each Figure 1 row must deliver. Degree 0

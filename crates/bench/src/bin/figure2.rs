@@ -42,11 +42,7 @@ fn main() {
             .find(|c| c.kind == expect)
             .map(|c| format!("{} -{}-> {}", c.from, c.kind, c.to));
         ok &= found.is_some();
-        demo_table.row(&[
-            name,
-            text,
-            found.as_deref().unwrap_or("MISSING"),
-        ]);
+        demo_table.row(&[name, text, found.as_deref().unwrap_or("MISSING")]);
     }
     println!("{}", demo_table.render());
     verdict("figure2", ok);

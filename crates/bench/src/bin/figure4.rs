@@ -17,7 +17,6 @@ fn main() {
     let report = classify(&h);
     println!("\nlevel verdicts:\n{report}");
     println!("\nDOT:\n{}", dsg.to_dot("Figure4_Hwcycle"));
-    let ok = cycle.map(|c| c.len() == 2).unwrap_or(false)
-        && !report.satisfies(IsolationLevel::PL1);
+    let ok = cycle.map(|c| c.len() == 2).unwrap_or(false) && !report.satisfies(IsolationLevel::PL1);
     verdict("figure4", ok);
 }

@@ -93,10 +93,7 @@ fn locking_mix(seed: u64) -> adya_history::History {
 
 /// Reassigns every transaction of `h` to the given level and
 /// re-validates (levels live in the parts, so rebuild).
-fn with_uniform_level(
-    h: &adya_history::History,
-    level: RequestedLevel,
-) -> adya_history::History {
+fn with_uniform_level(h: &adya_history::History, level: RequestedLevel) -> adya_history::History {
     let mut parts = HistoryParts {
         events: h.events().to_vec(),
         ..Default::default()
@@ -231,9 +228,6 @@ fn main() {
     ]);
     println!("{}", table.render());
 
-    let ok = lock_ok
-        && agree == total
-        && monotone_ok
-        && correct_random >= correct_at_pl3;
+    let ok = lock_ok && agree == total && monotone_ok && correct_random >= correct_at_pl3;
     verdict("mixing", ok);
 }

@@ -7,12 +7,14 @@
 
 use std::time::Instant;
 
-use adya_bench::{banner, verdict, Table};
+use adya_bench::{banner, note, report_path_from_args, verdict, Table};
 use adya_core::{classify, IsolationLevel};
 use adya_engine::{
     CertifyLevel, Engine, LockConfig, LockingEngine, MvccEngine, MvccMode, MvtoEngine, OccEngine,
     SgtEngine,
 };
+use adya_obs::json::JsonWriter;
+use adya_obs::Snapshot;
 use adya_workloads::{mixed_workload, run_deterministic, DriverConfig, MixedConfig};
 
 struct SchemeRun {
@@ -26,7 +28,10 @@ struct SchemeRun {
     level_ok: bool,
 }
 
-fn run_scheme(make: &dyn Fn() -> (Box<dyn Engine>, IsolationLevel), cfg: &MixedConfig) -> SchemeRun {
+fn run_scheme(
+    make: &dyn Fn() -> (Box<dyn Engine>, IsolationLevel),
+    cfg: &MixedConfig,
+) -> SchemeRun {
     let mut totals = SchemeRun {
         name: String::new(),
         committed: 0,
@@ -40,7 +45,13 @@ fn run_scheme(make: &dyn Fn() -> (Box<dyn Engine>, IsolationLevel), cfg: &MixedC
     for seed in 0..4u64 {
         let (engine, level) = make();
         totals.name = engine.name();
-        let (_, programs) = mixed_workload(engine.as_ref(), &MixedConfig { seed, ..cfg.clone() });
+        let (_, programs) = mixed_workload(
+            engine.as_ref(),
+            &MixedConfig {
+                seed,
+                ..cfg.clone()
+            },
+        );
         let n = programs.len();
         let start = Instant::now();
         let stats = run_deterministic(
@@ -67,8 +78,40 @@ fn run_scheme(make: &dyn Fn() -> (Box<dyn Engine>, IsolationLevel), cfg: &MixedC
 
 type EngineFactory = Box<dyn Fn() -> (Box<dyn Engine>, IsolationLevel)>;
 
+/// Writes the JSON metrics report: one entry per (contention, scheme)
+/// run with the driver totals and the engine/checker metrics recorded
+/// during that run.
+fn write_report(path: &str, runs: &[(String, SchemeRun, Snapshot)]) -> std::io::Result<()> {
+    let mut w = JsonWriter::new();
+    w.open_object(None);
+    w.str_field("report", "perf_sweep");
+    w.u64_field("runs_total", runs.len() as u64);
+    w.open_array(Some("runs"));
+    for (contention, r, snap) in runs {
+        w.open_object(None);
+        w.str_field("contention", contention);
+        w.str_field("scheme", &r.name);
+        w.u64_field("committed", r.committed as u64);
+        w.u64_field("attempts", r.attempts as u64);
+        w.u64_field("aborts", r.aborts as u64);
+        w.u64_field("blocked", r.blocked as u64);
+        w.u64_field("deadlocks", r.deadlocks as u64);
+        w.u64_field("micros", r.micros as u64);
+        w.bool_field("level_ok", r.level_ok);
+        snap.write_json(&mut w, Some("metrics"));
+        w.close_object();
+    }
+    w.close_array();
+    w.close_object();
+    let mut json = w.finish();
+    json.push('\n');
+    std::fs::write(path, json)
+}
+
 fn main() {
     banner("Performance sweep: locking vs optimistic vs multi-version");
+    let report_path = report_path_from_args();
+    let mut runs: Vec<(String, SchemeRun, Snapshot)> = Vec::new();
     let mut all_ok = true;
 
     let schemes: Vec<(&str, EngineFactory)> = vec![
@@ -83,7 +126,12 @@ fn main() {
         ),
         (
             "OCC",
-            Box::new(|| (Box::new(OccEngine::new()) as Box<dyn Engine>, IsolationLevel::PL3)),
+            Box::new(|| {
+                (
+                    Box::new(OccEngine::new()) as Box<dyn Engine>,
+                    IsolationLevel::PL3,
+                )
+            }),
         ),
         (
             "SGT-PL3",
@@ -140,7 +188,11 @@ fn main() {
             "history checks",
         ]);
         for (_, make) in &schemes {
+            // Reset the global registry so the snapshot after the run
+            // is this run's delta (metric handles survive the reset).
+            adya_obs::global().reset();
             let r = run_scheme(make.as_ref(), &cfg);
+            let snap = adya_obs::global().snapshot();
             all_ok &= r.level_ok;
             table.row(&[
                 r.name.clone(),
@@ -151,15 +203,25 @@ fn main() {
                 r.micros.to_string(),
                 if r.level_ok { "ok" } else { "LEVEL VIOLATED" }.to_string(),
             ]);
+            runs.push((contention.to_string(), r, snap));
         }
         println!("{}", table.render());
     }
-    println!(
+    note(
         "Expected shape (not absolute numbers): under low contention the optimistic \
          schemes commit everything without blocking while 2PL pays lock overhead; \
          under write hotspots validation/certification aborts rise for OCC/SGT while \
          2PL mostly blocks; MVCC-SI never blocks readers and aborts only on \
-         first-committer-wins conflicts."
+         first-committer-wins conflicts.",
     );
+    if let Some(path) = &report_path {
+        match write_report(path, &runs) {
+            Ok(()) => note(&format!("metrics report written to {path}")),
+            Err(e) => {
+                eprintln!("perf_sweep: cannot write report {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     verdict("perf_sweep", all_ok);
 }

@@ -22,7 +22,11 @@ fn main() {
     let n = 400usize;
     let mut all_ok = true;
 
-    for (dirty, label) in [(0.0, "clean reads"), (0.3, "30% dirty reads"), (0.6, "60% dirty reads")] {
+    for (dirty, label) in [
+        (0.0, "clean reads"),
+        (0.3, "30% dirty reads"),
+        (0.6, "60% dirty reads"),
+    ] {
         let cfg = HistGenConfig {
             txns: 6,
             objects: 4,

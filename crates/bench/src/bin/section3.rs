@@ -52,8 +52,14 @@ fn main() {
          ones admit them — 'the preventative approach is overly restrictive'."
     );
     let mut t2 = Table::new(&["claim", "holds"]);
-    t2.row(&["H1, H2 rejected by both", mark(rows[0] == (false, false) && rows[1] == (false, false))]);
-    t2.row(&["H1', H2' admitted by PL-3 only", mark(rows[2] == (false, true) && rows[3] == (false, true))]);
+    t2.row(&[
+        "H1, H2 rejected by both",
+        mark(rows[0] == (false, false) && rows[1] == (false, false)),
+    ]);
+    t2.row(&[
+        "H1', H2' admitted by PL-3 only",
+        mark(rows[2] == (false, true) && rows[3] == (false, true)),
+    ]);
     println!("{}", t2.render());
     verdict("section3", ok);
 }

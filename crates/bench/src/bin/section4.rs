@@ -20,11 +20,7 @@ fn main() {
     let h = paper::h_write_order();
     println!("H_write_order = {h}\n");
     let x = h.object_by_name("x").expect("x exists");
-    let before = h.version_precedes(
-        x,
-        VersionId::new(TxnId(2), 1),
-        VersionId::new(TxnId(1), 1),
-    );
+    let before = h.version_precedes(x, VersionId::new(TxnId(2), 1), VersionId::new(TxnId(1), 1));
     check(
         &mut table,
         "H_write_order",

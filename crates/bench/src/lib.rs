@@ -99,9 +99,29 @@ pub fn mark(b: bool) -> &'static str {
     }
 }
 
-/// Prints a section banner.
+/// Prints a section banner. Goes to stderr so the stdout of a report
+/// binary stays pure data (tables and verdicts) and can be piped or
+/// diffed.
 pub fn banner(title: &str) {
-    println!("\n=== {title} ===");
+    eprintln!("\n=== {title} ===");
+}
+
+/// Prints a progress/diagnostic note to stderr (same contract as
+/// [`banner`]: stdout is reserved for report data).
+pub fn note(msg: &str) {
+    eprintln!("{msg}");
+}
+
+/// Extracts `--report <path>` from the process arguments, if present.
+/// Report binaries that support it write a JSON metrics report there.
+pub fn report_path_from_args() -> Option<String> {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--report" {
+            return it.next();
+        }
+    }
+    None
 }
 
 /// Exit helper: prints the verdict and panics on failure so CI-style

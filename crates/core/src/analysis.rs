@@ -3,6 +3,7 @@
 use std::fmt;
 
 use adya_history::History;
+use adya_obs::Registry;
 
 use crate::dsg::Dsg;
 use crate::levels::{classify, LevelReport};
@@ -36,11 +37,48 @@ pub struct Analysis {
 /// assert!(a.mixing.is_correct());
 /// ```
 pub fn analyze(h: &History) -> Analysis {
+    analyze_in(h, adya_obs::global())
+}
+
+/// [`analyze`], recording per-phase timings, graph-shape stats and
+/// phenomenon hit counters into `reg`.
+///
+/// Metric names (all under the `checker.` prefix): phase latencies as
+/// histograms `checker.phase.{dsg_build,detect_all,classify,mixing,
+/// total}_ns`; graph shape as gauges `checker.dsg.{nodes,edges,sccs,
+/// max_scc}` and `checker.history.{txns,committed}`; one counter
+/// `checker.phenomena.<kind>` per detected phenomenon kind; plus a
+/// `checker.analyses` run counter.
+pub fn analyze_in(h: &History, reg: &Registry) -> Analysis {
+    let total = reg.span("checker.phase.total_ns");
+    let dsg = reg.time("checker.phase.dsg_build_ns", || Dsg::build(h));
+    let phenomena = reg.time("checker.phase.detect_all_ns", || detect_all(h));
+    let levels = reg.time("checker.phase.classify_ns", || classify(h));
+    let mixing = reg.time("checker.phase.mixing_ns", || check_mixing(h));
+    total.stop();
+
+    reg.counter("checker.analyses").inc();
+    let g = dsg.graph();
+    reg.gauge("checker.dsg.nodes").set(g.node_count() as i64);
+    reg.gauge("checker.dsg.edges").set(g.edge_count() as i64);
+    let sccs = g.sccs();
+    reg.gauge("checker.dsg.sccs").set(sccs.len() as i64);
+    let max_scc = sccs.iter().map(Vec::len).max().unwrap_or(0);
+    reg.gauge("checker.dsg.max_scc").set(max_scc as i64);
+    reg.gauge("checker.history.txns")
+        .set(h.txns().count() as i64);
+    reg.gauge("checker.history.committed")
+        .set(h.committed_txns().count() as i64);
+    for p in &phenomena {
+        reg.counter(&format!("checker.phenomena.{}", p.kind()))
+            .inc();
+    }
+
     Analysis {
-        dsg: Dsg::build(h),
-        phenomena: detect_all(h),
-        levels: classify(h),
-        mixing: check_mixing(h),
+        dsg,
+        phenomena,
+        levels,
+        mixing,
     }
 }
 

@@ -202,7 +202,13 @@ fn item_anti_dependencies(h: &History, out: &mut Vec<Conflict>) {
             if tj == ti {
                 continue;
             }
-            out.push(Conflict::item(ti, tj, DepKind::ItemAntiDep, read.object, next));
+            out.push(Conflict::item(
+                ti,
+                tj,
+                DepKind::ItemAntiDep,
+                read.object,
+                next,
+            ));
         }
     }
 }
@@ -212,11 +218,7 @@ fn item_anti_dependencies(h: &History, out: &mut Vec<Conflict>) {
 /// version when the read observed an intermediate version (a G1b
 /// situation, anchored at the writer's install), `None` when the
 /// writer never committed. Shared with the phenomenon detectors.
-pub(crate) fn order_anchor(
-    h: &History,
-    object: ObjectId,
-    version: VersionId,
-) -> Option<VersionId> {
+pub(crate) fn order_anchor(h: &History, object: ObjectId, version: VersionId) -> Option<VersionId> {
     if h.order_index(object, version).is_some() {
         return Some(version);
     }
@@ -252,14 +254,7 @@ fn predicate_dependencies(h: &History, out: &mut Vec<Conflict>) {
                 for &v in order[..=pos].iter().rev() {
                     if h.changes_matches(pid, obj, v) {
                         if !v.txn.is_init() && v.txn != tj {
-                            out.push(Conflict::pred(
-                                v.txn,
-                                tj,
-                                DepKind::PredReadDep,
-                                obj,
-                                v,
-                                pid,
-                            ));
+                            out.push(Conflict::pred(v.txn, tj, DepKind::PredReadDep, obj, v, pid));
                         }
                         break;
                     }
@@ -267,14 +262,7 @@ fn predicate_dependencies(h: &History, out: &mut Vec<Conflict>) {
                 // Anti-dependencies: every later change.
                 for &v in &order[pos + 1..] {
                     if h.changes_matches(pid, obj, v) && v.txn != tj {
-                        out.push(Conflict::pred(
-                            tj,
-                            v.txn,
-                            DepKind::PredAntiDep,
-                            obj,
-                            v,
-                            pid,
-                        ));
+                        out.push(Conflict::pred(tj, v.txn, DepKind::PredAntiDep, obj, v, pid));
                     }
                 }
             }
@@ -297,10 +285,8 @@ mod tests {
     #[test]
     fn ww_follows_version_order_not_commit_order() {
         // H_write_order: version order x2 << x1 although c1 < c2.
-        let h = parse_history(
-            "w1(x) w2(x) w2(y) c1 c2 r3(x1) w3(x) w4(y) a4 a3 [x2 << x1]",
-        )
-        .unwrap();
+        let h =
+            parse_history("w1(x) w2(x) w2(y) c1 c2 r3(x1) w3(x) w4(y) a4 a3 [x2 << x1]").unwrap();
         let cs = direct_conflicts(&h);
         assert_eq!(kinds_between(&cs, 2, 1), vec![DepKind::WriteDep]);
         assert!(kinds_between(&cs, 1, 2).is_empty());
@@ -377,9 +363,7 @@ mod tests {
         b.commit(t2);
         b.commit(t3);
         // Sales-matching: x0 and both y versions.
-        b.derive_matches(p, |v| {
-            matches!(v, Value::Str(s) if s.starts_with("Sales"))
-        });
+        b.derive_matches(p, |v| matches!(v, Value::Str(s) if s.starts_with("Sales")));
         let h = b.build().unwrap();
         let cs = direct_conflicts(&h);
         // T1 -wr(pred)-> T3 (T1 changed x out of Sales).

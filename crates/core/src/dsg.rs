@@ -103,20 +103,17 @@ impl Dsg {
         if order.len() != self.graph.node_count() {
             return false;
         }
-        let pos: std::collections::HashMap<TxnId, usize> = order
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, i))
-            .collect();
+        let pos: std::collections::HashMap<TxnId, usize> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         if pos.len() != order.len() {
             return false;
         }
-        self.graph.edges().all(|e| {
-            match (pos.get(e.from), pos.get(e.to)) {
+        self.graph
+            .edges()
+            .all(|e| match (pos.get(e.from), pos.get(e.to)) {
                 (Some(a), Some(b)) => a < b,
                 _ => false,
-            }
-        })
+            })
     }
 
     /// Graphviz DOT rendering (cf. Figures 3–5).
@@ -174,10 +171,8 @@ mod tests {
     #[test]
     fn figure4_wcycle() {
         // H_wcycle of §5.1 (Figure 4): pure write-dependency cycle.
-        let h = parse_history(
-            "w1(x,2) w2(x,5) w2(y,5) c2 w1(y,8) c1 [x1 << x2, y2 << y1]",
-        )
-        .unwrap();
+        let h =
+            parse_history("w1(x,2) w2(x,5) w2(y,5) c2 w1(y,8) c1 [x1 << x2, y2 << y1]").unwrap();
         let dsg = Dsg::build(&h);
         let cyc = dsg.write_cycle().expect("G0 cycle");
         assert_eq!(cyc.len(), 2);

@@ -42,7 +42,9 @@ pub fn check_running(h: &History, txn: TxnId, level: IsolationLevel) -> Option<L
 /// future operations only ever add conflicts, never remove them, so a
 /// violated check can never recover.)
 pub fn is_doomed(h: &History, txn: TxnId, level: IsolationLevel) -> bool {
-    check_running(h, txn, level).map(|c| !c.ok()).unwrap_or(false)
+    check_running(h, txn, level)
+        .map(|c| !c.ok())
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -76,7 +78,10 @@ mod tests {
     fn dirty_reader_of_aborted_writer_is_doomed_at_pl2() {
         let h = parse_history_completed("w1(x,1) r2(x1) a1").unwrap();
         let t2 = adya_history::TxnId(2);
-        assert!(is_doomed(&h, t2, IsolationLevel::PL2), "G1a is irreversible");
+        assert!(
+            is_doomed(&h, t2, IsolationLevel::PL2),
+            "G1a is irreversible"
+        );
         assert!(!is_doomed(&h, t2, IsolationLevel::PL1));
     }
 

@@ -116,11 +116,7 @@ impl IsolationLevel {
             // A G-monotonic USG cycle folds to a DSG cycle with at
             // most one anti edge: G1c (zero) or G-single (one). Every
             // level proscribing G-single here also proscribes G1c.
-            GMonotonic => {
-                set.contains(&GSingle)
-                    || set.contains(&G2)
-                    || set.contains(&GSIb)
-            }
+            GMonotonic => set.contains(&GSingle) || set.contains(&G2) || set.contains(&GSIb),
             _ => false,
         }
     }
@@ -180,9 +176,7 @@ fn detect(
     kind: PhenomenonKind,
 ) -> Option<Phenomenon> {
     use PhenomenonKind::*;
-    let mut need_ssg = || -> Ssg {
-        ssg.take().unwrap_or_else(|| Ssg::build(h, dsg))
-    };
+    let mut need_ssg = || -> Ssg { ssg.take().unwrap_or_else(|| Ssg::build(h, dsg)) };
     match kind {
         G0 => phenomena::g0(dsg),
         G1a => phenomena::g1a(h),
@@ -216,12 +210,7 @@ pub fn check_level(h: &History, level: IsolationLevel) -> LevelCheck {
     check_with(h, &dsg, &mut ssg, level)
 }
 
-fn check_with(
-    h: &History,
-    dsg: &Dsg,
-    ssg: &mut Option<Ssg>,
-    level: IsolationLevel,
-) -> LevelCheck {
+fn check_with(h: &History, dsg: &Dsg, ssg: &mut Option<Ssg>, level: IsolationLevel) -> LevelCheck {
     let violations = level
         .proscribes()
         .iter()
@@ -308,10 +297,8 @@ mod tests {
 
     #[test]
     fn wcycle_fails_even_pl1() {
-        let h = parse_history(
-            "w1(x,2) w2(x,5) w2(y,5) c2 w1(y,8) c1 [x1 << x2, y2 << y1]",
-        )
-        .unwrap();
+        let h =
+            parse_history("w1(x,2) w2(x,5) w2(y,5) c2 w1(y,8) c1 [x1 << x2, y2 << y1]").unwrap();
         let r = classify(&h);
         assert!(!r.satisfies(IsolationLevel::PL1));
         assert_eq!(r.strongest_ansi(), None);
@@ -330,10 +317,8 @@ mod tests {
     #[test]
     fn read_skew_is_pl2_not_pl3() {
         // H2 of §3: single anti-dependency cycle.
-        let h = parse_history(
-            "r2(xinit,5) r1(xinit,5) w1(x,1) r1(yinit,5) w1(y,9) c1 r2(y1,9) c2",
-        )
-        .unwrap();
+        let h = parse_history("r2(xinit,5) r1(xinit,5) w1(x,1) r1(yinit,5) w1(y,9) c1 r2(y1,9) c2")
+            .unwrap();
         let r = classify(&h);
         assert!(r.satisfies(IsolationLevel::PL2));
         assert!(!r.satisfies(IsolationLevel::PL2Plus), "G-single fires");

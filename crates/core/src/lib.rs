@@ -50,12 +50,12 @@ mod phenomena;
 mod ssg;
 pub mod usg;
 
-pub use analysis::{analyze, Analysis};
+pub use analysis::{analyze, analyze_in, Analysis};
 pub use conflicts::{direct_conflicts, Conflict, DepKind};
 pub use dsg::Dsg;
 pub use executing::{check_running, is_doomed};
 pub use levels::{check_level, classify, IsolationLevel, LevelCheck, LevelReport};
-pub use mixing::{check_mixing, Msg, MixingReport};
+pub use mixing::{check_mixing, MixingReport, Msg};
 pub use phenomena::{detect_all, g1a_where, g1b_where, Phenomenon, PhenomenonKind};
 pub use ssg::Ssg;
 

@@ -39,9 +39,7 @@ impl Msg {
         for c in direct_conflicts(h) {
             let relevant = match c.kind {
                 DepKind::WriteDep => true,
-                DepKind::ItemReadDep | DepKind::PredReadDep => {
-                    h.level(c.to) >= RequestedLevel::PL2
-                }
+                DepKind::ItemReadDep | DepKind::PredReadDep => h.level(c.to) >= RequestedLevel::PL2,
                 DepKind::ItemAntiDep => h.level(c.from) >= RequestedLevel::PL299,
                 DepKind::PredAntiDep => h.level(c.from) >= RequestedLevel::PL3,
                 DepKind::StartDep => false,

@@ -155,7 +155,11 @@ impl fmt::Display for Phenomenon {
             } => write!(
                 f,
                 "G1a: {reader} read {object}[{version}] of aborted {writer}{}",
-                if *via_predicate { " (via predicate)" } else { "" }
+                if *via_predicate {
+                    " (via predicate)"
+                } else {
+                    ""
+                }
             ),
             Phenomenon::G1b {
                 reader,
@@ -168,7 +172,11 @@ impl fmt::Display for Phenomenon {
                 f,
                 "G1b: {reader} read intermediate {object}[{version}] of {writer} \
                  (final is [{final_version}]){}",
-                if *via_predicate { " (via predicate)" } else { "" }
+                if *via_predicate {
+                    " (via predicate)"
+                } else {
+                    ""
+                }
             ),
             Phenomenon::G1c(c) => write!(f, "G1c: dependency cycle {c}"),
             Phenomenon::G2Item(c) => write!(f, "G2-item: item anti-dependency cycle {c}"),
@@ -511,10 +519,8 @@ mod tests {
     #[test]
     fn g2_on_h2_but_not_g1() {
         // H2 of §3: T2 observes violated invariant (read skew).
-        let h = parse_history(
-            "r2(xinit,5) r1(xinit,5) w1(x,1) r1(yinit,5) w1(y,9) c1 r2(y1,9) c2",
-        )
-        .unwrap();
+        let h = parse_history("r2(xinit,5) r1(xinit,5) w1(x,1) r1(yinit,5) w1(y,9) c1 r2(y1,9) c2")
+            .unwrap();
         let d = Dsg::build(&h);
         assert!(g2(&d).is_some());
         assert!(g_single(&d).is_some(), "exactly one anti edge here");
@@ -525,10 +531,8 @@ mod tests {
     #[test]
     fn g2_item_distinguished_from_predicate_g2() {
         // Pure item anti cycle: G2-item and G2 both fire.
-        let h = parse_history(
-            "r2(xinit,5) r1(xinit,5) w1(x,1) r1(yinit,5) w1(y,9) c1 r2(y1,9) c2",
-        )
-        .unwrap();
+        let h = parse_history("r2(xinit,5) r1(xinit,5) w1(x,1) r1(yinit,5) w1(y,9) c1 r2(y1,9) c2")
+            .unwrap();
         let d = Dsg::build(&h);
         assert!(g2_item(&d).is_some());
     }
@@ -551,10 +555,8 @@ mod tests {
 
     #[test]
     fn detect_all_collects_each_kind_once() {
-        let h = parse_history(
-            "r2(xinit,5) r1(xinit,5) w1(x,1) r1(yinit,5) w1(y,9) c1 r2(y1,9) c2",
-        )
-        .unwrap();
+        let h = parse_history("r2(xinit,5) r1(xinit,5) w1(x,1) r1(yinit,5) w1(y,9) c1 r2(y1,9) c2")
+            .unwrap();
         let found = detect_all(&h);
         let kinds: Vec<PhenomenonKind> = found.iter().map(Phenomenon::kind).collect();
         assert!(kinds.contains(&PhenomenonKind::G2));
@@ -583,7 +585,13 @@ mod tests {
         b.commit(t2);
         let h = b.build().unwrap();
         let ph = g1a(&h).expect("G1a via predicate");
-        assert!(matches!(ph, Phenomenon::G1a { via_predicate: true, .. }));
+        assert!(matches!(
+            ph,
+            Phenomenon::G1a {
+                via_predicate: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -602,7 +610,13 @@ mod tests {
         b.commit(t2);
         let h = b.build().unwrap();
         let ph = g1b(&h).expect("G1b via predicate");
-        assert!(matches!(ph, Phenomenon::G1b { via_predicate: true, .. }));
+        assert!(matches!(
+            ph,
+            Phenomenon::G1b {
+                via_predicate: true,
+                ..
+            }
+        ));
     }
 
     #[test]

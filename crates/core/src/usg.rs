@@ -91,7 +91,10 @@ fn g_monotonic_for(
         if e.txn() != ti {
             continue;
         }
-        let is_action = matches!(e, Event::Read(_) | Event::Write(_) | Event::PredicateRead(_));
+        let is_action = matches!(
+            e,
+            Event::Read(_) | Event::Write(_) | Event::PredicateRead(_)
+        );
         if !is_action {
             continue;
         }
@@ -133,7 +136,11 @@ fn g_monotonic_for(
     for c in conflicts.iter().cloned() {
         match (c.from == ti, c.to == ti) {
             (false, false) => {
-                g.add_edge_dedup(UsgNode::Txn(c.from), UsgNode::Txn(c.to), UsgEdge::Dep(c.kind));
+                g.add_edge_dedup(
+                    UsgNode::Txn(c.from),
+                    UsgNode::Txn(c.to),
+                    UsgEdge::Dep(c.kind),
+                );
             }
             (true, false) => {
                 // Edge out of ti: attach at the responsible action.
@@ -185,9 +192,7 @@ fn g_monotonic_for(
                         let ver = c.version.expect("read deps carry versions");
                         reads_at
                             .get(&(obj, ver))
-                            .map(|ixs| {
-                                ixs.iter().map(|&ix| UsgNode::Action(ti, ix)).collect()
-                            })
+                            .map(|ixs| ixs.iter().map(|&ix| UsgNode::Action(ti, ix)).collect())
                             .unwrap_or_default()
                     }
                     DepKind::PredReadDep => pred_reads
@@ -250,10 +255,8 @@ mod tests {
     fn non_monotonic_read_detected() {
         // T2 reads T1's new x, then the OLD y — it saw part of T1's
         // effects and then a pre-T1 state.
-        let h = parse_history(
-            "r1(xinit,5) w1(x,1) r1(yinit,5) w1(y,9) c1 r2(x1,1) r2(yinit,5) c2",
-        )
-        .unwrap();
+        let h = parse_history("r1(xinit,5) w1(x,1) r1(yinit,5) w1(y,9) c1 r2(x1,1) r2(yinit,5) c2")
+            .unwrap();
         let (t, cyc) = g_monotonic(&h).expect("G-monotonic");
         assert_eq!(t, adya_history::TxnId(2));
         assert_eq!(cyc.count_labels(|l| l == "rw*"), 1);
@@ -262,10 +265,8 @@ mod tests {
     #[test]
     fn other_order_is_monotonic() {
         // Old y first, then T1's new x: reads only ever move forward.
-        let h = parse_history(
-            "r1(xinit,5) w1(x,1) r1(yinit,5) w1(y,9) c1 r2(yinit,5) r2(x1,1) c2",
-        )
-        .unwrap();
+        let h = parse_history("r1(xinit,5) w1(x,1) r1(yinit,5) w1(y,9) c1 r2(yinit,5) r2(x1,1) c2")
+            .unwrap();
         assert!(g_monotonic(&h).is_none(), "H1-style history is MAV");
     }
 
@@ -277,10 +278,9 @@ mod tests {
 
     #[test]
     fn write_skew_is_monotonic() {
-        let h = parse_history(
-            "r1(xinit,5) r1(yinit,5) r2(xinit,5) r2(yinit,5) w1(x,1) w2(y,1) c1 c2",
-        )
-        .unwrap();
+        let h =
+            parse_history("r1(xinit,5) r1(yinit,5) r2(xinit,5) r2(yinit,5) w1(x,1) w2(y,1) c1 c2")
+                .unwrap();
         assert!(g_monotonic(&h).is_none(), "write skew reads a snapshot");
     }
 }

@@ -64,6 +64,21 @@ impl LockTable {
         key: Key,
         mode: LockMode,
     ) -> LockRequest {
+        let out = self.try_item_inner(txn, table, key, mode);
+        match &out {
+            Ok(()) => adya_obs::counter!("engine.lock.granted").inc(),
+            Err(_) => adya_obs::counter!("engine.lock.conflict").inc(),
+        }
+        out
+    }
+
+    fn try_item_inner(
+        &mut self,
+        txn: TxnId,
+        table: TableId,
+        key: Key,
+        mode: LockMode,
+    ) -> LockRequest {
         let entry = self.items.entry((table, key)).or_default();
         match mode {
             LockMode::Shared => {
@@ -83,8 +98,12 @@ impl LockTable {
                     }
                     return Ok(());
                 }
-                let others: Vec<TxnId> =
-                    entry.sharers.iter().copied().filter(|&s| s != txn).collect();
+                let others: Vec<TxnId> = entry
+                    .sharers
+                    .iter()
+                    .copied()
+                    .filter(|&s| s != txn)
+                    .collect();
                 if !others.is_empty() {
                     return Err(others);
                 }

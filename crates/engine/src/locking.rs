@@ -209,7 +209,12 @@ impl LockingEngine {
         // plain read may share the same S claim and releasing it would
         // silently revoke repeatable-read protection.
         let config = inner.txns[&txn].config;
-        let prev = inner.txns.get_mut(&txn).expect("active").cursor.replace((table, key));
+        let prev = inner
+            .txns
+            .get_mut(&txn)
+            .expect("active")
+            .cursor
+            .replace((table, key));
         if let Some((pt, pk)) = prev {
             if (pt, pk) != (table, key) && config.item_read != LockDuration::Long {
                 inner.locks.release_shared(txn, pt, pk);
@@ -218,7 +223,13 @@ impl LockingEngine {
         let out = inner.store.chain_index(table, key).and_then(|ix| {
             Self::selected(&inner, txn, ix, false)
                 .filter(|v| !v.is_dead())
-                .map(|v| (inner.store.chains[ix].object, v.version_id(), v.value.clone()))
+                .map(|v| {
+                    (
+                        inner.store.chains[ix].object,
+                        v.version_id(),
+                        v.value.clone(),
+                    )
+                })
         });
         match out {
             Some((obj, vid, Some(value))) => {
@@ -290,13 +301,7 @@ impl LockingEngine {
     }
 
     /// Common write/delete path. `value: None` deletes.
-    fn do_write(
-        &self,
-        txn: TxnId,
-        table: TableId,
-        key: Key,
-        value: Option<Value>,
-    ) -> OpResult<()> {
+    fn do_write(&self, txn: TxnId, table: TableId, key: Key, value: Option<Value>) -> OpResult<()> {
         let mut inner = self.inner.lock();
         Self::check_active(&inner, txn)?;
         self.ensure_table(&mut inner, table);
@@ -403,13 +408,10 @@ impl Engine for LockingEngine {
                 return Err(EngineError::Blocked { holders });
             }
         }
-        let result = inner
-            .store
-            .chain_index(table, key)
-            .and_then(|ix| {
-                let dirty_ok = config.item_read == LockDuration::None;
-                Self::selected(&inner, txn, ix, dirty_ok).map(|v| (ix, v.version_id(), v.value.clone()))
-            });
+        let result = inner.store.chain_index(table, key).and_then(|ix| {
+            let dirty_ok = config.item_read == LockDuration::None;
+            Self::selected(&inner, txn, ix, dirty_ok).map(|v| (ix, v.version_id(), v.value.clone()))
+        });
         let out = match result {
             Some((chain_ix, vid, Some(value))) => {
                 let obj = inner.store.chains[chain_ix].object;
@@ -779,7 +781,7 @@ mod cursor_tests {
     /// an update; the history still satisfies PL-2 (and trivially
     /// PL-CS, which only guards cursor accesses) but not PL-3.
     #[test]
-    fn plain_rc_reads_lose_updates()  {
+    fn plain_rc_reads_lose_updates() {
         let e = LockingEngine::new(LockConfig::read_committed());
         let tbl = e.catalog().table("counter");
         let t0 = e.begin();
@@ -822,7 +824,7 @@ mod cursor_tests {
         e.read(t1, tbl, Key(1)).unwrap(); // long S
         e.cursor_read(t1, tbl, Key(1)).unwrap(); // same row
         e.cursor_read(t1, tbl, Key(2)).unwrap(); // cursor moves away
-        // Key 1 must still be read-locked against writers.
+                                                 // Key 1 must still be read-locked against writers.
         let t2 = e.begin();
         assert!(matches!(
             e.write(t2, tbl, Key(1), Value::Int(9)),

@@ -226,10 +226,8 @@ impl Engine for MvccEngine {
         }
         // Overlay own buffered writes.
         let state = &inner.txns[&txn];
-        let mut result: Vec<(Key, Value)> = matches
-            .iter()
-            .map(|(k, _, _, v)| (*k, v.clone()))
-            .collect();
+        let mut result: Vec<(Key, Value)> =
+            matches.iter().map(|(k, _, _, v)| (*k, v.clone())).collect();
         for (t, k, v) in &state.writes {
             if *t != table {
                 continue;
@@ -266,6 +264,7 @@ impl Engine for MvccEngine {
                 })
             });
             if conflict {
+                adya_obs::counter!("engine.mvcc.fcw_abort").inc();
                 inner.txns.get_mut(&txn).expect("active").status = TxnStatus::Aborted;
                 self.recorder.abort(txn);
                 return Err(EngineError::Aborted(AbortReason::WriteConflict));
@@ -313,6 +312,8 @@ impl Engine for MvccEngine {
             };
             inner.store.chains[chain_ix].push(txn, vid.seq, value);
             inner.store.chains[chain_ix].commit_writer(txn, stamp);
+            adya_obs::histogram!("engine.mvcc.chain_len")
+                .record(inner.store.chains[chain_ix].versions.len() as u64);
         }
         inner.txns.get_mut(&txn).expect("active").status = TxnStatus::Committed;
         self.recorder.commit(txn);

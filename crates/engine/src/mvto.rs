@@ -190,18 +190,15 @@ impl MvtoEngine {
         self.recorder.abort(txn);
         // Cascade dirty readers.
         for r in readers {
+            if inner.txns.get(&r).map(|s| s.status) == Some(TxnStatus::Active) {
+                adya_obs::counter!("engine.mvto.cascade_abort").inc();
+            }
             self.do_abort(inner, r);
         }
     }
 
     /// Common write/delete path.
-    fn do_write(
-        &self,
-        txn: TxnId,
-        table: TableId,
-        key: Key,
-        value: Option<Value>,
-    ) -> OpResult<()> {
+    fn do_write(&self, txn: TxnId, table: TableId, key: Key, value: Option<Value>) -> OpResult<()> {
         let mut inner = self.inner.lock();
         let ts = Self::check_active(&inner, txn)?;
         self.ensure_table(&mut inner, table);
@@ -211,6 +208,7 @@ impl MvtoEngine {
         if let Some(chain) = inner.chains.get(&(table, key)) {
             if let Some(prev) = chain.visible_at(ts) {
                 if prev.writer != txn && prev.rts > ts {
+                    adya_obs::counter!("engine.mvto.too_late_abort").inc();
                     self.do_abort(&mut inner, txn);
                     return Err(EngineError::Aborted(AbortReason::ValidationFailed));
                 }
@@ -237,6 +235,7 @@ impl MvtoEngine {
                 .map(|c| c.versions.iter().any(|v| v.wts > ts && v.writer != txn))
                 .unwrap_or(false);
             if younger_exists {
+                adya_obs::counter!("engine.mvto.too_late_abort").inc();
                 self.do_abort(&mut inner, txn);
                 return Err(EngineError::Aborted(AbortReason::ValidationFailed));
             }
@@ -253,6 +252,7 @@ impl MvtoEngine {
             // the row's unborn version, so an older insert would be a
             // phantom behind its back — too late.
             if inner.table_read_ts.get(&table).copied().unwrap_or(0) > ts {
+                adya_obs::counter!("engine.mvto.too_late_abort").inc();
                 self.do_abort(&mut inner, txn);
                 return Err(EngineError::Aborted(AbortReason::ValidationFailed));
             }
@@ -278,6 +278,7 @@ impl MvtoEngine {
             // Includes the transaction's own delete: re-insertion is a
             // distinct object in the model, and a fresh incarnation
             // has no well-defined slot in timestamp order.
+            adya_obs::counter!("engine.mvto.too_late_abort").inc();
             self.do_abort(&mut inner, txn);
             return Err(EngineError::Aborted(AbortReason::ValidationFailed));
         }
@@ -309,11 +310,7 @@ impl MvtoEngine {
             }
         }
         let chain = inner.chains.get_mut(&(table, key)).expect("present");
-        if let Some(own) = chain
-            .versions
-            .iter_mut()
-            .find(|v| v.writer == txn)
-        {
+        if let Some(own) = chain.versions.iter_mut().find(|v| v.writer == txn) {
             own.seq = vid.seq;
             own.value = value;
         } else {
@@ -326,6 +323,7 @@ impl MvtoEngine {
                 committed: false,
             });
         }
+        adya_obs::histogram!("engine.mvto.chain_len").record(chain.versions.len() as u64);
         inner
             .txns
             .get_mut(&txn)
@@ -479,8 +477,7 @@ impl Engine for MvtoEngine {
             holders.sort_unstable();
             return Err(EngineError::Blocked { holders });
         }
-        let written: Vec<(TableId, Key)> =
-            inner.txns[&txn].written.iter().copied().collect();
+        let written: Vec<(TableId, Key)> = inner.txns[&txn].written.iter().copied().collect();
         for key in written {
             if let Some(chain) = inner.chains.get_mut(&key) {
                 for v in &mut chain.versions {
@@ -542,11 +539,7 @@ mod tests {
         let x = h.object_by_name("table0#1").unwrap();
         // Version order is timestamp order: x1 << x2 — even though
         // commit order was T2 then T1.
-        assert!(h.version_precedes(
-            x,
-            VersionId::new(t1, 1),
-            VersionId::new(t2, 1)
-        ));
+        assert!(h.version_precedes(x, VersionId::new(t1, 1), VersionId::new(t2, 1)));
         let c1 = h.txn(t1).unwrap().end_event;
         let c2 = h.txn(t2).unwrap().end_event;
         assert!(c2 < c1, "commit order really was reversed");
@@ -561,7 +554,7 @@ mod tests {
         e.commit(t0).unwrap();
         let t1 = e.begin(); // ts 2
         let t2 = e.begin(); // ts 3
-        // Younger T2 reads the version T1 would supersede.
+                            // Younger T2 reads the version T1 would supersede.
         assert_eq!(e.read(t2, tbl, Key(1)).unwrap(), Some(Value::Int(0)));
         // T1's write is now too late.
         assert!(matches!(

@@ -95,9 +95,7 @@ impl OccEngine {
             None => Err(EngineError::UnknownTxn),
             Some(s) => match s.status {
                 TxnStatus::Active => Ok(()),
-                TxnStatus::Aborted => {
-                    Err(EngineError::Aborted(AbortReason::ValidationFailed))
-                }
+                TxnStatus::Aborted => Err(EngineError::Aborted(AbortReason::ValidationFailed)),
                 TxnStatus::Committed => Err(EngineError::UnknownTxn),
             },
         }
@@ -163,15 +161,12 @@ impl Engine for OccEngine {
             .expect("active")
             .read_keys
             .insert((table, key));
-        let selected = inner
-            .store
-            .chain_index(table, key)
-            .and_then(|ix| {
-                let chain = &inner.store.chains[ix];
-                chain
-                    .committed_tip()
-                    .map(|v| (chain.object, v.version_id(), v.value.clone()))
-            });
+        let selected = inner.store.chain_index(table, key).and_then(|ix| {
+            let chain = &inner.store.chains[ix];
+            chain
+                .committed_tip()
+                .map(|v| (chain.object, v.version_id(), v.value.clone()))
+        });
         match selected {
             Some((obj, vid, Some(value))) => {
                 self.recorder.read(txn, obj, vid);
@@ -230,10 +225,8 @@ impl Engine for OccEngine {
         // Overlay the transaction's own buffered writes on the result
         // (read-your-own-writes for predicate queries).
         let state = inner.txns.get_mut(&txn).expect("active");
-        let mut result: Vec<(Key, Value)> = matches
-            .iter()
-            .map(|(k, _, _, v)| (*k, v.clone()))
-            .collect();
+        let mut result: Vec<(Key, Value)> =
+            matches.iter().map(|(k, _, _, v)| (*k, v.clone())).collect();
         for (t, k, v) in &state.writes {
             if *t != table {
                 continue;
@@ -292,6 +285,7 @@ impl Engine for OccEngine {
             }
         }
         if conflict {
+            adya_obs::counter!("engine.occ.validation_failed").inc();
             self.do_abort(&mut inner, txn, AbortReason::ValidationFailed);
             return Err(EngineError::Aborted(AbortReason::ValidationFailed));
         }

@@ -27,6 +27,9 @@ struct Rec {
     pred_of: HashMap<usize, PredicateId>,
     /// Explicit version orders to apply at finalize.
     orders: Vec<(ObjectId, Vec<VersionId>)>,
+    /// Set by [`Recorder::finalize`]; a second finalize would build
+    /// from a drained builder and silently return an empty history.
+    finalized: bool,
 }
 
 /// Thread-safe history recorder shared by an engine's operations.
@@ -100,18 +103,16 @@ impl Recorder {
     /// Records a cursor read of an explicit version (Cursor
     /// Stability).
     pub fn cursor_read(&self, txn: TxnId, object: ObjectId, version: VersionId) {
-        self.inner.lock().b.cursor_read_version(txn, object, version);
+        self.inner
+            .lock()
+            .b
+            .cursor_read_version(txn, object, version);
     }
 
     /// Records a predicate read with its version set, registering the
     /// predicate (and scheduling its match-table derivation) on first
     /// use.
-    pub fn predicate_read(
-        &self,
-        txn: TxnId,
-        pred: &TablePred,
-        vset: Vec<(ObjectId, VersionId)>,
-    ) {
+    pub fn predicate_read(&self, txn: TxnId, pred: &TablePred, vset: Vec<(ObjectId, VersionId)>) {
         let mut r = self.inner.lock();
         let key = Arc::as_ptr(&pred.test) as *const () as usize;
         let pid = match r.pred_of.get(&key) {
@@ -133,11 +134,13 @@ impl Recorder {
 
     /// Records a commit.
     pub fn commit(&self, txn: TxnId) {
+        adya_obs::counter!("engine.commit").inc();
         self.inner.lock().b.commit(txn);
     }
 
     /// Records an abort.
     pub fn abort(&self, txn: TxnId) {
+        adya_obs::counter!("engine.abort").inc();
         self.inner.lock().b.abort(txn);
     }
 
@@ -153,9 +156,17 @@ impl Recorder {
     ///
     /// Panics if the recorded event stream violates the model's
     /// well-formedness rules — that would be an engine bug, and the
-    /// whole point of the recorder is to make such bugs loud.
+    /// whole point of the recorder is to make such bugs loud. Also
+    /// panics on a second call: finalize drains the builder, so a
+    /// repeat would silently yield an empty history.
     pub fn finalize(&self) -> History {
         let mut r = self.inner.lock();
+        assert!(
+            !r.finalized,
+            "Recorder::finalize called twice; it drains the builder, \
+             so a second history would be silently empty"
+        );
+        r.finalized = true;
         let orders = std::mem::take(&mut r.orders);
         // Rebuild the builder by value to call the consuming build.
         let mut b = std::mem::take(&mut r.b);
@@ -219,6 +230,21 @@ mod tests {
         assert_eq!(h.predicates().count(), 1);
         let (pid, _) = h.predicates().next().unwrap();
         assert!(h.matches(pid, obj, v), "match table derived from closure");
+    }
+
+    #[test]
+    #[should_panic(expected = "finalize called twice")]
+    fn double_finalize_panics_instead_of_returning_empty() {
+        let rec = Recorder::new();
+        let table = TableId(0);
+        rec.register_table(table, "acct");
+        let obj = rec.register_object(table, Key(1), 0);
+        let t1 = rec.begin_txn();
+        rec.write(t1, obj, Value::Int(5));
+        rec.commit(t1);
+        let h = rec.finalize();
+        assert_eq!(h.committed_txns().count(), 1);
+        let _ = rec.finalize(); // must panic, not hand back an empty history
     }
 
     #[test]

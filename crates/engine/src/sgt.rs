@@ -151,8 +151,7 @@ impl SgtEngine {
             CertifyLevel::PL2 => *k != Dep::Rw,
             CertifyLevel::PL3 => true,
         };
-        let alive =
-            |t: &TxnId| inner.txns.get(t).map(|s| s.status) != Some(TxnStatus::Aborted);
+        let alive = |t: &TxnId| inner.txns.get(t).map(|s| s.status) != Some(TxnStatus::Aborted);
         if !alive(&txn) {
             return false;
         }
@@ -247,9 +246,7 @@ impl SgtEngine {
                 .get(&chain_ix)
                 .map(|v| {
                     v.iter()
-                        .filter(|&&(r, vid)| {
-                            r != txn && vid.txn == txn && vid.seq < new_seq
-                        })
+                        .filter(|&&(r, vid)| r != txn && vid.txn == txn && vid.seq < new_seq)
                         .map(|&(r, _)| r)
                         .collect()
                 })
@@ -275,6 +272,7 @@ impl SgtEngine {
 
     fn certify(&self, inner: &mut Inner, txn: TxnId) -> OpResult<()> {
         if Self::on_proscribed_cycle(inner, txn, self.level) {
+            adya_obs::counter!("engine.sgt.cycle_abort").inc();
             self.do_abort(inner, txn);
             return Err(EngineError::Aborted(AbortReason::CycleDetected));
         }
@@ -468,10 +466,7 @@ impl Engine for SgtEngine {
             }
         }
         self.certify(&mut inner, txn)?;
-        Ok(matches
-            .into_iter()
-            .map(|(k, _, _, v)| (k, v))
-            .collect())
+        Ok(matches.into_iter().map(|(k, _, _, v)| (k, v)).collect())
     }
 
     fn commit(&self, txn: TxnId) -> OpResult<()> {
@@ -490,6 +485,7 @@ impl Engine for SgtEngine {
                 }
             }
             if cascade {
+                adya_obs::counter!("engine.sgt.cascade_abort").inc();
                 self.do_abort(&mut inner, txn);
                 return Err(EngineError::Aborted(AbortReason::CascadedAbort));
             }
@@ -500,6 +496,7 @@ impl Engine for SgtEngine {
         }
         // Final certification.
         if Self::on_proscribed_cycle(&inner, txn, self.level) {
+            adya_obs::counter!("engine.sgt.cycle_abort").inc();
             self.do_abort(&mut inner, txn);
             return Err(EngineError::Aborted(AbortReason::CycleDetected));
         }

@@ -176,10 +176,7 @@ impl Store {
 
     /// All chain indices of `table` (every incarnation).
     pub fn table_chains(&self, table: TableId) -> &[usize] {
-        self.by_table
-            .get(&table)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_table.get(&table).map(Vec::as_slice).unwrap_or(&[])
     }
 }
 
@@ -237,10 +234,7 @@ mod tests {
         let order = c.committed_order();
         assert_eq!(
             order,
-            vec![
-                VersionId::new(TxnId(1), 2),
-                VersionId::new(TxnId(2), 1)
-            ]
+            vec![VersionId::new(TxnId(1), 2), VersionId::new(TxnId(2), 1)]
         );
     }
 
@@ -263,5 +257,4 @@ mod tests {
         assert_eq!(s.chains[cur].object, ObjectId(1));
         assert_eq!(s.table_chains(TableId(0)), &[a, b]);
     }
-
 }

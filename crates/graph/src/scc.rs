@@ -106,12 +106,8 @@ impl TarjanState {
         }
     }
 
-    fn run<N, E>(
-        &mut self,
-        g: &DiGraph<N, E>,
-        root: NodeIdx,
-        edge_ok: &mut impl FnMut(&E) -> bool,
-    ) where
+    fn run<N, E>(&mut self, g: &DiGraph<N, E>, root: NodeIdx, edge_ok: &mut impl FnMut(&E) -> bool)
+    where
         N: Eq + Hash + Clone,
     {
         let mut work = vec![Frame::Enter(root)];

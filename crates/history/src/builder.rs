@@ -143,11 +143,7 @@ impl HistoryBuilder {
     /// Registers a predicate ranging over `relations`. Its match table
     /// starts empty; fill it with [`HistoryBuilder::set_match`] or
     /// [`HistoryBuilder::derive_matches`].
-    pub fn predicate(
-        &mut self,
-        name: impl Into<String>,
-        relations: &[RelationId],
-    ) -> PredicateId {
+    pub fn predicate(&mut self, name: impl Into<String>, relations: &[RelationId]) -> PredicateId {
         let id = PredicateId(self.next_predicate);
         self.next_predicate += 1;
         self.parts.predicates.insert(
@@ -300,22 +296,21 @@ impl HistoryBuilder {
         predicate: PredicateId,
         vset: &[(ObjectId, TxnId)],
     ) {
-        let resolved: Vec<(ObjectId, VersionId)> = vset
-            .iter()
-            .map(|&(obj, writer)| {
-                let v = if writer.is_init() {
-                    VersionId::INIT
-                } else {
-                    let seq = self
-                        .seqs
-                        .get(&(writer, obj))
-                        .copied()
-                        .unwrap_or_else(|| panic!("{writer} has not written this object yet"));
-                    VersionId::new(writer, seq)
-                };
-                (obj, v)
-            })
-            .collect();
+        let resolved: Vec<(ObjectId, VersionId)> =
+            vset.iter()
+                .map(|&(obj, writer)| {
+                    let v = if writer.is_init() {
+                        VersionId::INIT
+                    } else {
+                        let seq =
+                            self.seqs.get(&(writer, obj)).copied().unwrap_or_else(|| {
+                                panic!("{writer} has not written this object yet")
+                            });
+                        VersionId::new(writer, seq)
+                    };
+                    (obj, v)
+                })
+                .collect();
         self.predicate_read_versions(txn, predicate, resolved);
     }
 
@@ -538,10 +533,7 @@ mod tests {
         b.read(t1, x, t2);
         b.commit(t1);
         b.commit(t2);
-        assert!(matches!(
-            b.build(),
-            Err(HistoryError::ReadOwnStale { .. })
-        ));
+        assert!(matches!(b.build(), Err(HistoryError::ReadOwnStale { .. })));
     }
 
     #[test]
@@ -577,10 +569,7 @@ mod tests {
         b.read_init(t1, x);
         b.commit(t1);
         let h = b.build().unwrap();
-        assert_eq!(
-            h.version_value(x, VersionId::INIT),
-            Some(&Value::Int(5))
-        );
+        assert_eq!(h.version_value(x, VersionId::INIT), Some(&Value::Int(5)));
     }
 
     #[test]
@@ -746,10 +735,7 @@ mod tests {
         let x = b.object("x");
         b.commit(t1);
         b.write(t1, x, Value::Int(1));
-        assert!(matches!(
-            b.build(),
-            Err(HistoryError::EventAfterEnd { .. })
-        ));
+        assert!(matches!(b.build(), Err(HistoryError::EventAfterEnd { .. })));
     }
 
     #[test]
@@ -772,10 +758,7 @@ mod tests {
         b.write(t1, x, Value::Int(1));
         b.begin(t1);
         b.commit(t1);
-        assert!(matches!(
-            b.build(),
-            Err(HistoryError::BeginNotFirst { .. })
-        ));
+        assert!(matches!(b.build(), Err(HistoryError::BeginNotFirst { .. })));
     }
 
     #[test]

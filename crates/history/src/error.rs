@@ -92,14 +92,26 @@ pub enum HistoryError {
     /// A version order does not start with the initial version.
     VersionOrderMissingInit { object: ObjectId },
     /// A version appears twice in one version order.
-    VersionOrderDuplicate { object: ObjectId, version: VersionId },
+    VersionOrderDuplicate {
+        object: ObjectId,
+        version: VersionId,
+    },
     /// A version order lists a version that was never written.
-    VersionOrderUnknownVersion { object: ObjectId, version: VersionId },
+    VersionOrderUnknownVersion {
+        object: ObjectId,
+        version: VersionId,
+    },
     /// Version orders contain committed versions only.
-    VersionOrderNotCommitted { object: ObjectId, version: VersionId },
+    VersionOrderNotCommitted {
+        object: ObjectId,
+        version: VersionId,
+    },
     /// Version orders contain only *final* versions `x_i`, never
     /// intermediate `x_{i:m}` ones.
-    VersionOrderNotFinal { object: ObjectId, version: VersionId },
+    VersionOrderNotFinal {
+        object: ObjectId,
+        version: VersionId,
+    },
     /// A committed transaction wrote the object but is missing from its
     /// version order.
     VersionOrderMissingWriter { object: ObjectId, txn: TxnId },
@@ -126,7 +138,10 @@ impl fmt::Display for HistoryError {
         use HistoryError::*;
         match self {
             InitTxnEvent { index } => {
-                write!(f, "event #{index}: Tinit may not appear as an explicit event")
+                write!(
+                    f,
+                    "event #{index}: Tinit may not appear as an explicit event"
+                )
             }
             EventAfterEnd { txn, index } => {
                 write!(f, "event #{index}: {txn} already committed or aborted")
@@ -177,18 +192,14 @@ impl fmt::Display for HistoryError {
                 txn,
                 object,
                 version,
-            } => write!(
-                f,
-                "{txn} reads non-visible version {object}[{version}]"
-            ),
+            } => write!(f, "{txn} reads non-visible version {object}[{version}]"),
             VsetObjectOutsidePredicate { predicate, object } => write!(
                 f,
                 "version set of {predicate} selects {object} outside its relations"
             ),
-            VsetDuplicateObject { predicate, object } => write!(
-                f,
-                "version set of {predicate} selects {object} twice"
-            ),
+            VsetDuplicateObject { predicate, object } => {
+                write!(f, "version set of {predicate} selects {object} twice")
+            }
             VsetUnknownVersion {
                 predicate,
                 object,
@@ -201,13 +212,19 @@ impl fmt::Display for HistoryError {
                 write!(f, "version order given for unregistered object {object}")
             }
             VersionOrderMissingInit { object } => {
-                write!(f, "version order of {object} must start with the init version")
+                write!(
+                    f,
+                    "version order of {object} must start with the init version"
+                )
             }
             VersionOrderDuplicate { object, version } => {
                 write!(f, "version order of {object} lists [{version}] twice")
             }
             VersionOrderUnknownVersion { object, version } => {
-                write!(f, "version order of {object} lists unknown version [{version}]")
+                write!(
+                    f,
+                    "version order of {object} lists unknown version [{version}]"
+                )
             }
             VersionOrderNotCommitted { object, version } => write!(
                 f,
@@ -222,7 +239,10 @@ impl fmt::Display for HistoryError {
                 "version order of {object} is missing committed writer {txn}"
             ),
             DeadNotLast { object } => {
-                write!(f, "dead version of {object} is not last in its version order")
+                write!(
+                    f,
+                    "dead version of {object} is not last in its version order"
+                )
             }
             MultipleDead { object } => {
                 write!(f, "{object} has more than one committed dead version")

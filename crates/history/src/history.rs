@@ -161,9 +161,7 @@ impl History {
         if txn.is_init() {
             return true;
         }
-        self.txns
-            .get(&txn)
-            .is_some_and(|i| i.status.is_committed())
+        self.txns.get(&txn).is_some_and(|i| i.status.is_committed())
     }
 
     /// The requested isolation level of `txn` (PL-3 for `Tinit`).
@@ -259,8 +257,7 @@ impl History {
     /// The committed version immediately preceding `version`.
     pub fn prev_version(&self, object: ObjectId, version: VersionId) -> Option<VersionId> {
         let ix = self.order_index(object, version)?;
-        ix.checked_sub(1)
-            .map(|p| self.version_order(object)[p])
+        ix.checked_sub(1).map(|p| self.version_order(object)[p])
     }
 
     /// The last write sequence number of `txn` on `object`, if it ever
@@ -394,7 +391,11 @@ impl History {
     pub fn to_notation(&self) -> Option<String> {
         use std::fmt::Write as _;
         // Only item events are expressible.
-        if self.events.iter().any(|e| matches!(e, Event::PredicateRead(_))) {
+        if self
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::PredicateRead(_)))
+        {
             return None;
         }
         // Object names must be identifier-ish and digit-free at the
@@ -495,9 +496,10 @@ impl History {
             parts.levels.insert(*t, info.level);
         }
         for (obj, order) in &self.version_orders {
-            parts
-                .version_orders
-                .insert(*obj, order.iter().copied().filter(|v| !v.is_init()).collect());
+            parts.version_orders.insert(
+                *obj,
+                order.iter().copied().filter(|v| !v.is_init()).collect(),
+            );
         }
         parts
     }
@@ -611,10 +613,7 @@ impl fmt::Display for History {
                 write!(f, ", ")?;
             }
             let name = self.object_name(*obj);
-            let chain: Vec<String> = order
-                .iter()
-                .map(|v| format!("{name}[{v}]"))
-                .collect();
+            let chain: Vec<String> = order.iter().map(|v| format!("{name}[{v}]")).collect();
             write!(f, "{}", chain.join(" << "))?;
         }
         if shown_any {
@@ -720,7 +719,10 @@ mod validate {
                     }
                     let st = write_state.entry((txn, w.object)).or_default();
                     if st.dead {
-                        return Err(HistoryError::WriteAfterDead { txn, object: w.object });
+                        return Err(HistoryError::WriteAfterDead {
+                            txn,
+                            object: w.object,
+                        });
                     }
                     if w.seq != st.last_seq + 1 {
                         return Err(HistoryError::NonContiguousWriteSeq {

@@ -157,9 +157,7 @@ impl Parser {
                 match self.b.last_seq(w, obj) {
                     Some(seq) => order.push(VersionId::new(w, seq)),
                     None => {
-                        return Err(ParseError::UnknownWriter(format!(
-                            "{w} never wrote {name}"
-                        )))
+                        return Err(ParseError::UnknownWriter(format!("{w} never wrote {name}")))
                     }
                 }
             }
@@ -199,9 +197,10 @@ impl Parser {
                 .map_err(|_| ParseError::UnexpectedToken(token.to_string()))?;
             let rel = self.b.default_relation();
             let pid = self.b.predicate(format!("{name}:{lo}..={hi}"), &[rel]);
-            self.b.derive_matches(pid, move |v| {
-                matches!(v, Value::Int(i) if (lo..=hi).contains(i))
-            });
+            self.b.derive_matches(
+                pid,
+                move |v| matches!(v, Value::Int(i) if (lo..=hi).contains(i)),
+            );
             self.preds.insert(name.to_string(), (pid, lo, hi));
             return Ok(());
         }
@@ -314,10 +313,9 @@ impl Parser {
                 // Preload with the value of an init read when given, so
                 // `r2(xinit,5)` round-trips the paper's notation.
                 let preload = match (version, value) {
-                    (VersionRef::Init, Some(v)) => v
-                        .parse::<i64>()
-                        .map(Value::Int)
-                        .unwrap_or(Value::Int(0)),
+                    (VersionRef::Init, Some(v)) => {
+                        v.parse::<i64>().map(Value::Int).unwrap_or(Value::Int(0))
+                    }
                     _ => Value::Int(0),
                 };
                 let obj = self.object(name, preload);
@@ -439,26 +437,19 @@ mod tests {
     #[test]
     fn parses_h1_prime() {
         // H1' of §3.
-        let h = parse_history(
-            "r1(xinit,5) w1(x,1) r1(yinit,5) w1(y,9) r2(x1,1) r2(y1,9) c1 c2",
-        )
-        .unwrap();
+        let h = parse_history("r1(xinit,5) w1(x,1) r1(yinit,5) w1(y,9) r2(x1,1) r2(y1,9) c1 c2")
+            .unwrap();
         assert_eq!(h.committed_txns().count(), 2);
         let x = h.object_by_name("x").unwrap();
-        assert_eq!(
-            h.version_value(x, VersionId::INIT),
-            Some(&Value::Int(5))
-        );
+        assert_eq!(h.version_value(x, VersionId::INIT), Some(&Value::Int(5)));
     }
 
     #[test]
     fn parses_version_order_section() {
         // H_write_order of §4.2 (T4's write aborted, T3 uncommitted →
         // completion appends nothing here since we commit/abort all).
-        let h = parse_history(
-            "w1(x) w2(x) w2(y) c1 c2 r3(x1) w3(x) w4(y) a4 a3  [x2 << x1]",
-        )
-        .unwrap();
+        let h =
+            parse_history("w1(x) w2(x) w2(y) c1 c2 r3(x1) w3(x) w4(y) a4 a3  [x2 << x1]").unwrap();
         let x = h.object_by_name("x").unwrap();
         let v1 = VersionId::new(TxnId(1), 1);
         let v2 = VersionId::new(TxnId(2), 1);
@@ -538,10 +529,7 @@ mod tests {
     fn predicate_declaration_and_read() {
         // An Hphantom-like shape in pure text: T1 queries positives,
         // T2 inserts a matching row afterwards.
-        let h = parse_history(
-            "#pred(POS,1,100) w0(x,10) c0 rp1(POS: x0) w2(z,10) c2 c1",
-        )
-        .unwrap();
+        let h = parse_history("#pred(POS,1,100) w0(x,10) c0 rp1(POS: x0) w2(z,10) c2 c1").unwrap();
         let (pid, info) = h.predicates().next().unwrap();
         assert!(info.name.starts_with("POS"));
         let x = h.object_by_name("x").unwrap();

@@ -1,0 +1,183 @@
+//! A bounded structured event journal: the "what happened, in order"
+//! complement to the aggregate metrics. Events carry typed fields and
+//! a timestamp relative to the owning registry's epoch; when the ring
+//! is full the oldest events are dropped (and counted).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Free-form text.
+    Str(String),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Field {
+        Field::U64(v)
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Field {
+        Field::U64(v as u64)
+    }
+}
+
+impl From<i64> for Field {
+    fn from(v: i64) -> Field {
+        Field::I64(v)
+    }
+}
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Field {
+        Field::F64(v)
+    }
+}
+
+impl From<bool> for Field {
+    fn from(v: bool) -> Field {
+        Field::Bool(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Field {
+        Field::Str(v.to_string())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Field {
+        Field::Str(v)
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Field::U64(v) => write!(f, "{v}"),
+            Field::I64(v) => write!(f, "{v}"),
+            Field::F64(v) => write!(f, "{v}"),
+            Field::Bool(v) => write!(f, "{v}"),
+            Field::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Monotonic sequence number (never reused, survives drops).
+    pub seq: u64,
+    /// Nanoseconds since the registry epoch.
+    pub t_ns: u64,
+    /// Event name, dot-separated like metric names.
+    pub name: String,
+    /// Typed payload fields in recording order.
+    pub fields: Vec<(String, Field)>,
+}
+
+/// The bounded ring of events.
+#[derive(Debug)]
+pub struct Journal {
+    inner: Mutex<Ring>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Journal {
+    /// Creates a journal holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Journal {
+        Journal {
+            inner: Mutex::new(Ring::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn record(&self, t_ns: u64, name: &str, fields: Vec<(String, Field)>) {
+        let mut ring = self.inner.lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(Event {
+            seq,
+            t_ns,
+            name: name.to_string(),
+            fields,
+        });
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// How many events were evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Clears the journal (sequence numbers keep counting).
+    pub fn reset(&self) {
+        let mut ring = self.inner.lock();
+        ring.events.clear();
+        ring.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_fields() {
+        let j = Journal::new(8);
+        j.record(5, "a", vec![("x".into(), 1u64.into())]);
+        j.record(9, "b", vec![("ok".into(), true.into())]);
+        let es = j.events();
+        assert_eq!(es.len(), 2);
+        assert_eq!(es[0].name, "a");
+        assert_eq!(es[0].seq, 0);
+        assert_eq!(es[1].t_ns, 9);
+        assert_eq!(es[1].fields[0], ("ok".to_string(), Field::Bool(true)));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        let j = Journal::new(2);
+        for i in 0..5u64 {
+            j.record(i, "e", vec![]);
+        }
+        let es = j.events();
+        assert_eq!(es.len(), 2);
+        assert_eq!(es[0].seq, 3);
+        assert_eq!(j.dropped(), 3);
+        j.reset();
+        assert!(j.events().is_empty());
+        j.record(0, "later", vec![]);
+        assert_eq!(j.events()[0].seq, 5, "sequence survives reset");
+    }
+}

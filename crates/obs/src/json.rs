@@ -1,0 +1,213 @@
+//! Minimal hand-rolled JSON emission, matching the `adya-check`
+//! house style: the sanctioned dependency set has no serializer and
+//! the shapes are small, so a string builder with escaping is enough.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion in a JSON string literal.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Emits a finite float (JSON has no NaN/Inf; those become `null`).
+pub fn num_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An indentation-aware JSON object/array builder for the export
+/// paths. Not general-purpose: keys are emitted in call order and the
+/// caller is responsible for calling `open_*`/`close_*` in pairs.
+pub struct JsonWriter {
+    out: String,
+    indent: usize,
+    need_comma: Vec<bool>,
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            indent: 0,
+            need_comma: vec![false],
+        }
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn begin_item(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+        }
+        if !self.out.is_empty() {
+            self.out.push('\n');
+        }
+        self.pad();
+    }
+
+    fn open(&mut self, key: Option<&str>, bracket: char) {
+        self.begin_item();
+        if let Some(k) = key {
+            let _ = write!(self.out, "\"{}\": ", esc(k));
+        }
+        self.out.push(bracket);
+        self.indent += 1;
+        self.need_comma.push(false);
+    }
+
+    fn close(&mut self, bracket: char) {
+        let had_items = self.need_comma.pop().unwrap_or(false);
+        self.indent -= 1;
+        if had_items {
+            self.out.push('\n');
+            self.pad();
+        }
+        self.out.push(bracket);
+    }
+
+    /// Opens an object, optionally as the value of `key`.
+    pub fn open_object(&mut self, key: Option<&str>) {
+        self.open(key, '{');
+    }
+
+    /// Closes the innermost object.
+    pub fn close_object(&mut self) {
+        self.close('}');
+    }
+
+    /// Opens an array, optionally as the value of `key`.
+    pub fn open_array(&mut self, key: Option<&str>) {
+        self.open(key, '[');
+    }
+
+    /// Closes the innermost array.
+    pub fn close_array(&mut self) {
+        self.close(']');
+    }
+
+    /// Emits `"key": <raw>` where `raw` is already valid JSON.
+    pub fn raw_field(&mut self, key: &str, raw: &str) {
+        self.begin_item();
+        let _ = write!(self.out, "\"{}\": {raw}", esc(key));
+    }
+
+    /// Emits a string field.
+    pub fn str_field(&mut self, key: &str, value: &str) {
+        self.raw_field(key, &format!("\"{}\"", esc(value)));
+    }
+
+    /// Emits an unsigned integer field.
+    pub fn u64_field(&mut self, key: &str, value: u64) {
+        self.raw_field(key, &value.to_string());
+    }
+
+    /// Emits a signed integer field.
+    pub fn i64_field(&mut self, key: &str, value: i64) {
+        self.raw_field(key, &value.to_string());
+    }
+
+    /// Emits a boolean field.
+    pub fn bool_field(&mut self, key: &str, value: bool) {
+        self.raw_field(key, if value { "true" } else { "false" });
+    }
+
+    /// Emits a raw JSON array element.
+    pub fn raw_element(&mut self, raw: &str) {
+        self.begin_item();
+        self.out.push_str(raw);
+    }
+
+    /// Finishes, returning the JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn nested_structure_renders() {
+        let mut w = JsonWriter::new();
+        w.open_object(None);
+        w.u64_field("n", 3);
+        w.open_object(Some("inner"));
+        w.str_field("s", "x\"y");
+        w.bool_field("ok", true);
+        w.close_object();
+        w.open_array(Some("xs"));
+        w.raw_element("1");
+        w.raw_element("2");
+        w.close_array();
+        w.close_object();
+        let s = w.finish();
+        assert!(s.contains("\"inner\": {"));
+        assert!(s.contains("\"s\": \"x\\\"y\""));
+        assert!(s.contains("\"xs\": [\n"));
+        let unescaped_quotes = s
+            .replace("\\\\", "")
+            .replace("\\\"", "")
+            .matches('"')
+            .count();
+        assert_eq!(unescaped_quotes % 2, 0, "balanced quotes: {s}");
+        assert_eq!(
+            s.matches('{').count(),
+            s.matches('}').count(),
+            "balanced braces"
+        );
+    }
+
+    #[test]
+    fn empty_containers_stay_tight() {
+        let mut w = JsonWriter::new();
+        w.open_object(None);
+        w.open_array(Some("empty"));
+        w.close_array();
+        w.close_object();
+        assert!(w.finish().contains("\"empty\": []"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(num_f64(1.5), "1.5");
+        assert_eq!(num_f64(f64::NAN), "null");
+        assert_eq!(num_f64(f64::INFINITY), "null");
+    }
+}

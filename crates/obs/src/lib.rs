@@ -1,0 +1,114 @@
+//! `adya-obs`: a zero-dependency observability substrate for the
+//! Adya checker, the concurrency-control engines, and the bench
+//! binaries.
+//!
+//! Three primitives, one registry:
+//!
+//! - **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]) — lock-free
+//!   atomics on the hot path, suitable for engine inner loops.
+//! - **Spans** ([`SpanTimer`], [`time!`]) — RAII timers that feed
+//!   latency histograms, used for the checker's per-phase timings.
+//! - **Journal** ([`Journal`], [`Event`]) — a bounded ring of
+//!   structured events for "what happened, in order" debugging.
+//!
+//! Everything lives in a [`Registry`]. Library code records against
+//! the process-wide [`global()`] registry through the `counter!` /
+//! `gauge!` / `histogram!` / `time!` macros, which cache the metric
+//! handle in a per-call-site static so steady-state recording never
+//! touches the registry lock. Frontends call [`Registry::snapshot`]
+//! (or [`Registry::to_json`]) to export, and [`Registry::reset`] to
+//! take per-run deltas; reset zeroes metrics in place so cached
+//! handles stay valid.
+//!
+//! JSON export is hand-rolled ([`json::JsonWriter`]) — the sanctioned
+//! dependency set has no serializer and the shapes here are small.
+
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+
+pub use journal::{Event, Field, Journal};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{Registry, Snapshot, SpanTimer};
+
+use std::sync::OnceLock;
+
+/// The process-wide registry used by the `counter!`/`gauge!`/
+/// `histogram!`/`time!` macros and by all built-in instrumentation.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Returns the global counter named `$name`, caching the handle in a
+/// per-call-site static so repeated hits are a single atomic load
+/// plus the recording op.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// Returns the global gauge named `$name` (cached per call site).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().gauge($name))
+    }};
+}
+
+/// Returns the global histogram named `$name` (cached per call site).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+/// Times an expression against the global histogram named `$name`,
+/// evaluating to the expression's value.
+///
+/// ```
+/// let three = adya_obs::time!("doc.add_ns", 1 + 2);
+/// assert_eq!(three, 3);
+/// assert_eq!(
+///     adya_obs::global().snapshot().histogram("doc.add_ns").unwrap().count,
+///     1
+/// );
+/// ```
+#[macro_export]
+macro_rules! time {
+    ($name:expr, $body:expr) => {{
+        let __start = ::std::time::Instant::now();
+        let __out = $body;
+        $crate::histogram!($name).record(__start.elapsed().as_nanos() as u64);
+        __out
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_hit_the_global_registry() {
+        super::global().reset();
+        counter!("lib.test.hits").inc();
+        counter!("lib.test.hits").inc();
+        gauge!("lib.test.depth").set(3);
+        let v = time!("lib.test.span_ns", { 2 + 2 });
+        assert_eq!(v, 4);
+        let snap = super::global().snapshot();
+        assert_eq!(snap.counter("lib.test.hits"), 2);
+        assert_eq!(snap.gauge("lib.test.depth"), 3);
+        assert_eq!(snap.histogram("lib.test.span_ns").unwrap().count, 1);
+    }
+}

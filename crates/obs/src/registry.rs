@@ -1,0 +1,343 @@
+//! The metrics registry: named counters/gauges/histograms plus the
+//! event journal, with snapshot and JSON export.
+//!
+//! Registration (name → metric) takes a short lock; recording through
+//! a returned handle is lock-free. Instrumented call sites cache the
+//! `Arc` handle (see the `counter!`/`gauge!`/`histogram!` macros), so
+//! the registry lock is touched once per call site per process.
+//! `reset` zeroes metrics *in place*, keeping every cached handle
+//! valid — that is what makes cheap per-run deltas possible in the
+//! bench binaries.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::journal::{Event, Field, Journal};
+use crate::json::{esc, JsonWriter};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// Default journal capacity (events retained before eviction).
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
+
+/// A named collection of metrics and a journal.
+pub struct Registry {
+    epoch: Instant,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    journal: Journal,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry with the default journal capacity.
+    pub fn new() -> Registry {
+        Registry::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// Creates an empty registry retaining at most `capacity` events.
+    pub fn with_journal_capacity(capacity: usize) -> Registry {
+        Registry {
+            epoch: Instant::now(),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            journal: Journal::new(capacity),
+        }
+    }
+
+    /// Nanoseconds since this registry was created.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns (registering on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Records a journal event with typed fields.
+    pub fn event(&self, name: &str, fields: Vec<(String, Field)>) {
+        self.journal.record(self.now_ns(), name, fields);
+    }
+
+    /// The retained journal events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.journal.events()
+    }
+
+    /// Starts a span: a timer that records its elapsed nanoseconds
+    /// into histogram `name` when dropped (or at [`SpanTimer::stop`]).
+    pub fn span(&self, name: &str) -> SpanTimer {
+        SpanTimer {
+            hist: self.histogram(name),
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Times `f`, recording elapsed nanoseconds into histogram `name`,
+    /// and passes its result through.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// Zeroes every metric in place and clears the journal. Cached
+    /// handles stay valid; names stay registered.
+    pub fn reset(&self) {
+        for c in self.counters.lock().values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().values() {
+            h.reset();
+        }
+        self.journal.reset();
+    }
+
+    /// Copies out every metric value.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            events_dropped: self.journal.dropped(),
+            events: self.journal.events(),
+        }
+    }
+
+    /// Renders the full registry as a JSON object (see
+    /// [`Snapshot::to_json`]).
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+/// RAII timer returned by [`Registry::span`].
+pub struct SpanTimer {
+    hist: Arc<Histogram>,
+    start: Instant,
+    armed: bool,
+}
+
+impl SpanTimer {
+    /// Stops the span now, recording its duration; returns the
+    /// elapsed nanoseconds.
+    pub fn stop(mut self) -> u64 {
+        let ns = self.start.elapsed().as_nanos() as u64;
+        self.hist.record(ns);
+        self.armed = false;
+        ns
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// A point-in-time copy of a registry's metrics.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram statistics by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Events evicted from the journal by the capacity bound.
+    pub events_dropped: u64,
+    /// Retained journal events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl Snapshot {
+    /// Counter value by name (0 when never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name (0 when never registered).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram statistics by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Writes this snapshot as the value of `key` into `w` (or as a
+    /// bare object when `key` is `None`). Keys are sorted, so output
+    /// is deterministic up to timing values.
+    pub fn write_json(&self, w: &mut JsonWriter, key: Option<&str>) {
+        w.open_object(key);
+        w.open_object(Some("counters"));
+        for (name, v) in &self.counters {
+            w.u64_field(name, *v);
+        }
+        w.close_object();
+        w.open_object(Some("gauges"));
+        for (name, v) in &self.gauges {
+            w.i64_field(name, *v);
+        }
+        w.close_object();
+        w.open_object(Some("histograms"));
+        for (name, h) in &self.histograms {
+            w.open_object(Some(name));
+            w.u64_field("count", h.count);
+            w.u64_field("sum", h.sum);
+            w.u64_field("min", h.min);
+            w.u64_field("max", h.max);
+            w.u64_field("p50", h.p50);
+            w.u64_field("p90", h.p90);
+            w.u64_field("p99", h.p99);
+            w.close_object();
+        }
+        w.close_object();
+        w.u64_field("events_dropped", self.events_dropped);
+        w.open_array(Some("events"));
+        for e in &self.events {
+            let mut fields = String::new();
+            for (i, (k, v)) in e.fields.iter().enumerate() {
+                if i > 0 {
+                    fields.push_str(", ");
+                }
+                let rendered = match v {
+                    Field::U64(x) => x.to_string(),
+                    Field::I64(x) => x.to_string(),
+                    Field::F64(x) => crate::json::num_f64(*x),
+                    Field::Bool(x) => x.to_string(),
+                    Field::Str(x) => format!("\"{}\"", esc(x)),
+                };
+                fields.push_str(&format!("\"{}\": {rendered}", esc(k)));
+            }
+            w.raw_element(&format!(
+                "{{\"seq\": {}, \"t_ns\": {}, \"name\": \"{}\", \"fields\": {{{fields}}}}}",
+                e.seq,
+                e.t_ns,
+                esc(&e.name)
+            ));
+        }
+        w.close_array();
+        w.close_object();
+    }
+
+    /// Renders the snapshot as a standalone JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w, None);
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_reset_in_place() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(r.snapshot().counter("x"), 2);
+        r.reset();
+        assert_eq!(r.snapshot().counter("x"), 0);
+        a.inc();
+        assert_eq!(r.snapshot().counter("x"), 1, "handle survives reset");
+    }
+
+    #[test]
+    fn spans_record_into_histograms() {
+        let r = Registry::new();
+        {
+            let _s = r.span("work_ns");
+        }
+        let ns = r.span("work_ns").stop();
+        let snap = r.snapshot();
+        let h = snap.histogram("work_ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert!(h.sum >= ns);
+        assert_eq!(r.time("work_ns", || 41 + 1), 42);
+        assert_eq!(r.snapshot().histogram("work_ns").unwrap().count, 3);
+    }
+
+    #[test]
+    fn json_shape_is_wellformed_and_sorted() {
+        let r = Registry::new();
+        r.counter("b.second").add(2);
+        r.counter("a.first").inc();
+        r.gauge("g").set(-5);
+        r.histogram("h").record(7);
+        r.event("ev", vec![("k".into(), Field::Str("v\"q".into()))]);
+        let s = r.to_json();
+        assert!(s.contains("\"a.first\": 1"));
+        assert!(s.contains("\"b.second\": 2"));
+        assert!(s.find("a.first").unwrap() < s.find("b.second").unwrap());
+        assert!(s.contains("\"g\": -5"));
+        assert!(s.contains("\"count\": 1"));
+        assert!(s.contains("\"name\": \"ev\""));
+        assert!(s.contains("\\\"q"));
+        let unescaped_quotes = s
+            .replace("\\\\", "")
+            .replace("\\\"", "")
+            .matches('"')
+            .count();
+        assert_eq!(unescaped_quotes % 2, 0, "balanced quotes:\n{s}");
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn snapshot_lookups_default_to_zero() {
+        let r = Registry::new();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("missing"), 0);
+        assert!(snap.histogram("missing").is_none());
+    }
+}

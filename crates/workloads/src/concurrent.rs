@@ -64,9 +64,7 @@ pub fn run_concurrent(
                 let Some(program) = programs.get(ix) else {
                     return;
                 };
-                if run_program(
-                    engine, program, cfg, &blocked, &ops, &victims,
-                ) {
+                if run_program(engine, program, cfg, &blocked, &ops, &victims) {
                     committed.fetch_add(1, Ordering::Relaxed);
                 } else {
                     gave_up.fetch_add(1, Ordering::Relaxed);
@@ -125,14 +123,12 @@ fn run_program(
                 }
             } else {
                 match &program.steps[pc] {
-                    Step::Read { table, key, reg } => {
-                        engine.read(txn, *table, *key).map(|v| {
-                            regs[*reg] = match v {
-                                Some(Value::Int(i)) => i,
-                                _ => 0,
-                            };
-                        })
-                    }
+                    Step::Read { table, key, reg } => engine.read(txn, *table, *key).map(|v| {
+                        regs[*reg] = match v {
+                            Some(Value::Int(i)) => i,
+                            _ => 0,
+                        };
+                    }),
                     Step::Write { table, key, value } => {
                         let v = value.eval(&regs);
                         engine.write(txn, *table, *key, Value::Int(v))
@@ -147,8 +143,7 @@ fn run_program(
                                 regs[*r] = rows.len() as i64;
                             }
                             if let Some(r) = sum_reg {
-                                regs[*r] =
-                                    rows.iter().map(|(_, v)| v.as_int().unwrap_or(0)).sum();
+                                regs[*r] = rows.iter().map(|(_, v)| v.as_int().unwrap_or(0)).sum();
                             }
                         })
                     }
@@ -251,8 +246,7 @@ mod tests {
                     seed: 9,
                 },
             );
-            let stats =
-                run_concurrent(engine.as_ref(), &programs, &ConcurrentConfig::default());
+            let stats = run_concurrent(engine.as_ref(), &programs, &ConcurrentConfig::default());
             assert!(stats.committed > 0, "{}", engine.name());
             let h = engine.finalize();
             assert!(

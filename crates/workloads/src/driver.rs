@@ -182,10 +182,7 @@ pub fn run_deterministic(
 /// or `None` when the wait-for graph is acyclic.
 fn pick_deadlock_victim(sessions: &[Session], waiting: &[usize]) -> Option<usize> {
     let mut g: DiGraph<TxnId, ()> = DiGraph::new();
-    let by_txn: HashMap<TxnId, usize> = waiting
-        .iter()
-        .map(|&i| (sessions[i].txn, i))
-        .collect();
+    let by_txn: HashMap<TxnId, usize> = waiting.iter().map(|&i| (sessions[i].txn, i)).collect();
     for &i in waiting {
         for &h in &sessions[i].waiting_on {
             g.add_edge(sessions[i].txn, h, ());
@@ -217,6 +214,7 @@ fn restart(
     _ix: Option<usize>,
 ) {
     let _ = engine.abort(s.txn);
+    adya_obs::counter!("engine.deadlock_victim").inc();
     stats.count_abort(&AbortReason::DeadlockVictim);
     begin_fresh_attempt(engine, s, cfg, stats);
 }
@@ -334,10 +332,7 @@ fn exec_step(engine: &dyn Engine, s: &mut Session, _stats: &mut RunStats) -> Nex
                     s.regs[r] = rows.len() as i64;
                 }
                 if let Some(r) = sum_reg {
-                    s.regs[r] = rows
-                        .iter()
-                        .map(|(_, v)| v.as_int().unwrap_or(0))
-                        .sum();
+                    s.regs[r] = rows.iter().map(|(_, v)| v.as_int().unwrap_or(0)).sum();
                 }
             })
         }

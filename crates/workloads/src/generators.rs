@@ -55,7 +55,7 @@ pub fn bank_workload(engine: &dyn Engine, cfg: &BankConfig) -> (TableId, Vec<Pro
         if b == a {
             b = (b + 1) % cfg.accounts;
         }
-        let amount = rng.gen_range(1..=10);
+        let amount: i64 = rng.gen_range(1..=10);
         programs.push(Program::new(
             "transfer",
             vec![
@@ -245,7 +245,9 @@ pub fn hotspot_workload(engine: &dyn Engine, cfg: &HotspotConfig) -> (TableId, V
     let table = engine.catalog().table("counter");
     let tx = engine.begin();
     for k in 0..cfg.keys {
-        engine.write(tx, table, Key(k), Value::Int(0)).expect("seed");
+        engine
+            .write(tx, table, Key(k), Value::Int(0))
+            .expect("seed");
     }
     engine.commit(tx).expect("seed commit");
 

@@ -27,8 +27,8 @@ mod zipf;
 pub use concurrent::{run_concurrent, ConcurrentConfig};
 pub use driver::{run_deterministic, DriverConfig, RunStats, SessionOutcome};
 pub use generators::{
-    bank_workload, hotspot_workload, mixed_workload, phantom_workload, BankConfig,
-    HotspotConfig, MixedConfig, PhantomConfig,
+    bank_workload, hotspot_workload, mixed_workload, phantom_workload, BankConfig, HotspotConfig,
+    MixedConfig, PhantomConfig,
 };
 pub use program::{Expr, PredSpec, Program, Step};
 pub use zipf::Zipf;

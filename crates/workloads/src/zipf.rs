@@ -21,7 +21,10 @@ impl Zipf {
     /// Panics when `n == 0` or `theta` is negative/non-finite.
     pub fn new(n: usize, theta: f64) -> Zipf {
         assert!(n > 0, "Zipf needs a non-empty domain");
-        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite, >= 0");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite, >= 0"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut total = 0.0;
         for i in 0..n {

@@ -46,8 +46,16 @@ fn write_skew_session(engine: &dyn Engine) -> adya::history::History {
     println!(
         "  {}: T1 {} / T2 {}",
         engine.name(),
-        if c1.is_ok() { "committed" } else { "aborted/blocked" },
-        if c2.is_ok() { "committed" } else { "aborted/blocked" },
+        if c1.is_ok() {
+            "committed"
+        } else {
+            "aborted/blocked"
+        },
+        if c2.is_ok() {
+            "committed"
+        } else {
+            "aborted/blocked"
+        },
     );
     engine.finalize()
 }

@@ -18,11 +18,15 @@ type EngineFactory = Box<dyn Fn() -> Box<dyn Engine>>;
 fn main() {
     let schemes: Vec<(EngineFactory, IsolationLevel)> = vec![
         (
-            Box::new(|| Box::new(LockingEngine::new(LockConfig::serializable())) as Box<dyn Engine>),
+            Box::new(|| {
+                Box::new(LockingEngine::new(LockConfig::serializable())) as Box<dyn Engine>
+            }),
             IsolationLevel::PL3,
         ),
         (
-            Box::new(|| Box::new(LockingEngine::new(LockConfig::read_committed())) as Box<dyn Engine>),
+            Box::new(|| {
+                Box::new(LockingEngine::new(LockConfig::read_committed())) as Box<dyn Engine>
+            }),
             IsolationLevel::PL2,
         ),
         (

@@ -23,9 +23,7 @@ fn run_phantom(config: LockConfig) -> (String, adya::history::History) {
     engine.write(seed, sums, Key(0), Value::Int(20)).unwrap();
     engine.commit(seed).unwrap();
 
-    let sales = TablePred::new("salary>0", emp, |v| {
-        matches!(v, Value::Int(i) if *i > 0)
-    });
+    let sales = TablePred::new("salary>0", emp, |v| matches!(v, Value::Int(i) if *i > 0));
 
     // T1: predicate-sum the salaries.
     let t1 = engine.begin();
@@ -45,8 +43,16 @@ fn run_phantom(config: LockConfig) -> (String, adya::history::History) {
 
     let note = format!(
         "T2 hire: {}; T1 final check: {}",
-        if hired.is_ok() { "committed" } else { "blocked (phantom lock)" },
-        if checked.is_ok() { "committed" } else { "blocked" },
+        if hired.is_ok() {
+            "committed"
+        } else {
+            "blocked (phantom lock)"
+        },
+        if checked.is_ok() {
+            "committed"
+        } else {
+            "blocked"
+        },
     );
     (note, engine.finalize())
 }

@@ -11,10 +11,8 @@ fn main() {
     // 1. Histories can be written exactly as in the paper. This is H1:
     //    T2 sees T1's new x but the old y — the invariant x + y = 10
     //    is observed violated.
-    let h1 = parse_history(
-        "r1(xinit,5) w1(x,1) r2(x1,1) r2(yinit,5) c2 r1(yinit,5) w1(y,9) c1",
-    )
-    .expect("well-formed history");
+    let h1 = parse_history("r1(xinit,5) w1(x,1) r2(x1,1) r2(yinit,5) c2 r1(yinit,5) w1(y,9) c1")
+        .expect("well-formed history");
 
     println!("history: {h1}\n");
     let report = analyze(&h1);
@@ -47,5 +45,8 @@ fn main() {
     }
 
     // 4. And graphs can be rendered for inspection.
-    println!("\nDSG of H_serial as DOT:\n{}", analyze(&paper::h_serial()).dsg.to_dot("Hserial"));
+    println!(
+        "\nDSG of H_serial as DOT:\n{}",
+        analyze(&paper::h_serial()).dsg.to_dot("Hserial")
+    );
 }

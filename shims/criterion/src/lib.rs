@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset this workspace's benches use
+//! (`benchmark_group`, `bench_with_input`, `Bencher::iter`,
+//! `Throughput`, the `criterion_group!`/`criterion_main!` macros) as a
+//! plain timed harness: per benchmark it warms up, picks an iteration
+//! count targeting a fixed sample duration, and reports the median
+//! ns/iter over `sample_size` samples. No statistics beyond the
+//! median, no HTML reports, no CLI filtering.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Work-per-iteration declaration; only echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id naming only the varying parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    sample_size: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and calibrate: grow the per-sample iteration count
+        // until one sample takes at least ~5ms.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        self.iters_per_sample = iters;
+        let mut samples: Vec<f64> = (0..self.sample_size.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std_black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares work-per-iteration for the following benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` against `input` and prints one report line.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters_per_sample: 0,
+            sample_size: self.sample_size,
+            median_ns: f64::NAN,
+        };
+        f(&mut b, input);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.median_ns > 0.0 => {
+                format!(" ({:.1} Melem/s)", n as f64 * 1e3 / b.median_ns)
+            }
+            Some(Throughput::Bytes(n)) if b.median_ns > 0.0 => {
+                format!(" ({:.1} MB/s)", n as f64 * 1e3 / b.median_ns)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{}: {:.0} ns/iter{rate} [{} iters x {} samples]",
+            self.name, id.name, b.median_ns, b.iters_per_sample, self.sample_size
+        );
+        self
+    }
+
+    /// Ends the group (reporting is per-bench; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke_group, quick_bench);
+
+    #[test]
+    fn harness_runs() {
+        smoke_group();
+    }
+}

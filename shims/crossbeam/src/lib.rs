@@ -1,0 +1,63 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::thread::scope` subset the workspace uses,
+//! implemented over `std::thread::scope` (stable since Rust 1.63, so
+//! the historic crossbeam implementation is no longer needed). One
+//! behavioral difference: a panicking child thread propagates its
+//! panic out of `scope` directly instead of surfacing as `Err`, which
+//! is equally loud for the workspace's "threads must not panic" uses.
+
+#![warn(missing_docs)]
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope for spawning borrowing threads, wrapping
+    /// [`std::thread::Scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the underlying
+        /// [`std::thread::Scope`] for nested spawns (crossbeam passes
+        /// the scope itself; every call site here ignores it).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(inner))
+        }
+    }
+
+    /// Creates a scope in which threads may borrow from the enclosing
+    /// stack frame; all spawned threads are joined before it returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let hits = AtomicUsize::new(0);
+        let out = super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(hits.into_inner(), 4);
+    }
+}

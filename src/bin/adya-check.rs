@@ -30,6 +30,7 @@ struct Args {
     path: Option<String>,
     dot: bool,
     json: bool,
+    metrics: bool,
     level: Option<IsolationLevel>,
 }
 
@@ -54,14 +55,14 @@ fn esc(s: &str) -> String {
 
 /// Renders the analysis as a JSON object (hand-rolled: the sanctioned
 /// dependency set has no serializer, and the shape is small).
-fn to_json(history: &adya::history::History, a: &Analysis) -> String {
+fn to_json(
+    history: &adya::history::History,
+    a: &Analysis,
+    metrics: Option<&adya_obs::Snapshot>,
+) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"transactions\": {},", history.txns().count());
-    let _ = writeln!(
-        s,
-        "  \"committed\": {},",
-        history.committed_txns().count()
-    );
+    let _ = writeln!(s, "  \"committed\": {},", history.committed_txns().count());
     s.push_str("  \"phenomena\": [");
     for (i, p) in a.phenomena.iter().enumerate() {
         if i > 0 {
@@ -90,8 +91,45 @@ fn to_json(history: &adya::history::History, a: &Analysis) -> String {
             .map(|l| format!("\"{l}\""))
             .unwrap_or_else(|| "null".to_string())
     );
-    let _ = writeln!(s, "  \"mixing_correct\": {}", a.mixing.is_correct());
+    match metrics {
+        None => {
+            let _ = writeln!(s, "  \"mixing_correct\": {}", a.mixing.is_correct());
+        }
+        Some(snap) => {
+            let _ = writeln!(s, "  \"mixing_correct\": {},", a.mixing.is_correct());
+            // Re-indent the snapshot's standalone rendering to sit as
+            // a field of the top-level object.
+            let rendered = snap.to_json();
+            let mut lines = rendered.lines();
+            let _ = write!(s, "  \"metrics\": {}", lines.next().unwrap_or("{}"));
+            for l in lines {
+                let _ = write!(s, "\n  {l}");
+            }
+            s.push('\n');
+        }
+    }
     s.push('}');
+    s
+}
+
+/// Renders the metrics snapshot as a human-readable block for the
+/// text report.
+fn metrics_text(snap: &adya_obs::Snapshot) -> String {
+    let mut s = String::from("metrics:\n");
+    for (name, v) in &snap.counters {
+        let _ = writeln!(s, "  {name} = {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(s, "  {name} = {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let _ = writeln!(
+            s,
+            "  {name}: count={} sum={} min={} p50={} p90={} p99={} max={}",
+            h.count, h.sum, h.min, h.p50, h.p90, h.p99, h.max
+        );
+    }
+    s.pop();
     s
 }
 
@@ -107,6 +145,7 @@ fn parse_args() -> Result<Args, String> {
         path: None,
         dot: false,
         json: false,
+        metrics: false,
         level: None,
     };
     let mut it = std::env::args().skip(1);
@@ -114,10 +153,10 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--dot" => args.dot = true,
             "--json" => args.json = true,
+            "--metrics" => args.metrics = true,
             "--level" => {
                 let v = it.next().ok_or("--level needs a value (e.g. PL-3)")?;
-                args.level =
-                    Some(parse_level(&v).ok_or_else(|| format!("unknown level {v:?}"))?);
+                args.level = Some(parse_level(&v).ok_or_else(|| format!("unknown level {v:?}"))?);
             }
             "--help" | "-h" => {
                 return Err(USAGE.to_string());
@@ -129,10 +168,11 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-const USAGE: &str = "usage: adya-check [--dot] [--json] [--level PL-3] [FILE]
+const USAGE: &str = "usage: adya-check [--dot] [--json] [--metrics] [--level PL-3] [FILE]
 Reads a history (paper notation) from FILE or stdin and analyzes it.
   --dot          also print the DSG as Graphviz DOT
   --json         machine-readable output instead of the text report
+  --metrics      append checker metrics (phase timings, graph stats)
   --level LEVEL  exit non-zero unless the history satisfies LEVEL
                  (PL-1, PL-2, PL-CS, PL-MAV, PL-2+, PL-2.99, PL-SI, PL-3)";
 
@@ -180,8 +220,9 @@ fn main() -> ExitCode {
     };
 
     let a = analyze(&history);
+    let metrics = args.metrics.then(|| adya_obs::global().snapshot());
     if args.json {
-        println!("{}", to_json(&history, &a));
+        println!("{}", to_json(&history, &a, metrics.as_ref()));
     } else {
         println!("history: {history}");
         println!(
@@ -190,6 +231,9 @@ fn main() -> ExitCode {
             history.committed_txns().count()
         );
         println!("{a}");
+        if let Some(snap) = &metrics {
+            println!("\n{}", metrics_text(snap));
+        }
         if args.dot {
             println!("\n{}", a.dsg.to_dot("history"));
         }

@@ -96,6 +96,53 @@ fn json_output_is_parseable_shape() {
 }
 
 #[test]
+fn metrics_json_has_phase_timings_and_graph_stats() {
+    let (stdout, _, code) = run(&["--metrics", "--json"], "w1(x,1) c1 r2(x1) c2");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("\"metrics\": {"), "{stdout}");
+    // Checker phase timing histograms, all with one nonzero sample.
+    for phase in ["dsg_build", "detect_all", "classify", "mixing", "total"] {
+        let key = format!("\"checker.phase.{phase}_ns\": {{");
+        assert!(stdout.contains(&key), "missing {key} in:\n{stdout}");
+    }
+    assert!(stdout.contains("\"count\": 1"), "{stdout}");
+    // The total phase covers the others, so its sum must be nonzero.
+    let total = stdout
+        .split("\"checker.phase.total_ns\": {")
+        .nth(1)
+        .and_then(|rest| rest.split("\"sum\": ").nth(1))
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|n| n.trim().parse::<u64>().ok())
+        .expect("total_ns sum present");
+    assert!(total > 0, "phase timing recorded:\n{stdout}");
+    // Graph-shape stats for this two-transaction history.
+    assert!(stdout.contains("\"checker.dsg.nodes\": 2"), "{stdout}");
+    assert!(stdout.contains("\"checker.dsg.edges\": 1"), "{stdout}");
+    assert!(stdout.contains("\"checker.dsg.sccs\": 2"), "{stdout}");
+    assert!(
+        stdout.contains("\"checker.history.committed\": 2"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"checker.analyses\": 1"), "{stdout}");
+    // Still one well-formed JSON object.
+    assert!(stdout.trim_start().starts_with('{'));
+    assert!(stdout.trim_end().ends_with('}'));
+    assert_eq!(stdout.matches('{').count(), stdout.matches('}').count());
+}
+
+#[test]
+fn metrics_text_block() {
+    let (stdout, _, code) = run(&["--metrics"], "w1(x,1) c1 r2(x1) c2");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("metrics:"), "{stdout}");
+    assert!(stdout.contains("checker.dsg.nodes = 2"), "{stdout}");
+    assert!(
+        stdout.contains("checker.phase.total_ns: count=1"),
+        "{stdout}"
+    );
+}
+
+#[test]
 fn json_with_level_gate() {
     let (stdout, _, code) = run(&["--json", "--level", "PL-3"], "w1(x,1) c1");
     assert_eq!(code, Some(0));

@@ -40,7 +40,12 @@ fn schemes() -> Vec<EngineFactory> {
                 IsolationLevel::PL1,
             )
         }),
-        Box::new(|| (Box::new(OccEngine::new()) as Box<dyn Engine>, IsolationLevel::PL3)),
+        Box::new(|| {
+            (
+                Box::new(OccEngine::new()) as Box<dyn Engine>,
+                IsolationLevel::PL3,
+            )
+        }),
         Box::new(|| {
             (
                 Box::new(adya::engine::MvtoEngine::new()) as Box<dyn Engine>,
@@ -239,7 +244,12 @@ fn serializable_engines_preserve_bank_invariant() {
                 IsolationLevel::PL3,
             )
         }),
-        Box::new(|| (Box::new(OccEngine::new()) as Box<dyn Engine>, IsolationLevel::PL3)),
+        Box::new(|| {
+            (
+                Box::new(OccEngine::new()) as Box<dyn Engine>,
+                IsolationLevel::PL3,
+            )
+        }),
         Box::new(|| {
             (
                 Box::new(adya::engine::MvtoEngine::new()) as Box<dyn Engine>,
