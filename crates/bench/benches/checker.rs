@@ -14,6 +14,7 @@ fn history_of(txns: usize) -> adya_history::History {
         dirty_read_prob: 0.2,
         abort_prob: 0.1,
         shuffle_order_prob: 0.0,
+        max_concurrent: 0,
     };
     random_history(&cfg, 42)
 }

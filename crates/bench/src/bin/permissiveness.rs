@@ -35,6 +35,7 @@ fn main() {
             dirty_read_prob: dirty,
             abort_prob: 0.1,
             shuffle_order_prob: 0.0,
+            max_concurrent: 0,
         };
         let mut admitted_p = [0usize; 4];
         let mut admitted_g = [0usize; 4];

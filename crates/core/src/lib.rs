@@ -56,7 +56,9 @@ pub use dsg::Dsg;
 pub use executing::{check_running, is_doomed};
 pub use levels::{check_level, classify, IsolationLevel, LevelCheck, LevelReport};
 pub use mixing::{check_mixing, MixingReport, Msg};
-pub use phenomena::{detect_all, g1a_where, g1b_where, Phenomenon, PhenomenonKind};
+pub use phenomena::{
+    detect_all, g0, g1a, g1a_where, g1b, g1b_where, g1c, g2, g2_item, Phenomenon, PhenomenonKind,
+};
 pub use ssg::Ssg;
 
 /// Re-export of the history model this crate analyzes.

@@ -2,6 +2,7 @@
 
 use adya_history::{History, TxnId, Value};
 
+use crate::recorder::EventTap;
 use crate::types::{Catalog, Key, OpResult, TableId, TablePred};
 
 /// A transactional engine over the shared store model.
@@ -41,6 +42,12 @@ pub trait Engine: Send + Sync {
 
     /// Aborts the transaction (idempotent).
     fn abort(&self, txn: TxnId) -> OpResult<()>;
+
+    /// Installs a streaming observer on the engine's recorder: every
+    /// subsequently recorded event (begin, read, write, commit, abort,
+    /// predicate read) is passed to `tap` in recorded order, enabling
+    /// live checking with `adya-online` while the workload runs.
+    fn set_event_tap(&self, tap: EventTap);
 
     /// Assembles the recorded history (completing still-active
     /// transactions with aborts). Call once, after the workload.

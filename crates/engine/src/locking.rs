@@ -568,6 +568,10 @@ impl Engine for LockingEngine {
         Ok(())
     }
 
+    fn set_event_tap(&self, tap: crate::recorder::EventTap) {
+        self.recorder.set_tap(tap);
+    }
+
     fn finalize(&self) -> History {
         let inner = self.inner.lock();
         for chain in &inner.store.chains {

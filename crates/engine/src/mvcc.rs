@@ -332,6 +332,10 @@ impl Engine for MvccEngine {
         Ok(())
     }
 
+    fn set_event_tap(&self, tap: crate::recorder::EventTap) {
+        self.recorder.set_tap(tap);
+    }
+
     fn finalize(&self) -> History {
         let inner = self.inner.lock();
         for chain in &inner.store.chains {

@@ -209,6 +209,18 @@ impl MvtoEngine {
             if let Some(prev) = chain.visible_at(ts) {
                 if prev.writer != txn && prev.rts > ts {
                     adya_obs::counter!("engine.mvto.too_late_abort").inc();
+                    adya_obs::global().event(
+                        "engine.mvto.too_late_abort",
+                        vec![
+                            ("txn".into(), adya_obs::Field::from(u64::from(txn.0))),
+                            (
+                                "reason".into(),
+                                adya_obs::Field::from(
+                                    "superseded version already read by a younger txn",
+                                ),
+                            ),
+                        ],
+                    );
                     self.do_abort(&mut inner, txn);
                     return Err(EngineError::Aborted(AbortReason::ValidationFailed));
                 }
@@ -236,6 +248,16 @@ impl MvtoEngine {
                 .unwrap_or(false);
             if younger_exists {
                 adya_obs::counter!("engine.mvto.too_late_abort").inc();
+                adya_obs::global().event(
+                    "engine.mvto.too_late_abort",
+                    vec![
+                        ("txn".into(), adya_obs::Field::from(u64::from(txn.0))),
+                        (
+                            "reason".into(),
+                            adya_obs::Field::from("delete behind a younger version"),
+                        ),
+                    ],
+                );
                 self.do_abort(&mut inner, txn);
                 return Err(EngineError::Aborted(AbortReason::ValidationFailed));
             }
@@ -253,6 +275,16 @@ impl MvtoEngine {
             // phantom behind its back — too late.
             if inner.table_read_ts.get(&table).copied().unwrap_or(0) > ts {
                 adya_obs::counter!("engine.mvto.too_late_abort").inc();
+                adya_obs::global().event(
+                    "engine.mvto.too_late_abort",
+                    vec![
+                        ("txn".into(), adya_obs::Field::from(u64::from(txn.0))),
+                        (
+                            "reason".into(),
+                            adya_obs::Field::from("insert behind a younger predicate scan"),
+                        ),
+                    ],
+                );
                 self.do_abort(&mut inner, txn);
                 return Err(EngineError::Aborted(AbortReason::ValidationFailed));
             }
@@ -279,6 +311,16 @@ impl MvtoEngine {
             // distinct object in the model, and a fresh incarnation
             // has no well-defined slot in timestamp order.
             adya_obs::counter!("engine.mvto.too_late_abort").inc();
+            adya_obs::global().event(
+                "engine.mvto.too_late_abort",
+                vec![
+                    ("txn".into(), adya_obs::Field::from(u64::from(txn.0))),
+                    (
+                        "reason".into(),
+                        adya_obs::Field::from("write after a dead version in timestamp order"),
+                    ),
+                ],
+            );
             self.do_abort(&mut inner, txn);
             return Err(EngineError::Aborted(AbortReason::ValidationFailed));
         }
@@ -501,6 +543,10 @@ impl Engine for MvtoEngine {
         }
         self.do_abort(&mut inner, txn);
         Ok(())
+    }
+
+    fn set_event_tap(&self, tap: crate::recorder::EventTap) {
+        self.recorder.set_tap(tap);
     }
 
     fn finalize(&self) -> History {

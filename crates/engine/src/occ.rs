@@ -286,6 +286,10 @@ impl Engine for OccEngine {
         }
         if conflict {
             adya_obs::counter!("engine.occ.validation_failed").inc();
+            adya_obs::global().event(
+                "engine.occ.validation_failed",
+                vec![("txn".into(), adya_obs::Field::from(u64::from(txn.0)))],
+            );
             self.do_abort(&mut inner, txn, AbortReason::ValidationFailed);
             return Err(EngineError::Aborted(AbortReason::ValidationFailed));
         }
@@ -352,6 +356,10 @@ impl Engine for OccEngine {
         }
         self.do_abort(&mut inner, txn, AbortReason::Requested);
         Ok(())
+    }
+
+    fn set_event_tap(&self, tap: crate::recorder::EventTap) {
+        self.recorder.set_tap(tap);
     }
 
     fn finalize(&self) -> History {
@@ -428,6 +436,17 @@ mod tests {
             e.commit(t1),
             Err(EngineError::Aborted(AbortReason::ValidationFailed))
         ));
+        // The failure is journaled with the victim's id, so metrics
+        // snapshots (`--metrics --json`, perf_sweep reports) can show
+        // *which* transactions lost validation, not just how many.
+        let journaled = adya_obs::global().events().iter().any(|ev| {
+            ev.name == "engine.occ.validation_failed"
+                && ev
+                    .fields
+                    .iter()
+                    .any(|(k, v)| k == "txn" && *v == adya_obs::Field::from(u64::from(t1.0)))
+        });
+        assert!(journaled, "validation failure missing from the journal");
     }
 
     #[test]

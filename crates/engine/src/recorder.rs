@@ -11,11 +11,20 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use adya_history::{
-    History, HistoryBuilder, ObjectId, PredicateId, RelationId, TxnId, Value, VersionId,
+    Event, History, HistoryBuilder, ObjectId, PredicateId, PredicateReadEvent, ReadEvent,
+    RelationId, TxnId, Value, VersionId, VersionKind, WriteEvent,
 };
 use parking_lot::Mutex;
 
 use crate::types::{Key, TableId, TablePred};
+
+/// Observer invoked synchronously (under the recorder lock, so taps
+/// see events in the exact recorded order) for every event as it is
+/// recorded — the hook that feeds [`adya-online`]'s streaming checker
+/// while an engine runs.
+///
+/// [`adya-online`]: https://docs.rs/adya-online
+pub type EventTap = Arc<dyn Fn(&Event) + Send + Sync>;
 
 #[derive(Default)]
 struct Rec {
@@ -30,6 +39,16 @@ struct Rec {
     /// Set by [`Recorder::finalize`]; a second finalize would build
     /// from a drained builder and silently return an empty history.
     finalized: bool,
+    /// Streaming observer; see [`EventTap`].
+    tap: Option<EventTap>,
+}
+
+impl Rec {
+    fn emit(&self, ev: Event) {
+        if let Some(tap) = &self.tap {
+            tap(&ev);
+        }
+    }
 }
 
 /// Thread-safe history recorder shared by an engine's operations.
@@ -50,7 +69,15 @@ impl Recorder {
         let t = TxnId(r.next_txn);
         r.next_txn += 1;
         r.b.begin(t);
+        r.emit(Event::Begin(t));
         t
+    }
+
+    /// Installs a streaming observer that sees every subsequent event
+    /// (begins, reads, writes, commits, aborts, predicate reads) in
+    /// recorded order. Events already recorded are not replayed.
+    pub fn set_tap(&self, tap: EventTap) {
+        self.inner.lock().tap = Some(tap);
     }
 
     /// Registers `table` as a history relation (idempotent).
@@ -87,26 +114,55 @@ impl Recorder {
 
     /// Records a visible write; returns the created version id.
     pub fn write(&self, txn: TxnId, object: ObjectId, value: Value) -> VersionId {
-        self.inner.lock().b.write(txn, object, value)
+        let mut r = self.inner.lock();
+        let v = r.b.write(txn, object, value.clone());
+        r.emit(Event::Write(WriteEvent {
+            txn,
+            object,
+            seq: v.seq,
+            kind: VersionKind::Visible,
+            value: Some(value),
+        }));
+        v
     }
 
     /// Records a delete (dead version); returns the created version id.
     pub fn delete(&self, txn: TxnId, object: ObjectId) -> VersionId {
-        self.inner.lock().b.delete(txn, object)
+        let mut r = self.inner.lock();
+        let v = r.b.delete(txn, object);
+        r.emit(Event::Write(WriteEvent {
+            txn,
+            object,
+            seq: v.seq,
+            kind: VersionKind::Dead,
+            value: None,
+        }));
+        v
     }
 
     /// Records an item read of an explicit version.
     pub fn read(&self, txn: TxnId, object: ObjectId, version: VersionId) {
-        self.inner.lock().b.read_version(txn, object, version);
+        let mut r = self.inner.lock();
+        r.b.read_version(txn, object, version);
+        r.emit(Event::Read(ReadEvent {
+            txn,
+            object,
+            version,
+            through_cursor: false,
+        }));
     }
 
     /// Records a cursor read of an explicit version (Cursor
     /// Stability).
     pub fn cursor_read(&self, txn: TxnId, object: ObjectId, version: VersionId) {
-        self.inner
-            .lock()
-            .b
-            .cursor_read_version(txn, object, version);
+        let mut r = self.inner.lock();
+        r.b.cursor_read_version(txn, object, version);
+        r.emit(Event::Read(ReadEvent {
+            txn,
+            object,
+            version,
+            through_cursor: true,
+        }));
     }
 
     /// Records a predicate read with its version set, registering the
@@ -129,19 +185,28 @@ impl Recorder {
                 pid
             }
         };
-        r.b.predicate_read_versions(txn, pid, vset);
+        r.b.predicate_read_versions(txn, pid, vset.clone());
+        r.emit(Event::PredicateRead(PredicateReadEvent {
+            txn,
+            predicate: pid,
+            vset,
+        }));
     }
 
     /// Records a commit.
     pub fn commit(&self, txn: TxnId) {
         adya_obs::counter!("engine.commit").inc();
-        self.inner.lock().b.commit(txn);
+        let mut r = self.inner.lock();
+        r.b.commit(txn);
+        r.emit(Event::Commit(txn));
     }
 
     /// Records an abort.
     pub fn abort(&self, txn: TxnId) {
         adya_obs::counter!("engine.abort").inc();
-        self.inner.lock().b.abort(txn);
+        let mut r = self.inner.lock();
+        r.b.abort(txn);
+        r.emit(Event::Abort(txn));
     }
 
     /// Supplies the physical version order of one object (committed

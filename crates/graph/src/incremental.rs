@@ -1,0 +1,639 @@
+//! Incremental directed-graph maintenance for online checking.
+//!
+//! [`IncrementalDag`] keeps a topological order over a growing labelled
+//! digraph using the Pearce–Kelly algorithm: inserting an edge that
+//! already respects the order is O(1); an order violation triggers a
+//! bounded double DFS that either re-orders the affected region or
+//! proves a cycle. Cycles are *condensed* — the strongly connected
+//! component is merged into one representative via union-find — so the
+//! structure stays a DAG of components and later insertions keep
+//! working. Nodes whose component is still a singleton can be removed
+//! again, which is what lets an online checker garbage-collect
+//! transactions that can no longer participate in a new cycle.
+//!
+//! The batch [`DiGraph`](crate::DiGraph) is deliberately append-only;
+//! this type exists for the streaming checker, where both incremental
+//! cycle detection and node removal are required.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// One recorded edge, kept with its *original* endpoints so witnesses
+/// can name real nodes even after components merge.
+#[derive(Debug, Clone, Copy)]
+struct Edge<K, L> {
+    /// Slot of the other endpoint at insertion time (resolved through
+    /// union-find on traversal).
+    slot: usize,
+    /// Original source key.
+    src: K,
+    /// Original destination key.
+    dst: K,
+    /// Edge label.
+    label: L,
+}
+
+#[derive(Debug)]
+struct Slot<K, L> {
+    /// Union-find parent (self when representative).
+    parent: usize,
+    /// False once freed for reuse.
+    live: bool,
+    /// Representative-only: topological order value.
+    ord: u64,
+    /// Representative-only: number of original nodes condensed here.
+    members: u32,
+    /// Representative-only: outgoing edges of the whole component.
+    out: Vec<Edge<K, L>>,
+    /// Representative-only: incoming edges of the whole component.
+    inc: Vec<Edge<K, L>>,
+}
+
+/// Result of [`IncrementalDag::add_edge`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Insert<K, L> {
+    /// The edge respects the current order (or was a duplicate).
+    Added,
+    /// The edge violated the order; the affected region was re-ordered
+    /// (Pearce–Kelly) and the graph is still acyclic.
+    Reordered,
+    /// Both endpoints already belong to the same condensed component:
+    /// the edge lies on a cycle.
+    IntraComponent,
+    /// The edge closed a new cycle; the component was condensed.
+    CycleFormed(SccInfo<K, L>),
+}
+
+/// Witness information for a freshly condensed component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccInfo<K, L> {
+    /// A concrete cycle as `(src, dst, label)` edges: the inserted
+    /// edge first, then a path from its head back to its tail.
+    pub witness: Vec<(K, K, L)>,
+    /// Every edge now internal to the merged component (including the
+    /// inserted one) — the material for classifying the cycle.
+    pub intra_edges: Vec<(K, K, L)>,
+}
+
+/// A labelled digraph maintaining a topological order incrementally,
+/// condensing cycles, and supporting removal of singleton nodes.
+#[derive(Debug, Default)]
+pub struct IncrementalDag<K, L> {
+    slots: Vec<Slot<K, L>>,
+    index: HashMap<K, usize>,
+    free: Vec<usize>,
+    seen: HashSet<(K, K, L)>,
+    next_ord: u64,
+    reorders: u64,
+    merges: u64,
+}
+
+impl<K, L> IncrementalDag<K, L>
+where
+    K: Copy + Eq + Hash,
+    L: Copy + Eq + Hash,
+{
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        IncrementalDag {
+            slots: Vec::new(),
+            index: HashMap::new(),
+            free: Vec::new(),
+            seen: HashSet::new(),
+            next_ord: 0,
+            reorders: 0,
+            merges: 0,
+        }
+    }
+
+    /// Number of live original nodes.
+    pub fn node_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of distinct recorded edges.
+    pub fn edge_count(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// How many Pearce–Kelly re-orderings have run.
+    pub fn reorders(&self) -> u64 {
+        self.reorders
+    }
+
+    /// How many component condensations have run.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// True if `k` is present.
+    pub fn contains(&self, k: K) -> bool {
+        self.index.contains_key(&k)
+    }
+
+    /// Adds `k` as an isolated node (idempotent); returns its slot.
+    pub fn add_node(&mut self, k: K) -> usize {
+        if let Some(&s) = self.index.get(&k) {
+            return s;
+        }
+        let ord = self.next_ord;
+        self.next_ord += 1;
+        let slot = Slot {
+            parent: 0,
+            live: true,
+            ord,
+            members: 1,
+            out: Vec::new(),
+            inc: Vec::new(),
+        };
+        let s = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = slot;
+                s
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.slots[s].parent = s;
+        self.index.insert(k, s);
+        s
+    }
+
+    fn find(&mut self, mut s: usize) -> usize {
+        while self.slots[s].parent != s {
+            let p = self.slots[s].parent;
+            self.slots[s].parent = self.slots[p].parent;
+            s = self.slots[s].parent;
+        }
+        s
+    }
+
+    /// True when `k` is absent or still a singleton component, i.e.
+    /// removable without disturbing a condensed cycle.
+    pub fn is_removable(&mut self, k: K) -> bool {
+        match self.index.get(&k).copied() {
+            None => true,
+            Some(s) => self.find(s) == s && self.slots[s].members == 1,
+        }
+    }
+
+    /// Removes a singleton node and every edge touching it. Returns
+    /// false (and does nothing) if the node sits inside a condensed
+    /// component.
+    pub fn remove_node(&mut self, k: K) -> bool {
+        let Some(&s) = self.index.get(&k) else {
+            return true;
+        };
+        if self.find(s) != s || self.slots[s].members != 1 {
+            return false;
+        }
+        let out = std::mem::take(&mut self.slots[s].out);
+        let inc = std::mem::take(&mut self.slots[s].inc);
+        for e in &out {
+            self.seen.remove(&(e.src, e.dst, e.label));
+            let t = self.find(e.slot);
+            if t != s {
+                self.slots[t]
+                    .inc
+                    .retain(|r| !(r.src == e.src && r.dst == e.dst && r.label == e.label));
+            }
+        }
+        for e in &inc {
+            self.seen.remove(&(e.src, e.dst, e.label));
+            let t = self.find(e.slot);
+            if t != s {
+                self.slots[t]
+                    .out
+                    .retain(|r| !(r.src == e.src && r.dst == e.dst && r.label == e.label));
+            }
+        }
+        self.index.remove(&k);
+        self.slots[s].live = false;
+        self.free.push(s);
+        true
+    }
+
+    /// Removes a singleton node like [`remove_node`], but first adds a
+    /// shortcut edge `a → b` for every in-neighbour `a` and
+    /// out-neighbour `b`, labelled `combine(la, lb)`, so reachability
+    /// through the removed node — and therefore every *future* cycle
+    /// that would have passed through it — is preserved. Returns false
+    /// if the node sits inside a condensed component.
+    ///
+    /// Shortcuts can never close a cycle themselves: a path `b ⇒ a`
+    /// plus the edges `a → k → b` would have been a cycle through `k`,
+    /// contradicting `k` being a singleton in an acyclic condensation.
+    ///
+    /// [`remove_node`]: IncrementalDag::remove_node
+    pub fn remove_node_contract(&mut self, k: K, combine: impl Fn(L, L) -> L) -> bool {
+        let Some(&s) = self.index.get(&k) else {
+            return true;
+        };
+        if self.find(s) != s || self.slots[s].members != 1 {
+            return false;
+        }
+        let shortcuts: Vec<(K, K, L)> = {
+            let inc = self.slots[s].inc.clone();
+            let out = self.slots[s].out.clone();
+            let mut v = Vec::with_capacity(inc.len() * out.len());
+            for i in &inc {
+                for o in &out {
+                    v.push((i.src, o.dst, combine(i.label, o.label)));
+                }
+            }
+            v
+        };
+        let removed = self.remove_node(k);
+        debug_assert!(removed);
+        for (a, b, l) in shortcuts {
+            let r = self.add_edge(a, b, l);
+            debug_assert!(
+                matches!(r, Insert::Added | Insert::Reordered),
+                "contraction shortcut must not close a cycle"
+            );
+        }
+        true
+    }
+
+    /// Inserts the edge `from → to` (adding missing nodes), maintaining
+    /// the topological order. Self-edges and duplicates are ignored.
+    pub fn add_edge(&mut self, from: K, to: K, label: L) -> Insert<K, L> {
+        if from == to || !self.seen.insert((from, to, label)) {
+            return Insert::Added;
+        }
+        let su = self.add_node(from);
+        let sv = self.add_node(to);
+        let fu = self.find(su);
+        let fv = self.find(sv);
+        if fu == fv {
+            self.record(fu, fv, su, sv, from, to, label);
+            return Insert::IntraComponent;
+        }
+        if self.slots[fu].ord < self.slots[fv].ord {
+            self.record(fu, fv, su, sv, from, to, label);
+            return Insert::Added;
+        }
+        // Order violation: bounded forward DFS from fv among
+        // components with ord < ord[fu], watching for fu.
+        let limit = self.slots[fu].ord;
+        let mut fwd: Vec<usize> = vec![fv];
+        let mut fwd_set: HashSet<usize> = HashSet::from([fv]);
+        let mut parent_edge: HashMap<usize, Edge<K, L>> = HashMap::new();
+        let mut stack = vec![fv];
+        let mut cycle = false;
+        while let Some(x) = stack.pop() {
+            let edges = self.slots[x].out.clone();
+            for e in edges {
+                let t = self.find(e.slot);
+                if t == x {
+                    continue;
+                }
+                if t == fu {
+                    parent_edge.entry(fu).or_insert(e);
+                    cycle = true;
+                    continue;
+                }
+                if self.slots[t].ord < limit && fwd_set.insert(t) {
+                    parent_edge.insert(t, e);
+                    fwd.push(t);
+                    stack.push(t);
+                }
+            }
+        }
+        if cycle {
+            let info = self.condense(fu, fv, &fwd_set, &parent_edge, from, to, label, su, sv);
+            return Insert::CycleFormed(info);
+        }
+        // No cycle: Pearce–Kelly re-order of the affected region.
+        let floor = self.slots[fv].ord;
+        let mut back: Vec<usize> = vec![fu];
+        let mut back_set: HashSet<usize> = HashSet::from([fu]);
+        let mut stack = vec![fu];
+        while let Some(x) = stack.pop() {
+            let edges = self.slots[x].inc.clone();
+            for e in edges {
+                let t = self.find(e.slot);
+                if t != x && self.slots[t].ord > floor && back_set.insert(t) {
+                    back.push(t);
+                    stack.push(t);
+                }
+            }
+        }
+        let mut pool: Vec<u64> = fwd
+            .iter()
+            .chain(back.iter())
+            .map(|&x| self.slots[x].ord)
+            .collect();
+        pool.sort_unstable();
+        back.sort_unstable_by_key(|&x| self.slots[x].ord);
+        fwd.sort_unstable_by_key(|&x| self.slots[x].ord);
+        for (&x, &o) in back.iter().chain(fwd.iter()).zip(pool.iter()) {
+            self.slots[x].ord = o;
+        }
+        self.reorders += 1;
+        self.record(fu, fv, su, sv, from, to, label);
+        Insert::Reordered
+    }
+
+    /// Records the edge on the representatives' adjacency lists.
+    #[allow(clippy::too_many_arguments)]
+    fn record(&mut self, fu: usize, fv: usize, su: usize, sv: usize, from: K, to: K, label: L) {
+        self.slots[fu].out.push(Edge {
+            slot: sv,
+            src: from,
+            dst: to,
+            label,
+        });
+        self.slots[fv].inc.push(Edge {
+            slot: su,
+            src: from,
+            dst: to,
+            label,
+        });
+    }
+
+    /// Merges the components on a path `fv ⇒ fu` (plus the endpoints)
+    /// into one, records the closing edge, rebuilds the global order,
+    /// and reports witness + intra-component edges.
+    #[allow(clippy::too_many_arguments)]
+    fn condense(
+        &mut self,
+        fu: usize,
+        fv: usize,
+        fwd_set: &HashSet<usize>,
+        parent_edge: &HashMap<usize, Edge<K, L>>,
+        from: K,
+        to: K,
+        label: L,
+        su: usize,
+        sv: usize,
+    ) -> SccInfo<K, L> {
+        // Witness: the inserted edge, then the discovered path fv ⇒ fu.
+        let mut path: Vec<(K, K, L)> = Vec::new();
+        let mut cur = fu;
+        while cur != fv {
+            let e = parent_edge[&cur];
+            path.push((e.src, e.dst, e.label));
+            cur = self.find(self.index[&e.src]);
+        }
+        path.reverse();
+        let mut witness = vec![(from, to, label)];
+        witness.extend(path);
+
+        // Members: components on some fv ⇒ fu path = backward DFS from
+        // fu restricted to the forward set.
+        let mut members: HashSet<usize> = HashSet::from([fu, fv]);
+        let mut stack = vec![fu];
+        while let Some(x) = stack.pop() {
+            let edges = self.slots[x].inc.clone();
+            for e in edges {
+                let t = self.find(e.slot);
+                if fwd_set.contains(&t) && members.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        // Union into fu.
+        let mut out = std::mem::take(&mut self.slots[fu].out);
+        let mut inc = std::mem::take(&mut self.slots[fu].inc);
+        let mut total = self.slots[fu].members;
+        for &m in &members {
+            if m == fu {
+                continue;
+            }
+            self.slots[m].parent = fu;
+            out.append(&mut self.slots[m].out);
+            inc.append(&mut self.slots[m].inc);
+            total += self.slots[m].members;
+        }
+        self.slots[fu].out = out;
+        self.slots[fu].inc = inc;
+        self.slots[fu].members = total;
+        self.record(fu, fu, su, sv, from, to, label);
+        self.merges += 1;
+        self.rebuild_order();
+
+        let intra = self.slots[fu]
+            .out
+            .clone()
+            .into_iter()
+            .filter(|e| self.find(e.slot) == fu)
+            .map(|e| (e.src, e.dst, e.label))
+            .collect();
+        SccInfo {
+            witness,
+            intra_edges: intra,
+        }
+    }
+
+    /// Recomputes a full topological order of the condensation (used
+    /// after a merge, which is rare: each merge latches a phenomenon).
+    fn rebuild_order(&mut self) {
+        let reps: Vec<usize> = {
+            let slots: Vec<usize> = self.index.values().copied().collect();
+            let mut set = HashSet::new();
+            for s in slots {
+                set.insert(self.find(s));
+            }
+            set.into_iter().collect()
+        };
+        // Iterative DFS post-order over the condensation.
+        let mut state: HashMap<usize, u8> = HashMap::new(); // 1 = open, 2 = done
+        let mut post: Vec<usize> = Vec::new();
+        for &r in &reps {
+            if state.contains_key(&r) {
+                continue;
+            }
+            let mut stack = vec![(r, false)];
+            while let Some((x, expanded)) = stack.pop() {
+                if expanded {
+                    state.insert(x, 2);
+                    post.push(x);
+                    continue;
+                }
+                match state.get(&x) {
+                    Some(_) => continue,
+                    None => {
+                        state.insert(x, 1);
+                        stack.push((x, true));
+                        let edges = self.slots[x].out.clone();
+                        for e in edges {
+                            let t = self.find(e.slot);
+                            if t != x && !state.contains_key(&t) {
+                                stack.push((t, false));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Reverse post-order = topological order.
+        let n = post.len() as u64;
+        for (i, &x) in post.iter().rev().enumerate() {
+            self.slots[x].ord = i as u64;
+        }
+        self.next_ord = n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_inserts_stay_cheap() {
+        let mut g: IncrementalDag<u32, char> = IncrementalDag::new();
+        for i in 0..100u32 {
+            assert_eq!(g.add_edge(i, i + 1, 'd'), Insert::Added);
+        }
+        assert_eq!(g.reorders(), 0);
+        assert_eq!(g.node_count(), 101);
+    }
+
+    #[test]
+    fn back_edge_reorders_without_cycle() {
+        let mut g: IncrementalDag<u32, char> = IncrementalDag::new();
+        g.add_node(1);
+        g.add_node(2); // 1 before 2 in insertion order
+        assert_eq!(g.add_edge(2, 1, 'd'), Insert::Reordered);
+        assert_eq!(g.reorders(), 1);
+        // Order now respects 2 -> 1, so a second aligned edge is free.
+        assert_eq!(g.add_edge(2, 1, 'e'), Insert::Added);
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut g: IncrementalDag<u32, char> = IncrementalDag::new();
+        assert_eq!(g.add_edge(1, 2, 'd'), Insert::Added);
+        assert_eq!(g.add_edge(1, 2, 'd'), Insert::Added);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn two_cycle_condenses_with_witness() {
+        let mut g: IncrementalDag<u32, char> = IncrementalDag::new();
+        g.add_edge(1, 2, 'a');
+        match g.add_edge(2, 1, 'b') {
+            Insert::CycleFormed(info) => {
+                assert_eq!(info.witness[0], (2, 1, 'b'));
+                assert!(info.witness.contains(&(1, 2, 'a')));
+                assert_eq!(info.intra_edges.len(), 2);
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+        // Later edges between the merged nodes are intra-component.
+        assert_eq!(g.add_edge(1, 2, 'c'), Insert::IntraComponent);
+        assert!(!g.is_removable(1));
+    }
+
+    #[test]
+    fn long_cycle_witness_walks_the_path() {
+        let mut g: IncrementalDag<u32, char> = IncrementalDag::new();
+        g.add_edge(1, 2, 'a');
+        g.add_edge(2, 3, 'a');
+        g.add_edge(3, 4, 'a');
+        match g.add_edge(4, 1, 'z') {
+            Insert::CycleFormed(info) => {
+                assert_eq!(info.witness.len(), 4);
+                assert_eq!(info.witness[0], (4, 1, 'z'));
+                assert_eq!(info.intra_edges.len(), 4);
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_keeps_working_after_a_merge() {
+        let mut g: IncrementalDag<u32, char> = IncrementalDag::new();
+        g.add_edge(1, 2, 'a');
+        g.add_edge(2, 1, 'a');
+        // New nodes around the component still topo-sort and detect
+        // later cycles through the component.
+        assert!(matches!(
+            g.add_edge(0, 1, 'a'),
+            Insert::Added | Insert::Reordered
+        ));
+        assert!(matches!(
+            g.add_edge(2, 3, 'a'),
+            Insert::Added | Insert::Reordered
+        ));
+        match g.add_edge(3, 0, 'a') {
+            Insert::CycleFormed(info) => {
+                assert!(info.intra_edges.iter().any(|&(s, d, _)| s == 3 && d == 0));
+            }
+            other => panic!("expected cycle through the component, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_singleton_and_reuse() {
+        let mut g: IncrementalDag<u32, char> = IncrementalDag::new();
+        g.add_edge(1, 2, 'a');
+        g.add_edge(2, 3, 'a');
+        assert!(g.is_removable(1));
+        assert!(g.remove_node(1));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        // 1 can come back as a fresh node with no stale edges, and it
+        // participates in new cycles like any other node.
+        g.add_node(1);
+        assert_eq!(g.add_edge(3, 1, 'a'), Insert::Added);
+        assert!(matches!(g.add_edge(1, 2, 'b'), Insert::CycleFormed(_)));
+    }
+
+    #[test]
+    fn removal_refuses_condensed_nodes() {
+        let mut g: IncrementalDag<u32, char> = IncrementalDag::new();
+        g.add_edge(1, 2, 'a');
+        g.add_edge(2, 1, 'a');
+        assert!(!g.remove_node(1));
+        assert!(g.contains(1));
+    }
+
+    #[test]
+    fn contraction_preserves_future_cycles() {
+        let mut g: IncrementalDag<u32, u8> = IncrementalDag::new();
+        g.add_edge(1, 2, 0); // a -> k
+        g.add_edge(2, 3, 1); // k -> b (label 1 = "anti")
+        assert!(g.remove_node_contract(2, |a, b| a | b));
+        assert!(!g.contains(2));
+        // The shortcut 1 -> 3 carries the combined label, and a later
+        // back edge still closes the cycle the interior node mediated.
+        match g.add_edge(3, 1, 0) {
+            Insert::CycleFormed(info) => {
+                assert!(info.intra_edges.contains(&(1, 3, 1)));
+            }
+            other => panic!("expected cycle via shortcut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_random_inserts_never_lose_cycles() {
+        // A deterministic pseudo-random stress: every edge either keeps
+        // the DAG acyclic or condenses; afterwards every condensed pair
+        // reports IntraComponent consistently.
+        let mut g: IncrementalDag<u32, u8> = IncrementalDag::new();
+        let mut x = 0x9e3779b9u64;
+        let mut cycles = 0u32;
+        for _ in 0..400 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = ((x >> 33) % 20) as u32;
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = ((x >> 33) % 20) as u32;
+            if a == b {
+                continue;
+            }
+            if let Insert::CycleFormed(_) = g.add_edge(a, b, (x % 3) as u8) {
+                cycles += 1;
+            }
+        }
+        assert!(cycles > 0, "stress should hit at least one cycle");
+        assert!(g.node_count() <= 20);
+    }
+}

@@ -19,14 +19,22 @@
 //! Cycle searches never return a bare boolean: they return a [`Cycle`]
 //! listing the exact edges, so a checker can explain *why* a history was
 //! rejected.
+//!
+//! For the *online* checker there is additionally [`IncrementalDag`]:
+//! Pearce–Kelly incremental topological ordering with cycle
+//! condensation and reachability-preserving node removal, so a
+//! streaming checker can detect new cycles edge-by-edge and
+//! garbage-collect settled transactions.
 
 #![warn(missing_docs)]
 
 mod cycle;
 mod digraph;
 mod dot;
+mod incremental;
 mod scc;
 
 pub use cycle::{Cycle, CycleEdge};
 pub use digraph::{DiGraph, EdgeRef, NodeIdx};
 pub use dot::DotOptions;
+pub use incremental::{IncrementalDag, Insert, SccInfo};

@@ -179,19 +179,39 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
+        let observed_min = self.min.load(Ordering::Relaxed);
+        let observed_max = self.max.load(Ordering::Relaxed);
+        // Linear interpolation within the power-of-two bucket holding
+        // the requested rank: assuming values spread uniformly across
+        // the bucket's span beats reporting its upper bound (which
+        // inflates every percentile by up to 2x). The estimate is
+        // clamped to the observed [min, max] so a sparse histogram
+        // never reports a value outside what was actually recorded.
         let pct = |q: f64| -> u64 {
             if count == 0 {
                 return 0;
             }
-            let rank = (q * count as f64).ceil() as u64;
+            let rank = (q * count as f64).ceil().max(1.0) as u64;
             let mut seen = 0u64;
             for (i, &c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= rank {
-                    return Self::bucket_upper(i);
+                if c == 0 {
+                    continue;
                 }
+                if seen + c >= rank {
+                    let est = if i == 0 {
+                        0
+                    } else {
+                        // Bucket i spans [2^(i-1), 2^i - 1].
+                        let lo = 1u64 << (i - 1);
+                        let hi = Self::bucket_upper(i);
+                        let within = (rank - seen) as f64 / c as f64;
+                        lo + ((hi - lo) as f64 * within) as u64
+                    };
+                    return est.clamp(observed_min, observed_max);
+                }
+                seen += c;
             }
-            Self::bucket_upper(BUCKETS - 1)
+            observed_max
         };
         HistogramSnapshot {
             count,
@@ -257,6 +277,32 @@ mod tests {
         h.reset();
         assert_eq!(h.snapshot().count, 0);
         assert_eq!(h.snapshot().min, 0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_instead_of_reporting_bucket_bounds() {
+        // All values identical, landing mid-bucket: the upper-bound
+        // rendering used to report 1023 (the [512, 1023] bucket edge);
+        // interpolation clamped to the observed range reports the
+        // value itself.
+        let h = Histogram::new();
+        for _ in 0..3 {
+            h.record(513);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50, 513);
+        assert_eq!(s.p99, 513);
+
+        // A uniform spread across one bucket: the median estimate must
+        // stay inside the bucket and inside the observed range, not
+        // snap to the edge.
+        let h = Histogram::new();
+        for v in 512..768u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.p50 >= 512 && s.p50 < 768, "p50={}", s.p50);
+        assert!(s.p99 <= s.max);
     }
 
     #[test]

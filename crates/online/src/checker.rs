@@ -1,0 +1,1289 @@
+//! The incremental checker: event ingestion, incremental DSG
+//! maintenance, commit-time verdicts and low-watermark GC.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use adya_core::{IsolationLevel, PhenomenonKind};
+use adya_graph::{IncrementalDag, Insert};
+use adya_history::{Event, ObjectId, TxnId, VersionId};
+
+/// Edge label in the incremental graphs: a tiny mask rather than a
+/// full `DepKind`, because contraction (GC shortcut edges) must be
+/// able to *combine* labels — a shortcut inherits "contains an
+/// anti-dependency" from whichever side had one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct EdgeMask(u8);
+
+impl EdgeMask {
+    /// ww or wr — a dependency edge.
+    const DEP: EdgeMask = EdgeMask(0);
+    /// rw — an item anti-dependency edge (possibly via shortcuts).
+    const ANTI_ITEM: EdgeMask = EdgeMask(1);
+
+    fn combine(a: EdgeMask, b: EdgeMask) -> EdgeMask {
+        EdgeMask(a.0 | b.0)
+    }
+
+    fn has_item_anti(self) -> bool {
+        self.0 & 1 != 0
+    }
+}
+
+/// Garbage-collection policy for the checker.
+#[derive(Debug, Clone, Copy)]
+pub struct GcConfig {
+    /// Master switch; disabled means the checker keeps every
+    /// transaction forever (exact batch behaviour, unbounded memory).
+    pub enabled: bool,
+    /// Run a collection pass every this-many ingested events.
+    pub interval: u64,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            enabled: true,
+            interval: 64,
+        }
+    }
+}
+
+/// The commit-time (or final) answer of the online checker.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// The transaction whose commit produced this verdict; `None` for
+    /// the final verdict from [`OnlineChecker::finish`].
+    pub txn: Option<TxnId>,
+    /// Committed transactions in the prefix so far.
+    pub committed: u64,
+    /// Strongest ANSI-chain level the committed prefix satisfies
+    /// (`None` when even PL-1 is violated).
+    pub strongest_ansi: Option<IsolationLevel>,
+    /// Every phenomenon that has fired in the prefix (latched).
+    pub fired: Vec<PhenomenonKind>,
+    /// Phenomena that fired for the first time at this commit.
+    pub new_fired: Vec<PhenomenonKind>,
+    /// Witness for the first newly fired phenomenon, if any.
+    pub witness: Option<String>,
+    /// Transactions pruned by the GC so far.
+    pub pruned_txns: u64,
+    /// Reads that referenced an already-pruned (or never-seen) writer:
+    /// when non-zero the verdict may be weaker than a batch check of
+    /// the full history — flagged, never silent.
+    pub stale_refs: u64,
+    /// Transactions currently held in memory.
+    pub live_txns: usize,
+    /// True for the verdict returned by [`OnlineChecker::finish`].
+    pub is_final: bool,
+}
+
+impl Verdict {
+    /// True when none of `level`'s proscribed phenomena have fired.
+    pub fn satisfies(&self, level: IsolationLevel) -> bool {
+        level.proscribes().iter().all(|p| !self.fired.contains(p))
+    }
+
+    /// Renders the verdict as a single-line JSON object (NDJSON-ready).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        match self.txn {
+            Some(t) => {
+                let _ = write!(s, "\"txn\": {}", t.0);
+            }
+            None => s.push_str("\"txn\": null"),
+        }
+        let _ = write!(s, ", \"final\": {}", self.is_final);
+        let _ = write!(s, ", \"committed\": {}", self.committed);
+        match self.strongest_ansi {
+            Some(l) => {
+                let _ = write!(s, ", \"strongest_ansi\": \"{l}\"");
+            }
+            None => s.push_str(", \"strongest_ansi\": null"),
+        }
+        for (key, kinds) in [("fired", &self.fired), ("new", &self.new_fired)] {
+            let _ = write!(s, ", \"{key}\": [");
+            for (i, k) in kinds.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "\"{k}\"");
+            }
+            s.push(']');
+        }
+        match &self.witness {
+            Some(w) => {
+                let _ = write!(s, ", \"witness\": \"{}\"", esc(w));
+            }
+            None => s.push_str(", \"witness\": null"),
+        }
+        let _ = write!(
+            s,
+            ", \"pruned\": {}, \"stale_refs\": {}, \"live_txns\": {}}}",
+            self.pruned_txns, self.stale_refs, self.live_txns
+        );
+        s
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum Status {
+    #[default]
+    Active,
+    Committed,
+    Aborted,
+}
+
+/// A read buffered on its (still-active) reader until the reader's
+/// terminal event decides whether it produces conflicts at all.
+#[derive(Debug, Clone, Copy)]
+struct BufferedRead {
+    object: ObjectId,
+    version: VersionId,
+    via_predicate: bool,
+    /// Whether this read holds a `refs` pin on its writer.
+    counted: bool,
+    /// True when the writer was already pruned (or never seen) at
+    /// ingest time; resolves to a `stale_refs` tick, never an edge.
+    stale: bool,
+}
+
+/// A committed reader whose read of a still-active writer's version is
+/// parked on that writer until the writer's terminal event.
+#[derive(Debug, Clone, Copy)]
+struct PendingRead {
+    reader: TxnId,
+    object: ObjectId,
+    seq: u32,
+    via_predicate: bool,
+}
+
+#[derive(Debug, Default)]
+struct TxnState {
+    status: Status,
+    begin_clock: u64,
+    terminal_clock: u64,
+    reads: Vec<BufferedRead>,
+    /// Last (= highest) write seq per object; kept after the terminal
+    /// event for G1a/G1b checks against late-committing readers.
+    writes: HashMap<ObjectId, u32>,
+    /// Committed readers waiting for this (active) writer's fate.
+    pending_readers: Vec<PendingRead>,
+    /// Installed versions not yet superseded by a later install.
+    unsuperseded: u32,
+    /// Buffered or pending reads by live transactions that reference
+    /// this transaction as a writer.
+    refs: u32,
+    /// This (committed) transaction's own reads parked on still-active
+    /// writers.
+    awaiting: u32,
+    /// How many version-order anchors this committed reader occupies,
+    /// each of which will emit an rw edge when a successor installs.
+    registered: u32,
+    /// Clock of the latest install superseding one of this
+    /// transaction's versions; prunable only once every active
+    /// transaction began after it.
+    prune_after: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    txn: TxnId,
+    readers: Vec<TxnId>,
+}
+
+#[derive(Debug, Default)]
+struct ObjectState {
+    /// Number of versions pruned off the front of `entries`.
+    base: usize,
+    /// Committed versions in install (= commit) order.
+    entries: VecDeque<Entry>,
+    /// Absolute position (`base`-inclusive) of each installer.
+    pos_of: HashMap<TxnId, usize>,
+    /// Committed readers anchored before the first version.
+    init_readers: Vec<TxnId>,
+}
+
+/// Which phenomena have latched, with the first witness of each.
+#[derive(Debug, Default)]
+struct Fired {
+    mask: u8,
+    witnesses: Vec<(PhenomenonKind, String)>,
+}
+
+const ONLINE_KINDS: [PhenomenonKind; 6] = [
+    PhenomenonKind::G0,
+    PhenomenonKind::G1a,
+    PhenomenonKind::G1b,
+    PhenomenonKind::G1c,
+    PhenomenonKind::G2Item,
+    PhenomenonKind::G2,
+];
+
+fn kind_bit(k: PhenomenonKind) -> u8 {
+    match k {
+        PhenomenonKind::G0 => 1,
+        PhenomenonKind::G1a => 2,
+        PhenomenonKind::G1b => 4,
+        PhenomenonKind::G1c => 8,
+        PhenomenonKind::G2Item => 16,
+        PhenomenonKind::G2 => 32,
+        _ => 0,
+    }
+}
+
+impl Fired {
+    fn has(&self, k: PhenomenonKind) -> bool {
+        self.mask & kind_bit(k) != 0
+    }
+
+    fn set(&mut self, k: PhenomenonKind, witness: String) -> bool {
+        if self.has(k) {
+            return false;
+        }
+        self.mask |= kind_bit(k);
+        self.witnesses.push((k, witness));
+        true
+    }
+
+    fn kinds(&self) -> Vec<PhenomenonKind> {
+        ONLINE_KINDS
+            .iter()
+            .copied()
+            .filter(|&k| self.has(k))
+            .collect()
+    }
+}
+
+type Dag = IncrementalDag<TxnId, EdgeMask>;
+
+/// The streaming checker. See the crate docs for scope and semantics.
+#[derive(Debug, Default)]
+pub struct OnlineChecker {
+    clock: u64,
+    txns: HashMap<TxnId, TxnState>,
+    active: HashSet<TxnId>,
+    objects: HashMap<ObjectId, ObjectState>,
+    /// ww edges only — a cycle here is G0. Dropped once G0 latches.
+    ww: Option<Dag>,
+    /// ww + wr — a cycle here is G1c. Dropped once G1c latches.
+    dep: Option<Dag>,
+    /// ww + wr + rw — a component with an internal anti edge is
+    /// G2/G2-item. Dropped once both latch.
+    full: Option<Dag>,
+    fired: Fired,
+    gc: GcConfig,
+    committed: u64,
+    pruned_txns: u64,
+    stale_refs: u64,
+    events_since_gc: u64,
+    /// Reorder counts of already-dropped graphs.
+    reorders_dropped: u64,
+    reorders_reported: u64,
+}
+
+impl OnlineChecker {
+    /// A checker with default GC (enabled, interval 64).
+    pub fn new() -> OnlineChecker {
+        OnlineChecker::with_gc(GcConfig::default())
+    }
+
+    /// A checker with an explicit GC policy.
+    pub fn with_gc(gc: GcConfig) -> OnlineChecker {
+        OnlineChecker {
+            ww: Some(IncrementalDag::new()),
+            dep: Some(IncrementalDag::new()),
+            full: Some(IncrementalDag::new()),
+            gc,
+            ..OnlineChecker::default()
+        }
+    }
+
+    /// Events ingested so far.
+    pub fn events(&self) -> u64 {
+        self.clock
+    }
+
+    /// Transactions currently held in memory.
+    pub fn live_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Transactions pruned by the GC so far.
+    pub fn pruned_txns(&self) -> u64 {
+        self.pruned_txns
+    }
+
+    /// Reads that referenced a pruned or never-seen writer.
+    pub fn stale_refs(&self) -> u64 {
+        self.stale_refs
+    }
+
+    /// Every phenomenon fired so far (latched).
+    pub fn fired_kinds(&self) -> Vec<PhenomenonKind> {
+        self.fired.kinds()
+    }
+
+    /// Strongest ANSI-chain level the committed prefix satisfies.
+    pub fn strongest_ansi(&self) -> Option<IsolationLevel> {
+        use PhenomenonKind::*;
+        let f = |k| self.fired.has(k);
+        if !f(G1a) && !f(G1b) && !f(G1c) && !f(G2) {
+            Some(IsolationLevel::PL3)
+        } else if !f(G1a) && !f(G1b) && !f(G1c) && !f(G2Item) {
+            Some(IsolationLevel::PL299)
+        } else if !f(G1a) && !f(G1b) && !f(G1c) {
+            Some(IsolationLevel::PL2)
+        } else if !f(G0) {
+            Some(IsolationLevel::PL1)
+        } else {
+            None
+        }
+    }
+
+    /// Feeds one event; returns a [`Verdict`] when the event is a
+    /// commit. Events of the initialization transaction are ignored.
+    pub fn ingest(&mut self, event: &Event) -> Option<Verdict> {
+        if event.txn().is_init() {
+            return None;
+        }
+        self.clock += 1;
+        adya_obs::counter!("online.ingest_events").inc();
+        let verdict = match event {
+            Event::Begin(t) => {
+                self.ensure_txn(*t);
+                None
+            }
+            Event::Write(w) => {
+                self.on_write(w.txn, w.object, w.seq);
+                None
+            }
+            Event::Read(r) => {
+                self.on_read(r.txn, r.object, r.version, false);
+                None
+            }
+            Event::PredicateRead(p) => {
+                for &(o, v) in &p.vset {
+                    self.on_read(p.txn, o, v, true);
+                }
+                None
+            }
+            Event::Commit(t) => Some(self.on_commit(*t)),
+            Event::Abort(t) => {
+                self.on_abort(*t);
+                None
+            }
+        };
+        self.maybe_gc();
+        self.sync_reorder_counter();
+        verdict
+    }
+
+    /// Completes the stream: still-active transactions are aborted (in
+    /// ascending id order — the paper's completion rule) and the final
+    /// verdict over the whole stream is returned.
+    pub fn finish(&mut self) -> Verdict {
+        let mut open: Vec<TxnId> = self.active.iter().copied().collect();
+        open.sort_unstable();
+        for t in open {
+            self.ingest(&Event::Abort(t));
+        }
+        self.run_gc();
+        let mut v = self.verdict(None, &[]);
+        v.is_final = true;
+        v
+    }
+
+    fn ensure_txn(&mut self, t: TxnId) {
+        if self.txns.contains_key(&t) {
+            return;
+        }
+        self.txns.insert(
+            t,
+            TxnState {
+                begin_clock: self.clock,
+                ..TxnState::default()
+            },
+        );
+        self.active.insert(t);
+    }
+
+    fn on_write(&mut self, t: TxnId, o: ObjectId, seq: u32) {
+        self.ensure_txn(t);
+        let txn = self.txns.get_mut(&t).expect("just ensured");
+        if txn.status != Status::Active {
+            return; // write after terminal: ill-formed, ignore
+        }
+        let e = txn.writes.entry(o).or_insert(0);
+        *e = (*e).max(seq);
+    }
+
+    fn on_read(&mut self, t: TxnId, o: ObjectId, v: VersionId, via_predicate: bool) {
+        self.ensure_txn(t);
+        if self.txns[&t].status != Status::Active {
+            return;
+        }
+        let mut counted = false;
+        let mut stale = false;
+        if !v.is_init() && v.txn != t {
+            match self.txns.get_mut(&v.txn) {
+                Some(w) => {
+                    w.refs += 1;
+                    counted = true;
+                }
+                None => stale = true,
+            }
+        }
+        self.txns
+            .get_mut(&t)
+            .expect("just ensured")
+            .reads
+            .push(BufferedRead {
+                object: o,
+                version: v,
+                via_predicate,
+                counted,
+                stale,
+            });
+    }
+
+    fn on_commit(&mut self, t: TxnId) -> Verdict {
+        let started = Instant::now();
+        let before = self.fired.mask;
+        self.ensure_txn(t);
+        if self.txns[&t].status != Status::Active {
+            return self.verdict(Some(t), &[]);
+        }
+        {
+            let txn = self.txns.get_mut(&t).expect("ensured");
+            txn.status = Status::Committed;
+            txn.terminal_clock = self.clock;
+        }
+        self.active.remove(&t);
+        self.committed += 1;
+
+        self.install_writes(t);
+        let reads = std::mem::take(&mut self.txns.get_mut(&t).expect("ensured").reads);
+        for br in reads {
+            self.resolve_read(t, br);
+        }
+        let pending = std::mem::take(&mut self.txns.get_mut(&t).expect("ensured").pending_readers);
+        for pr in pending {
+            self.resolve_pending(t, pr);
+        }
+
+        let new_bits = self.fired.mask & !before;
+        let v = self.verdict(
+            Some(t),
+            &ONLINE_KINDS
+                .iter()
+                .copied()
+                .filter(|&k| new_bits & kind_bit(k) != 0)
+                .collect::<Vec<_>>(),
+        );
+        adya_obs::histogram!("online.verdict_latency").record(started.elapsed().as_nanos() as u64);
+        v
+    }
+
+    /// Installs `t`'s final versions in object-id order: appends the
+    /// entry, adds the ww edge from the previous installer, and
+    /// resolves readers anchored at the previous tip into rw edges.
+    fn install_writes(&mut self, t: TxnId) {
+        let mut objs: Vec<ObjectId> = self.txns[&t].writes.keys().copied().collect();
+        objs.sort_unstable_by_key(|o| o.0);
+        for o in objs {
+            let clock = self.clock;
+            let obj = self.objects.entry(o).or_default();
+            let (prev, resolved) = match obj.entries.back_mut() {
+                Some(last) => (Some(last.txn), std::mem::take(&mut last.readers)),
+                None => (None, std::mem::take(&mut obj.init_readers)),
+            };
+            obj.entries.push_back(Entry {
+                txn: t,
+                readers: Vec::new(),
+            });
+            let pos = obj.base + obj.entries.len() - 1;
+            obj.pos_of.insert(t, pos);
+            if let Some(p) = prev {
+                let w = self.txns.get_mut(&p).expect("installed entry implies live");
+                w.unsuperseded -= 1;
+                w.prune_after = w.prune_after.max(clock);
+                self.add_ww(p, t);
+            }
+            for r in resolved {
+                self.txns
+                    .get_mut(&r)
+                    .expect("registered reader is live")
+                    .registered -= 1;
+                if r != t {
+                    self.add_anti(r, t);
+                }
+            }
+            self.txns.get_mut(&t).expect("committing txn").unsuperseded += 1;
+        }
+    }
+
+    /// Resolves one buffered read of the just-committed reader `t`.
+    fn resolve_read(&mut self, t: TxnId, br: BufferedRead) {
+        if br.stale {
+            self.stale_refs += 1;
+            return;
+        }
+        let (o, v) = (br.object, br.version);
+        if v.is_init() {
+            if br.via_predicate {
+                return; // vset entries carry no edges
+            }
+            let obj = self.objects.entry(o).or_default();
+            if obj.base > 0 {
+                // The init version's successor was pruned; the rw edge
+                // it would anchor is unknowable.
+                self.stale_refs += 1;
+                return;
+            }
+            match obj.entries.front().map(|e| e.txn) {
+                Some(succ) => {
+                    if succ != t {
+                        self.add_anti(t, succ);
+                    }
+                }
+                None => {
+                    obj.init_readers.push(t);
+                    self.txns.get_mut(&t).expect("committing txn").registered += 1;
+                }
+            }
+            return;
+        }
+        if v.txn == t {
+            // Own read: no read-dependency, no G1a/G1b, but it anchors
+            // at the own entry exactly like the batch checker's
+            // `order_anchor`, so a later overwrite emits t → successor.
+            if br.via_predicate {
+                return;
+            }
+            self.anchor_reader(t, o, v.txn);
+            return;
+        }
+        let status = match self.txns.get(&v.txn) {
+            Some(w) => w.status,
+            None => {
+                self.stale_refs += 1; // writer pruned since ingest — defensive
+                return;
+            }
+        };
+        match status {
+            Status::Active => {
+                self.txns
+                    .get_mut(&v.txn)
+                    .expect("checked above")
+                    .pending_readers
+                    .push(PendingRead {
+                        reader: t,
+                        object: o,
+                        seq: v.seq,
+                        via_predicate: br.via_predicate,
+                    });
+                self.txns.get_mut(&t).expect("committing txn").awaiting += 1;
+                // The `refs` pin stays held until the writer resolves.
+            }
+            Status::Aborted => {
+                let w = self.txns.get_mut(&v.txn).expect("checked above");
+                if br.counted {
+                    w.refs -= 1;
+                }
+                let final_seq = w.writes.get(&o).copied();
+                self.fire_g1a(t, o, v, br.via_predicate);
+                match final_seq {
+                    Some(fs) if fs != v.seq => self.fire_g1b(t, o, v, fs, br.via_predicate),
+                    Some(_) => {}
+                    None => self.stale_refs += 1, // read of a never-written version
+                }
+            }
+            Status::Committed => {
+                let w = self.txns.get_mut(&v.txn).expect("checked above");
+                if br.counted {
+                    w.refs -= 1;
+                }
+                let Some(final_seq) = w.writes.get(&o).copied() else {
+                    self.stale_refs += 1;
+                    return;
+                };
+                if v.seq != final_seq {
+                    self.fire_g1b(t, o, v, final_seq, br.via_predicate);
+                }
+                if br.via_predicate {
+                    return;
+                }
+                self.add_wr(v.txn, t);
+                self.anchor_reader(t, o, v.txn);
+            }
+        }
+    }
+
+    /// Anchors committed reader `t` at `writer`'s installed version of
+    /// `o`: emit the rw edge to the successor if one exists, otherwise
+    /// register at the entry to await one.
+    fn anchor_reader(&mut self, t: TxnId, o: ObjectId, writer: TxnId) {
+        let obj = self.objects.get_mut(&o).expect("writer installed on o");
+        let pos = *obj.pos_of.get(&writer).expect("committed writer has entry");
+        let idx = pos - obj.base;
+        if idx + 1 < obj.entries.len() {
+            let succ = obj.entries[idx + 1].txn;
+            if succ != t {
+                self.add_anti(t, succ);
+            }
+        } else {
+            obj.entries[idx].readers.push(t);
+            self.txns.get_mut(&t).expect("committed reader").registered += 1;
+        }
+    }
+
+    /// Resolves readers parked on writer `t`, which just committed.
+    fn resolve_pending(&mut self, t: TxnId, pr: PendingRead) {
+        self.txns
+            .get_mut(&pr.reader)
+            .expect("pending reader is pinned")
+            .awaiting -= 1;
+        {
+            let w = self.txns.get_mut(&t).expect("committing txn");
+            w.refs -= 1;
+        }
+        let final_seq = self.txns[&t].writes[&pr.object];
+        if pr.seq != final_seq {
+            self.fire_g1b(
+                pr.reader,
+                pr.object,
+                VersionId::new(t, pr.seq),
+                final_seq,
+                pr.via_predicate,
+            );
+        }
+        if pr.via_predicate {
+            return;
+        }
+        self.add_wr(t, pr.reader);
+        self.anchor_reader(pr.reader, pr.object, t);
+    }
+
+    fn on_abort(&mut self, t: TxnId) {
+        self.ensure_txn(t);
+        if self.txns[&t].status != Status::Active {
+            return;
+        }
+        {
+            let txn = self.txns.get_mut(&t).expect("ensured");
+            txn.status = Status::Aborted;
+            txn.terminal_clock = self.clock;
+        }
+        self.active.remove(&t);
+        // Its own buffered reads die with it: release the writer pins.
+        let reads = std::mem::take(&mut self.txns.get_mut(&t).expect("ensured").reads);
+        for br in reads {
+            if br.counted {
+                self.txns
+                    .get_mut(&br.version.txn)
+                    .expect("pinned writer is live")
+                    .refs -= 1;
+            }
+        }
+        // Committed readers that observed its versions read aborted
+        // data: G1a now, G1b too if the version wasn't the last one.
+        let pending = std::mem::take(&mut self.txns.get_mut(&t).expect("ensured").pending_readers);
+        for pr in pending {
+            self.txns
+                .get_mut(&pr.reader)
+                .expect("pending reader")
+                .awaiting -= 1;
+            self.txns.get_mut(&t).expect("ensured").refs -= 1;
+            let v = VersionId::new(t, pr.seq);
+            self.fire_g1a(pr.reader, pr.object, v, pr.via_predicate);
+            let final_seq = self.txns[&t].writes[&pr.object];
+            if pr.seq != final_seq {
+                self.fire_g1b(pr.reader, pr.object, v, final_seq, pr.via_predicate);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phenomena
+    // ------------------------------------------------------------------
+
+    fn fire_g1a(&mut self, reader: TxnId, o: ObjectId, v: VersionId, via_predicate: bool) {
+        let via = if via_predicate {
+            " (via predicate)"
+        } else {
+            ""
+        };
+        let w = format!(
+            "T{} read aborted version {o}[{v}] of T{}{via}",
+            reader.0, v.txn.0
+        );
+        self.fired.set(PhenomenonKind::G1a, w);
+    }
+
+    fn fire_g1b(
+        &mut self,
+        reader: TxnId,
+        o: ObjectId,
+        v: VersionId,
+        final_seq: u32,
+        via_predicate: bool,
+    ) {
+        let via = if via_predicate {
+            " (via predicate)"
+        } else {
+            ""
+        };
+        let w = format!(
+            "T{} read intermediate version {o}[{v}] of T{} (final seq {final_seq}){via}",
+            reader.0, v.txn.0
+        );
+        self.fired.set(PhenomenonKind::G1b, w);
+    }
+
+    fn cycle_string(witness: &[(TxnId, TxnId, EdgeMask)]) -> String {
+        let mut s = String::new();
+        for (i, (a, b, m)) in witness.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let lbl = if m.has_item_anti() { "rw" } else { "ww/wr" };
+            let _ = write!(s, "T{} -{lbl}-> T{}", a.0, b.0);
+        }
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental graph maintenance
+    // ------------------------------------------------------------------
+
+    fn add_ww(&mut self, from: TxnId, to: TxnId) {
+        if let Some(g) = self.ww.as_mut() {
+            if let Insert::CycleFormed(info) = g.add_edge(from, to, EdgeMask::DEP) {
+                let w = format!("write cycle: {}", Self::cycle_string(&info.witness));
+                self.fired.set(PhenomenonKind::G0, w);
+                self.drop_graph_ww();
+            }
+        }
+        self.add_dep_edge(from, to);
+        self.add_full_edge(from, to, EdgeMask::DEP);
+    }
+
+    fn add_wr(&mut self, from: TxnId, to: TxnId) {
+        self.add_dep_edge(from, to);
+        self.add_full_edge(from, to, EdgeMask::DEP);
+    }
+
+    fn add_anti(&mut self, from: TxnId, to: TxnId) {
+        self.add_full_edge(from, to, EdgeMask::ANTI_ITEM);
+    }
+
+    fn add_dep_edge(&mut self, from: TxnId, to: TxnId) {
+        if let Some(g) = self.dep.as_mut() {
+            if let Insert::CycleFormed(info) = g.add_edge(from, to, EdgeMask::DEP) {
+                let w = format!("dependency cycle: {}", Self::cycle_string(&info.witness));
+                self.fired.set(PhenomenonKind::G1c, w);
+                self.drop_graph_dep();
+            }
+        }
+    }
+
+    fn add_full_edge(&mut self, from: TxnId, to: TxnId, mask: EdgeMask) {
+        let Some(g) = self.full.as_mut() else { return };
+        match g.add_edge(from, to, mask) {
+            Insert::CycleFormed(info) => {
+                let anti = info
+                    .intra_edges
+                    .iter()
+                    .find(|(_, _, m)| m.has_item_anti())
+                    .copied();
+                if let Some((a, b, _)) = anti {
+                    let w = format!(
+                        "anti-dependency cycle through T{} -rw-> T{}: {}",
+                        a.0,
+                        b.0,
+                        Self::cycle_string(&info.witness)
+                    );
+                    self.fired.set(PhenomenonKind::G2Item, w.clone());
+                    self.fired.set(PhenomenonKind::G2, w);
+                    self.drop_graph_full_if_done();
+                }
+            }
+            Insert::IntraComponent if mask.has_item_anti() => {
+                let w = format!(
+                    "anti-dependency edge T{} -rw-> T{} inside a dependency cycle",
+                    from.0, to.0
+                );
+                self.fired.set(PhenomenonKind::G2Item, w.clone());
+                self.fired.set(PhenomenonKind::G2, w);
+                self.drop_graph_full_if_done();
+            }
+            _ => {}
+        }
+    }
+
+    fn drop_graph_ww(&mut self) {
+        if let Some(g) = self.ww.take() {
+            self.reorders_dropped += g.reorders();
+        }
+    }
+
+    fn drop_graph_dep(&mut self) {
+        if let Some(g) = self.dep.take() {
+            self.reorders_dropped += g.reorders();
+        }
+    }
+
+    fn drop_graph_full_if_done(&mut self) {
+        if self.fired.has(PhenomenonKind::G2) && self.fired.has(PhenomenonKind::G2Item) {
+            if let Some(g) = self.full.take() {
+                self.reorders_dropped += g.reorders();
+            }
+        }
+    }
+
+    fn sync_reorder_counter(&mut self) {
+        let total = self.reorders_dropped
+            + self.ww.as_ref().map_or(0, |g| g.reorders())
+            + self.dep.as_ref().map_or(0, |g| g.reorders())
+            + self.full.as_ref().map_or(0, |g| g.reorders());
+        if total > self.reorders_reported {
+            adya_obs::counter!("online.pk_reorders").add(total - self.reorders_reported);
+            self.reorders_reported = total;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection
+    // ------------------------------------------------------------------
+
+    fn maybe_gc(&mut self) {
+        if !self.gc.enabled {
+            return;
+        }
+        self.events_since_gc += 1;
+        if self.events_since_gc < self.gc.interval {
+            return;
+        }
+        self.events_since_gc = 0;
+        self.run_gc();
+    }
+
+    /// One collection: prune every settled transaction below the
+    /// low watermark, repeating while progress is made (pruning one
+    /// front entry can move the next candidate's entry to the front).
+    fn run_gc(&mut self) {
+        if !self.gc.enabled {
+            return;
+        }
+        let watermark = self
+            .active
+            .iter()
+            .map(|t| self.txns[t].begin_clock)
+            .min()
+            .unwrap_or(self.clock);
+        loop {
+            let candidates: Vec<TxnId> = self
+                .txns
+                .iter()
+                .filter(|(_, t)| {
+                    t.status != Status::Active
+                        && t.refs == 0
+                        && t.awaiting == 0
+                        && t.registered == 0
+                        && t.pending_readers.is_empty()
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            let mut progress = 0usize;
+            for id in candidates {
+                if self.try_prune(id, watermark) {
+                    progress += 1;
+                }
+            }
+            if progress == 0 {
+                break;
+            }
+        }
+    }
+
+    fn try_prune(&mut self, id: TxnId, watermark: u64) -> bool {
+        let t = &self.txns[&id];
+        match t.status {
+            Status::Active => return false,
+            Status::Aborted => {
+                if t.terminal_clock > watermark {
+                    return false;
+                }
+            }
+            Status::Committed => {
+                if t.unsuperseded != 0 || t.prune_after > watermark {
+                    return false;
+                }
+                // Prefix rule: only ever prune the oldest version of an
+                // object, so a surviving predecessor always implies its
+                // successor (the target of any future rw edge) survives.
+                for o in t.writes.keys() {
+                    let obj = &self.objects[o];
+                    if obj.pos_of[&id] != obj.base {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Never disturb a condensed cycle component (those nodes are
+        // the evidence for latched phenomena; the whole graph is freed
+        // when its phenomenon latches).
+        for g in [&mut self.ww, &mut self.dep, &mut self.full]
+            .into_iter()
+            .flatten()
+        {
+            if g.contains(id) && !g.is_removable(id) {
+                return false;
+            }
+        }
+        for g in [&mut self.ww, &mut self.dep, &mut self.full]
+            .into_iter()
+            .flatten()
+        {
+            let ok = g.remove_node_contract(id, EdgeMask::combine);
+            debug_assert!(ok, "removability checked above");
+        }
+        let t = self.txns.remove(&id).expect("candidate exists");
+        if t.status == Status::Committed {
+            // Aborted writes were never installed; only committed ones
+            // have entries to retire.
+            for o in t.writes.keys() {
+                let obj = self.objects.get_mut(o).expect("entry exists");
+                let e = obj.entries.pop_front().expect("prefix rule");
+                debug_assert_eq!(e.txn, id);
+                debug_assert!(e.readers.is_empty(), "superseded entries have no readers");
+                obj.base += 1;
+                obj.pos_of.remove(&id);
+            }
+        }
+        self.pruned_txns += 1;
+        adya_obs::counter!("online.gc_pruned").inc();
+        true
+    }
+
+    fn verdict(&self, txn: Option<TxnId>, new_fired: &[PhenomenonKind]) -> Verdict {
+        let witness = new_fired.first().and_then(|k| {
+            self.fired
+                .witnesses
+                .iter()
+                .find(|(fk, _)| fk == k)
+                .map(|(_, w)| w.clone())
+        });
+        Verdict {
+            txn,
+            committed: self.committed,
+            strongest_ansi: self.strongest_ansi(),
+            fired: self.fired.kinds(),
+            new_fired: new_fired.to_vec(),
+            witness,
+            pruned_txns: self.pruned_txns,
+            stale_refs: self.stale_refs,
+            live_txns: self.txns.len(),
+            is_final: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adya_history::{ReadEvent, VersionKind, WriteEvent};
+
+    fn w(t: u32, o: u32, seq: u32) -> Event {
+        Event::Write(WriteEvent {
+            txn: TxnId(t),
+            object: ObjectId(o),
+            seq,
+            kind: VersionKind::Visible,
+            value: None,
+        })
+    }
+
+    fn r(t: u32, o: u32, writer: u32, seq: u32) -> Event {
+        Event::Read(ReadEvent {
+            txn: TxnId(t),
+            object: ObjectId(o),
+            version: VersionId::new(TxnId(writer), seq),
+            through_cursor: false,
+        })
+    }
+
+    fn rinit(t: u32, o: u32) -> Event {
+        Event::Read(ReadEvent {
+            txn: TxnId(t),
+            object: ObjectId(o),
+            version: VersionId::INIT,
+            through_cursor: false,
+        })
+    }
+
+    fn feed(c: &mut OnlineChecker, evs: &[Event]) -> Vec<Verdict> {
+        evs.iter().filter_map(|e| c.ingest(e)).collect()
+    }
+
+    #[test]
+    fn clean_serial_history_is_pl3() {
+        let mut c = OnlineChecker::new();
+        let vs = feed(
+            &mut c,
+            &[
+                Event::Begin(TxnId(1)),
+                w(1, 0, 1),
+                Event::Commit(TxnId(1)),
+                Event::Begin(TxnId(2)),
+                r(2, 0, 1, 1),
+                w(2, 0, 1),
+                Event::Commit(TxnId(2)),
+            ],
+        );
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[1].strongest_ansi, Some(IsolationLevel::PL3));
+        assert!(vs[1].fired.is_empty());
+        let end = c.finish();
+        assert_eq!(end.strongest_ansi, Some(IsolationLevel::PL3));
+    }
+
+    #[test]
+    fn aborted_read_is_g1a_and_caps_at_pl1() {
+        let mut c = OnlineChecker::new();
+        feed(
+            &mut c,
+            &[
+                Event::Begin(TxnId(1)),
+                w(1, 0, 1),
+                Event::Begin(TxnId(2)),
+                r(2, 0, 1, 1),
+                Event::Commit(TxnId(2)),
+                Event::Abort(TxnId(1)),
+            ],
+        );
+        let end = c.finish();
+        assert_eq!(end.fired, vec![PhenomenonKind::G1a]);
+        assert_eq!(end.strongest_ansi, Some(IsolationLevel::PL1));
+    }
+
+    #[test]
+    fn intermediate_read_is_g1b() {
+        let mut c = OnlineChecker::new();
+        feed(
+            &mut c,
+            &[
+                Event::Begin(TxnId(1)),
+                w(1, 0, 1),
+                Event::Begin(TxnId(2)),
+                r(2, 0, 1, 1),
+                Event::Commit(TxnId(2)),
+                w(1, 0, 2),
+                Event::Commit(TxnId(1)),
+            ],
+        );
+        let end = c.finish();
+        assert_eq!(end.fired, vec![PhenomenonKind::G1b]);
+    }
+
+    #[test]
+    fn mutual_dirty_reads_are_g1c() {
+        // T1 and T2 read each other's uncommitted writes; both commit.
+        let mut c = OnlineChecker::new();
+        feed(
+            &mut c,
+            &[
+                Event::Begin(TxnId(1)),
+                Event::Begin(TxnId(2)),
+                w(1, 0, 1),
+                w(2, 1, 1),
+                r(2, 0, 1, 1),
+                r(1, 1, 2, 1),
+                Event::Commit(TxnId(1)),
+                Event::Commit(TxnId(2)),
+            ],
+        );
+        let end = c.finish();
+        assert!(end.fired.contains(&PhenomenonKind::G1c), "{:?}", end.fired);
+        assert_eq!(end.strongest_ansi, Some(IsolationLevel::PL1));
+    }
+
+    #[test]
+    fn write_skew_is_g2_item() {
+        // Classic write skew: T1 reads x-init writes y, T2 reads
+        // y-init writes x. rw edges both ways.
+        let mut c = OnlineChecker::new();
+        feed(
+            &mut c,
+            &[
+                Event::Begin(TxnId(1)),
+                Event::Begin(TxnId(2)),
+                rinit(1, 0),
+                rinit(2, 1),
+                w(1, 1, 1),
+                w(2, 0, 1),
+                Event::Commit(TxnId(1)),
+                Event::Commit(TxnId(2)),
+            ],
+        );
+        let end = c.finish();
+        assert!(
+            end.fired.contains(&PhenomenonKind::G2Item),
+            "{:?}",
+            end.fired
+        );
+        assert!(end.fired.contains(&PhenomenonKind::G2));
+        assert_eq!(end.strongest_ansi, Some(IsolationLevel::PL2));
+    }
+
+    #[test]
+    fn lost_update_read_modify_write_is_g2_item() {
+        // T1 and T2 both read x-init then write x: the later installer
+        // receives an rw edge from the other's anchored read.
+        let mut c = OnlineChecker::new();
+        feed(
+            &mut c,
+            &[
+                Event::Begin(TxnId(1)),
+                Event::Begin(TxnId(2)),
+                rinit(1, 0),
+                rinit(2, 0),
+                w(1, 0, 1),
+                Event::Commit(TxnId(1)),
+                w(2, 0, 1),
+                Event::Commit(TxnId(2)),
+            ],
+        );
+        let end = c.finish();
+        assert!(
+            end.fired.contains(&PhenomenonKind::G2Item),
+            "{:?}",
+            end.fired
+        );
+    }
+
+    #[test]
+    fn gc_prunes_a_long_serial_stream_and_keeps_the_verdict() {
+        let mut c = OnlineChecker::with_gc(GcConfig {
+            enabled: true,
+            interval: 1,
+        });
+        let mut peak = 0usize;
+        for i in 1..=500u32 {
+            c.ingest(&Event::Begin(TxnId(i)));
+            if i > 1 {
+                c.ingest(&r(i, 0, i - 1, 1));
+            }
+            c.ingest(&w(i, 0, 1));
+            let v = c.ingest(&Event::Commit(TxnId(i))).unwrap();
+            assert_eq!(v.strongest_ansi, Some(IsolationLevel::PL3));
+            assert_eq!(v.stale_refs, 0);
+            peak = peak.max(c.live_txns());
+        }
+        let end = c.finish();
+        assert!(end.pruned_txns > 450, "pruned {}", end.pruned_txns);
+        assert!(peak < 10, "memory not bounded: peak {peak} txns live");
+        assert_eq!(end.strongest_ansi, Some(IsolationLevel::PL3));
+        assert_eq!(end.stale_refs, 0);
+    }
+
+    #[test]
+    fn gc_never_loses_a_cycle_through_a_pruned_interior_node() {
+        // T3 -wr-> T1 -rw-> T2 with T1 prunable; a later path back from
+        // T2 to T3 must still be reported as a cycle (contraction).
+        let mut c = OnlineChecker::with_gc(GcConfig {
+            enabled: true,
+            interval: 1,
+        });
+        feed(
+            &mut c,
+            &[
+                // T3 writes y and commits; T1 reads it, reads x-init,
+                // and commits read-only.
+                Event::Begin(TxnId(3)),
+                w(3, 1, 1),
+                Event::Begin(TxnId(5)),
+                r(5, 1, 3, 1), // T5 buffers a dirty read of y3 (keeps T3 referenced)
+                Event::Commit(TxnId(3)),
+                Event::Begin(TxnId(1)),
+                r(1, 1, 3, 1),
+                rinit(1, 0),
+                Event::Commit(TxnId(1)),
+                // T2 overwrites x: rw T1 -> T2, then T1 becomes prunable.
+                Event::Begin(TxnId(2)),
+                w(2, 0, 1),
+                Event::Commit(TxnId(2)),
+                // Churn so GC definitely runs.
+                Event::Begin(TxnId(9)),
+                Event::Commit(TxnId(9)),
+                // Close the loop: T5 read y3 before T3's commit?  No —
+                // T5 reads T2's x (wr T2->T5) and writes y: rw T5->?
+                r(5, 0, 2, 1),
+                w(5, 1, 1),
+                Event::Commit(TxnId(5)),
+            ],
+        );
+        // Edges: wr T3->T1, rw T1->T2 (may be contracted into T3->T2
+        // when T1 prunes), wr T3->T5, wr T2->T5, ww T3->T5 (y), and
+        // T5's own-read anchoring. The cycle check here: T5 read y3
+        // then overwrote y, and read x2 — rw edges close T2->T5 and
+        // T5 anchored at y3 -> successor is T5 itself (skipped).
+        // What must hold: the checker did prune T1 yet still knows
+        // every dependency path that ran through it.
+        let end = c.finish();
+        assert!(end.pruned_txns > 0, "T1 should have been pruned");
+        assert_eq!(end.stale_refs, 0);
+    }
+
+    #[test]
+    fn verdict_json_shape() {
+        let mut c = OnlineChecker::new();
+        let vs = feed(
+            &mut c,
+            &[Event::Begin(TxnId(1)), w(1, 0, 1), Event::Commit(TxnId(1))],
+        );
+        let j = vs[0].to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"txn\": 1"));
+        assert!(j.contains("\"strongest_ansi\": \"PL-3\""));
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn satisfies_follows_proscriptions() {
+        let mut c = OnlineChecker::new();
+        feed(
+            &mut c,
+            &[
+                Event::Begin(TxnId(1)),
+                w(1, 0, 1),
+                Event::Begin(TxnId(2)),
+                r(2, 0, 1, 1),
+                Event::Commit(TxnId(2)),
+                Event::Abort(TxnId(1)),
+            ],
+        );
+        let end = c.finish();
+        assert!(end.satisfies(IsolationLevel::PL1));
+        assert!(!end.satisfies(IsolationLevel::PL2));
+        assert!(!end.satisfies(IsolationLevel::PL3));
+    }
+}

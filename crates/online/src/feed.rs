@@ -1,0 +1,256 @@
+//! Incremental parser for the paper's textual notation, token by
+//! token, for `adya-check --stream` and canned event logs.
+//!
+//! Supports the item-operation subset of the batch parser: `b1`,
+//! `c1`, `a1`, `w1(x[,v])`, `r1(x2[,v])`, `rc1(x2)`, with version
+//! targets `x2` (latest seen write of T2 on x), `x2:3` (explicit
+//! modification counter) and `xinit`. Predicate reads (`#pred`, `rp…`)
+//! and trailing explicit version orders (`[x1 << x2]`) are batch-only
+//! concepts — the online checker assumes install order = commit order
+//! — and are rejected with a clear error.
+
+use std::collections::HashMap;
+
+use adya_history::{Event, ObjectId, ReadEvent, TxnId, Value, VersionId, VersionKind, WriteEvent};
+
+/// Streaming token parser. Stateful: it interns object names and
+/// tracks each transaction's per-object write counters so that `r2(x1)`
+/// resolves to the latest modification T1 has made to `x` *so far*.
+#[derive(Debug, Default)]
+pub struct StreamParser {
+    objects: HashMap<String, ObjectId>,
+    names: Vec<String>,
+    last_seq: HashMap<(TxnId, ObjectId), u32>,
+}
+
+impl StreamParser {
+    /// An empty parser.
+    pub fn new() -> StreamParser {
+        StreamParser::default()
+    }
+
+    /// The interned name of `o` (for rendering verdicts).
+    pub fn object_name(&self, o: ObjectId) -> &str {
+        &self.names[o.0 as usize]
+    }
+
+    fn object(&mut self, name: &str) -> ObjectId {
+        if let Some(&o) = self.objects.get(name) {
+            return o;
+        }
+        let o = ObjectId(self.names.len() as u32);
+        self.objects.insert(name.to_string(), o);
+        self.names.push(name.to_string());
+        o
+    }
+
+    /// Parses one whitespace-delimited token into an [`Event`].
+    pub fn parse_token(&mut self, tok: &str) -> Result<Event, String> {
+        if tok.starts_with("#pred") || tok.starts_with("rp") {
+            return Err(format!(
+                "{tok:?}: predicate reads are not supported in streaming mode"
+            ));
+        }
+        if tok.starts_with('[') {
+            return Err(format!(
+                "{tok:?}: explicit version orders are not supported in streaming mode \
+                 (install order is commit order)"
+            ));
+        }
+        for (prefix, make) in [
+            ("b", Event::Begin as fn(TxnId) -> Event),
+            ("c", Event::Commit as fn(TxnId) -> Event),
+            ("a", Event::Abort as fn(TxnId) -> Event),
+        ] {
+            if let Some(rest) = tok.strip_prefix(prefix) {
+                if let Ok(n) = rest.parse::<u32>() {
+                    return Ok(make(TxnId(n)));
+                }
+            }
+        }
+        let (cursor, rest) = if let Some(r) = tok.strip_prefix("rc") {
+            (true, r)
+        } else if let Some(r) = tok.strip_prefix('r') {
+            (false, r)
+        } else if let Some(r) = tok.strip_prefix('w') {
+            return self.parse_write(tok, r);
+        } else {
+            return Err(format!("unrecognized token {tok:?}"));
+        };
+        let (txn, target, _value) = split_call(tok, rest)?;
+        let (name, vref) = split_version_target(target)
+            .ok_or_else(|| format!("{tok:?}: bad read target {target:?}"))?;
+        let object = self.object(name);
+        let version = match vref {
+            VersionRef::Init => VersionId::INIT,
+            VersionRef::Latest(w) => {
+                let seq = self.last_seq.get(&(w, object)).copied().unwrap_or(1);
+                VersionId::new(w, seq)
+            }
+            VersionRef::Exact(w, seq) => VersionId::new(w, seq),
+        };
+        Ok(Event::Read(ReadEvent {
+            txn,
+            object,
+            version,
+            through_cursor: cursor,
+        }))
+    }
+
+    fn parse_write(&mut self, tok: &str, rest: &str) -> Result<Event, String> {
+        let (txn, target, value) = split_call(tok, rest)?;
+        if target.chars().any(|c| c.is_ascii_digit()) {
+            return Err(format!(
+                "{tok:?}: write targets are object names without version suffixes"
+            ));
+        }
+        let object = self.object(target);
+        let seq = self.last_seq.entry((txn, object)).or_insert(0);
+        *seq += 1;
+        let seq = *seq;
+        let (kind, value) = match value {
+            Some("dead") => (VersionKind::Dead, None),
+            Some(v) => (
+                VersionKind::Visible,
+                Some(
+                    v.parse::<i64>()
+                        .map(Value::Int)
+                        .unwrap_or_else(|_| Value::str(v)),
+                ),
+            ),
+            None => (VersionKind::Visible, None),
+        };
+        Ok(Event::Write(WriteEvent {
+            txn,
+            object,
+            seq,
+            kind,
+            value,
+        }))
+    }
+}
+
+/// Splits `12(x,5)` into `(TxnId(12), "x", Some("5"))`.
+fn split_call<'a>(tok: &str, rest: &'a str) -> Result<(TxnId, &'a str, Option<&'a str>), String> {
+    let open = rest
+        .find('(')
+        .ok_or_else(|| format!("unrecognized token {tok:?}"))?;
+    let txn: u32 = rest[..open]
+        .parse()
+        .map_err(|_| format!("{tok:?}: bad transaction number"))?;
+    let inner = rest[open + 1..]
+        .strip_suffix(')')
+        .ok_or_else(|| format!("{tok:?}: missing closing paren"))?;
+    let mut args = inner.split(',').map(str::trim);
+    let target = args
+        .next()
+        .filter(|t| !t.is_empty())
+        .ok_or_else(|| format!("{tok:?}: missing target"))?;
+    Ok((TxnId(txn), target, args.next()))
+}
+
+enum VersionRef {
+    Init,
+    Latest(TxnId),
+    Exact(TxnId, u32),
+}
+
+/// Mirrors the batch parser: the object name is the maximal prefix not
+/// ending in a digit; `xinit` selects the initial version.
+fn split_version_target(target: &str) -> Option<(&str, VersionRef)> {
+    if let Some(name) = target.strip_suffix("init") {
+        if !name.is_empty() {
+            return Some((name, VersionRef::Init));
+        }
+    }
+    let (base, seq) = match target.split_once(':') {
+        Some((b, s)) => (b, Some(s.parse::<u32>().ok()?)),
+        None => (target, None),
+    };
+    let digits_at = base
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_ascii_digit())
+        .last()
+        .map(|(i, _)| i)?;
+    let (name, writer) = base.split_at(digits_at);
+    if name.is_empty() {
+        return None;
+    }
+    let writer: u32 = writer.parse().ok()?;
+    Some(match seq {
+        Some(s) => (name, VersionRef::Exact(TxnId(writer), s)),
+        None => (name, VersionRef::Latest(TxnId(writer))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_basic_forms() {
+        let mut p = StreamParser::new();
+        assert_eq!(p.parse_token("b1").unwrap(), Event::Begin(TxnId(1)));
+        let w = p.parse_token("w1(x,5)").unwrap();
+        match &w {
+            Event::Write(we) => {
+                assert_eq!(we.txn, TxnId(1));
+                assert_eq!(we.seq, 1);
+                assert_eq!(we.value, Some(Value::Int(5)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Second write of the same txn bumps the seq.
+        match p.parse_token("w1(x,6)").unwrap() {
+            Event::Write(we) => assert_eq!(we.seq, 2),
+            other => panic!("{other:?}"),
+        }
+        // Latest-version read resolves to seq 2.
+        match p.parse_token("r2(x1)").unwrap() {
+            Event::Read(re) => {
+                assert_eq!(re.version, VersionId::new(TxnId(1), 2));
+                assert!(!re.through_cursor);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p.parse_token("rc2(x1:1)").unwrap() {
+            Event::Read(re) => {
+                assert_eq!(re.version, VersionId::new(TxnId(1), 1));
+                assert!(re.through_cursor);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p.parse_token("r2(yinit)").unwrap() {
+            Event::Read(re) => assert!(re.version.is_init()),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.parse_token("c2").unwrap(), Event::Commit(TxnId(2)));
+        assert_eq!(p.parse_token("a1").unwrap(), Event::Abort(TxnId(1)));
+    }
+
+    #[test]
+    fn rejects_batch_only_notation() {
+        let mut p = StreamParser::new();
+        assert!(p.parse_token("#pred(P,1,9)").is_err());
+        assert!(p.parse_token("rp1(P: x0)").is_err());
+        assert!(p.parse_token("[x1 << x2]").is_err());
+        assert!(p.parse_token("zzz").is_err());
+    }
+
+    #[test]
+    fn dead_writes_and_string_values() {
+        let mut p = StreamParser::new();
+        match p.parse_token("w3(x,dead)").unwrap() {
+            Event::Write(we) => {
+                assert_eq!(we.kind, VersionKind::Dead);
+                assert_eq!(we.value, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p.parse_token("w3(y,hello)").unwrap() {
+            Event::Write(we) => assert_eq!(we.value, Some(Value::str("hello"))),
+            other => panic!("{other:?}"),
+        }
+    }
+}

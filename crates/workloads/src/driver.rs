@@ -215,6 +215,13 @@ fn restart(
 ) {
     let _ = engine.abort(s.txn);
     adya_obs::counter!("engine.deadlock_victim").inc();
+    adya_obs::global().event(
+        "engine.deadlock_victim",
+        vec![
+            ("txn".into(), adya_obs::Field::from(u64::from(s.txn.0))),
+            ("restarts".into(), adya_obs::Field::from(s.restarts as u64)),
+        ],
+    );
     stats.count_abort(&AbortReason::DeadlockVictim);
     begin_fresh_attempt(engine, s, cfg, stats);
 }

@@ -32,6 +32,12 @@ pub struct HistGenConfig {
     /// random permutation instead of commit order (multi-version
     /// flavour). Leave at 0 to model single-version systems.
     pub shuffle_order_prob: f64,
+    /// Concurrency window: at most this many transactions are live at
+    /// once; the next one starts only when a slot frees up (how a
+    /// connection-pooled system behaves, and what a bounded-memory
+    /// streaming checker can exploit). `0` means unbounded — every
+    /// transaction is live from the start.
+    pub max_concurrent: usize,
 }
 
 impl Default for HistGenConfig {
@@ -44,6 +50,7 @@ impl Default for HistGenConfig {
             dirty_read_prob: 0.3,
             abort_prob: 0.15,
             shuffle_order_prob: 0.0,
+            max_concurrent: 0,
         }
     }
 }
@@ -111,7 +118,13 @@ pub fn random_history(cfg: &HistGenConfig, seed: u64) -> History {
         .collect();
     let mut committed: Vec<bool> = vec![false; cfg.txns];
 
-    let mut active: Vec<usize> = (0..cfg.txns).collect();
+    let window = if cfg.max_concurrent == 0 {
+        cfg.txns
+    } else {
+        cfg.max_concurrent
+    };
+    let mut active: Vec<usize> = (0..cfg.txns.min(window)).collect();
+    let mut next_admit = active.len();
     while !active.is_empty() {
         let pick = rng.gen_range(0..active.len());
         let six = active[pick];
@@ -174,6 +187,10 @@ pub fn random_history(cfg: &HistGenConfig, seed: u64) -> History {
                 }
             }
             active.remove(pick);
+            if next_admit < cfg.txns {
+                active.push(next_admit);
+                next_admit += 1;
+            }
         }
     }
 

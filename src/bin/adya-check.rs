@@ -20,17 +20,19 @@
 //! `#pred`) are comments.
 
 use std::fmt::Write as _;
-use std::io::Read as _;
+use std::io::{BufRead as _, Read as _};
 use std::process::ExitCode;
 
 use adya::core::{analyze, Analysis, IsolationLevel};
 use adya::history::parse_history_completed;
+use adya::online::{OnlineChecker, StreamParser};
 
 struct Args {
     path: Option<String>,
     dot: bool,
     json: bool,
     metrics: bool,
+    stream: bool,
     level: Option<IsolationLevel>,
 }
 
@@ -146,6 +148,7 @@ fn parse_args() -> Result<Args, String> {
         dot: false,
         json: false,
         metrics: false,
+        stream: false,
         level: None,
     };
     let mut it = std::env::args().skip(1);
@@ -154,6 +157,7 @@ fn parse_args() -> Result<Args, String> {
             "--dot" => args.dot = true,
             "--json" => args.json = true,
             "--metrics" => args.metrics = true,
+            "--stream" => args.stream = true,
             "--level" => {
                 let v = it.next().ok_or("--level needs a value (e.g. PL-3)")?;
                 args.level = Some(parse_level(&v).ok_or_else(|| format!("unknown level {v:?}"))?);
@@ -168,13 +172,91 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-const USAGE: &str = "usage: adya-check [--dot] [--json] [--metrics] [--level PL-3] [FILE]
+const USAGE: &str =
+    "usage: adya-check [--dot] [--json] [--metrics] [--stream] [--level PL-3] [FILE]
 Reads a history (paper notation) from FILE or stdin and analyzes it.
   --dot          also print the DSG as Graphviz DOT
   --json         machine-readable output instead of the text report
   --metrics      append checker metrics (phase timings, graph stats)
+  --stream       incremental mode: ingest events one at a time and emit
+                 one NDJSON verdict line per commit plus a final line;
+                 predicate reads and explicit version orders are not
+                 supported, and --level is restricted to the ANSI chain
   --level LEVEL  exit non-zero unless the history satisfies LEVEL
                  (PL-1, PL-2, PL-CS, PL-MAV, PL-2+, PL-2.99, PL-SI, PL-3)";
+
+/// `--stream`: feed the input token-by-token through the incremental
+/// checker, emitting one NDJSON verdict per commit and a final summary
+/// line (`"final": true`). Metrics go to stderr so stdout stays pure
+/// NDJSON.
+fn run_stream(args: &Args) -> ExitCode {
+    if args.dot {
+        eprintln!("adya-check: --dot is not available with --stream (no final DSG is kept)");
+        return ExitCode::from(2);
+    }
+    if let Some(level) = args.level {
+        let ansi = [
+            IsolationLevel::PL1,
+            IsolationLevel::PL2,
+            IsolationLevel::PL299,
+            IsolationLevel::PL3,
+        ];
+        if !ansi.contains(&level) {
+            eprintln!("adya-check: --stream verdicts cover the ANSI chain only (PL-1, PL-2, PL-2.99, PL-3), not {level}");
+            return ExitCode::from(2);
+        }
+    }
+    let reader: Box<dyn std::io::BufRead> = match &args.path {
+        Some(p) => match std::fs::File::open(p) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => {
+                eprintln!("adya-check: cannot read {p}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+    let mut parser = StreamParser::new();
+    let mut checker = OnlineChecker::new();
+    for (ix, line) in reader.lines().enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("adya-check: read error on line {}: {e}", ix + 1);
+                return ExitCode::from(2);
+            }
+        };
+        let t = line.trim_start();
+        // Comment lines; `#pred(` is deliberately NOT exempted here —
+        // it reaches the parser, which explains why it is unsupported.
+        if t.starts_with('#') && !t.starts_with("#pred(") {
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let ev = match parser.parse_token(tok) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("adya-check: line {}: {e}", ix + 1);
+                    return ExitCode::from(2);
+                }
+            };
+            if let Some(v) = checker.ingest(&ev) {
+                println!("{}", v.to_json());
+            }
+        }
+    }
+    let fin = checker.finish();
+    println!("{}", fin.to_json());
+    if args.metrics {
+        eprintln!("{}", metrics_text(&adya_obs::global().snapshot()));
+    }
+    if let Some(level) = args.level {
+        if !fin.satisfies(level) {
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let args = match parse_args() {
@@ -184,6 +266,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.stream {
+        return run_stream(&args);
+    }
     let raw = match &args.path {
         Some(p) => match std::fs::read_to_string(p) {
             Ok(s) => s,

@@ -52,3 +52,7 @@ pub use adya_workloads as workloads;
 
 /// Generic serialization-graph machinery (SCC, witness cycles, DOT).
 pub use adya_graph as graph;
+
+/// The streaming checker: per-transaction verdicts at commit time with
+/// incremental cycle detection and bounded-memory GC.
+pub use adya_online as online;

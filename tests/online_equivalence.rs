@@ -1,0 +1,126 @@
+//! Online/batch equivalence: for random commit-order histories, the
+//! streaming checker's final verdict — after a full ingest with the
+//! most aggressive GC configuration — must match the batch
+//! classification exactly, both in the strongest ANSI level and in
+//! the set of fired phenomena.
+//!
+//! Histories are sampled with `shuffle_order_prob = 0.0` because the
+//! online checker installs versions at commit time: explicit version
+//! orders that diverge from commit order are a batch-only concept
+//! (see `adya::online` crate docs).
+
+use std::collections::BTreeSet;
+
+use adya::core::{classify, detect_all, PhenomenonKind};
+use adya::online::{GcConfig, OnlineChecker};
+use adya::workloads::histgen::{random_history, HistGenConfig};
+use proptest::prelude::*;
+
+/// The phenomena the online checker reports (the ANSI chain's
+/// proscriptions); batch-only extensions (G-single, G-SI, …) are
+/// filtered out of the batch side before comparing.
+const ONLINE_KINDS: [PhenomenonKind; 6] = [
+    PhenomenonKind::G0,
+    PhenomenonKind::G1a,
+    PhenomenonKind::G1b,
+    PhenomenonKind::G1c,
+    PhenomenonKind::G2Item,
+    PhenomenonKind::G2,
+];
+
+fn cfg_strategy() -> impl Strategy<Value = HistGenConfig> {
+    (
+        2usize..8,
+        2usize..5,
+        1usize..6,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..0.5,
+        // Both unbounded concurrency (everything live at once, GC
+        // mostly idle until the tail) and tight windows (GC prunes
+        // mid-stream, the regime it exists for).
+        prop_oneof![Just(0usize), 1usize..4],
+    )
+        .prop_map(
+            |(txns, objects, ops, write, dirty, abortp, win)| HistGenConfig {
+                txns,
+                objects,
+                ops_per_txn: ops,
+                write_prob: write,
+                dirty_read_prob: dirty,
+                abort_prob: abortp,
+                // Install order must equal commit order for the streaming
+                // model; see the module docs above.
+                shuffle_order_prob: 0.0,
+                max_concurrent: win,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Full-ingest equivalence with GC at its most aggressive setting
+    /// (a collection pass after every event), so any pruning bug that
+    /// loses an edge, a cycle, or a dirty-read witness shows up as a
+    /// verdict divergence.
+    #[test]
+    fn online_matches_batch(cfg in cfg_strategy(), seed in 0u64..10_000) {
+        let h = random_history(&cfg, seed);
+
+        let mut online = OnlineChecker::with_gc(GcConfig { enabled: true, interval: 1 });
+        for e in h.events() {
+            online.ingest(e);
+        }
+        let v = online.finish();
+
+        let batch = classify(&h);
+        prop_assert_eq!(
+            v.strongest_ansi,
+            batch.strongest_ansi(),
+            "strongest ANSI level diverged (online fired {:?}):\n{}",
+            online.fired_kinds(),
+            h
+        );
+
+        let batch_kinds: BTreeSet<PhenomenonKind> = detect_all(&h)
+            .iter()
+            .map(|p| p.kind())
+            .filter(|k| ONLINE_KINDS.contains(k))
+            .collect();
+        let online_kinds: BTreeSet<PhenomenonKind> =
+            online.fired_kinds().into_iter().collect();
+        prop_assert_eq!(
+            online_kinds,
+            batch_kinds,
+            "fired-phenomena sets diverged:\n{}",
+            h
+        );
+
+        // Commit-order histories never read versions the GC has
+        // already pruned incorrectly: a nonzero stale count means a
+        // liveness-accounting bug, not a legitimately weakened verdict.
+        prop_assert_eq!(v.stale_refs, 0, "stale reads under GC:\n{}", h);
+    }
+
+    /// GC must be verdict-neutral: the same ingest with collection
+    /// disabled (exact batch memory behaviour) produces the same
+    /// verdict as interval-1 collection.
+    #[test]
+    fn gc_is_verdict_neutral(cfg in cfg_strategy(), seed in 0u64..10_000) {
+        let h = random_history(&cfg, seed);
+
+        let mut eager = OnlineChecker::with_gc(GcConfig { enabled: true, interval: 1 });
+        let mut keeper = OnlineChecker::with_gc(GcConfig { enabled: false, interval: 1 });
+        for e in h.events() {
+            eager.ingest(e);
+            keeper.ingest(e);
+        }
+        let ve = eager.finish();
+        let vk = keeper.finish();
+        prop_assert_eq!(ve.strongest_ansi, vk.strongest_ansi, "GC changed the level:\n{}", h);
+        let ke: BTreeSet<PhenomenonKind> = ve.fired.iter().copied().collect();
+        let kk: BTreeSet<PhenomenonKind> = vk.fired.iter().copied().collect();
+        prop_assert_eq!(ke, kk, "GC changed the fired set:\n{}", h);
+    }
+}

@@ -27,6 +27,7 @@ fn cfg_strategy() -> impl Strategy<Value = HistGenConfig> {
                 dirty_read_prob: dirty,
                 abort_prob: abortp,
                 shuffle_order_prob: shuffle,
+                max_concurrent: 0,
             },
         )
 }
