@@ -125,10 +125,12 @@ fn with_uniform_level(h: &adya_history::History, level: RequestedLevel) -> adya_
 
 fn main() {
     banner("Section 5.5: mixing of isolation levels (Definition 9)");
+    // Seed plumbing: `--seed` shifts every sampled run.
+    let base_seed = adya_bench::u64_from_args("seed", 0);
 
     // Experiment 1: locking mixes are always mixing-correct.
     let mut lock_ok = true;
-    for seed in 0..20 {
+    for seed in base_seed..base_seed + 20 {
         let h = locking_mix(seed);
         let rep = check_mixing(&h);
         if !rep.is_correct() {
@@ -144,14 +146,14 @@ fn main() {
         abort_prob: 0.1,
         ..Default::default()
     };
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = StdRng::seed_from_u64(99 ^ base_seed);
     let mut agree = 0;
     let mut total = 0;
     let mut monotone_ok = true;
     let mut correct_at_pl3 = 0;
     let mut correct_random = 0;
     let n = 150;
-    for seed in 0..n {
+    for seed in base_seed..base_seed + n {
         let h = random_history(&cfg, seed);
         // (a) all-PL-3 assignment: mixing-correct ⇔ PL-3.
         let pl3h = with_uniform_level(&h, RequestedLevel::PL3);

@@ -156,10 +156,11 @@ fn run_size(txns: usize, seed: u64) -> SizeRun {
     }
 }
 
-fn write_report(path: &str, runs: &[SizeRun]) -> std::io::Result<()> {
+fn write_report(path: &str, seed: u64, runs: &[SizeRun]) -> std::io::Result<()> {
     let mut w = JsonWriter::new();
     w.open_object(None);
     w.str_field("report", "online_vs_batch");
+    w.u64_field("seed", seed);
     w.open_array(Some("runs"));
     for r in runs {
         w.open_object(None);
@@ -199,9 +200,12 @@ fn write_report(path: &str, runs: &[SizeRun]) -> std::io::Result<()> {
 fn main() {
     banner("Online (incremental) vs batch (re-check every prefix)");
     let report_path = report_path_from_args();
+    // Seed plumbing: `--seed` re-generates every size's history and is
+    // echoed in the report, so a run is reproducible from it alone.
+    let seed = adya_bench::u64_from_args("seed", 42);
 
     let sizes = [32usize, 64, 128, 256, 512];
-    let runs: Vec<SizeRun> = sizes.iter().map(|&n| run_size(n, 42)).collect();
+    let runs: Vec<SizeRun> = sizes.iter().map(|&n| run_size(n, seed)).collect();
 
     let mut table = Table::new(&[
         "txns",
@@ -267,7 +271,7 @@ fn main() {
     }
 
     if let Some(path) = report_path {
-        write_report(&path, &runs).expect("write report");
+        write_report(&path, seed, &runs).expect("write report");
         note(&format!("report written to {path}"));
     }
     verdict("E14 online vs batch", agree && asymptotic && bounded);

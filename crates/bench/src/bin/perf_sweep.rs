@@ -31,6 +31,7 @@ struct SchemeRun {
 fn run_scheme(
     make: &dyn Fn() -> (Box<dyn Engine>, IsolationLevel),
     cfg: &MixedConfig,
+    base_seed: u64,
 ) -> SchemeRun {
     let mut totals = SchemeRun {
         name: String::new(),
@@ -42,7 +43,7 @@ fn run_scheme(
         micros: 0,
         level_ok: true,
     };
-    for seed in 0..4u64 {
+    for seed in base_seed..base_seed + 4 {
         let (engine, level) = make();
         totals.name = engine.name();
         let (_, programs) = mixed_workload(
@@ -81,10 +82,15 @@ type EngineFactory = Box<dyn Fn() -> (Box<dyn Engine>, IsolationLevel)>;
 /// Writes the JSON metrics report: one entry per (contention, scheme)
 /// run with the driver totals and the engine/checker metrics recorded
 /// during that run.
-fn write_report(path: &str, runs: &[(String, SchemeRun, Snapshot)]) -> std::io::Result<()> {
+fn write_report(
+    path: &str,
+    base_seed: u64,
+    runs: &[(String, SchemeRun, Snapshot)],
+) -> std::io::Result<()> {
     let mut w = JsonWriter::new();
     w.open_object(None);
     w.str_field("report", "perf_sweep");
+    w.u64_field("base_seed", base_seed);
     w.u64_field("runs_total", runs.len() as u64);
     w.open_array(Some("runs"));
     for (contention, r, snap) in runs {
@@ -111,6 +117,9 @@ fn write_report(path: &str, runs: &[(String, SchemeRun, Snapshot)]) -> std::io::
 fn main() {
     banner("Performance sweep: locking vs optimistic vs multi-version");
     let report_path = report_path_from_args();
+    // Seed plumbing: `--seed` shifts the whole sweep and is echoed in
+    // the report, so a run is reproducible from the report alone.
+    let base_seed = adya_bench::u64_from_args("seed", 0);
     let mut runs: Vec<(String, SchemeRun, Snapshot)> = Vec::new();
     let mut all_ok = true;
 
@@ -191,7 +200,7 @@ fn main() {
             // Reset the global registry so the snapshot after the run
             // is this run's delta (metric handles survive the reset).
             adya_obs::global().reset();
-            let r = run_scheme(make.as_ref(), &cfg);
+            let r = run_scheme(make.as_ref(), &cfg, base_seed);
             let snap = adya_obs::global().snapshot();
             all_ok &= r.level_ok;
             table.row(&[
@@ -215,7 +224,7 @@ fn main() {
          first-committer-wins conflicts.",
     );
     if let Some(path) = &report_path {
-        match write_report(path, &runs) {
+        match write_report(path, base_seed, &runs) {
             Ok(()) => note(&format!("metrics report written to {path}")),
             Err(e) => {
                 eprintln!("perf_sweep: cannot write report {path}: {e}");

@@ -20,6 +20,8 @@ const PAIRS: [(LockingLevel, IsolationLevel); 4] = [
 fn main() {
     banner("Permissiveness: admission rates, preventative vs generalized");
     let n = 400usize;
+    // Seed plumbing: `--seed` shifts the sampled-history base seed.
+    let base_seed = adya_bench::u64_from_args("seed", 1_000);
     let mut all_ok = true;
 
     for (dirty, label) in [
@@ -41,7 +43,7 @@ fn main() {
         let mut admitted_g = [0usize; 4];
         let mut containment = true;
         for seed in 0..n as u64 {
-            let h = random_history(&cfg, 1_000 + seed);
+            let h = random_history(&cfg, base_seed + seed);
             let g = classify(&h);
             for (i, (pl, gl)) in PAIRS.iter().enumerate() {
                 let p_ok = check_locking(&h, *pl).ok();

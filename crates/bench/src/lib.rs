@@ -124,6 +124,30 @@ pub fn report_path_from_args() -> Option<String> {
     None
 }
 
+/// Extracts `--<name> <value>` as a `u64` from the process arguments,
+/// falling back to `default`. Report binaries use it for seed (and
+/// size) plumbing: every randomized run's seed is CLI-settable and
+/// echoed into the JSON report, so any run can be reproduced from the
+/// report alone. Exits with an error on an unparsable value rather
+/// than silently running a different experiment.
+pub fn u64_from_args(name: &str, default: u64) -> u64 {
+    let flag = format!("--{name}");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == flag {
+            let v = it.next().unwrap_or_default();
+            match v.parse() {
+                Ok(n) => return n,
+                Err(_) => {
+                    eprintln!("invalid {flag} value: {v:?} (expected a u64)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    default
+}
+
 /// Exit helper: prints the verdict and panics on failure so CI-style
 /// invocations notice mismatches.
 pub fn verdict(name: &str, ok: bool) {

@@ -53,3 +53,42 @@ pub trait Engine: Send + Sync {
     /// transactions with aborts). Call once, after the workload.
     fn finalize(&self) -> History;
 }
+
+/// Boxed engines forward the whole interface, so decorators written
+/// over `E: Engine` (fault injection, instrumentation) compose with
+/// dynamically chosen engines.
+impl Engine for Box<dyn Engine> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn catalog(&self) -> &Catalog {
+        (**self).catalog()
+    }
+    fn begin(&self) -> TxnId {
+        (**self).begin()
+    }
+    fn read(&self, txn: TxnId, table: TableId, key: Key) -> OpResult<Option<Value>> {
+        (**self).read(txn, table, key)
+    }
+    fn write(&self, txn: TxnId, table: TableId, key: Key, value: Value) -> OpResult<()> {
+        (**self).write(txn, table, key, value)
+    }
+    fn delete(&self, txn: TxnId, table: TableId, key: Key) -> OpResult<()> {
+        (**self).delete(txn, table, key)
+    }
+    fn select(&self, txn: TxnId, pred: &TablePred) -> OpResult<Vec<(Key, Value)>> {
+        (**self).select(txn, pred)
+    }
+    fn commit(&self, txn: TxnId) -> OpResult<()> {
+        (**self).commit(txn)
+    }
+    fn abort(&self, txn: TxnId) -> OpResult<()> {
+        (**self).abort(txn)
+    }
+    fn set_event_tap(&self, tap: EventTap) {
+        (**self).set_event_tap(tap)
+    }
+    fn finalize(&self) -> History {
+        (**self).finalize()
+    }
+}

@@ -128,6 +128,14 @@ impl Engine for MvccEngine {
     }
 
     fn begin(&self) -> TxnId {
+        // The Begin event must be recorded atomically with the
+        // snapshot acquisition: if another transaction's commit slips
+        // between the two, the history shows this transaction starting
+        // *before* writes its snapshot actually includes, and the
+        // checker rightly reports a PL-SI start-dependency violation
+        // the engine never committed. Lock order (inner → recorder)
+        // matches every other call site.
+        let mut inner = self.inner.lock();
         let t = self.recorder.begin_txn();
         self.recorder.set_level(
             t,
@@ -136,7 +144,6 @@ impl Engine for MvccEngine {
                 MvccMode::ReadCommitted => RequestedLevel::PL2,
             },
         );
-        let mut inner = self.inner.lock();
         let snapshot = inner.stamp;
         inner.txns.insert(
             t,

@@ -180,8 +180,12 @@ impl MvtoEngine {
             return;
         }
         state.status = TxnStatus::Aborted;
-        let written: Vec<(TableId, Key)> = state.written.iter().copied().collect();
-        let readers: Vec<TxnId> = state.readers_of_mine.iter().copied().collect();
+        let mut written: Vec<(TableId, Key)> = state.written.iter().copied().collect();
+        written.sort_unstable();
+        // Cascade in TxnId order: the recorded abort sequence must be a
+        // pure function of the schedule, not of hash iteration order.
+        let mut readers: Vec<TxnId> = state.readers_of_mine.iter().copied().collect();
+        readers.sort_unstable();
         for key in written {
             if let Some(chain) = inner.chains.get_mut(&key) {
                 chain.versions.retain(|v| v.writer != txn);
@@ -339,12 +343,13 @@ impl MvtoEngine {
             .iter()
             .any(|v| v.writer == txn);
         if rewriting {
-            let doomed: Vec<TxnId> = inner.txns[&txn]
+            let mut doomed: Vec<TxnId> = inner.txns[&txn]
                 .readers_of_mine
                 .iter()
                 .copied()
                 .filter(|r| *r != txn)
                 .collect();
+            doomed.sort_unstable();
             for r in doomed {
                 if inner.txns.get(&r).map(|s| s.status) == Some(TxnStatus::Active) {
                     self.do_abort(&mut inner, r);
@@ -449,12 +454,15 @@ impl Engine for MvtoEngine {
         let ts = Self::check_active(&inner, txn)?;
         self.ensure_table(&mut inner, pred.table);
         let table = pred.table;
-        let keys: Vec<(TableId, Key)> = inner
+        // Scan in key order: the recorded read sequence must not
+        // depend on hash iteration order.
+        let mut keys: Vec<(TableId, Key)> = inner
             .chains
             .keys()
             .filter(|(t, _)| *t == table)
             .copied()
             .collect();
+        keys.sort_unstable();
         {
             let e = inner.table_read_ts.entry(table).or_insert(0);
             *e = (*e).max(ts);

@@ -44,9 +44,28 @@ struct Rec {
 }
 
 impl Rec {
-    fn emit(&self, ev: Event) {
-        if let Some(tap) = &self.tap {
-            tap(&ev);
+    /// Delivers `ev` to the installed tap, if any.
+    ///
+    /// Panic-safe: a tap callback that panics is caught here (the
+    /// recorder lock is held by the caller, so letting the panic
+    /// unwind would leave every later engine operation racing a
+    /// half-observed stream — or, with a poisoning mutex, wedge the
+    /// engine entirely). The offending tap is disarmed so the engine
+    /// keeps running untapped, and the incident is counted and
+    /// journaled through `adya-obs`.
+    fn emit(&mut self, ev: Event) {
+        let Some(tap) = &self.tap else { return };
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tap(&ev)));
+        if caught.is_err() {
+            self.tap = None;
+            adya_obs::counter!("engine.tap_panics").inc();
+            adya_obs::global().event(
+                "engine.tap_panic",
+                vec![(
+                    "disarmed".into(),
+                    adya_obs::Field::from("tap removed; engine continues untapped"),
+                )],
+            );
         }
     }
 }
@@ -310,6 +329,35 @@ mod tests {
         let h = rec.finalize();
         assert_eq!(h.committed_txns().count(), 1);
         let _ = rec.finalize(); // must panic, not hand back an empty history
+    }
+
+    #[test]
+    fn panicking_tap_is_disarmed_not_fatal() {
+        let rec = Recorder::new();
+        let table = TableId(0);
+        rec.register_table(table, "acct");
+        let obj = rec.register_object(table, Key(1), 0);
+        let seen = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let n = Arc::clone(&seen);
+        // A tap that panics on its second event: the panic must be
+        // contained, the tap disarmed, and the recorder fully usable.
+        rec.set_tap(Arc::new(move |_e| {
+            if n.fetch_add(1, std::sync::atomic::Ordering::SeqCst) == 1 {
+                panic!("tap exploded");
+            }
+        }));
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let t1 = rec.begin_txn(); // event 1: delivered
+        let v1 = rec.write(t1, obj, Value::Int(5)); // event 2: tap panics, gets disarmed
+        std::panic::set_hook(hook);
+        rec.commit(t1); // tap is gone; must not panic again
+        let t2 = rec.begin_txn();
+        rec.read(t2, obj, v1);
+        rec.commit(t2);
+        assert_eq!(seen.load(std::sync::atomic::Ordering::SeqCst), 2);
+        let h = rec.finalize();
+        assert_eq!(h.committed_txns().count(), 2);
     }
 
     #[test]

@@ -188,8 +188,12 @@ impl SgtEngine {
             return;
         }
         state.status = TxnStatus::Aborted;
-        let written: Vec<usize> = state.written_chains.iter().copied().collect();
-        let readers: Vec<TxnId> = state.readers_of_mine.iter().copied().collect();
+        let mut written: Vec<usize> = state.written_chains.iter().copied().collect();
+        written.sort_unstable();
+        // Cascade in TxnId order: the recorded abort sequence must be a
+        // pure function of the schedule, not of hash iteration order.
+        let mut readers: Vec<TxnId> = state.readers_of_mine.iter().copied().collect();
+        readers.sort_unstable();
         for ix in written {
             inner.store.chains[ix].remove_writer(txn);
             if inner.store.chains[ix].versions.is_empty() {

@@ -130,6 +130,9 @@ pub enum AbortReason {
     CascadedAbort,
     /// The driver chose this transaction as a deadlock victim.
     DeadlockVictim,
+    /// A fault-injection layer (`adya-faults`) forced the abort; the
+    /// underlying engine had no reason of its own.
+    Injected,
 }
 
 impl fmt::Display for AbortReason {
@@ -141,6 +144,7 @@ impl fmt::Display for AbortReason {
             AbortReason::CycleDetected => write!(f, "serialization cycle"),
             AbortReason::CascadedAbort => write!(f, "cascaded abort"),
             AbortReason::DeadlockVictim => write!(f, "deadlock victim"),
+            AbortReason::Injected => write!(f, "injected fault"),
         }
     }
 }

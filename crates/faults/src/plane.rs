@@ -1,0 +1,311 @@
+//! The deterministic fault schedule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where in the [`Engine`](adya_engine::Engine) trait a fault can be
+/// injected. `begin` is infallible and `abort` must stay reliable (it
+/// is the recovery path), so neither is a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Site {
+    /// Item reads.
+    Read,
+    /// Writes (inserts/updates).
+    Write,
+    /// Deletes.
+    Delete,
+    /// Predicate reads.
+    Select,
+    /// Commit attempts.
+    Commit,
+}
+
+/// All injection sites, in counter order.
+pub const SITES: [Site; 5] = [
+    Site::Read,
+    Site::Write,
+    Site::Delete,
+    Site::Select,
+    Site::Commit,
+];
+
+impl Site {
+    fn ix(self) -> usize {
+        match self {
+            Site::Read => 0,
+            Site::Write => 1,
+            Site::Delete => 2,
+            Site::Select => 3,
+            Site::Commit => 4,
+        }
+    }
+
+    /// Lower-case site name (for reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::Read => "read",
+            Site::Write => "write",
+            Site::Delete => "delete",
+            Site::Select => "select",
+            Site::Commit => "commit",
+        }
+    }
+}
+
+/// What the plane tells the decorator to do with one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Pass the call through untouched.
+    Pass,
+    /// Return an artificial `Blocked` (no holders) without touching
+    /// the inner engine.
+    Block,
+    /// Abort the transaction with `AbortReason::Injected`.
+    Abort,
+    /// Busy-yield before passing through, perturbing interleavings.
+    Delay,
+}
+
+/// Probabilities and crash schedule for a [`FaultPlane`].
+///
+/// Probabilities are per *operation*, drawn independently per site
+/// from the seeded schedule; they are checked in the order block →
+/// abort → delay, so e.g. `abort_prob` is conditional on not blocking.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Seed of the whole schedule.
+    pub seed: u64,
+    /// Probability of an artificial `Blocked` return.
+    pub block_prob: f64,
+    /// Probability of a forced `Aborted(Injected)`.
+    pub abort_prob: f64,
+    /// Probability of a pre-operation delay.
+    pub delay_prob: f64,
+    /// Yield iterations of one injected delay.
+    pub delay_spins: u32,
+    /// Crash at every Nth commit *attempt* reaching the crash check
+    /// (attempts by already-poisoned transactions do not count).
+    /// `None` disables crash points.
+    pub crash_every: Option<u64>,
+}
+
+impl FaultConfig {
+    /// A plane that never injects anything (faults off, passthrough).
+    pub fn quiet(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            block_prob: 0.0,
+            abort_prob: 0.0,
+            delay_prob: 0.0,
+            delay_spins: 0,
+            crash_every: None,
+        }
+    }
+}
+
+/// Counts of injected faults, for reports and bounded-amplification
+/// assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Artificial `Blocked` returns.
+    pub blocked: u64,
+    /// Forced `Aborted(Injected)`.
+    pub aborted: u64,
+    /// Injected delays.
+    pub delayed: u64,
+    /// Crash points taken.
+    pub crashes: u64,
+}
+
+/// The deterministic, seed-driven fault schedule.
+///
+/// Each site keeps its own call counter; the decision for the k-th
+/// call at a site is a pure function of `(seed, site, k)`. The plane
+/// is shared (`Arc`) between the decorator and the harness so the
+/// harness can read [`stats`](FaultPlane::stats) afterwards.
+#[derive(Debug)]
+pub struct FaultPlane {
+    cfg: FaultConfig,
+    calls: [AtomicU64; 5],
+    commit_attempts: AtomicU64,
+    blocked: AtomicU64,
+    aborted: AtomicU64,
+    delayed: AtomicU64,
+    crashes: AtomicU64,
+}
+
+/// `splitmix64` — the classic 64-bit finalizer; full avalanche, so
+/// consecutive counter values give independent-looking draws.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash to a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlane {
+    /// A plane following `cfg`'s schedule.
+    pub fn new(cfg: FaultConfig) -> FaultPlane {
+        FaultPlane {
+            cfg,
+            calls: Default::default(),
+            commit_attempts: AtomicU64::new(0),
+            blocked: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this plane runs.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Decides the fate of the next call at `site`, advancing the
+    /// site's counter. Pure in `(seed, site, k)`.
+    pub fn decide(&self, site: Site) -> Decision {
+        let k = self.calls[site.ix()].fetch_add(1, Ordering::Relaxed);
+        // Three independent draws per call, one per fault kind, so the
+        // probabilities compose the documented way.
+        let base = self
+            .cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((site.ix() as u64) << 56)
+            .wrapping_add(k.wrapping_mul(3));
+        if unit(splitmix64(base)) < self.cfg.block_prob {
+            self.blocked.fetch_add(1, Ordering::Relaxed);
+            adya_obs::counter!("faults.injected_blocked").inc();
+            return Decision::Block;
+        }
+        if unit(splitmix64(base.wrapping_add(1))) < self.cfg.abort_prob {
+            self.aborted.fetch_add(1, Ordering::Relaxed);
+            adya_obs::counter!("faults.injected_aborts").inc();
+            return Decision::Abort;
+        }
+        if unit(splitmix64(base.wrapping_add(2))) < self.cfg.delay_prob {
+            self.delayed.fetch_add(1, Ordering::Relaxed);
+            adya_obs::counter!("faults.injected_delays").inc();
+            return Decision::Delay;
+        }
+        Decision::Pass
+    }
+
+    /// Advances the crash clock by one commit attempt; true when this
+    /// attempt is a scheduled crash point.
+    pub fn crash_due(&self) -> bool {
+        let Some(every) = self.cfg.crash_every else {
+            return false;
+        };
+        let n = self.commit_attempts.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(every) {
+            self.crashes.fetch_add(1, Ordering::Relaxed);
+            adya_obs::counter!("faults.crashes").inc();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Executes one injected delay (busy yields).
+    pub fn delay(&self) {
+        for _ in 0..self.cfg.delay_spins {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Injection counts so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            blocked: self.blocked.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaotic(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            block_prob: 0.2,
+            abort_prob: 0.1,
+            delay_prob: 0.3,
+            delay_spins: 1,
+            crash_every: Some(5),
+        }
+    }
+
+    #[test]
+    fn schedules_are_reproducible_from_the_seed() {
+        let a = FaultPlane::new(chaotic(42));
+        let b = FaultPlane::new(chaotic(42));
+        for site in SITES {
+            for _ in 0..200 {
+                assert_eq!(a.decide(site), b.decide(site), "{site:?}");
+            }
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlane::new(chaotic(1));
+        let b = FaultPlane::new(chaotic(2));
+        let da: Vec<Decision> = (0..100).map(|_| a.decide(Site::Read)).collect();
+        let db: Vec<Decision> = (0..100).map(|_| b.decide(Site::Read)).collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn quiet_plane_always_passes() {
+        let p = FaultPlane::new(FaultConfig::quiet(7));
+        for site in SITES {
+            for _ in 0..100 {
+                assert_eq!(p.decide(site), Decision::Pass);
+            }
+        }
+        assert!(!p.crash_due());
+        assert_eq!(p.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn probabilities_land_in_the_right_ballpark() {
+        let p = FaultPlane::new(FaultConfig {
+            seed: 99,
+            block_prob: 0.5,
+            abort_prob: 0.0,
+            delay_prob: 0.0,
+            delay_spins: 0,
+            crash_every: None,
+        });
+        let n = 2000;
+        let blocked = (0..n)
+            .filter(|_| p.decide(Site::Write) == Decision::Block)
+            .count();
+        assert!(
+            (blocked as f64) > 0.4 * n as f64 && (blocked as f64) < 0.6 * n as f64,
+            "blocked {blocked}/{n}"
+        );
+    }
+
+    #[test]
+    fn crash_clock_fires_every_nth_attempt() {
+        let p = FaultPlane::new(chaotic(3));
+        let fired: Vec<bool> = (0..10).map(|_| p.crash_due()).collect();
+        assert_eq!(
+            fired,
+            vec![false, false, false, false, true, false, false, false, false, true]
+        );
+        assert_eq!(p.stats().crashes, 2);
+    }
+}

@@ -75,6 +75,60 @@ pub struct SccInfo<K, L> {
     pub intra_edges: Vec<(K, K, L)>,
 }
 
+/// One edge of a [`DagParts`] snapshot: `(endpoint slot, src, dst,
+/// label)`, mirroring the internal adjacency representation. Edge
+/// *order* within a list is significant — traversals walk lists in
+/// order, so restoring edges out of order would change later witness
+/// paths.
+pub type EdgeParts<K, L> = (usize, K, K, L);
+
+/// The exact internal state of one slot, flattened for
+/// [`IncrementalDag::to_parts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotParts<K, L> {
+    /// Union-find parent (self when representative).
+    pub parent: usize,
+    /// False once freed for reuse.
+    pub live: bool,
+    /// Topological order value (representative-only).
+    pub ord: u64,
+    /// Condensed member count (representative-only).
+    pub members: u32,
+    /// Outgoing edges, in recorded order.
+    pub out: Vec<EdgeParts<K, L>>,
+    /// Incoming edges, in recorded order.
+    pub inc: Vec<EdgeParts<K, L>>,
+}
+
+/// A flattened, plain-data image of an [`IncrementalDag`]'s *exact*
+/// state — slot table, union-find structure, free list, dedup set and
+/// counters — produced by [`IncrementalDag::to_parts`] and consumed by
+/// [`IncrementalDag::from_parts`].
+///
+/// The round trip is exact: a restored graph answers every future
+/// operation identically to the original, which is what lets the
+/// online checker snapshot mid-stream and resume after a crash with a
+/// byte-identical verdict stream. Hash-map-backed fields (`index`,
+/// `seen`) are emitted in sorted order so two snapshots of equal
+/// states are structurally equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagParts<K, L> {
+    /// Slot table, including freed slots (indices are significant).
+    pub slots: Vec<SlotParts<K, L>>,
+    /// Key → slot mapping, sorted by key.
+    pub index: Vec<(K, usize)>,
+    /// Free slot list, in pop order (last entry pops first).
+    pub free: Vec<usize>,
+    /// Distinct recorded edges, sorted.
+    pub seen: Vec<(K, K, L)>,
+    /// Next topological order value to hand out.
+    pub next_ord: u64,
+    /// Pearce–Kelly re-ordering count.
+    pub reorders: u64,
+    /// Component condensation count.
+    pub merges: u64,
+}
+
 /// A labelled digraph maintaining a topological order incrementally,
 /// condensing cycles, and supporting removal of singleton nodes.
 #[derive(Debug, Default)]
@@ -395,7 +449,12 @@ where
                 }
             }
         }
-        // Union into fu.
+        // Union into fu. Members are merged in slot order so the
+        // resulting adjacency lists do not depend on hash-set iteration
+        // order — the checker's verdict stream (and its crash/restore
+        // snapshots) must be identical across process instances.
+        let mut members: Vec<usize> = members.into_iter().collect();
+        members.sort_unstable();
         let mut out = std::mem::take(&mut self.slots[fu].out);
         let mut inc = std::mem::take(&mut self.slots[fu].inc);
         let mut total = self.slots[fu].members;
@@ -437,7 +496,14 @@ where
             for s in slots {
                 set.insert(self.find(s));
             }
-            set.into_iter().collect()
+            // Sorted so the rebuilt order is a pure function of the
+            // graph, not of hash-set iteration order (determinism
+            // contract: identical op sequences must produce identical
+            // orders in any process, including one restored from a
+            // snapshot).
+            let mut v: Vec<usize> = set.into_iter().collect();
+            v.sort_unstable();
+            v
         };
         // Iterative DFS post-order over the condensation.
         let mut state: HashMap<usize, u8> = HashMap::new(); // 1 = open, 2 = done
@@ -475,6 +541,80 @@ where
             self.slots[x].ord = i as u64;
         }
         self.next_ord = n;
+    }
+}
+
+impl<K, L> IncrementalDag<K, L>
+where
+    K: Copy + Eq + Hash + Ord,
+    L: Copy + Eq + Hash + Ord,
+{
+    /// Flattens the graph's exact internal state into a [`DagParts`]
+    /// image (see its docs for the round-trip guarantee).
+    pub fn to_parts(&self) -> DagParts<K, L> {
+        let flat = |es: &[Edge<K, L>]| -> Vec<EdgeParts<K, L>> {
+            es.iter().map(|e| (e.slot, e.src, e.dst, e.label)).collect()
+        };
+        let mut index: Vec<(K, usize)> = self.index.iter().map(|(&k, &s)| (k, s)).collect();
+        index.sort_unstable();
+        let mut seen: Vec<(K, K, L)> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        DagParts {
+            slots: self
+                .slots
+                .iter()
+                .map(|s| SlotParts {
+                    parent: s.parent,
+                    live: s.live,
+                    ord: s.ord,
+                    members: s.members,
+                    out: flat(&s.out),
+                    inc: flat(&s.inc),
+                })
+                .collect(),
+            index,
+            free: self.free.clone(),
+            seen,
+            next_ord: self.next_ord,
+            reorders: self.reorders,
+            merges: self.merges,
+        }
+    }
+
+    /// Reconstructs a graph from a [`to_parts`] image.
+    ///
+    /// [`to_parts`]: IncrementalDag::to_parts
+    pub fn from_parts(parts: DagParts<K, L>) -> Self {
+        let unflat = |es: Vec<EdgeParts<K, L>>| -> Vec<Edge<K, L>> {
+            es.into_iter()
+                .map(|(slot, src, dst, label)| Edge {
+                    slot,
+                    src,
+                    dst,
+                    label,
+                })
+                .collect()
+        };
+        IncrementalDag {
+            slots: parts
+                .slots
+                .into_iter()
+                .map(|s| Slot {
+                    parent: s.parent,
+                    live: s.live,
+                    ord: s.ord,
+                    members: s.members,
+                    out: unflat(s.out),
+                    inc: unflat(s.inc),
+                })
+                .collect(),
+            index: parts.index.into_iter().collect(),
+            free: parts.free,
+            seen: parts.seen.into_iter().collect(),
+            next_ord: parts.next_ord,
+            reorders: parts.reorders,
+            merges: parts.merges,
+        }
     }
 }
 
@@ -607,6 +747,42 @@ mod tests {
             }
             other => panic!("expected cycle via shortcut, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parts_round_trip_is_exact() {
+        // Build a graph that has seen it all: plain inserts, a
+        // reorder, a condensation, and a removal (so the free list is
+        // non-empty) — then flatten, restore, and check that both
+        // copies answer an identical stream of future operations
+        // identically.
+        let mut g: IncrementalDag<u32, u8> = IncrementalDag::new();
+        g.add_edge(1, 2, 0);
+        g.add_edge(3, 4, 0);
+        g.add_node(5);
+        g.add_edge(4, 1, 1); // reorder
+        g.add_edge(2, 3, 0);
+        assert!(matches!(
+            g.add_edge(1, 3, 1),
+            Insert::IntraComponent | Insert::CycleFormed(_)
+        ));
+        let _ = g.add_edge(2, 1, 2); // condense (or intra if already merged)
+        assert!(g.remove_node(5));
+        let parts = g.to_parts();
+        let mut h = IncrementalDag::from_parts(parts.clone());
+        assert_eq!(h.to_parts(), parts, "restore must reproduce the image");
+        for (a, b, l) in [(6, 1, 0u8), (2, 6, 1), (6, 7, 0), (7, 6, 2), (4, 2, 0)] {
+            assert_eq!(
+                g.add_edge(a, b, l),
+                h.add_edge(a, b, l),
+                "ops diverged at {a}->{b}"
+            );
+        }
+        assert_eq!(
+            g.to_parts(),
+            h.to_parts(),
+            "states diverged after identical ops"
+        );
     }
 
     #[test]

@@ -37,4 +37,4 @@ mod scc;
 pub use cycle::{Cycle, CycleEdge};
 pub use digraph::{DiGraph, EdgeRef, NodeIdx};
 pub use dot::DotOptions;
-pub use incremental::{IncrementalDag, Insert, SccInfo};
+pub use incremental::{DagParts, EdgeParts, IncrementalDag, Insert, SccInfo, SlotParts};

@@ -6,14 +6,16 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use adya_core::{IsolationLevel, PhenomenonKind};
-use adya_graph::{IncrementalDag, Insert};
+use adya_graph::{DagParts, IncrementalDag, Insert, SlotParts};
 use adya_history::{Event, ObjectId, TxnId, VersionId};
+
+use crate::wire::{crc32, Dec, Enc, WireError};
 
 /// Edge label in the incremental graphs: a tiny mask rather than a
 /// full `DepKind`, because contraction (GC shortcut edges) must be
 /// able to *combine* labels — a shortcut inherits "contains an
 /// anti-dependency" from whichever side had one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct EdgeMask(u8);
 
 impl EdgeMask {
@@ -247,6 +249,10 @@ fn kind_bit(k: PhenomenonKind) -> u8 {
         PhenomenonKind::G2 => 32,
         _ => 0,
     }
+}
+
+fn kind_from_bit(b: u8) -> Option<PhenomenonKind> {
+    ONLINE_KINDS.iter().copied().find(|&k| kind_bit(k) == b)
 }
 
 impl Fired {
@@ -900,7 +906,12 @@ impl OnlineChecker {
             .min()
             .unwrap_or(self.clock);
         loop {
-            let candidates: Vec<TxnId> = self
+            // Candidates are visited in id order: pruning mutates the
+            // incremental graphs (contraction shortcuts), so the visit
+            // order must not depend on hash-map iteration order or two
+            // runs of the same stream could diverge in graph internals
+            // — and with them the snapshot bytes and witness paths.
+            let mut candidates: Vec<TxnId> = self
                 .txns
                 .iter()
                 .filter(|(_, t)| {
@@ -912,6 +923,7 @@ impl OnlineChecker {
                 })
                 .map(|(&id, _)| id)
                 .collect();
+            candidates.sort_unstable();
             let mut progress = 0usize;
             for id in candidates {
                 if self.try_prune(id, watermark) {
@@ -984,6 +996,272 @@ impl OnlineChecker {
         true
     }
 
+    // ------------------------------------------------------------------
+    // Crash/restore snapshots
+    // ------------------------------------------------------------------
+
+    /// Freezes the checker's complete state — clocks, transaction and
+    /// object tables, all three incremental graphs, latched phenomena
+    /// and GC policy — into a checksummed byte image.
+    ///
+    /// The round trip through [`restore`] is exact: the revived
+    /// checker produces verdicts byte-identical to the original
+    /// continuing uninterrupted, which is what lets a crashed checking
+    /// process resume from its last snapshot plus the surviving tail
+    /// of the event log. Two checkers in equal states produce equal
+    /// images (all hash-order-dependent fields are serialized sorted),
+    /// so snapshot bytes can also *prove* state equality in tests.
+    ///
+    /// [`restore`]: OnlineChecker::restore
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.clock);
+        e.bool(self.gc.enabled);
+        e.u64(self.gc.interval);
+        for v in [
+            self.committed,
+            self.pruned_txns,
+            self.stale_refs,
+            self.events_since_gc,
+            self.reorders_dropped,
+            self.reorders_reported,
+        ] {
+            e.u64(v);
+        }
+        e.u8(self.fired.mask);
+        e.len(self.fired.witnesses.len());
+        for (k, w) in &self.fired.witnesses {
+            e.u8(kind_bit(*k));
+            e.str(w);
+        }
+        let mut txn_ids: Vec<TxnId> = self.txns.keys().copied().collect();
+        txn_ids.sort_unstable();
+        e.len(txn_ids.len());
+        for id in txn_ids {
+            let t = &self.txns[&id];
+            e.u32(id.0);
+            e.u8(match t.status {
+                Status::Active => 0,
+                Status::Committed => 1,
+                Status::Aborted => 2,
+            });
+            e.u64(t.begin_clock);
+            e.u64(t.terminal_clock);
+            e.len(t.reads.len());
+            for r in &t.reads {
+                e.u32(r.object.0);
+                e.u32(r.version.txn.0);
+                e.u32(r.version.seq);
+                e.u8(r.via_predicate as u8 | (r.counted as u8) << 1 | (r.stale as u8) << 2);
+            }
+            let mut writes: Vec<(ObjectId, u32)> = t.writes.iter().map(|(&o, &s)| (o, s)).collect();
+            writes.sort_unstable();
+            e.len(writes.len());
+            for (o, s) in writes {
+                e.u32(o.0);
+                e.u32(s);
+            }
+            e.len(t.pending_readers.len());
+            for p in &t.pending_readers {
+                e.u32(p.reader.0);
+                e.u32(p.object.0);
+                e.u32(p.seq);
+                e.bool(p.via_predicate);
+            }
+            for v in [t.unsuperseded, t.refs, t.awaiting, t.registered] {
+                e.u32(v);
+            }
+            e.u64(t.prune_after);
+        }
+        let mut obj_ids: Vec<ObjectId> = self.objects.keys().copied().collect();
+        obj_ids.sort_unstable();
+        e.len(obj_ids.len());
+        for id in obj_ids {
+            let o = &self.objects[&id];
+            e.u32(id.0);
+            e.u64(o.base as u64);
+            e.len(o.entries.len());
+            for entry in &o.entries {
+                e.u32(entry.txn.0);
+                e.len(entry.readers.len());
+                for r in &entry.readers {
+                    e.u32(r.0);
+                }
+            }
+            e.len(o.init_readers.len());
+            for r in &o.init_readers {
+                e.u32(r.0);
+            }
+        }
+        for g in [&self.ww, &self.dep, &self.full] {
+            match g {
+                None => e.bool(false),
+                Some(g) => {
+                    e.bool(true);
+                    enc_dag(&mut e, g);
+                }
+            }
+        }
+        let payload = e.into_bytes();
+        let mut out = Vec::with_capacity(SNAP_MAGIC.len() + 4 + payload.len());
+        out.extend_from_slice(&SNAP_MAGIC);
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Revives a checker from [`snapshot`] bytes.
+    ///
+    /// [`snapshot`]: OnlineChecker::snapshot
+    pub fn restore(bytes: &[u8]) -> Result<OnlineChecker, SnapshotError> {
+        let header = SNAP_MAGIC.len() + 4;
+        if bytes.len() < header || bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let crc = u32::from_le_bytes(bytes[SNAP_MAGIC.len()..header].try_into().unwrap());
+        let payload = &bytes[header..];
+        if crc32(payload) != crc {
+            return Err(SnapshotError::Checksum);
+        }
+        let mut d = Dec::new(payload);
+        let mut c = OnlineChecker {
+            clock: d.u64()?,
+            gc: GcConfig {
+                enabled: d.bool()?,
+                interval: d.u64()?,
+            },
+            ..OnlineChecker::default()
+        };
+        c.committed = d.u64()?;
+        c.pruned_txns = d.u64()?;
+        c.stale_refs = d.u64()?;
+        c.events_since_gc = d.u64()?;
+        c.reorders_dropped = d.u64()?;
+        c.reorders_reported = d.u64()?;
+        c.fired.mask = d.u8()?;
+        let nw = d.len()?;
+        for _ in 0..nw {
+            let bit = d.u8()?;
+            let k = kind_from_bit(bit)
+                .ok_or_else(|| WireError::Malformed(format!("phenomenon bit {bit}")))?;
+            c.fired.witnesses.push((k, d.str()?));
+        }
+        let nt = d.len()?;
+        for _ in 0..nt {
+            let id = TxnId(d.u32()?);
+            let status = match d.u8()? {
+                0 => Status::Active,
+                1 => Status::Committed,
+                2 => Status::Aborted,
+                s => return Err(WireError::Malformed(format!("txn status {s}")).into()),
+            };
+            let begin_clock = d.u64()?;
+            let terminal_clock = d.u64()?;
+            let nr = d.len()?;
+            let mut reads = Vec::with_capacity(nr);
+            for _ in 0..nr {
+                let object = ObjectId(d.u32()?);
+                let vtxn = TxnId(d.u32()?);
+                let vseq = d.u32()?;
+                let flags = d.u8()?;
+                if flags > 7 {
+                    return Err(WireError::Malformed(format!("read flags {flags}")).into());
+                }
+                reads.push(BufferedRead {
+                    object,
+                    version: VersionId {
+                        txn: vtxn,
+                        seq: vseq,
+                    },
+                    via_predicate: flags & 1 != 0,
+                    counted: flags & 2 != 0,
+                    stale: flags & 4 != 0,
+                });
+            }
+            let nws = d.len()?;
+            let mut writes = HashMap::with_capacity(nws);
+            for _ in 0..nws {
+                let o = ObjectId(d.u32()?);
+                let s = d.u32()?;
+                writes.insert(o, s);
+            }
+            let np = d.len()?;
+            let mut pending_readers = Vec::with_capacity(np);
+            for _ in 0..np {
+                pending_readers.push(PendingRead {
+                    reader: TxnId(d.u32()?),
+                    object: ObjectId(d.u32()?),
+                    seq: d.u32()?,
+                    via_predicate: d.bool()?,
+                });
+            }
+            let t = TxnState {
+                status,
+                begin_clock,
+                terminal_clock,
+                reads,
+                writes,
+                pending_readers,
+                unsuperseded: d.u32()?,
+                refs: d.u32()?,
+                awaiting: d.u32()?,
+                registered: d.u32()?,
+                prune_after: d.u64()?,
+            };
+            if status == Status::Active {
+                c.active.insert(id);
+            }
+            c.txns.insert(id, t);
+        }
+        let no = d.len()?;
+        for _ in 0..no {
+            let id = ObjectId(d.u32()?);
+            let base = d.u64()? as usize;
+            let ne = d.len()?;
+            let mut entries = VecDeque::with_capacity(ne);
+            let mut pos_of = HashMap::with_capacity(ne);
+            for i in 0..ne {
+                let txn = TxnId(d.u32()?);
+                let nr = d.len()?;
+                let mut readers = Vec::with_capacity(nr);
+                for _ in 0..nr {
+                    readers.push(TxnId(d.u32()?));
+                }
+                pos_of.insert(txn, base + i);
+                entries.push_back(Entry { txn, readers });
+            }
+            let ni = d.len()?;
+            let mut init_readers = Vec::with_capacity(ni);
+            for _ in 0..ni {
+                init_readers.push(TxnId(d.u32()?));
+            }
+            c.objects.insert(
+                id,
+                ObjectState {
+                    base,
+                    entries,
+                    pos_of,
+                    init_readers,
+                },
+            );
+        }
+        for slot in [&mut c.ww, &mut c.dep, &mut c.full] {
+            *slot = if d.bool()? {
+                Some(dec_dag(&mut d)?)
+            } else {
+                None
+            };
+        }
+        if d.remaining() != 0 {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after snapshot",
+                d.remaining()
+            ))
+            .into());
+        }
+        Ok(c)
+    }
+
     fn verdict(&self, txn: Option<TxnId>, new_fired: &[PhenomenonKind]) -> Verdict {
         let witness = new_fired.first().and_then(|k| {
             self.fired
@@ -1005,6 +1283,140 @@ impl OnlineChecker {
             is_final: false,
         }
     }
+}
+
+/// First 8 bytes of every checker snapshot.
+const SNAP_MAGIC: [u8; 8] = *b"ADYACKP\x01";
+
+/// Why [`OnlineChecker::restore`] rejected a byte image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The bytes do not start with the snapshot magic.
+    BadMagic,
+    /// The payload checksum failed (torn or corrupted snapshot).
+    Checksum,
+    /// The payload parsed wrongly (truncated or impossible values).
+    Wire(WireError),
+}
+
+impl From<WireError> for SnapshotError {
+    fn from(e: WireError) -> Self {
+        SnapshotError::Wire(e)
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a checker snapshot (bad magic)"),
+            SnapshotError::Checksum => write!(f, "snapshot failed its checksum"),
+            SnapshotError::Wire(e) => write!(f, "snapshot payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn enc_dag(e: &mut Enc, g: &Dag) {
+    let p = g.to_parts();
+    e.len(p.slots.len());
+    for s in &p.slots {
+        e.u64(s.parent as u64);
+        e.bool(s.live);
+        e.u64(s.ord);
+        e.u32(s.members);
+        for edges in [&s.out, &s.inc] {
+            e.len(edges.len());
+            for &(slot, src, dst, label) in edges {
+                e.u64(slot as u64);
+                e.u32(src.0);
+                e.u32(dst.0);
+                e.u8(label.0);
+            }
+        }
+    }
+    e.len(p.index.len());
+    for &(k, s) in &p.index {
+        e.u32(k.0);
+        e.u64(s as u64);
+    }
+    e.len(p.free.len());
+    for &s in &p.free {
+        e.u64(s as u64);
+    }
+    e.len(p.seen.len());
+    for &(a, b, l) in &p.seen {
+        e.u32(a.0);
+        e.u32(b.0);
+        e.u8(l.0);
+    }
+    e.u64(p.next_ord);
+    e.u64(p.reorders);
+    e.u64(p.merges);
+}
+
+fn dec_dag(d: &mut Dec<'_>) -> Result<Dag, WireError> {
+    let ns = d.len()?;
+    let mut slots = Vec::with_capacity(ns);
+    for _ in 0..ns {
+        let parent = d.u64()? as usize;
+        let live = d.bool()?;
+        let ord = d.u64()?;
+        let members = d.u32()?;
+        let mut lists = [Vec::new(), Vec::new()];
+        for list in &mut lists {
+            let n = d.len()?;
+            list.reserve(n);
+            for _ in 0..n {
+                let slot = d.u64()? as usize;
+                let src = TxnId(d.u32()?);
+                let dst = TxnId(d.u32()?);
+                let label = EdgeMask(d.u8()?);
+                list.push((slot, src, dst, label));
+            }
+        }
+        let [out, inc] = lists;
+        slots.push(SlotParts {
+            parent,
+            live,
+            ord,
+            members,
+            out,
+            inc,
+        });
+    }
+    let ni = d.len()?;
+    let mut index = Vec::with_capacity(ni);
+    for _ in 0..ni {
+        let k = TxnId(d.u32()?);
+        let s = d.u64()? as usize;
+        index.push((k, s));
+    }
+    let nf = d.len()?;
+    let mut free = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        free.push(d.u64()? as usize);
+    }
+    let nseen = d.len()?;
+    let mut seen = Vec::with_capacity(nseen);
+    for _ in 0..nseen {
+        let a = TxnId(d.u32()?);
+        let b = TxnId(d.u32()?);
+        let l = EdgeMask(d.u8()?);
+        seen.push((a, b, l));
+    }
+    let next_ord = d.u64()?;
+    let reorders = d.u64()?;
+    let merges = d.u64()?;
+    Ok(IncrementalDag::from_parts(DagParts {
+        slots,
+        index,
+        free,
+        seen,
+        next_ord,
+        reorders,
+        merges,
+    }))
 }
 
 #[cfg(test)]
@@ -1265,6 +1677,108 @@ mod tests {
         assert!(j.contains("\"txn\": 1"));
         assert!(j.contains("\"strongest_ansi\": \"PL-3\""));
         assert!(!j.contains('\n'));
+    }
+
+    /// A stream exercising every state the snapshot must carry:
+    /// buffered and pending reads, aborts (G1a), intermediate reads
+    /// (G1b), write cycles, anti-dependencies, and enough churn for
+    /// the GC to prune and contract.
+    fn eventful_stream() -> Vec<Event> {
+        let mut evs = vec![
+            Event::Begin(TxnId(1)),
+            Event::Begin(TxnId(2)),
+            w(1, 0, 1),
+            w(2, 1, 1),
+            r(2, 0, 1, 1),
+            r(1, 1, 2, 1),
+            Event::Commit(TxnId(1)),
+            Event::Commit(TxnId(2)),
+            Event::Begin(TxnId(3)),
+            Event::Begin(TxnId(4)),
+            rinit(3, 2),
+            rinit(4, 3),
+            w(3, 3, 1),
+            w(4, 2, 1),
+            Event::Commit(TxnId(3)),
+            Event::Commit(TxnId(4)),
+            Event::Begin(TxnId(5)),
+            w(5, 0, 1),
+            r(5, 0, 5, 1),
+            Event::Abort(TxnId(5)),
+        ];
+        for i in 6..30u32 {
+            evs.push(Event::Begin(TxnId(i)));
+            evs.push(r(i, 4, i.saturating_sub(1).max(6), 1));
+            evs.push(w(i, 4, 1));
+            evs.push(Event::Commit(TxnId(i)));
+        }
+        evs
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_at_every_prefix() {
+        let evs = eventful_stream();
+        for cut in 0..=evs.len() {
+            // Original run, snapshotted at `cut`.
+            let mut a = OnlineChecker::with_gc(GcConfig {
+                enabled: true,
+                interval: 1,
+            });
+            let mut verdicts_a: Vec<String> = Vec::new();
+            for e in &evs[..cut] {
+                if let Some(v) = a.ingest(e) {
+                    verdicts_a.push(v.to_json());
+                }
+            }
+            let snap = a.snapshot();
+            let mut b = OnlineChecker::restore(&snap).expect("restore");
+            assert_eq!(b.snapshot(), snap, "re-snapshot differs at cut {cut}");
+            // Continue both over the tail: verdict streams and final
+            // snapshots must be byte-identical.
+            let mut verdicts_b = verdicts_a.clone();
+            for e in &evs[cut..] {
+                let va = a.ingest(e);
+                let vb = b.ingest(e);
+                if let Some(v) = va {
+                    verdicts_a.push(v.to_json());
+                }
+                if let Some(v) = vb {
+                    verdicts_b.push(v.to_json());
+                }
+            }
+            verdicts_a.push(a.finish().to_json());
+            verdicts_b.push(b.finish().to_json());
+            assert_eq!(verdicts_a, verdicts_b, "verdicts diverged at cut {cut}");
+            assert_eq!(
+                a.snapshot(),
+                b.snapshot(),
+                "final states diverged at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_damage() {
+        let mut c = OnlineChecker::new();
+        feed(
+            &mut c,
+            &[Event::Begin(TxnId(1)), w(1, 0, 1), Event::Commit(TxnId(1))],
+        );
+        let snap = c.snapshot();
+        assert_eq!(
+            OnlineChecker::restore(b"junk").err(),
+            Some(SnapshotError::BadMagic)
+        );
+        let mut flipped = snap.clone();
+        let n = flipped.len();
+        flipped[n - 1] ^= 0xFF;
+        assert_eq!(
+            OnlineChecker::restore(&flipped).err(),
+            Some(SnapshotError::Checksum)
+        );
+        let truncated = &snap[..snap.len() - 4];
+        assert!(OnlineChecker::restore(truncated).is_err());
+        assert!(OnlineChecker::restore(&snap).is_ok());
     }
 
     #[test]

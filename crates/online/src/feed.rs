@@ -1,17 +1,30 @@
-//! Incremental parser for the paper's textual notation, token by
-//! token, for `adya-check --stream` and canned event logs.
+//! Event input for the online checker: the incremental text-notation
+//! parser (`adya-check --stream` tokens) and the durable binary event
+//! log with torn-tail detection.
 //!
-//! Supports the item-operation subset of the batch parser: `b1`,
-//! `c1`, `a1`, `w1(x[,v])`, `r1(x2[,v])`, `rc1(x2)`, with version
-//! targets `x2` (latest seen write of T2 on x), `x2:3` (explicit
-//! modification counter) and `xinit`. Predicate reads (`#pred`, `rp…`)
-//! and trailing explicit version orders (`[x1 << x2]`) are batch-only
-//! concepts — the online checker assumes install order = commit order
-//! — and are rejected with a clear error.
+//! The text parser supports the item-operation subset of the batch
+//! parser: `b1`, `c1`, `a1`, `w1(x[,v])`, `r1(x2[,v])`, `rc1(x2)`,
+//! with version targets `x2` (latest seen write of T2 on x), `x2:3`
+//! (explicit modification counter) and `xinit`. Predicate reads
+//! (`#pred`, `rp…`) and trailing explicit version orders (`[x1 <<
+//! x2]`) are batch-only concepts — the online checker assumes install
+//! order = commit order — and are rejected with a clear error.
+//!
+//! The binary log ([`EventLogWriter`] / [`EventLogReader`]) is the
+//! crash-safe on-disk form: a magic header followed by
+//! length-prefixed, CRC-32-checksummed records, one [`Event`] each. A
+//! process killed mid-append leaves a *torn tail* — a final record
+//! whose bytes ran out or whose checksum fails — which the reader
+//! reports as [`LogError::TornTail`] with the exact byte offset of
+//! the last good record, so the caller can truncate and resume
+//! appending instead of refusing the whole file.
 
 use std::collections::HashMap;
+use std::io::Write;
 
 use adya_history::{Event, ObjectId, ReadEvent, TxnId, Value, VersionId, VersionKind, WriteEvent};
+
+use crate::wire::{self, WireError};
 
 /// Streaming token parser. Stateful: it interns object names and
 /// tracks each transaction's per-object write counters so that `r2(x1)`
@@ -184,6 +197,202 @@ fn split_version_target(target: &str) -> Option<(&str, VersionRef)> {
     })
 }
 
+// ----------------------------------------------------------------------
+// Durable binary event log
+// ----------------------------------------------------------------------
+
+/// First 8 bytes of every binary event log.
+pub const LOG_MAGIC: [u8; 8] = *b"ADYALOG\x01";
+
+/// Failure while reading a binary event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogError {
+    /// The file does not start with [`LOG_MAGIC`].
+    BadMagic,
+    /// The final record is incomplete or fails its checksum: the
+    /// writer was killed mid-append. `good_len` is the byte length of
+    /// the intact prefix — truncate there and the log is valid again.
+    TornTail {
+        /// Bytes of intact log before the torn record.
+        good_len: usize,
+        /// What exactly was wrong with the tail.
+        detail: String,
+    },
+    /// A record *before* the final one is damaged: this is corruption,
+    /// not a torn write, and truncation would silently drop good data.
+    Corrupt {
+        /// Byte offset of the bad record.
+        offset: usize,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::BadMagic => write!(f, "not an adya event log (bad magic)"),
+            LogError::TornTail { good_len, detail } => {
+                write!(f, "torn tail after byte {good_len}: {detail}")
+            }
+            LogError::Corrupt { offset, detail } => {
+                write!(f, "corrupt record at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// Appends framed events to any [`Write`] sink.
+///
+/// Each record is `[len: u32 LE][crc32(payload): u32 LE][payload]`;
+/// the payload is [`wire::encode_event`]. The writer does not buffer:
+/// call sites that need durability decide when to flush/sync.
+#[derive(Debug)]
+pub struct EventLogWriter<W: Write> {
+    sink: W,
+}
+
+impl<W: Write> EventLogWriter<W> {
+    /// Starts a fresh log on `sink`, writing the magic header.
+    pub fn create(mut sink: W) -> std::io::Result<EventLogWriter<W>> {
+        sink.write_all(&LOG_MAGIC)?;
+        Ok(EventLogWriter { sink })
+    }
+
+    /// Resumes appending to a sink already positioned at the end of an
+    /// intact log (no header is written).
+    pub fn append_to(sink: W) -> EventLogWriter<W> {
+        EventLogWriter { sink }
+    }
+
+    /// Appends one event record.
+    pub fn append(&mut self, ev: &Event) -> std::io::Result<()> {
+        let payload = wire::encode_event(ev);
+        self.sink.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&wire::crc32(&payload).to_le_bytes())?;
+        self.sink.write_all(&payload)
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Iterates the records of an in-memory binary event log.
+///
+/// A damaged *final* record yields [`LogError::TornTail`]; damage
+/// anywhere else yields [`LogError::Corrupt`]. After any error the
+/// reader is exhausted.
+#[derive(Debug)]
+pub struct EventLogReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    failed: bool,
+}
+
+impl<'a> EventLogReader<'a> {
+    /// Opens `buf` as a binary log, validating the magic header.
+    pub fn open(buf: &'a [u8]) -> Result<EventLogReader<'a>, LogError> {
+        if buf.len() < LOG_MAGIC.len() || buf[..LOG_MAGIC.len()] != LOG_MAGIC {
+            return Err(LogError::BadMagic);
+        }
+        Ok(EventLogReader {
+            buf,
+            pos: LOG_MAGIC.len(),
+            failed: false,
+        })
+    }
+
+    /// True when `buf` starts with the binary-log magic (used by
+    /// `adya-check` to auto-detect binary vs. text input).
+    pub fn sniff(buf: &[u8]) -> bool {
+        buf.len() >= LOG_MAGIC.len() && buf[..LOG_MAGIC.len()] == LOG_MAGIC
+    }
+
+    /// Byte offset of the next unread record (= length of the intact
+    /// prefix once iteration finishes cleanly).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn torn(&mut self, detail: String) -> LogError {
+        self.failed = true;
+        LogError::TornTail {
+            good_len: self.pos,
+            detail,
+        }
+    }
+
+    /// Reads the next event; `None` at a clean end of log.
+    #[allow(clippy::should_implement_trait)] // fallible, lending-style next
+    pub fn next(&mut self) -> Option<Result<Event, LogError>> {
+        if self.failed || self.pos == self.buf.len() {
+            return None;
+        }
+        let start = self.pos;
+        let rest = &self.buf[start..];
+        if rest.len() < 8 {
+            return Some(Err(self.torn(format!(
+                "{} header bytes of a record frame (need 8)",
+                rest.len()
+            ))));
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if rest.len() - 8 < len {
+            return Some(Err(self.torn(format!(
+                "record declares {len} payload bytes, {} present",
+                rest.len() - 8
+            ))));
+        }
+        let payload = &rest[8..8 + len];
+        let end = start + 8 + len;
+        if wire::crc32(payload) != crc {
+            // A checksum failure on the very last record is a torn
+            // (partially overwritten) append; earlier it is corruption.
+            self.failed = true;
+            return Some(Err(if end == self.buf.len() {
+                LogError::TornTail {
+                    good_len: start,
+                    detail: "final record failed its checksum".into(),
+                }
+            } else {
+                LogError::Corrupt {
+                    offset: start,
+                    detail: "record failed its checksum".into(),
+                }
+            }));
+        }
+        match wire::decode_event(payload) {
+            Ok(ev) => {
+                self.pos = end;
+                Some(Ok(ev))
+            }
+            Err(WireError::Truncated) => Some(Err(self.torn("event payload truncated".into()))),
+            Err(WireError::Malformed(m)) => {
+                self.failed = true;
+                Some(Err(LogError::Corrupt {
+                    offset: start,
+                    detail: m,
+                }))
+            }
+        }
+    }
+}
+
+/// Encodes `events` as a complete binary log in memory.
+pub fn encode_log(events: &[Event]) -> Vec<u8> {
+    let mut w = EventLogWriter::create(Vec::new()).expect("Vec<u8> writes are infallible");
+    for ev in events {
+        w.append(ev).expect("Vec<u8> writes are infallible");
+    }
+    w.into_inner().expect("Vec<u8> flush is infallible")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,5 +461,113 @@ mod tests {
             Event::Write(we) => assert_eq!(we.value, Some(Value::str("hello"))),
             other => panic!("{other:?}"),
         }
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Begin(TxnId(1)),
+            Event::Write(WriteEvent {
+                txn: TxnId(1),
+                object: ObjectId(0),
+                seq: 1,
+                kind: VersionKind::Visible,
+                value: Some(Value::Int(5)),
+            }),
+            Event::Commit(TxnId(1)),
+            Event::Begin(TxnId(2)),
+            Event::Read(ReadEvent {
+                txn: TxnId(2),
+                object: ObjectId(0),
+                version: VersionId::new(TxnId(1), 1),
+                through_cursor: false,
+            }),
+            Event::Abort(TxnId(2)),
+        ]
+    }
+
+    fn drain(buf: &[u8]) -> (Vec<Event>, Option<LogError>) {
+        let mut r = EventLogReader::open(buf).unwrap();
+        let mut evs = Vec::new();
+        while let Some(item) = r.next() {
+            match item {
+                Ok(ev) => evs.push(ev),
+                Err(e) => return (evs, Some(e)),
+            }
+        }
+        (evs, None)
+    }
+
+    #[test]
+    fn log_round_trips() {
+        let evs = sample_events();
+        let buf = encode_log(&evs);
+        assert!(EventLogReader::sniff(&buf));
+        assert!(!EventLogReader::sniff(b"b1 w1(x) c1"));
+        let (got, err) = drain(&buf);
+        assert_eq!(err, None);
+        assert_eq!(got, evs);
+    }
+
+    #[test]
+    fn torn_tail_reports_the_intact_prefix() {
+        let evs = sample_events();
+        let buf = encode_log(&evs);
+        // Chop bytes off the final record: every cut length must read
+        // back all but the last event and report a torn tail whose
+        // good_len lets the caller resume exactly there.
+        let full_len = buf.len();
+        let last_start = {
+            let (_, err) = drain(&buf[..full_len - 1]);
+            match err.unwrap() {
+                LogError::TornTail { good_len, .. } => good_len,
+                other => panic!("{other:?}"),
+            }
+        };
+        for cut in last_start + 1..full_len {
+            let (got, err) = drain(&buf[..cut]);
+            assert_eq!(got.len(), evs.len() - 1, "cut at {cut}");
+            match err.unwrap() {
+                LogError::TornTail { good_len, .. } => assert_eq!(good_len, last_start),
+                other => panic!("expected torn tail at {cut}, got {other:?}"),
+            }
+        }
+        // Truncating at good_len and appending again yields a clean log.
+        let mut healed = buf[..last_start].to_vec();
+        let mut w = EventLogWriter::append_to(&mut healed);
+        w.append(&Event::Commit(TxnId(9))).unwrap();
+        let (got, err) = drain(&healed);
+        assert_eq!(err, None);
+        assert_eq!(got.last(), Some(&Event::Commit(TxnId(9))));
+    }
+
+    #[test]
+    fn mid_file_damage_is_corruption_not_torn_tail() {
+        let evs = sample_events();
+        let mut buf = encode_log(&evs);
+        // Flip a payload byte of the FIRST record (header is 8 bytes
+        // of magic, then 8 bytes of frame, then the payload).
+        buf[17] ^= 0xFF;
+        let (got, err) = drain(&buf);
+        assert!(got.is_empty());
+        assert!(
+            matches!(err, Some(LogError::Corrupt { offset: 8, .. })),
+            "{err:?}"
+        );
+        // A checksum failure on the *last* record is a torn tail.
+        let mut buf2 = encode_log(&evs);
+        let n = buf2.len();
+        buf2[n - 1] ^= 0xFF;
+        let (got2, err2) = drain(&buf2);
+        assert_eq!(got2.len(), evs.len() - 1);
+        assert!(matches!(err2, Some(LogError::TornTail { .. })), "{err2:?}");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(
+            EventLogReader::open(b"not a log at all").err(),
+            Some(LogError::BadMagic)
+        );
+        assert_eq!(EventLogReader::open(b"").err(), Some(LogError::BadMagic));
     }
 }

@@ -34,6 +34,14 @@
 //!   the ANSI chain is checked with item conflicts plus predicate
 //!   aborted/intermediate reads.
 //!
+//! Crash recovery: events can be persisted in a checksummed binary log
+//! ([`EventLogWriter`]) whose reader distinguishes a torn tail (the
+//! writer died mid-append; truncate and resume) from mid-file
+//! corruption, and the checker itself can be frozen to bytes with
+//! [`OnlineChecker::snapshot`] and revived with
+//! [`OnlineChecker::restore`] — the restored checker continues the
+//! stream with verdicts byte-identical to an uninterrupted run.
+//!
 //! ```
 //! use adya_history::{Event, ReadEvent, TxnId, ObjectId, VersionId};
 //! use adya_online::OnlineChecker;
@@ -62,6 +70,7 @@
 
 mod checker;
 mod feed;
+pub mod wire;
 
-pub use checker::{GcConfig, OnlineChecker, Verdict};
-pub use feed::StreamParser;
+pub use checker::{GcConfig, OnlineChecker, SnapshotError, Verdict};
+pub use feed::{encode_log, EventLogReader, EventLogWriter, LogError, StreamParser, LOG_MAGIC};

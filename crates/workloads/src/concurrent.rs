@@ -19,6 +19,7 @@ use crossbeam::thread;
 
 use crate::driver::RunStats;
 use crate::program::{Program, Step};
+use crate::retry::RetryPolicy;
 
 /// Knobs for the concurrent driver.
 #[derive(Debug, Clone)]
@@ -28,8 +29,11 @@ pub struct ConcurrentConfig {
     /// Consecutive `Blocked` retries of one operation before the
     /// session declares itself a deadlock victim and restarts.
     pub spin_limit: usize,
-    /// Restart budget per program.
-    pub max_restarts: usize,
+    /// Restart/backoff/deadline discipline per program.
+    pub retry: RetryPolicy,
+    /// Seeds the per-program backoff jitter (the schedule itself stays
+    /// nondeterministic — this only makes the jitter draws replayable).
+    pub seed: u64,
 }
 
 impl Default for ConcurrentConfig {
@@ -37,7 +41,8 @@ impl Default for ConcurrentConfig {
         ConcurrentConfig {
             threads: 4,
             spin_limit: 2_000,
-            max_restarts: 24,
+            retry: RetryPolicy::default(),
+            seed: 0,
         }
     }
 }
@@ -56,6 +61,7 @@ pub fn run_concurrent(
     let blocked = AtomicUsize::new(0);
     let ops = AtomicUsize::new(0);
     let victims = AtomicUsize::new(0);
+    let deadline_giveups = AtomicUsize::new(0);
 
     thread::scope(|scope| {
         for _ in 0..cfg.threads.max(1) {
@@ -64,7 +70,16 @@ pub fn run_concurrent(
                 let Some(program) = programs.get(ix) else {
                     return;
                 };
-                if run_program(engine, program, cfg, &blocked, &ops, &victims) {
+                if run_program(
+                    engine,
+                    program,
+                    ix,
+                    cfg,
+                    &blocked,
+                    &ops,
+                    &victims,
+                    &deadline_giveups,
+                ) {
                     committed.fetch_add(1, Ordering::Relaxed);
                 } else {
                     gave_up.fetch_add(1, Ordering::Relaxed);
@@ -80,6 +95,7 @@ pub fn run_concurrent(
         ops: ops.into_inner(),
         blocked: blocked.into_inner(),
         deadlock_victims: victims.into_inner(),
+        deadline_giveups: deadline_giveups.into_inner(),
         ..Default::default()
     };
     // Aggregate outcomes are enough for the concurrent driver; per-
@@ -89,13 +105,16 @@ pub fn run_concurrent(
 }
 
 /// Executes one program to completion; true on commit.
+#[allow(clippy::too_many_arguments)]
 fn run_program(
     engine: &dyn Engine,
     program: &Program,
+    ix: usize,
     cfg: &ConcurrentConfig,
     blocked: &AtomicUsize,
     ops: &AtomicUsize,
     victims: &AtomicUsize,
+    deadline_giveups: &AtomicUsize,
 ) -> bool {
     let mut regs = vec![0i64; program.register_count().max(1)];
     // Predicates compiled once per program run so their identity is
@@ -108,13 +127,22 @@ fn run_program(
             _ => None,
         })
         .collect();
+    let mut retry = cfg
+        .retry
+        .session(cfg.seed ^ (ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
-    'attempt: for _ in 0..=cfg.max_restarts {
+    'attempt: loop {
         let txn = engine.begin();
         regs.iter_mut().for_each(|r| *r = 0);
         let mut pc = 0usize;
         let mut spins = 0usize;
         loop {
+            if !retry.admit_op() {
+                // Per-transaction deadline exhausted.
+                deadline_giveups.fetch_add(1, Ordering::Relaxed);
+                let _ = engine.abort(txn);
+                return false;
+            }
             ops.fetch_add(1, Ordering::Relaxed);
             let result: Result<(), EngineError> = if pc >= program.steps.len() {
                 match engine.commit(txn) {
@@ -157,6 +185,7 @@ fn run_program(
                 Ok(()) => {
                     pc += 1;
                     spins = 0;
+                    retry.clear_backoff();
                 }
                 Err(EngineError::Blocked { .. }) => {
                     blocked.fetch_add(1, Ordering::Relaxed);
@@ -165,17 +194,31 @@ fn run_program(
                         // Timeout-based deadlock victim.
                         victims.fetch_add(1, Ordering::Relaxed);
                         let _ = engine.abort(txn);
+                        if retry.should_restart(&AbortReason::DeadlockVictim).is_err() {
+                            return false;
+                        }
                         continue 'attempt;
                     }
-                    std::thread::yield_now();
+                    for _ in 0..retry.backoff_spins() {
+                        std::thread::yield_now();
+                    }
                 }
-                Err(EngineError::Aborted(AbortReason::Requested)) => return false,
-                Err(EngineError::Aborted(_)) => continue 'attempt,
+                // Any abort surfaced by an *operation* is restartable —
+                // including `Requested`, which under a fault plane means
+                // the transaction was aborted out from under this thread
+                // (a crash point), not that the program asked for it.
+                // The program's own `Step::Abort` returns above without
+                // consulting the policy.
+                Err(EngineError::Aborted(reason)) => {
+                    if retry.should_restart(&reason).is_err() {
+                        return false;
+                    }
+                    continue 'attempt;
+                }
                 Err(EngineError::UnknownTxn) => return false,
             }
         }
     }
-    false
 }
 
 #[cfg(test)]

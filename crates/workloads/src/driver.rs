@@ -3,10 +3,12 @@
 //! Given an engine and a set of programs, the driver runs one step of
 //! one (seeded-randomly chosen) session at a time. Blocked operations
 //! park the session; a wait-for cycle (or a fully-parked system)
-//! nominates a deadlock victim, which is aborted and — up to a restart
-//! budget — retried from the top. Engine-initiated aborts (validation
-//! failures, certification cycles, cascades) are retried the same
-//! way. The run is fully reproducible from its seed.
+//! nominates a deadlock victim, which is aborted and — under the
+//! configured [`RetryPolicy`] — retried from the top. Engine-initiated
+//! aborts (validation failures, certification cycles, cascades,
+//! injected faults) are retried the same way; the policy's restart
+//! budget and per-transaction operation deadline bound the fight. The
+//! run is fully reproducible from its seed.
 
 use std::collections::HashMap;
 
@@ -16,15 +18,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::program::{PredSpec, Program, Step};
+use crate::retry::{RetryPolicy, RetrySession};
 
 /// Driver knobs.
 #[derive(Debug, Clone)]
 pub struct DriverConfig {
     /// RNG seed; equal seeds replay identical interleavings.
     pub seed: u64,
-    /// How many times an aborted session is restarted before giving
-    /// up.
-    pub max_restarts: usize,
+    /// Restart/deadline discipline for aborted sessions.
+    pub retry: RetryPolicy,
     /// Global step budget (livelock guard).
     pub fuel: usize,
 }
@@ -33,7 +35,7 @@ impl Default for DriverConfig {
     fn default() -> Self {
         DriverConfig {
             seed: 0,
-            max_restarts: 16,
+            retry: RetryPolicy::default(),
             fuel: 1_000_000,
         }
     }
@@ -63,6 +65,9 @@ pub struct RunStats {
     pub blocked: usize,
     /// Deadlock victims chosen by the driver.
     pub deadlock_victims: usize,
+    /// Sessions that gave up because their per-transaction operation
+    /// deadline ran out (a subset of `gave_up`).
+    pub deadline_giveups: usize,
     /// Per-session outcomes, in program order.
     pub outcomes: Vec<SessionOutcome>,
 }
@@ -92,7 +97,7 @@ struct Session {
     txn: TxnId,
     state: SessionState,
     waiting_on: Vec<TxnId>,
-    restarts: usize,
+    retry: RetrySession,
     outcome: Option<SessionOutcome>,
     /// Compiled predicates, cached per (step index) for pointer-stable
     /// predicate identity across retries of the same step.
@@ -109,7 +114,8 @@ pub fn run_deterministic(
     let mut stats = RunStats::default();
     let mut sessions: Vec<Session> = programs
         .into_iter()
-        .map(|p| {
+        .enumerate()
+        .map(|(i, p)| {
             let regs = vec![0i64; p.register_count().max(1)];
             Session {
                 txn: engine.begin(),
@@ -118,7 +124,9 @@ pub fn run_deterministic(
                 regs,
                 state: SessionState::Ready,
                 waiting_on: Vec::new(),
-                restarts: 0,
+                retry: cfg
+                    .retry
+                    .session(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                 outcome: None,
                 pred_cache: HashMap::new(),
             }
@@ -151,7 +159,7 @@ pub fn run_deterministic(
             // everyone; a cycle nominates a victim first.
             if let Some(victim) = pick_deadlock_victim(&sessions, &waiting) {
                 stats.deadlock_victims += 1;
-                restart(engine, &mut sessions[victim], &mut stats, cfg, Some(victim));
+                restart(engine, &mut sessions[victim], &mut stats, Some(victim));
             }
             for s in &mut sessions {
                 if s.state == SessionState::Waiting {
@@ -163,7 +171,7 @@ pub fn run_deterministic(
         }
         let ix = ready[rng.gen_range(0..ready.len())];
         fuel -= 1;
-        step_session(engine, &mut sessions, ix, &mut stats, cfg);
+        step_session(engine, &mut sessions, ix, &mut stats);
     }
 
     for s in &sessions {
@@ -206,34 +214,25 @@ fn pick_deadlock_victim(sessions: &[Session], waiting: &[usize]) -> Option<usize
     victim.and_then(|t| by_txn.get(&t).copied())
 }
 
-fn restart(
-    engine: &dyn Engine,
-    s: &mut Session,
-    stats: &mut RunStats,
-    cfg: &DriverConfig,
-    _ix: Option<usize>,
-) {
+fn restart(engine: &dyn Engine, s: &mut Session, stats: &mut RunStats, _ix: Option<usize>) {
     let _ = engine.abort(s.txn);
     adya_obs::counter!("engine.deadlock_victim").inc();
     adya_obs::global().event(
         "engine.deadlock_victim",
         vec![
             ("txn".into(), adya_obs::Field::from(u64::from(s.txn.0))),
-            ("restarts".into(), adya_obs::Field::from(s.restarts as u64)),
+            (
+                "attempts".into(),
+                adya_obs::Field::from(s.retry.attempts() as u64),
+            ),
         ],
     );
     stats.count_abort(&AbortReason::DeadlockVictim);
-    begin_fresh_attempt(engine, s, cfg, stats);
+    begin_fresh_attempt(engine, s, &AbortReason::DeadlockVictim);
 }
 
-fn begin_fresh_attempt(
-    engine: &dyn Engine,
-    s: &mut Session,
-    cfg: &DriverConfig,
-    _stats: &mut RunStats,
-) {
-    s.restarts += 1;
-    if s.restarts > cfg.max_restarts {
+fn begin_fresh_attempt(engine: &dyn Engine, s: &mut Session, reason: &AbortReason) {
+    if s.retry.should_restart(reason).is_err() {
         s.state = SessionState::Done;
         s.outcome = Some(SessionOutcome::GaveUp);
         return;
@@ -255,13 +254,17 @@ enum Next {
     AbortInjected,
 }
 
-fn step_session(
-    engine: &dyn Engine,
-    sessions: &mut [Session],
-    ix: usize,
-    stats: &mut RunStats,
-    cfg: &DriverConfig,
-) {
+fn step_session(engine: &dyn Engine, sessions: &mut [Session], ix: usize, stats: &mut RunStats) {
+    if !sessions[ix].retry.admit_op() {
+        // Per-transaction deadline exhausted: release whatever the
+        // attempt holds and give up.
+        let _ = engine.abort(sessions[ix].txn);
+        stats.deadline_giveups += 1;
+        sessions[ix].state = SessionState::Done;
+        sessions[ix].outcome = Some(SessionOutcome::GaveUp);
+        wake_waiters(sessions, ix);
+        return;
+    }
     stats.ops += 1;
     let next = exec_step(engine, &mut sessions[ix], stats);
     match next {
@@ -276,7 +279,7 @@ fn step_session(
         }
         Next::Restart(reason) => {
             stats.count_abort(&reason);
-            begin_fresh_attempt(engine, &mut sessions[ix], cfg, stats);
+            begin_fresh_attempt(engine, &mut sessions[ix], &reason);
             wake_waiters(sessions, ix);
         }
         Next::Committed => {

@@ -8,7 +8,9 @@
 //!   step by step;
 //! * [`run_deterministic`] — a seeded driver that interleaves many
 //!   programs against any [`adya_engine::Engine`], handling blocking,
-//!   deadlock victims and restarts, and reporting [`RunStats`];
+//!   deadlock victims and restarts under an explicit [`RetryPolicy`]
+//!   (bounded restarts, seeded backoff jitter, per-transaction
+//!   operation deadlines), and reporting [`RunStats`];
 //! * generators — the paper-motivated workloads (bank transfers with
 //!   the `x + y = 10`-style invariant of §3, the employee/Sales
 //!   phantom scenario of §5.4, hotspot counters, zipfian mixes) plus a
@@ -22,6 +24,7 @@ mod driver;
 mod generators;
 pub mod histgen;
 mod program;
+mod retry;
 mod zipf;
 
 pub use concurrent::{run_concurrent, ConcurrentConfig};
@@ -31,4 +34,5 @@ pub use generators::{
     MixedConfig, PhantomConfig,
 };
 pub use program::{Expr, PredSpec, Program, Step};
+pub use retry::{GiveUpCause, RetryPolicy, RetrySession};
 pub use zipf::Zipf;

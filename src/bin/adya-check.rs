@@ -25,7 +25,7 @@ use std::process::ExitCode;
 
 use adya::core::{analyze, Analysis, IsolationLevel};
 use adya::history::parse_history_completed;
-use adya::online::{OnlineChecker, StreamParser};
+use adya::online::{EventLogReader, LogError, OnlineChecker, StreamParser};
 
 struct Args {
     path: Option<String>,
@@ -180,15 +180,92 @@ Reads a history (paper notation) from FILE or stdin and analyzes it.
   --metrics      append checker metrics (phase timings, graph stats)
   --stream       incremental mode: ingest events one at a time and emit
                  one NDJSON verdict line per commit plus a final line;
-                 predicate reads and explicit version orders are not
-                 supported, and --level is restricted to the ANSI chain
+                 binary event logs (ADYALOG magic) are auto-detected.
+                 A torn tail — text cut mid-token on the last line, or
+                 a binary log whose final record is incomplete — emits
+                 a {\"error\":\"truncated_input\",...} record plus the
+                 verdict of the intact prefix, and exits 3; damage
+                 before the end is corruption and exits 2. Predicate
+                 reads and explicit version orders are not supported,
+                 and --level is restricted to the ANSI chain
   --level LEVEL  exit non-zero unless the history satisfies LEVEL
                  (PL-1, PL-2, PL-CS, PL-MAV, PL-2+, PL-2.99, PL-SI, PL-3)";
+
+/// Exit code for a cleanly detected torn tail (distinct from level
+/// violations = 1 and hard errors = 2).
+const EXIT_TRUNCATED: u8 = 3;
+
+/// Emits the `truncated_input` NDJSON record, the final verdict of the
+/// intact prefix, and optional metrics; the caller exits 3.
+fn finish_truncated(
+    mut checker: OnlineChecker,
+    detail: &str,
+    at_field: &str,
+    at: usize,
+    metrics: bool,
+) -> ExitCode {
+    println!(
+        "{{\"error\": \"truncated_input\", \"{at_field}\": {at}, \"detail\": \"{}\"}}",
+        esc(detail)
+    );
+    println!("{}", checker.finish().to_json());
+    if metrics {
+        eprintln!("{}", metrics_text(&adya_obs::global().snapshot()));
+    }
+    ExitCode::from(EXIT_TRUNCATED)
+}
+
+/// `--stream` over a binary event log (detected via [`LOG_MAGIC`]):
+/// a torn final record is reported as `truncated_input` (exit 3), an
+/// earlier damaged record as corruption (exit 2).
+///
+/// [`LOG_MAGIC`]: adya::online::LOG_MAGIC
+fn run_stream_binary(args: &Args, buf: &[u8]) -> ExitCode {
+    let mut log = match EventLogReader::open(buf) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("adya-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut checker = OnlineChecker::new();
+    while let Some(item) = log.next() {
+        match item {
+            Ok(ev) => {
+                if let Some(v) = checker.ingest(&ev) {
+                    println!("{}", v.to_json());
+                }
+            }
+            Err(LogError::TornTail { good_len, detail }) => {
+                return finish_truncated(checker, &detail, "good_len", good_len, args.metrics);
+            }
+            Err(e) => {
+                eprintln!("adya-check: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let fin = checker.finish();
+    println!("{}", fin.to_json());
+    if args.metrics {
+        eprintln!("{}", metrics_text(&adya_obs::global().snapshot()));
+    }
+    if let Some(level) = args.level {
+        if !fin.satisfies(level) {
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}
 
 /// `--stream`: feed the input token-by-token through the incremental
 /// checker, emitting one NDJSON verdict per commit and a final summary
 /// line (`"final": true`). Metrics go to stderr so stdout stays pure
-/// NDJSON.
+/// NDJSON. Binary event logs are detected by their magic and handed to
+/// [`run_stream_binary`]; a malformed token with nothing but
+/// whitespace/comments after it is treated as a torn tail (the input
+/// was cut mid-write), reported as a `truncated_input` record with
+/// exit 3 rather than a hard parse error.
 fn run_stream(args: &Args) -> ExitCode {
     if args.dot {
         eprintln!("adya-check: --dot is not available with --stream (no final DSG is kept)");
@@ -206,19 +283,48 @@ fn run_stream(args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    let reader: Box<dyn std::io::BufRead> = match &args.path {
+    let mut raw: Box<dyn std::io::Read> = match &args.path {
         Some(p) => match std::fs::File::open(p) {
-            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Ok(f) => Box::new(f),
             Err(e) => {
                 eprintln!("adya-check: cannot read {p}: {e}");
                 return ExitCode::from(2);
             }
         },
-        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+        None => Box::new(std::io::stdin()),
     };
+    // Peek the first 8 bytes to auto-detect a binary event log.
+    let mut header = [0u8; 8];
+    let mut got = 0;
+    while got < header.len() {
+        match raw.read(&mut header[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) => {
+                eprintln!("adya-check: read error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if EventLogReader::sniff(&header[..got]) {
+        let mut buf = header[..got].to_vec();
+        if let Err(e) = raw.read_to_end(&mut buf) {
+            eprintln!("adya-check: read error: {e}");
+            return ExitCode::from(2);
+        }
+        return run_stream_binary(args, &buf);
+    }
+    let reader = std::io::BufReader::new(std::io::Read::chain(
+        std::io::Cursor::new(header[..got].to_vec()),
+        raw,
+    ));
+
     let mut parser = StreamParser::new();
     let mut checker = OnlineChecker::new();
-    for (ix, line) in reader.lines().enumerate() {
+    // (line number, parse error, were there tokens after it)
+    let mut damage: Option<(usize, String, bool)> = None;
+    let mut lines = reader.lines().enumerate();
+    'ingest: for (ix, line) in lines.by_ref() {
         let line = match line {
             Ok(l) => l,
             Err(e) => {
@@ -232,18 +338,36 @@ fn run_stream(args: &Args) -> ExitCode {
         if t.starts_with('#') && !t.starts_with("#pred(") {
             continue;
         }
-        for tok in line.split_whitespace() {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        for (ti, tok) in toks.iter().enumerate() {
             let ev = match parser.parse_token(tok) {
                 Ok(e) => e,
                 Err(e) => {
-                    eprintln!("adya-check: line {}: {e}", ix + 1);
-                    return ExitCode::from(2);
+                    damage = Some((ix + 1, e.to_string(), ti + 1 < toks.len()));
+                    break 'ingest;
                 }
             };
             if let Some(v) = checker.ingest(&ev) {
                 println!("{}", v.to_json());
             }
         }
+    }
+    if let Some((line_no, msg, mid_line)) = damage {
+        // A bad token is a torn tail only when nothing meaningful
+        // follows it; otherwise the input is corrupt, not truncated.
+        let more_input = mid_line
+            || lines.any(|(_, l)| {
+                l.map(|l| {
+                    let t = l.trim_start();
+                    !t.is_empty() && (!t.starts_with('#') || t.starts_with("#pred("))
+                })
+                .unwrap_or(false)
+            });
+        if more_input {
+            eprintln!("adya-check: line {line_no}: {msg}");
+            return ExitCode::from(2);
+        }
+        return finish_truncated(checker, &msg, "line", line_no, args.metrics);
     }
     let fin = checker.finish();
     println!("{}", fin.to_json());
