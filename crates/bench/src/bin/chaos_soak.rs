@@ -23,6 +23,15 @@
 //! Seeds are CLI-settable and echoed into the JSON report
 //! (`--report`), so any soak run is reproducible from the report
 //! alone: `chaos_soak --seed <base> --schedules <n> --txns <n>`.
+//!
+//! Setting `ADYA_SOAK_LONG=1` switches to the long profile: many more
+//! schedules, an order of magnitude more transactions per run, and a
+//! key space that *grows* with the schedule index (later schedules
+//! spread the same contention over ever more objects, exercising the
+//! online checker's GC and reader anchors across a widening domain).
+//! The long profile is hour-scale and meant for soak boxes, not CI;
+//! the default run is unchanged. Explicit `--schedules`/`--txns`
+//! flags still override either profile's defaults.
 
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -227,6 +236,7 @@ fn run_one(
     schedule_ix: u64,
     txns: u64,
     threads: u64,
+    keys: u64,
 ) -> SoakRun {
     let (engine, level) = make();
     let plane = Arc::new(FaultPlane::new(cfg));
@@ -243,7 +253,7 @@ fn run_one(
     let (_, programs) = mixed_workload(
         faulty.inner(),
         &MixedConfig {
-            keys: 12,
+            keys,
             txns: txns as usize,
             ops_per_txn: 5,
             write_ratio: 0.5,
@@ -344,21 +354,26 @@ fn write_report(path: &str, base_seed: u64, runs: &[SoakRun]) -> std::io::Result
 
 fn main() {
     banner("Chaos soak: isolation guarantees under injected faults");
+    let long = std::env::var("ADYA_SOAK_LONG").is_ok_and(|v| v == "1");
     let report_path = report_path_from_args();
     let base_seed = u64_from_args("seed", 0xC0FFEE);
-    let schedules = u64_from_args("schedules", 8);
-    let txns = u64_from_args("txns", 48);
+    let schedules = u64_from_args("schedules", if long { 64 } else { 8 });
+    let txns = u64_from_args("txns", if long { 512 } else { 48 });
     let threads = u64_from_args("threads", 4);
     note(&format!(
-        "base seed {base_seed}, {schedules} schedules x {} engines, {txns} txns, {threads} threads",
-        schemes().len()
+        "base seed {base_seed}, {schedules} schedules x {} engines, {txns} txns, {threads} threads{}",
+        schemes().len(),
+        if long { " (ADYA_SOAK_LONG profile)" } else { "" }
     ));
 
     let mut runs: Vec<SoakRun> = Vec::new();
     for i in 0..schedules {
         let cfg = schedule(base_seed, i);
+        // Long profile: the key space grows with the schedule index, so
+        // late schedules spread contention over many more objects.
+        let keys = if long { 16 + 12 * i } else { 12 };
         for (name, make) in &schemes() {
-            runs.push(run_one(name, make.as_ref(), cfg, i, txns, threads));
+            runs.push(run_one(name, make.as_ref(), cfg, i, txns, threads, keys));
         }
     }
 

@@ -49,6 +49,28 @@ impl Dsg {
         self.graph.has_edge_where(&from, &to, |&k| k == kind)
     }
 
+    /// The conflicts that induced the `from → to` edge of the given
+    /// kind — the edge's provenance. A deduplicated graph edge maps
+    /// back to one conflict per object/predicate involved, in the
+    /// deterministic order [`conflicts`] lists them.
+    ///
+    /// [`conflicts`]: Dsg::conflicts
+    pub fn provenance(&self, from: TxnId, to: TxnId, kind: DepKind) -> Vec<&Conflict> {
+        self.conflicts
+            .iter()
+            .filter(|c| c.from == from && c.to == to && c.kind == kind)
+            .collect()
+    }
+
+    /// The conflicts behind every `from → to` edge regardless of kind,
+    /// in deterministic order.
+    pub fn edge_provenance(&self, from: TxnId, to: TxnId) -> Vec<&Conflict> {
+        self.conflicts
+            .iter()
+            .filter(|c| c.from == from && c.to == to)
+            .collect()
+    }
+
     /// A cycle of only write-dependency edges (the G0 shape).
     pub fn write_cycle(&self) -> Option<Cycle<TxnId, DepKind>> {
         self.graph.find_cycle(|k| k.is_write_dep(), |_| true)
@@ -193,6 +215,22 @@ mod tests {
                 .count(),
             2
         );
+    }
+
+    #[test]
+    fn provenance_maps_edges_back_to_conflicts() {
+        let h = parse_history("w1(x,1) w1(y,2) c1 r2(x1) r2(y1) c2").unwrap();
+        let dsg = Dsg::build(&h);
+        let prov = dsg.provenance(TxnId(1), TxnId(2), DepKind::ItemReadDep);
+        assert_eq!(prov.len(), 2, "one conflict per object read");
+        let objects: Vec<_> = prov.iter().map(|c| c.object.unwrap().0).collect();
+        assert_eq!(objects, vec![0, 1]);
+        assert!(prov.iter().all(|c| c.version.is_some()));
+        // No such edge, no provenance.
+        assert!(dsg
+            .provenance(TxnId(2), TxnId(1), DepKind::ItemReadDep)
+            .is_empty());
+        assert_eq!(dsg.edge_provenance(TxnId(1), TxnId(2)).len(), 2);
     }
 
     #[test]

@@ -140,6 +140,26 @@ impl Phenomenon {
             Phenomenon::GMonotonic { .. } => PhenomenonKind::GMonotonic,
         }
     }
+
+    /// The DSG witness cycle, for the cycle-shaped phenomena. `None`
+    /// for G1a/G1b (read-of-bad-version shapes), G-SIa (a missing
+    /// start-dependency, not a cycle) and G-monotonic (whose cycle
+    /// lives in the per-transaction USG, not the DSG).
+    pub fn cycle(&self) -> Option<&Cycle<TxnId, DepKind>> {
+        match self {
+            Phenomenon::G0(c)
+            | Phenomenon::G1c(c)
+            | Phenomenon::G2Item(c)
+            | Phenomenon::G2(c)
+            | Phenomenon::GSingle(c)
+            | Phenomenon::GSIb(c)
+            | Phenomenon::GCursor(c) => Some(c),
+            Phenomenon::G1a { .. }
+            | Phenomenon::G1b { .. }
+            | Phenomenon::GSIa { .. }
+            | Phenomenon::GMonotonic { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for Phenomenon {

@@ -68,7 +68,7 @@ pub use locking::{LockConfig, LockDuration, LockingEngine};
 pub use mvcc::{MvccEngine, MvccMode};
 pub use mvto::MvtoEngine;
 pub use occ::OccEngine;
-pub use recorder::{EventTap, Recorder};
+pub use recorder::{EventTap, Recorder, SeqEventTap};
 pub use sgt::{CertifyLevel, SgtEngine};
 pub use types::{AbortReason, Catalog, EngineError, Key, OpResult, TableId, TablePred};
 

@@ -26,10 +26,19 @@ use crate::types::{Key, TableId, TablePred};
 /// [`adya-online`]: https://docs.rs/adya-online
 pub type EventTap = Arc<dyn Fn(&Event) + Send + Sync>;
 
+/// Observer like [`EventTap`] that also receives the event's recorder
+/// sequence number — its 0-based position in recorded order. The
+/// sequence number is the stable *event id* forensic exports key their
+/// timelines on: it survives the trip through tap → event log →
+/// replay, unlike wall-clock times.
+pub type SeqEventTap = Arc<dyn Fn(u64, &Event) + Send + Sync>;
+
 #[derive(Default)]
 struct Rec {
     b: HistoryBuilder,
     next_txn: u32,
+    /// Events recorded so far; the next event's id.
+    seq: u64,
     rel_of_table: HashMap<TableId, RelationId>,
     /// Predicates are identified by the address of their shared test
     /// closure, so cloned `TablePred`s map to one history predicate.
@@ -41,6 +50,8 @@ struct Rec {
     finalized: bool,
     /// Streaming observer; see [`EventTap`].
     tap: Option<EventTap>,
+    /// Id-carrying streaming observer; see [`SeqEventTap`].
+    seq_tap: Option<SeqEventTap>,
 }
 
 impl Rec {
@@ -54,19 +65,33 @@ impl Rec {
     /// keeps running untapped, and the incident is counted and
     /// journaled through `adya-obs`.
     fn emit(&mut self, ev: Event) {
-        let Some(tap) = &self.tap else { return };
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tap(&ev)));
-        if caught.is_err() {
-            self.tap = None;
-            adya_obs::counter!("engine.tap_panics").inc();
-            adya_obs::global().event(
-                "engine.tap_panic",
-                vec![(
-                    "disarmed".into(),
-                    adya_obs::Field::from("tap removed; engine continues untapped"),
-                )],
-            );
+        let id = self.seq;
+        self.seq += 1;
+        if let Some(tap) = &self.tap {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tap(&ev)));
+            if caught.is_err() {
+                self.tap = None;
+                Rec::tap_panicked();
+            }
         }
+        if let Some(tap) = &self.seq_tap {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tap(id, &ev)));
+            if caught.is_err() {
+                self.seq_tap = None;
+                Rec::tap_panicked();
+            }
+        }
+    }
+
+    fn tap_panicked() {
+        adya_obs::counter!("engine.tap_panics").inc();
+        adya_obs::global().event(
+            "engine.tap_panic",
+            vec![(
+                "disarmed".into(),
+                adya_obs::Field::from("tap removed; engine continues untapped"),
+            )],
+        );
     }
 }
 
@@ -97,6 +122,22 @@ impl Recorder {
     /// recorded order. Events already recorded are not replayed.
     pub fn set_tap(&self, tap: EventTap) {
         self.inner.lock().tap = Some(tap);
+    }
+
+    /// Installs an observer that also receives each event's recorder
+    /// sequence number (see [`SeqEventTap`]). Independent of
+    /// [`set_tap`]; both may be installed at once. Ids keep counting
+    /// from the events already recorded.
+    ///
+    /// [`set_tap`]: Recorder::set_tap
+    pub fn set_seq_tap(&self, tap: SeqEventTap) {
+        self.inner.lock().seq_tap = Some(tap);
+    }
+
+    /// Number of events recorded so far — equivalently, the id the
+    /// next recorded event will get.
+    pub fn event_count(&self) -> u64 {
+        self.inner.lock().seq
     }
 
     /// Registers `table` as a history relation (idempotent).
@@ -358,6 +399,35 @@ mod tests {
         assert_eq!(seen.load(std::sync::atomic::Ordering::SeqCst), 2);
         let h = rec.finalize();
         assert_eq!(h.committed_txns().count(), 2);
+    }
+
+    #[test]
+    fn seq_tap_sees_stable_event_ids() {
+        let rec = Recorder::new();
+        let table = TableId(0);
+        rec.register_table(table, "acct");
+        let obj = rec.register_object(table, Key(1), 0);
+        let ids = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&ids);
+        rec.set_seq_tap(Arc::new(move |id, ev| {
+            sink.lock().push((id, ev.clone()));
+        }));
+        let t1 = rec.begin_txn();
+        let v1 = rec.write(t1, obj, Value::Int(5));
+        rec.commit(t1);
+        let t2 = rec.begin_txn();
+        rec.read(t2, obj, v1);
+        rec.commit(t2);
+        assert_eq!(rec.event_count(), 6);
+        let got = ids.lock();
+        assert_eq!(got.len(), 6);
+        // Ids are the 0-based recorded order, matching the finalized
+        // history's event indices.
+        for (i, (id, _)) in got.iter().enumerate() {
+            assert_eq!(*id, i as u64);
+        }
+        assert_eq!(got[0].1, Event::Begin(t1));
+        assert_eq!(got[5].1, Event::Commit(t2));
     }
 
     #[test]

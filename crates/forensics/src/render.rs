@@ -1,0 +1,135 @@
+//! Human-facing renderings of a [`Witness`]: the `explain` narrative
+//! (one paragraph per cycle edge, in the paper's notation) and a
+//! cycle-scoped Graphviz DOT drawing.
+
+use std::fmt::Write as _;
+
+use adya_core::Phenomenon;
+
+use crate::witness::Witness;
+
+/// Renders the witness as an `adya-check explain` narrative:
+/// phenomenon, minimal sub-history, then one paragraph per cycle edge
+/// citing the operations that induced it. Deterministic — suitable
+/// for golden-file comparison.
+pub fn narrative(w: &Witness) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== {} ==", w.phenomenon);
+    let txns = w.minimal_history.txns().count();
+    let _ = writeln!(
+        s,
+        "minimal sub-history ({} txn{}, {} events; shrink removed {} txn{}, {} events):",
+        txns,
+        plural(txns),
+        w.minimal_history.len(),
+        w.removed_txns,
+        plural(w.removed_txns),
+        w.removed_events,
+    );
+    let _ = writeln!(s, "  {}", w.minimal_history);
+    if w.cycle.is_empty() {
+        // Non-cycle phenomena: the phenomenon Display line above
+        // already cites the reader/writer/object/version.
+        let _ = writeln!(s, "  (no DSG cycle: the witness is the read itself)");
+        return s;
+    }
+    for e in &w.cycle {
+        let _ = writeln!(s, "  {} -[{}]-> {}:", e.from, e.kind, e.to);
+        if e.ops.is_empty() {
+            let _ = writeln!(s, "    (edge present in the DSG; no recorded conflict)");
+        }
+        for op in &e.ops {
+            let _ = writeln!(s, "    {}.", op.citation);
+        }
+    }
+    s
+}
+
+/// Renders only the witness cycle (not the whole DSG) as Graphviz DOT,
+/// with each edge labelled by its kind and the first inducing
+/// operation.
+pub fn cycle_dot(w: &Witness, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {} {{", sanitize(name));
+    s.push_str("  rankdir=LR;\n  node [shape=circle];\n");
+    let mut nodes: Vec<String> = Vec::new();
+    for e in &w.cycle {
+        for t in [e.from, e.to] {
+            let t = t.to_string();
+            if !nodes.contains(&t) {
+                nodes.push(t);
+            }
+        }
+    }
+    for n in &nodes {
+        let _ = writeln!(s, "  \"{}\";", escape(n));
+    }
+    for e in &w.cycle {
+        let mut label = e.kind.to_string();
+        if let Some(op) = e.ops.first() {
+            if let (Some(o), Some(v)) = (op.conflict.object, op.conflict.version) {
+                let _ = write!(label, "\\n{}[{}]", w.minimal_history.object_name(o), v);
+            }
+        }
+        let _ = writeln!(
+            s,
+            "  \"{}\" -> \"{}\" [label=\"{}\"];",
+            escape(&e.from.to_string()),
+            escape(&e.to.to_string()),
+            escape(&label)
+        );
+    }
+    // Non-cycle phenomena still get the involved transactions drawn.
+    if w.cycle.is_empty() {
+        if let Phenomenon::G1a { reader, writer, .. } | Phenomenon::G1b { reader, writer, .. } =
+            &w.phenomenon
+        {
+            let _ = writeln!(s, "  \"{writer}\";");
+            let _ = writeln!(s, "  \"{reader}\";");
+            let _ = writeln!(s, "  \"{writer}\" -> \"{reader}\" [label=\"wr\"];");
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "witness".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    // Keep explicit "\n" sequences (DOT line breaks) intact: escape
+    // backslashes not followed by 'n'.
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars().peekable();
+    while let Some(c) = it.next() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' if it.peek() != Some(&'n') => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out
+}

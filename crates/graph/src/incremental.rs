@@ -52,8 +52,12 @@ struct Slot<K, L> {
 /// Result of [`IncrementalDag::add_edge`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Insert<K, L> {
-    /// The edge respects the current order (or was a duplicate).
+    /// The edge respects the current order.
     Added,
+    /// The exact `(from, to, label)` edge was already present (or was
+    /// a self-loop); nothing changed. Lets callers skip per-edge
+    /// bookkeeping — e.g. provenance recording — on the hot path.
+    Duplicate,
     /// The edge violated the order; the affected region was re-ordered
     /// (Pearce–Kelly) and the graph is still acyclic.
     Reordered,
@@ -282,6 +286,25 @@ where
     ///
     /// [`remove_node`]: IncrementalDag::remove_node
     pub fn remove_node_contract(&mut self, k: K, combine: impl Fn(L, L) -> L) -> bool {
+        self.remove_node_contract_report(k, combine, |_, _, _| {})
+    }
+
+    /// [`remove_node_contract`], additionally invoking `report(a, b,
+    /// label)` for every shortcut edge created, *before* the shortcut
+    /// is inserted. Callers that keep per-edge side data (e.g. edge
+    /// provenance) use this to transfer the data from the `a → k` and
+    /// `k → b` edges onto the synthesized `a → b` edge so it survives
+    /// the contraction. Shortcuts are reported in a deterministic
+    /// order: in-neighbours in adjacency order, each crossed with the
+    /// out-neighbours in adjacency order.
+    ///
+    /// [`remove_node_contract`]: IncrementalDag::remove_node_contract
+    pub fn remove_node_contract_report(
+        &mut self,
+        k: K,
+        combine: impl Fn(L, L) -> L,
+        mut report: impl FnMut(K, K, L),
+    ) -> bool {
         let Some(&s) = self.index.get(&k) else {
             return true;
         };
@@ -302,9 +325,10 @@ where
         let removed = self.remove_node(k);
         debug_assert!(removed);
         for (a, b, l) in shortcuts {
+            report(a, b, l);
             let r = self.add_edge(a, b, l);
             debug_assert!(
-                matches!(r, Insert::Added | Insert::Reordered),
+                matches!(r, Insert::Added | Insert::Duplicate | Insert::Reordered),
                 "contraction shortcut must not close a cycle"
             );
         }
@@ -315,7 +339,7 @@ where
     /// the topological order. Self-edges and duplicates are ignored.
     pub fn add_edge(&mut self, from: K, to: K, label: L) -> Insert<K, L> {
         if from == to || !self.seen.insert((from, to, label)) {
-            return Insert::Added;
+            return Insert::Duplicate;
         }
         let su = self.add_node(from);
         let sv = self.add_node(to);
@@ -647,7 +671,7 @@ mod tests {
     fn duplicate_edges_are_ignored() {
         let mut g: IncrementalDag<u32, char> = IncrementalDag::new();
         assert_eq!(g.add_edge(1, 2, 'd'), Insert::Added);
-        assert_eq!(g.add_edge(1, 2, 'd'), Insert::Added);
+        assert_eq!(g.add_edge(1, 2, 'd'), Insert::Duplicate);
         assert_eq!(g.edge_count(), 1);
     }
 
@@ -747,6 +771,25 @@ mod tests {
             }
             other => panic!("expected cycle via shortcut, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn contraction_reports_shortcuts_in_order() {
+        let mut g: IncrementalDag<u32, u8> = IncrementalDag::new();
+        g.add_edge(1, 2, 0); // a1 -> k
+        g.add_edge(4, 2, 1); // a2 -> k
+        g.add_edge(2, 3, 1); // k -> b1
+        g.add_edge(2, 5, 0); // k -> b2
+        let mut seen = Vec::new();
+        assert!(g.remove_node_contract_report(2, |a, b| a | b, |a, b, l| seen.push((a, b, l))));
+        // in-neighbours in adjacency order, crossed with out-neighbours.
+        assert_eq!(seen, vec![(1, 3, 1), (1, 5, 0), (4, 3, 1), (4, 5, 1)]);
+        // Reported shortcuts match what was actually inserted.
+        assert_eq!(g.edge_count(), 4);
+        // Absent node: nothing reported, still "removed".
+        seen.clear();
+        assert!(g.remove_node_contract_report(99, |a, b| a | b, |a, b, l| seen.push((a, b, l))));
+        assert!(seen.is_empty());
     }
 
     #[test]

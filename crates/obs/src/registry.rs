@@ -10,6 +10,7 @@
 //! bench binaries.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -265,6 +266,54 @@ impl Snapshot {
         w.close_object();
     }
 
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): one `# TYPE` line per metric, names sanitized
+    /// (`.` and any other non-`[a-zA-Z0-9_:]` become `_`). Counters map
+    /// to `counter`, gauges to `gauge`, histograms to a `summary` with
+    /// quantile labels plus `_sum`/`_count`. The journal is not
+    /// exported — Prometheus scrapes numbers, not logs.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut s: String = name
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                s.insert(0, '_');
+            }
+            s
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} summary");
+            for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        let _ = writeln!(out, "# TYPE adya_obs_events_dropped counter");
+        let _ = writeln!(out, "adya_obs_events_dropped {}", self.events_dropped);
+        out
+    }
+
     /// Renders the snapshot as a standalone JSON object.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
@@ -330,6 +379,35 @@ mod tests {
         assert_eq!(unescaped_quotes % 2, 0, "balanced quotes:\n{s}");
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn prometheus_exposition_is_wellformed() {
+        let r = Registry::new();
+        r.counter("checker.dsg.nodes").add(3);
+        r.gauge("online.live-txns").set(-1);
+        r.histogram("checker.phase.total_ns").record(10);
+        r.histogram("checker.phase.total_ns").record(30);
+        let s = r.snapshot().to_prometheus();
+        assert!(s.contains("# TYPE checker_dsg_nodes counter\n"), "{s}");
+        assert!(s.contains("checker_dsg_nodes 3\n"), "{s}");
+        assert!(s.contains("# TYPE online_live_txns gauge\n"), "{s}");
+        assert!(s.contains("online_live_txns -1\n"), "{s}");
+        assert!(s.contains("# TYPE checker_phase_total_ns summary\n"), "{s}");
+        assert!(
+            s.contains("checker_phase_total_ns{quantile=\"0.5\"}"),
+            "{s}"
+        );
+        assert!(s.contains("checker_phase_total_ns_sum 40\n"), "{s}");
+        assert!(s.contains("checker_phase_total_ns_count 2\n"), "{s}");
+        assert!(s.contains("adya_obs_events_dropped 0\n"), "{s}");
+        // Every non-comment line is `name[{labels}] value`.
+        for line in s.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty() && value.parse::<i64>().is_ok(), "{line}");
+        }
+        // JSON and text renderings are untouched by the new format.
+        assert!(r.to_json().contains("\"checker.dsg.nodes\": 3"));
     }
 
     #[test]

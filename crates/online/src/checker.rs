@@ -33,6 +33,131 @@ impl EdgeMask {
     }
 }
 
+/// Provenance step kinds (wire-stable codes).
+const PROV_WW: u8 = 0;
+const PROV_WR: u8 = 1;
+const PROV_RW: u8 = 2;
+
+/// Most inducing operations remembered per DSG edge. Contraction
+/// concatenates chains, so a cap keeps shortcut provenance bounded.
+const PROV_CAP: usize = 8;
+
+/// One concrete operation that induced (part of) a DSG edge: the
+/// conflict kind plus the object/version it happened on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ProvStep {
+    kind: u8,
+    object: ObjectId,
+    version: VersionId,
+}
+
+impl ProvStep {
+    fn render(&self) -> String {
+        let k = match self.kind {
+            PROV_WW => "ww",
+            PROV_WR => "wr",
+            _ => "rw",
+        };
+        format!("{k} {}[{}]", self.object, self.version)
+    }
+}
+
+/// A per-edge provenance chain. Nearly every edge is induced by one
+/// operation, so the single-step case is stored inline — a heap
+/// allocation per edge key showed up as the bulk of E16's hot-path
+/// overhead. Chains only spill to a `Vec` when a second distinct
+/// operation (or a contraction merge) lands on the same edge.
+#[derive(Debug, Clone, PartialEq)]
+enum ProvChain {
+    One(ProvStep),
+    Many(Vec<ProvStep>),
+}
+
+impl ProvChain {
+    fn steps(&self) -> &[ProvStep] {
+        match self {
+            ProvChain::One(s) => std::slice::from_ref(s),
+            ProvChain::Many(v) => v,
+        }
+    }
+
+    /// Appends `st` if the chain has room and doesn't already hold it.
+    fn push(&mut self, st: ProvStep) {
+        match self {
+            ProvChain::One(s) => {
+                if *s != st {
+                    *self = ProvChain::Many(vec![*s, st]);
+                }
+            }
+            ProvChain::Many(v) => {
+                if v.len() < PROV_CAP && !v.contains(&st) {
+                    v.push(st);
+                }
+            }
+        }
+    }
+
+    fn from_steps(steps: Vec<ProvStep>) -> ProvChain {
+        match steps.as_slice() {
+            [one] => ProvChain::One(*one),
+            _ => ProvChain::Many(steps),
+        }
+    }
+}
+
+fn render_chain(chain: &[ProvStep]) -> String {
+    let mut s = String::new();
+    for (i, st) in chain.iter().enumerate() {
+        if i > 0 {
+            s.push_str("; ");
+        }
+        s.push_str(&st.render());
+    }
+    s
+}
+
+/// Multiplicative hasher for the provenance maps, whose keys are one
+/// or two transaction ids — small, fixed-width, attacker-free. The
+/// std SipHash showed up as a measurable share of E16's per-edge
+/// overhead; this is the usual FxHash recipe.
+#[derive(Debug, Default)]
+struct ProvHasher(u64);
+
+impl std::hash::Hasher for ProvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(0x517c_c1b7_2722_0a95);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0.rotate_left(5) ^ u64::from(v)).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type ProvMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<ProvHasher>>;
+
+/// One edge of a violating cycle with its provenance, as attached to a
+/// [`Verdict`] when the phenomenon fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleEdgeProv {
+    /// Depended-on transaction.
+    pub from: TxnId,
+    /// Depending transaction.
+    pub to: TxnId,
+    /// True when the edge carries an item anti-dependency (rw),
+    /// possibly via GC contraction shortcuts.
+    pub anti: bool,
+    /// The concrete inducing operations, rendered `kind obj[version]`
+    /// and `; `-joined; empty when provenance was disabled or the chain
+    /// ran through pruned state.
+    pub via: String,
+}
+
 /// Garbage-collection policy for the checker.
 #[derive(Debug, Clone, Copy)]
 pub struct GcConfig {
@@ -69,6 +194,11 @@ pub struct Verdict {
     pub new_fired: Vec<PhenomenonKind>,
     /// Witness for the first newly fired phenomenon, if any.
     pub witness: Option<String>,
+    /// Cycle provenance for the first newly fired phenomenon: every
+    /// edge of the offending cycle with the operations that induced
+    /// it. `None` when nothing new fired, the phenomenon has no cycle
+    /// (G1a/G1b), or provenance tracking is disabled.
+    pub cycle: Option<Vec<CycleEdgeProv>>,
     /// Transactions pruned by the GC so far.
     pub pruned_txns: u64,
     /// Reads that referenced an already-pruned (or never-seen) writer:
@@ -119,6 +249,26 @@ impl Verdict {
                 let _ = write!(s, ", \"witness\": \"{}\"", esc(w));
             }
             None => s.push_str(", \"witness\": null"),
+        }
+        match &self.cycle {
+            Some(c) => {
+                s.push_str(", \"cycle\": [");
+                for (i, e) in c.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    let _ = write!(
+                        s,
+                        "{{\"from\": {}, \"to\": {}, \"label\": \"{}\", \"via\": \"{}\"}}",
+                        e.from.0,
+                        e.to.0,
+                        if e.anti { "rw" } else { "ww/wr" },
+                        esc(&e.via)
+                    );
+                }
+                s.push(']');
+            }
+            None => s.push_str(", \"cycle\": null"),
         }
         let _ = write!(
             s,
@@ -228,6 +378,8 @@ struct ObjectState {
 struct Fired {
     mask: u8,
     witnesses: Vec<(PhenomenonKind, String)>,
+    /// Cycle provenance captured at first fire, per phenomenon.
+    cycles: Vec<(PhenomenonKind, Vec<CycleEdgeProv>)>,
 }
 
 const ONLINE_KINDS: [PhenomenonKind; 6] = [
@@ -269,6 +421,16 @@ impl Fired {
         true
     }
 
+    fn set_cycle(&mut self, k: PhenomenonKind, cycle: Vec<CycleEdgeProv>) {
+        if !cycle.is_empty() && !self.cycles.iter().any(|(ck, _)| *ck == k) {
+            self.cycles.push((k, cycle));
+        }
+    }
+
+    fn cycle_of(&self, k: PhenomenonKind) -> Option<&Vec<CycleEdgeProv>> {
+        self.cycles.iter().find(|(ck, _)| *ck == k).map(|(_, c)| c)
+    }
+
     fn kinds(&self) -> Vec<PhenomenonKind> {
         ONLINE_KINDS
             .iter()
@@ -295,6 +457,19 @@ pub struct OnlineChecker {
     /// G2/G2-item. Dropped once both latch.
     full: Option<Dag>,
     fired: Fired,
+    /// Per-edge provenance side map: the concrete operations behind
+    /// each live DSG edge. Maintained only while `provenance` is on
+    /// and at least one graph is still live; entries touching a pruned
+    /// transaction are merged into contraction shortcuts, then purged.
+    prov: ProvMap<(TxnId, TxnId), ProvChain>,
+    /// Successors per source node of `prov` keys — lets a GC prune
+    /// purge a node's entries in O(degree) instead of scanning the map.
+    prov_out: ProvMap<TxnId, Vec<TxnId>>,
+    /// Predecessors per target node of `prov` keys.
+    prov_in: ProvMap<TxnId, Vec<TxnId>>,
+    /// Master switch for edge provenance (off by default; see E16 for
+    /// the measured overhead).
+    provenance: bool,
     gc: GcConfig,
     committed: u64,
     pruned_txns: u64,
@@ -320,6 +495,27 @@ impl OnlineChecker {
             gc,
             ..OnlineChecker::default()
         }
+    }
+
+    /// Turns edge-provenance tracking on or off. Off by default: E16
+    /// measures the bookkeeping at roughly 18% of ingest time on
+    /// conflict-heavy workloads, above the 10% budget for an
+    /// always-on feature. Tools that exist to explain violations
+    /// (`adya-check --stream`) turn it on; with it off, violating
+    /// verdicts carry `cycle: null` instead of the per-edge inducing
+    /// operations.
+    pub fn set_provenance(&mut self, on: bool) {
+        self.provenance = on;
+        if !on {
+            self.prov.clear();
+            self.prov_out.clear();
+            self.prov_in.clear();
+        }
+    }
+
+    /// Whether edge provenance is being tracked.
+    pub fn provenance_enabled(&self) -> bool {
+        self.provenance
     }
 
     /// Events ingested so far.
@@ -531,7 +727,7 @@ impl OnlineChecker {
                 let w = self.txns.get_mut(&p).expect("installed entry implies live");
                 w.unsuperseded -= 1;
                 w.prune_after = w.prune_after.max(clock);
-                self.add_ww(p, t);
+                self.add_ww(p, t, o);
             }
             for r in resolved {
                 self.txns
@@ -539,7 +735,7 @@ impl OnlineChecker {
                     .expect("registered reader is live")
                     .registered -= 1;
                 if r != t {
-                    self.add_anti(r, t);
+                    self.add_anti(r, t, o);
                 }
             }
             self.txns.get_mut(&t).expect("committing txn").unsuperseded += 1;
@@ -567,7 +763,7 @@ impl OnlineChecker {
             match obj.entries.front().map(|e| e.txn) {
                 Some(succ) => {
                     if succ != t {
-                        self.add_anti(t, succ);
+                        self.add_anti(t, succ, o);
                     }
                 }
                 None => {
@@ -637,7 +833,7 @@ impl OnlineChecker {
                 if br.via_predicate {
                     return;
                 }
-                self.add_wr(v.txn, t);
+                self.add_wr(v.txn, t, o, v);
                 self.anchor_reader(t, o, v.txn);
             }
         }
@@ -653,7 +849,7 @@ impl OnlineChecker {
         if idx + 1 < obj.entries.len() {
             let succ = obj.entries[idx + 1].txn;
             if succ != t {
-                self.add_anti(t, succ);
+                self.add_anti(t, succ, o);
             }
         } else {
             obj.entries[idx].readers.push(t);
@@ -684,7 +880,7 @@ impl OnlineChecker {
         if pr.via_predicate {
             return;
         }
-        self.add_wr(t, pr.reader);
+        self.add_wr(t, pr.reader, pr.object, VersionId::new(t, pr.seq));
         self.anchor_reader(pr.reader, pr.object, t);
     }
 
@@ -780,40 +976,182 @@ impl OnlineChecker {
     // Incremental graph maintenance
     // ------------------------------------------------------------------
 
-    fn add_ww(&mut self, from: TxnId, to: TxnId) {
-        if let Some(g) = self.ww.as_mut() {
-            if let Insert::CycleFormed(info) = g.add_edge(from, to, EdgeMask::DEP) {
-                let w = format!("write cycle: {}", Self::cycle_string(&info.witness));
-                self.fired.set(PhenomenonKind::G0, w);
-                self.drop_graph_ww();
-            }
-        }
-        self.add_dep_edge(from, to);
-        self.add_full_edge(from, to, EdgeMask::DEP);
-    }
-
-    fn add_wr(&mut self, from: TxnId, to: TxnId) {
-        self.add_dep_edge(from, to);
-        self.add_full_edge(from, to, EdgeMask::DEP);
-    }
-
-    fn add_anti(&mut self, from: TxnId, to: TxnId) {
-        self.add_full_edge(from, to, EdgeMask::ANTI_ITEM);
-    }
-
-    fn add_dep_edge(&mut self, from: TxnId, to: TxnId) {
-        if let Some(g) = self.dep.as_mut() {
-            if let Insert::CycleFormed(info) = g.add_edge(from, to, EdgeMask::DEP) {
-                let w = format!("dependency cycle: {}", Self::cycle_string(&info.witness));
-                self.fired.set(PhenomenonKind::G1c, w);
-                self.drop_graph_dep();
+    /// Remembers one inducing operation for the edge `from -> to`.
+    /// Callers gate on the provenance flag and on edge freshness (see
+    /// [`Self::record_if_fresh`]); self-loops never get here because
+    /// the graphs report them as duplicates.
+    fn record_prov(&mut self, from: TxnId, to: TxnId, step: ProvStep) {
+        match self.prov.entry((from, to)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut().push(step),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.prov_out.entry(from).or_default().push(to);
+                self.prov_in.entry(to).or_default().push(from);
+                e.insert(ProvChain::One(step));
             }
         }
     }
 
-    fn add_full_edge(&mut self, from: TxnId, to: TxnId, mask: EdgeMask) {
-        let Some(g) = self.full.as_mut() else { return };
-        match g.add_edge(from, to, mask) {
+    /// Inserts a provenance chain for a key known to be absent,
+    /// keeping the per-node indexes in step.
+    fn insert_prov_chain(&mut self, a: TxnId, b: TxnId, chain: ProvChain) {
+        self.prov_out.entry(a).or_default().push(b);
+        self.prov_in.entry(b).or_default().push(a);
+        self.prov.insert((a, b), chain);
+    }
+
+    /// Purges every provenance entry touching `id` in O(degree),
+    /// using the node indexes instead of a full-map scan.
+    fn purge_prov_node(&mut self, id: TxnId) {
+        for x in self.prov_out.remove(&id).unwrap_or_default() {
+            self.prov.remove(&(id, x));
+            if let Some(l) = self.prov_in.get_mut(&x) {
+                l.retain(|&t| t != id);
+            }
+        }
+        for x in self.prov_in.remove(&id).unwrap_or_default() {
+            self.prov.remove(&(x, id));
+            if let Some(l) = self.prov_out.get_mut(&x) {
+                l.retain(|&t| t != id);
+            }
+        }
+    }
+
+    /// The provenance-annotated form of a just-detected witness cycle.
+    fn cycle_prov(&self, witness: &[(TxnId, TxnId, EdgeMask)]) -> Vec<CycleEdgeProv> {
+        if !self.provenance {
+            return Vec::new();
+        }
+        witness
+            .iter()
+            .map(|&(a, b, m)| CycleEdgeProv {
+                from: a,
+                to: b,
+                anti: m.has_item_anti(),
+                via: self
+                    .prov
+                    .get(&(a, b))
+                    .map(|c| render_chain(c.steps()))
+                    .unwrap_or_default(),
+            })
+            .collect()
+    }
+
+    fn add_ww(&mut self, from: TxnId, to: TxnId, o: ObjectId) {
+        let mut step = if self.provenance {
+            self.txns
+                .get(&from)
+                .and_then(|t| t.writes.get(&o))
+                .map(|&seq| ProvStep {
+                    kind: PROV_WW,
+                    object: o,
+                    version: VersionId::new(from, seq),
+                })
+        } else {
+            None
+        };
+        let (fresh, fired) = match self.ww.as_mut() {
+            Some(g) => match g.add_edge(from, to, EdgeMask::DEP) {
+                Insert::Duplicate => (false, None),
+                Insert::CycleFormed(info) => (true, Some(info)),
+                _ => (true, None),
+            },
+            None => (false, None),
+        };
+        if fresh {
+            if let Some(st) = step.take() {
+                self.record_prov(from, to, st);
+            }
+        }
+        if let Some(info) = fired {
+            let w = format!("write cycle: {}", Self::cycle_string(&info.witness));
+            let cyc = self.cycle_prov(&info.witness);
+            if self.fired.set(PhenomenonKind::G0, w) {
+                self.fired.set_cycle(PhenomenonKind::G0, cyc);
+            }
+            self.drop_graph_ww();
+        }
+        self.add_dep_edge(from, to, &mut step);
+        self.add_full_edge(from, to, EdgeMask::DEP, &mut step);
+    }
+
+    fn add_wr(&mut self, from: TxnId, to: TxnId, o: ObjectId, v: VersionId) {
+        let mut step = self.provenance.then_some(ProvStep {
+            kind: PROV_WR,
+            object: o,
+            version: v,
+        });
+        self.add_dep_edge(from, to, &mut step);
+        self.add_full_edge(from, to, EdgeMask::DEP, &mut step);
+    }
+
+    fn add_anti(&mut self, from: TxnId, to: TxnId, o: ObjectId) {
+        let mut step = if self.provenance {
+            self.txns
+                .get(&to)
+                .and_then(|t| t.writes.get(&o))
+                .map(|&seq| ProvStep {
+                    kind: PROV_RW,
+                    object: o,
+                    version: VersionId::new(to, seq),
+                })
+        } else {
+            None
+        };
+        self.add_full_edge(from, to, EdgeMask::ANTI_ITEM, &mut step);
+    }
+
+    /// Consumes `step` into the provenance map if this insert was the
+    /// edge's first appearance in a live graph. The freshness gate is
+    /// what keeps provenance cheap: repeated conflicts on an existing
+    /// edge skip the side-map entirely (first operation wins), and the
+    /// graph's own dedup check already paid for the answer.
+    fn record_if_fresh(
+        &mut self,
+        fresh: bool,
+        from: TxnId,
+        to: TxnId,
+        step: &mut Option<ProvStep>,
+    ) {
+        if fresh {
+            if let Some(st) = step.take() {
+                self.record_prov(from, to, st);
+            }
+        }
+    }
+
+    fn add_dep_edge(&mut self, from: TxnId, to: TxnId, step: &mut Option<ProvStep>) {
+        let (fresh, fired) = match self.dep.as_mut() {
+            Some(g) => match g.add_edge(from, to, EdgeMask::DEP) {
+                Insert::Duplicate => (false, None),
+                Insert::CycleFormed(info) => (true, Some(info)),
+                _ => (true, None),
+            },
+            None => (false, None),
+        };
+        self.record_if_fresh(fresh, from, to, step);
+        if let Some(info) = fired {
+            let w = format!("dependency cycle: {}", Self::cycle_string(&info.witness));
+            let cyc = self.cycle_prov(&info.witness);
+            if self.fired.set(PhenomenonKind::G1c, w) {
+                self.fired.set_cycle(PhenomenonKind::G1c, cyc);
+            }
+            self.drop_graph_dep();
+        }
+    }
+
+    fn add_full_edge(
+        &mut self,
+        from: TxnId,
+        to: TxnId,
+        mask: EdgeMask,
+        step: &mut Option<ProvStep>,
+    ) {
+        let result = match self.full.as_mut() {
+            Some(g) => g.add_edge(from, to, mask),
+            None => return,
+        };
+        self.record_if_fresh(!matches!(result, Insert::Duplicate), from, to, step);
+        match result {
             Insert::CycleFormed(info) => {
                 let anti = info
                     .intra_edges
@@ -827,8 +1165,13 @@ impl OnlineChecker {
                         b.0,
                         Self::cycle_string(&info.witness)
                     );
-                    self.fired.set(PhenomenonKind::G2Item, w.clone());
-                    self.fired.set(PhenomenonKind::G2, w);
+                    let cyc = self.cycle_prov(&info.witness);
+                    if self.fired.set(PhenomenonKind::G2Item, w.clone()) {
+                        self.fired.set_cycle(PhenomenonKind::G2Item, cyc.clone());
+                    }
+                    if self.fired.set(PhenomenonKind::G2, w) {
+                        self.fired.set_cycle(PhenomenonKind::G2, cyc);
+                    }
                     self.drop_graph_full_if_done();
                 }
             }
@@ -837,8 +1180,13 @@ impl OnlineChecker {
                     "anti-dependency edge T{} -rw-> T{} inside a dependency cycle",
                     from.0, to.0
                 );
-                self.fired.set(PhenomenonKind::G2Item, w.clone());
-                self.fired.set(PhenomenonKind::G2, w);
+                let cyc = self.cycle_prov(&[(from, to, mask)]);
+                if self.fired.set(PhenomenonKind::G2Item, w.clone()) {
+                    self.fired.set_cycle(PhenomenonKind::G2Item, cyc.clone());
+                }
+                if self.fired.set(PhenomenonKind::G2, w) {
+                    self.fired.set_cycle(PhenomenonKind::G2, cyc);
+                }
                 self.drop_graph_full_if_done();
             }
             _ => {}
@@ -849,12 +1197,14 @@ impl OnlineChecker {
         if let Some(g) = self.ww.take() {
             self.reorders_dropped += g.reorders();
         }
+        self.drop_prov_if_unused();
     }
 
     fn drop_graph_dep(&mut self) {
         if let Some(g) = self.dep.take() {
             self.reorders_dropped += g.reorders();
         }
+        self.drop_prov_if_unused();
     }
 
     fn drop_graph_full_if_done(&mut self) {
@@ -862,6 +1212,17 @@ impl OnlineChecker {
             if let Some(g) = self.full.take() {
                 self.reorders_dropped += g.reorders();
             }
+            self.drop_prov_if_unused();
+        }
+    }
+
+    /// Once every cycle graph has latched and been freed, no future
+    /// cycle can fire, so the provenance side map is dead weight.
+    fn drop_prov_if_unused(&mut self) {
+        if self.ww.is_none() && self.dep.is_none() && self.full.is_none() {
+            self.prov.clear();
+            self.prov_out.clear();
+            self.prov_in.clear();
         }
     }
 
@@ -971,13 +1332,50 @@ impl OnlineChecker {
                 return false;
             }
         }
+        // Contraction shortcuts replace paths through `id`; each one
+        // inherits the provenance chain of both halves so a later
+        // cycle through the shortcut can still cite concrete
+        // operations. Shortcut order is deterministic (adjacency
+        // order), so the merged chains — and with them the snapshot
+        // bytes — are too.
+        let mut shortcuts: Vec<(TxnId, TxnId)> = Vec::new();
         for g in [&mut self.ww, &mut self.dep, &mut self.full]
             .into_iter()
             .flatten()
         {
-            let ok = g.remove_node_contract(id, EdgeMask::combine);
+            let ok = g.remove_node_contract_report(id, EdgeMask::combine, |a, b, _| {
+                if !shortcuts.contains(&(a, b)) {
+                    shortcuts.push((a, b));
+                }
+            });
             debug_assert!(ok, "removability checked above");
         }
+        if self.provenance {
+            for (a, b) in shortcuts {
+                if self.prov.contains_key(&(a, b)) {
+                    continue; // a direct edge already explains a -> b
+                }
+                let mut chain: Vec<ProvStep> = self
+                    .prov
+                    .get(&(a, id))
+                    .map(|c| c.steps().to_vec())
+                    .unwrap_or_default();
+                if let Some(tail) = self.prov.get(&(id, b)) {
+                    for st in tail.steps() {
+                        if chain.len() >= PROV_CAP {
+                            break;
+                        }
+                        if !chain.contains(st) {
+                            chain.push(*st);
+                        }
+                    }
+                }
+                if !chain.is_empty() {
+                    self.insert_prov_chain(a, b, ProvChain::from_steps(chain));
+                }
+            }
+        }
+        self.purge_prov_node(id);
         let t = self.txns.remove(&id).expect("candidate exists");
         if t.status == Status::Committed {
             // Aborted writes were never installed; only committed ones
@@ -1033,6 +1431,33 @@ impl OnlineChecker {
         for (k, w) in &self.fired.witnesses {
             e.u8(kind_bit(*k));
             e.str(w);
+        }
+        e.len(self.fired.cycles.len());
+        for (k, cyc) in &self.fired.cycles {
+            e.u8(kind_bit(*k));
+            e.len(cyc.len());
+            for edge in cyc {
+                e.u32(edge.from.0);
+                e.u32(edge.to.0);
+                e.bool(edge.anti);
+                e.str(&edge.via);
+            }
+        }
+        e.bool(self.provenance);
+        let mut prov_keys: Vec<(TxnId, TxnId)> = self.prov.keys().copied().collect();
+        prov_keys.sort_unstable();
+        e.len(prov_keys.len());
+        for key in prov_keys {
+            e.u32(key.0 .0);
+            e.u32(key.1 .0);
+            let chain = self.prov[&key].steps();
+            e.len(chain.len());
+            for st in chain {
+                e.u8(st.kind);
+                e.u32(st.object.0);
+                e.u32(st.version.txn.0);
+                e.u32(st.version.seq);
+            }
         }
         let mut txn_ids: Vec<TxnId> = self.txns.keys().copied().collect();
         txn_ids.sort_unstable();
@@ -1145,6 +1570,51 @@ impl OnlineChecker {
             let k = kind_from_bit(bit)
                 .ok_or_else(|| WireError::Malformed(format!("phenomenon bit {bit}")))?;
             c.fired.witnesses.push((k, d.str()?));
+        }
+        let nc = d.len()?;
+        for _ in 0..nc {
+            let bit = d.u8()?;
+            let k = kind_from_bit(bit)
+                .ok_or_else(|| WireError::Malformed(format!("cycle phenomenon bit {bit}")))?;
+            let ne = d.len()?;
+            let mut edges = Vec::with_capacity(ne);
+            for _ in 0..ne {
+                edges.push(CycleEdgeProv {
+                    from: TxnId(d.u32()?),
+                    to: TxnId(d.u32()?),
+                    anti: d.bool()?,
+                    via: d.str()?,
+                });
+            }
+            c.fired.cycles.push((k, edges));
+        }
+        c.provenance = d.bool()?;
+        let np = d.len()?;
+        for _ in 0..np {
+            let a = TxnId(d.u32()?);
+            let b = TxnId(d.u32()?);
+            let n = d.len()?;
+            let mut chain = Vec::with_capacity(n);
+            for _ in 0..n {
+                let kind = d.u8()?;
+                if kind > PROV_RW {
+                    return Err(WireError::Malformed(format!("prov step kind {kind}")).into());
+                }
+                chain.push(ProvStep {
+                    kind,
+                    object: ObjectId(d.u32()?),
+                    version: VersionId {
+                        txn: TxnId(d.u32()?),
+                        seq: d.u32()?,
+                    },
+                });
+            }
+            // Rebuild the node indexes alongside the map itself; keys
+            // in a well-formed image are unique, so a plain push is a
+            // faithful reconstruction.
+            c.prov_out.entry(a).or_default().push(b);
+            c.prov_in.entry(b).or_default().push(a);
+            c.prov.insert((a, b), ProvChain::from_steps(chain));
         }
         let nt = d.len()?;
         for _ in 0..nt {
@@ -1270,6 +1740,9 @@ impl OnlineChecker {
                 .find(|(fk, _)| fk == k)
                 .map(|(_, w)| w.clone())
         });
+        let cycle = new_fired
+            .first()
+            .and_then(|k| self.fired.cycle_of(*k).cloned());
         Verdict {
             txn,
             committed: self.committed,
@@ -1277,6 +1750,7 @@ impl OnlineChecker {
             fired: self.fired.kinds(),
             new_fired: new_fired.to_vec(),
             witness,
+            cycle,
             pruned_txns: self.pruned_txns,
             stale_refs: self.stale_refs,
             live_txns: self.txns.len(),
@@ -1285,8 +1759,10 @@ impl OnlineChecker {
     }
 }
 
-/// First 8 bytes of every checker snapshot.
-const SNAP_MAGIC: [u8; 8] = *b"ADYACKP\x01";
+/// First 8 bytes of every checker snapshot. `\x02` added the fired
+/// cycle provenance, the provenance flag and the per-edge side map;
+/// `\x01` images are rejected as [`SnapshotError::BadMagic`].
+const SNAP_MAGIC: [u8; 8] = *b"ADYACKP\x02";
 
 /// Why [`OnlineChecker::restore`] rejected a byte image.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -1666,6 +2142,127 @@ mod tests {
     }
 
     #[test]
+    fn violating_verdict_carries_cycle_provenance() {
+        // Write skew: the G2-item verdict must name the rw edges and
+        // the concrete overwriting versions behind them.
+        let mut c = OnlineChecker::new();
+        c.set_provenance(true);
+        let vs = feed(
+            &mut c,
+            &[
+                Event::Begin(TxnId(1)),
+                Event::Begin(TxnId(2)),
+                rinit(1, 0),
+                rinit(2, 1),
+                w(1, 1, 1),
+                w(2, 0, 1),
+                Event::Commit(TxnId(1)),
+                Event::Commit(TxnId(2)),
+            ],
+        );
+        let fire = vs
+            .iter()
+            .find(|v| !v.new_fired.is_empty())
+            .expect("G2 fires at a commit");
+        let cycle = fire.cycle.as_ref().expect("cycle provenance attached");
+        assert_eq!(cycle.len(), 2, "{cycle:?}");
+        assert!(cycle.iter().all(|e| e.anti), "{cycle:?}");
+        assert!(
+            cycle.iter().any(|e| e.via.contains("rw obj0[2]")),
+            "{cycle:?}"
+        );
+        assert!(
+            cycle.iter().any(|e| e.via.contains("rw obj1[1]")),
+            "{cycle:?}"
+        );
+        let j = fire.to_json();
+        assert!(j.contains("\"cycle\": [{"), "{j}");
+        assert!(j.contains("\"label\": \"rw\""), "{j}");
+    }
+
+    #[test]
+    fn provenance_off_yields_null_cycle() {
+        // Off is the default; this pins that no cycle field appears.
+        let mut c = OnlineChecker::new();
+        let vs = feed(
+            &mut c,
+            &[
+                Event::Begin(TxnId(1)),
+                Event::Begin(TxnId(2)),
+                rinit(1, 0),
+                rinit(2, 1),
+                w(1, 1, 1),
+                w(2, 0, 1),
+                Event::Commit(TxnId(1)),
+                Event::Commit(TxnId(2)),
+            ],
+        );
+        let fire = vs.iter().find(|v| !v.new_fired.is_empty()).unwrap();
+        assert!(fire.cycle.is_none());
+        assert!(fire.to_json().contains("\"cycle\": null"));
+    }
+
+    #[test]
+    fn provenance_survives_gc_contraction() {
+        // T1 -wr-> T2 -rw-> T3 with the interior read-only T2 pruned:
+        // contraction leaves a shortcut T1 -> T3 whose provenance
+        // chain concatenates both halves. A cycle closed through that
+        // shortcut later must still cite the pruned transaction's
+        // operations.
+        let mut c = OnlineChecker::with_gc(GcConfig {
+            enabled: true,
+            interval: 1,
+        });
+        c.set_provenance(true);
+        feed(
+            &mut c,
+            &[
+                Event::Begin(TxnId(5)), // early reader, kept open
+                rinit(5, 1),            // buffers y-init
+                Event::Begin(TxnId(1)),
+                w(1, 1, 1), // installs y[1]
+                Event::Commit(TxnId(1)),
+                Event::Begin(TxnId(2)),
+                r(2, 1, 1, 1), // wr T1 -> T2; anchors at the y tip
+                rinit(2, 0),   // anchors at x-init
+                Event::Commit(TxnId(2)),
+                Event::Begin(TxnId(3)),
+                w(3, 0, 1), // installs x[3]: rw T2 -> T3
+                Event::Commit(TxnId(3)),
+                Event::Begin(TxnId(6)),
+                w(6, 1, 1), // installs y[6]: releases T2's y anchor (rw T2 -> T6)
+                Event::Commit(TxnId(6)),
+                Event::Begin(TxnId(9)), // churn so the GC prunes T2
+                Event::Commit(TxnId(9)),
+            ],
+        );
+        assert!(c.pruned_txns() > 0, "T2 pruned");
+        // Close the loop: T5 reads x[3:1] (wr T3 -> T5) and its parked
+        // y-init read becomes rw T5 -> T1. With the shortcut
+        // T1 -> T3 the full graph now has a cycle containing an anti
+        // edge: G2-item.
+        let vs = feed(&mut c, &[r(5, 0, 3, 1), Event::Commit(TxnId(5))]);
+        let fire = vs
+            .iter()
+            .find(|v| v.new_fired.contains(&PhenomenonKind::G2Item))
+            .expect("cycle through the shortcut fires G2-item");
+        let cycle = fire.cycle.as_ref().expect("provenance attached");
+        let shortcut = cycle
+            .iter()
+            .find(|e| e.from == TxnId(1) && e.to == TxnId(3))
+            .expect("witness routes through the contraction shortcut");
+        assert!(
+            shortcut.via.contains("wr obj1[1]"),
+            "pruned T2's read lost: {shortcut:?}"
+        );
+        assert!(
+            shortcut.via.contains("rw obj0[3]"),
+            "pruned T2's anti-dependency lost: {shortcut:?}"
+        );
+        assert_eq!(c.finish().stale_refs, 0);
+    }
+
+    #[test]
     fn verdict_json_shape() {
         let mut c = OnlineChecker::new();
         let vs = feed(
@@ -1724,6 +2321,8 @@ mod tests {
                 enabled: true,
                 interval: 1,
             });
+            // Provenance on so the snapshot carries a live side map.
+            a.set_provenance(true);
             let mut verdicts_a: Vec<String> = Vec::new();
             for e in &evs[..cut] {
                 if let Some(v) = a.ingest(e) {

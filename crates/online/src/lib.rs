@@ -72,5 +72,5 @@ mod checker;
 mod feed;
 pub mod wire;
 
-pub use checker::{GcConfig, OnlineChecker, SnapshotError, Verdict};
+pub use checker::{CycleEdgeProv, GcConfig, OnlineChecker, SnapshotError, Verdict};
 pub use feed::{encode_log, EventLogReader, EventLogWriter, LogError, StreamParser, LOG_MAGIC};

@@ -11,6 +11,8 @@
 //!
 //! cargo run --bin adya-check -- --dot history.txt
 //! cargo run --bin adya-check -- --level PL-3 history.txt   # exit 1 on violation
+//! cargo run --bin adya-check -- explain history.txt        # forensic narrative
+//! cargo run --bin adya-check -- --trace-out t.json history.txt  # Perfetto timeline
 //! ```
 //!
 //! Notation: `w1(x,5)` write, `r2(x1)` read of T1's version,
@@ -25,14 +27,26 @@ use std::process::ExitCode;
 
 use adya::core::{analyze, Analysis, IsolationLevel};
 use adya::history::parse_history_completed;
-use adya::online::{EventLogReader, LogError, OnlineChecker, StreamParser};
+use adya::online::{EventLogReader, LogError, OnlineChecker, StreamParser, Verdict};
+
+/// Where and how `--metrics` output is rendered.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsMode {
+    Off,
+    /// The original human-readable block (`--metrics`).
+    Text,
+    /// Prometheus text exposition (`--metrics prom`).
+    Prom,
+}
 
 struct Args {
     path: Option<String>,
+    explain: bool,
     dot: bool,
     json: bool,
-    metrics: bool,
+    metrics: MetricsMode,
     stream: bool,
+    trace_out: Option<String>,
     level: Option<IsolationLevel>,
 }
 
@@ -145,19 +159,40 @@ fn parse_level(s: &str) -> Option<IsolationLevel> {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         path: None,
+        explain: false,
         dot: false,
         json: false,
-        metrics: false,
+        metrics: MetricsMode::Off,
         stream: false,
+        trace_out: None,
         level: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    let mut first_positional = true;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--dot" => args.dot = true,
             "--json" => args.json = true,
-            "--metrics" => args.metrics = true,
+            "--metrics" => {
+                // Optional value: `--metrics prom` selects Prometheus
+                // exposition; bare `--metrics` keeps the text block.
+                args.metrics = match it.peek().map(String::as_str) {
+                    Some("prom") => {
+                        it.next();
+                        MetricsMode::Prom
+                    }
+                    Some("text") => {
+                        it.next();
+                        MetricsMode::Text
+                    }
+                    _ => MetricsMode::Text,
+                };
+            }
             "--stream" => args.stream = true,
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a file path")?;
+                args.trace_out = Some(v);
+            }
             "--level" => {
                 let v = it.next().ok_or("--level needs a value (e.g. PL-3)")?;
                 args.level = Some(parse_level(&v).ok_or_else(|| format!("unknown level {v:?}"))?);
@@ -165,19 +200,36 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(USAGE.to_string());
             }
-            p if !p.starts_with('-') => args.path = Some(p.to_string()),
+            "explain" if first_positional => {
+                args.explain = true;
+                first_positional = false;
+            }
+            p if !p.starts_with('-') => {
+                args.path = Some(p.to_string());
+                first_positional = false;
+            }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
     Ok(args)
 }
 
-const USAGE: &str =
-    "usage: adya-check [--dot] [--json] [--metrics] [--stream] [--level PL-3] [FILE]
+const USAGE: &str = "usage: adya-check [explain] [--dot] [--json] [--metrics [prom]] [--stream]
+                  [--trace-out FILE] [--level PL-3] [FILE]
 Reads a history (paper notation) from FILE or stdin and analyzes it.
-  --dot          also print the DSG as Graphviz DOT
+  explain        forensic mode: shrink the history to a minimal
+                 sub-history per detected phenomenon and print a
+                 narrative citing the operations behind every cycle
+                 edge (with --dot, also a cycle-scoped DOT per witness)
+  --dot          also print the DSG as Graphviz DOT; with --stream,
+                 emit a cycle-scoped DOT to stderr for each verdict
+                 that fires a new phenomenon (stdout stays NDJSON)
   --json         machine-readable output instead of the text report
-  --metrics      append checker metrics (phase timings, graph stats)
+  --metrics      append checker metrics (phase timings, graph stats);
+                 `--metrics prom` renders them as Prometheus text
+                 exposition instead of the human-readable block
+  --trace-out F  write the history as Chrome trace-event JSON (open in
+                 Perfetto / chrome://tracing); batch and explain only
   --stream       incremental mode: ingest events one at a time and emit
                  one NDJSON verdict line per commit plus a final line;
                  binary event logs (ADYALOG magic) are auto-detected.
@@ -195,6 +247,65 @@ Reads a history (paper notation) from FILE or stdin and analyzes it.
 /// violations = 1 and hard errors = 2).
 const EXIT_TRUNCATED: u8 = 3;
 
+/// Emits the metrics snapshot to stderr in the selected rendering
+/// (stream modes keep stdout pure NDJSON).
+fn emit_metrics_stderr(mode: MetricsMode) {
+    match mode {
+        MetricsMode::Off => {}
+        MetricsMode::Text => eprintln!("{}", metrics_text(&adya_obs::global().snapshot())),
+        MetricsMode::Prom => eprint!("{}", adya_obs::global().snapshot().to_prometheus()),
+    }
+}
+
+/// Cycle-scoped DOT for one violating stream verdict, built from the
+/// verdict's cycle provenance. `None` when the verdict fired nothing
+/// new or carries no cycle (provenance off, or a non-cycle phenomenon
+/// such as G1a/G1b).
+fn stream_cycle_dot(v: &Verdict) -> Option<String> {
+    let cycle = v.cycle.as_ref()?;
+    if cycle.is_empty() || v.new_fired.is_empty() {
+        return None;
+    }
+    let name: String = v
+        .new_fired
+        .iter()
+        .map(|k| k.to_string())
+        .collect::<Vec<_>>()
+        .join("_")
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let mut s = format!("digraph {name} {{\n  rankdir=LR;\n  node [shape=circle];\n");
+    let mut nodes: Vec<adya::history::TxnId> = Vec::new();
+    for e in cycle {
+        for t in [e.from, e.to] {
+            if !nodes.contains(&t) {
+                nodes.push(t);
+            }
+        }
+    }
+    for n in &nodes {
+        let _ = writeln!(s, "  \"{n}\";");
+    }
+    for e in cycle {
+        let kind = if e.anti { "rw" } else { "ww/wr" };
+        let label = if e.via.is_empty() {
+            kind.to_string()
+        } else {
+            format!("{kind}\\n{}", esc(&e.via))
+        };
+        let _ = writeln!(s, "  \"{}\" -> \"{}\" [label=\"{label}\"];", e.from, e.to);
+    }
+    s.push_str("}\n");
+    Some(s)
+}
+
 /// Emits the `truncated_input` NDJSON record, the final verdict of the
 /// intact prefix, and optional metrics; the caller exits 3.
 fn finish_truncated(
@@ -202,16 +313,14 @@ fn finish_truncated(
     detail: &str,
     at_field: &str,
     at: usize,
-    metrics: bool,
+    metrics: MetricsMode,
 ) -> ExitCode {
     println!(
         "{{\"error\": \"truncated_input\", \"{at_field}\": {at}, \"detail\": \"{}\"}}",
         esc(detail)
     );
     println!("{}", checker.finish().to_json());
-    if metrics {
-        eprintln!("{}", metrics_text(&adya_obs::global().snapshot()));
-    }
+    emit_metrics_stderr(metrics);
     ExitCode::from(EXIT_TRUNCATED)
 }
 
@@ -229,11 +338,19 @@ fn run_stream_binary(args: &Args, buf: &[u8]) -> ExitCode {
         }
     };
     let mut checker = OnlineChecker::new();
+    // This tool exists to explain violations, so it pays for the
+    // per-edge provenance the library leaves off by default.
+    checker.set_provenance(true);
     while let Some(item) = log.next() {
         match item {
             Ok(ev) => {
                 if let Some(v) = checker.ingest(&ev) {
                     println!("{}", v.to_json());
+                    if args.dot {
+                        if let Some(d) = stream_cycle_dot(&v) {
+                            eprint!("{d}");
+                        }
+                    }
                 }
             }
             Err(LogError::TornTail { good_len, detail }) => {
@@ -247,9 +364,7 @@ fn run_stream_binary(args: &Args, buf: &[u8]) -> ExitCode {
     }
     let fin = checker.finish();
     println!("{}", fin.to_json());
-    if args.metrics {
-        eprintln!("{}", metrics_text(&adya_obs::global().snapshot()));
-    }
+    emit_metrics_stderr(args.metrics);
     if let Some(level) = args.level {
         if !fin.satisfies(level) {
             return ExitCode::from(1);
@@ -267,8 +382,8 @@ fn run_stream_binary(args: &Args, buf: &[u8]) -> ExitCode {
 /// was cut mid-write), reported as a `truncated_input` record with
 /// exit 3 rather than a hard parse error.
 fn run_stream(args: &Args) -> ExitCode {
-    if args.dot {
-        eprintln!("adya-check: --dot is not available with --stream (no final DSG is kept)");
+    if args.trace_out.is_some() {
+        eprintln!("adya-check: --trace-out needs the complete history (batch or explain mode)");
         return ExitCode::from(2);
     }
     if let Some(level) = args.level {
@@ -321,6 +436,8 @@ fn run_stream(args: &Args) -> ExitCode {
 
     let mut parser = StreamParser::new();
     let mut checker = OnlineChecker::new();
+    checker.set_provenance(true); // see run_stream_binary
+
     // (line number, parse error, were there tokens after it)
     let mut damage: Option<(usize, String, bool)> = None;
     let mut lines = reader.lines().enumerate();
@@ -349,6 +466,11 @@ fn run_stream(args: &Args) -> ExitCode {
             };
             if let Some(v) = checker.ingest(&ev) {
                 println!("{}", v.to_json());
+                if args.dot {
+                    if let Some(d) = stream_cycle_dot(&v) {
+                        eprint!("{d}");
+                    }
+                }
             }
         }
     }
@@ -371,12 +493,40 @@ fn run_stream(args: &Args) -> ExitCode {
     }
     let fin = checker.finish();
     println!("{}", fin.to_json());
-    if args.metrics {
-        eprintln!("{}", metrics_text(&adya_obs::global().snapshot()));
-    }
+    emit_metrics_stderr(args.metrics);
     if let Some(level) = args.level {
         if !fin.satisfies(level) {
             return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `explain` mode: shrink the history to a minimal sub-history per
+/// detected phenomenon and print a narrative citing the operations
+/// behind every cycle edge. With `--dot`, a cycle-scoped DOT per
+/// witness follows its narrative; `--trace-out` is honored. Always
+/// exits 0 on a well-formed history — forensics is a report, not a
+/// level check.
+fn run_explain(history: &adya::history::History, args: &Args) -> ExitCode {
+    let witnesses = adya::forensics::extract_all(history);
+    if witnesses.is_empty() {
+        println!("no phenomena detected");
+    }
+    for (i, w) in witnesses.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        print!("{}", adya::forensics::narrative(w));
+        if args.dot {
+            print!("{}", adya::forensics::cycle_dot(w, &w.kind.to_string()));
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        let a = analyze(history);
+        if let Err(e) = std::fs::write(path, adya::forensics::trace_json(history, Some(&a))) {
+            eprintln!("adya-check: cannot write {path}: {e}");
+            return ExitCode::from(2);
         }
     }
     ExitCode::SUCCESS
@@ -391,6 +541,10 @@ fn main() -> ExitCode {
         }
     };
     if args.stream {
+        if args.explain {
+            eprintln!("adya-check: explain needs the complete history (drop --stream)");
+            return ExitCode::from(2);
+        }
         return run_stream(&args);
     }
     let raw = match &args.path {
@@ -428,10 +582,25 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.explain {
+        return run_explain(&history, &args);
+    }
+
     let a = analyze(&history);
-    let metrics = args.metrics.then(|| adya_obs::global().snapshot());
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = std::fs::write(path, adya::forensics::trace_json(&history, Some(&a))) {
+            eprintln!("adya-check: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let metrics = (args.metrics == MetricsMode::Text).then(|| adya_obs::global().snapshot());
     if args.json {
         println!("{}", to_json(&history, &a, metrics.as_ref()));
+        if args.metrics == MetricsMode::Prom {
+            // Prometheus exposition is not JSON; keep stdout valid and
+            // expose the metrics on stderr.
+            eprint!("{}", adya_obs::global().snapshot().to_prometheus());
+        }
     } else {
         println!("history: {history}");
         println!(
@@ -442,6 +611,9 @@ fn main() -> ExitCode {
         println!("{a}");
         if let Some(snap) = &metrics {
             println!("\n{}", metrics_text(snap));
+        }
+        if args.metrics == MetricsMode::Prom {
+            print!("\n{}", adya_obs::global().snapshot().to_prometheus());
         }
         if args.dot {
             println!("\n{}", a.dsg.to_dot("history"));

@@ -56,3 +56,7 @@ pub use adya_graph as graph;
 /// The streaming checker: per-transaction verdicts at commit time with
 /// incremental cycle detection and bounded-memory GC.
 pub use adya_online as online;
+
+/// Violation forensics: minimal witnesses, explain narratives,
+/// cycle-scoped DOT and Chrome-trace timeline export.
+pub use adya_forensics as forensics;
