@@ -15,6 +15,7 @@ use crate::witness::Witness;
 pub fn narrative(w: &Witness) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== {} ==", w.phenomenon);
+    let _ = writeln!(s, "witness id: {}", w.id());
     let txns = w.minimal_history.txns().count();
     let _ = writeln!(
         s,

@@ -50,6 +50,19 @@ pub struct Witness {
     pub cycle: Vec<WitnessEdge>,
 }
 
+impl Witness {
+    /// Stable witness id: [`adya_obs::witness_id`] over the canonical
+    /// (rotation-invariant) cycle signature, or over the phenomenon's
+    /// description for the cycle-less kinds. The online checker's
+    /// verdicts and health exemplars derive their `witness_id` the
+    /// same way, so a fired G1c/G2 in the live plane resolves to this
+    /// witness when both saw the same cycle.
+    pub fn id(&self) -> String {
+        let nodes: Vec<u64> = self.cycle.iter().map(|e| u64::from(e.from.0)).collect();
+        adya_obs::witness_id(&self.kind.to_string(), &nodes, &self.phenomenon.to_string())
+    }
+}
+
 /// Extracts a witness for `target` from `h`: shrinks the history to a
 /// minimal sub-history (see [`minimize`]), re-detects the phenomenon
 /// there (re-detection on the smaller DSG yields the shortest

@@ -1,0 +1,273 @@
+//! A deliberately small, std-only HTTP/1.1 server for the obs
+//! endpoint: thread-per-connection (mirroring the `crates/workloads`
+//! retry machinery), `GET`-only, `Connection: close` on every
+//! response. It exists so `adya-check --stream --obs-listen` can
+//! serve `/metrics`, `/health`, and `/trace` while the checker
+//! ingests — no async runtime, no TLS, no keep-alive, because a
+//! scrape every few seconds is the whole workload.
+//!
+//! The server owns only transport concerns. Routing and payload
+//! rendering live in the handler the caller supplies, which maps a
+//! request path to a [`Response`]; the handler runs on the
+//! per-connection thread and must therefore be `Send + Sync`.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// An HTTP response produced by an obs-endpoint handler.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code (200, 404, 503, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` with the given content type.
+    pub fn ok(content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` JSON response.
+    pub fn json(body: impl Into<Vec<u8>>) -> Response {
+        Response::ok("application/json", body)
+    }
+
+    /// A plain-text response with an arbitrary status (used for 404s
+    /// and the `/health` 503 degradation signal).
+    pub fn status(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// Handler type: maps a request path (query string stripped) to a
+/// response. Runs on the per-connection thread.
+pub type Handler = Arc<dyn Fn(&str) -> Response + Send + Sync>;
+
+/// The obs endpoint server. Binding spawns an accept loop thread;
+/// dropping the server (or calling [`ObsServer::shutdown`]) stops it.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ObsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving `handler` on a background accept loop. The
+    /// listener is nonblocking and the loop polls a stop flag every
+    /// 25ms so shutdown never hangs on a quiet socket.
+    pub fn bind(addr: &str, handler: Handler) -> io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_in_loop = Arc::clone(&stop);
+        let accept_thread = thread::Builder::new()
+            .name("obs-accept".into())
+            .spawn(move || {
+                while !stop_in_loop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let h = Arc::clone(&handler);
+                            // Connection threads are detached: each one
+                            // serves a single request with a read
+                            // timeout, so none outlives shutdown by
+                            // more than that bound.
+                            let _ = thread::Builder::new()
+                                .name("obs-conn".into())
+                                .spawn(move || serve_connection(stream, h));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(25)),
+                    }
+                }
+            })?;
+        Ok(ObsServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the real port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves exactly one request on `stream` and closes it.
+fn serve_connection(stream: TcpStream, handler: Handler) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers so well-behaved clients see a clean close; bodies
+    // on GET are ignored.
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    let response = route_request(&request_line, &handler);
+    write_response(stream, &response);
+}
+
+/// Parses the request line and dispatches to the handler. Query
+/// strings are stripped before routing so `/health?verbose=1` still
+/// hits `/health`.
+fn route_request(request_line: &str, handler: &Handler) -> Response {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() {
+        return Response::status(400, "bad request\n");
+    }
+    if method != "GET" {
+        return Response::status(405, "only GET is supported\n");
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    handler(path)
+}
+
+fn write_response(mut stream: TcpStream, r: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        r.status,
+        r.reason(),
+        r.content_type,
+        r.body.len()
+    );
+    if stream.write_all(head.as_bytes()).is_ok() {
+        let _ = stream.write_all(&r.body);
+    }
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn request(addr: SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn test_handler() -> Handler {
+        Arc::new(|path: &str| match path {
+            "/metrics" => Response::ok("text/plain; version=0.0.4", "m 1\n"),
+            "/health" => Response::json("{\"healthy\":true}"),
+            _ => Response::status(404, "not found\n"),
+        })
+    }
+
+    #[test]
+    fn serves_routes_and_strips_query_strings() {
+        let server = ObsServer::bind("127.0.0.1:0", test_handler()).unwrap();
+        let addr = server.local_addr();
+        let out = request(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        assert!(out.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(out.contains("Connection: close"));
+        assert!(out.ends_with("m 1\n"), "{out}");
+        let out = request(addr, "GET /health?verbose=1 HTTP/1.1\r\n\r\n");
+        assert!(out.contains("{\"healthy\":true}"), "{out}");
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let server = ObsServer::bind("127.0.0.1:0", test_handler()).unwrap();
+        let addr = server.local_addr();
+        let out = request(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 404"), "{out}");
+        let out = request(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_answer() {
+        let server = ObsServer::bind("127.0.0.1:0", test_handler()).unwrap();
+        let addr = server.local_addr();
+        let threads: Vec<_> = (0..8)
+            .map(|_| thread::spawn(move || request(addr, "GET /metrics HTTP/1.1\r\n\r\n")))
+            .collect();
+        for t in threads {
+            let out = t.join().unwrap();
+            assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        }
+    }
+
+    #[test]
+    fn shutdown_joins_accept_loop() {
+        let mut server = ObsServer::bind("127.0.0.1:0", test_handler()).unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        // Connecting after shutdown either fails outright or gets no
+        // response; either way the accept thread is gone.
+        let _ = TcpStream::connect(addr);
+    }
+}

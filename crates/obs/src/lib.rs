@@ -25,14 +25,18 @@
 
 #![warn(missing_docs)]
 
+pub mod http;
 pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod spans;
 
+pub use http::{ObsServer, Response};
 pub use journal::{Event, Field, Journal};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
-pub use registry::{Registry, Snapshot, SpanTimer};
+pub use registry::{Registry, Snapshot, SpanTimer, WideSpan};
+pub use spans::{chrome_trace, spans_json, stable_id, witness_id, SpanRecord, SpanRing};
 
 use std::sync::OnceLock;
 
@@ -93,6 +97,36 @@ macro_rules! time {
         let __out = $body;
         $crate::histogram!($name).record(__start.elapsed().as_nanos() as u64);
         __out
+    }};
+}
+
+/// Opens a structured span named `$name` against the global registry,
+/// returning the RAII guard. The span becomes the parent of any span
+/// opened on the same thread before the guard drops; on drop it lands
+/// in the global span ring as a wide event and records its duration
+/// into the histogram of the same name. The interned name id and
+/// histogram handle are cached per call site.
+///
+/// ```
+/// {
+///     let _ev = adya_obs::span!("doc.outer_ns");
+///     let _child = adya_obs::span!("doc.inner_ns");
+/// }
+/// let spans = adya_obs::global().span_records();
+/// let outer = spans.iter().find(|s| s.name == "doc.outer_ns").unwrap();
+/// let inner = spans.iter().find(|s| s.name == "doc.inner_ns").unwrap();
+/// assert_eq!(inner.parent, outer.id);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static CACHED: ::std::sync::OnceLock<(u32, ::std::sync::Arc<$crate::Histogram>)> =
+            ::std::sync::OnceLock::new();
+        let (__name_id, __hist) = CACHED.get_or_init(|| {
+            let r = $crate::global();
+            (r.span_name_id($name), r.histogram($name))
+        });
+        $crate::global().wide_span_cached(*__name_id, ::std::sync::Arc::clone(__hist))
     }};
 }
 

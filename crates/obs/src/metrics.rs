@@ -184,9 +184,15 @@ impl Histogram {
         // Linear interpolation within the power-of-two bucket holding
         // the requested rank: assuming values spread uniformly across
         // the bucket's span beats reporting its upper bound (which
-        // inflates every percentile by up to 2x). The estimate is
-        // clamped to the observed [min, max] so a sparse histogram
-        // never reports a value outside what was actually recorded.
+        // inflates every percentile by up to 2x). The interpolation
+        // span is the bucket intersected with the observed [min, max]:
+        // interpolating across the raw bucket and clamping afterwards
+        // collapsed every mid-to-high percentile onto the clamp bound
+        // whenever all samples landed in one bucket (the estimate
+        // overshot the observed max), so e.g. p50 of {520, 521, 522}
+        // reported 522. Narrowing the span first keeps the estimate
+        // inside the data: the same p50 now reports the range
+        // midpoint-by-rank, 521.
         let pct = |q: f64| -> u64 {
             if count == 0 {
                 return 0;
@@ -201,13 +207,21 @@ impl Histogram {
                     let est = if i == 0 {
                         0
                     } else {
-                        // Bucket i spans [2^(i-1), 2^i - 1].
-                        let lo = 1u64 << (i - 1);
-                        let hi = Self::bucket_upper(i);
+                        // Bucket i spans [2^(i-1), 2^i - 1], narrowed
+                        // to the observed range where they intersect
+                        // (under concurrent writes min/max can skew
+                        // off the bucket; fall back to the raw bucket
+                        // bounds then).
+                        let mut lo = 1u64 << (i - 1);
+                        let mut hi = Self::bucket_upper(i);
+                        if observed_min <= observed_max {
+                            lo = lo.max(observed_min).min(hi);
+                            hi = hi.min(observed_max).max(lo);
+                        }
                         let within = (rank - seen) as f64 / c as f64;
                         lo + ((hi - lo) as f64 * within) as u64
                     };
-                    return est.clamp(observed_min, observed_max);
+                    return est.clamp(observed_min.min(observed_max), observed_max);
                 }
                 seen += c;
             }
@@ -303,6 +317,24 @@ mod tests {
         let s = h.snapshot();
         assert!(s.p50 >= 512 && s.p50 < 768, "p50={}", s.p50);
         assert!(s.p99 <= s.max);
+    }
+
+    #[test]
+    fn one_bucket_cluster_reports_midpoint_not_clamp_bound() {
+        // Regression: {520, 521, 522} all land in the [512, 1023]
+        // bucket. Interpolating across the raw bucket put the p50
+        // estimate at ~852, which the clamp then snapped to the
+        // observed max — p50, p90 and p99 all reported 522.
+        // Interpolating across bucket∩[min, max] instead makes p50 the
+        // observed-range midpoint.
+        let h = Histogram::new();
+        for v in [520u64, 521, 522] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50, 521, "p50 is the midpoint of the cluster");
+        assert!(s.p50 < s.max, "p50 must not collapse onto the clamp bound");
+        assert_eq!(s.p99, 522);
     }
 
     #[test]

@@ -194,6 +194,13 @@ pub struct Verdict {
     pub new_fired: Vec<PhenomenonKind>,
     /// Witness for the first newly fired phenomenon, if any.
     pub witness: Option<String>,
+    /// Stable id of the first newly fired phenomenon's witness:
+    /// [`adya_obs::witness_id`] over the canonical (rotation-invariant)
+    /// cycle signature when the offending cycle is known, else over
+    /// the witness text. The forensics plane derives witness ids the
+    /// same way, so a fired G1c/G2 here links straight to its
+    /// forensic witness when both saw the same cycle.
+    pub witness_id: Option<String>,
     /// Cycle provenance for the first newly fired phenomenon: every
     /// edge of the offending cycle with the operations that induced
     /// it. `None` when nothing new fired, the phenomenon has no cycle
@@ -249,6 +256,12 @@ impl Verdict {
                 let _ = write!(s, ", \"witness\": \"{}\"", esc(w));
             }
             None => s.push_str(", \"witness\": null"),
+        }
+        match &self.witness_id {
+            Some(id) => {
+                let _ = write!(s, ", \"witness_id\": \"{}\"", esc(id));
+            }
+            None => s.push_str(", \"witness_id\": null"),
         }
         match &self.cycle {
             Some(c) => {
@@ -470,6 +483,16 @@ pub struct OnlineChecker {
     /// Master switch for edge provenance (off by default; see E16 for
     /// the measured overhead).
     provenance: bool,
+    /// Telemetry sampling period: every Nth ingested event gets full
+    /// span/phase attribution (apply → graph insert → verdict → GC).
+    /// 0 (the default) disables per-event telemetry entirely; E17
+    /// measures the sampled plane's ingest overhead.
+    telemetry_every: u32,
+    /// Events left until the next sampled one (countdown avoids a
+    /// per-event division on the ingest hot path).
+    telemetry_countdown: u32,
+    /// Whether the event currently being ingested is sampled.
+    sampled_now: bool,
     gc: GcConfig,
     committed: u64,
     pruned_txns: u64,
@@ -516,6 +539,57 @@ impl OnlineChecker {
     /// Whether edge provenance is being tracked.
     pub fn provenance_enabled(&self) -> bool {
         self.provenance
+    }
+
+    /// Turns sampled per-event telemetry on (`every` ≥ 1: every Nth
+    /// event is attributed phase by phase — apply span, graph-insert
+    /// and cycle-materialization histograms, verdict and GC child
+    /// spans — into the global obs registry) or off (`every` = 0, the
+    /// default). Sampling exists for the same reason provenance is
+    /// opt-in: E17 holds the fully-on plane to ≤10% ingest overhead,
+    /// and per-event spans alone would not fit that budget.
+    pub fn set_telemetry_sampling(&mut self, every: u32) {
+        self.telemetry_every = every;
+    }
+
+    /// The telemetry sampling period (0 = off).
+    pub fn telemetry_sampling(&self) -> u32 {
+        self.telemetry_every
+    }
+
+    /// Events between the GC low watermark (the earliest begin of any
+    /// live transaction) and the current event clock: how far behind
+    /// the stream the collector's pruning horizon sits. Zero when no
+    /// transaction is active.
+    pub fn watermark_staleness(&self) -> u64 {
+        let watermark = self
+            .active
+            .iter()
+            .map(|t| self.txns[t].begin_clock)
+            .min()
+            .unwrap_or(self.clock);
+        self.clock - watermark
+    }
+
+    /// Approximate heap footprint of the provenance side maps, in
+    /// bytes (capacity-based, so it reflects reserved memory, not just
+    /// live entries). Zero when provenance is off.
+    pub fn provenance_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes =
+            self.prov.capacity() * (size_of::<(TxnId, TxnId)>() + size_of::<ProvChain>());
+        for c in self.prov.values() {
+            if let ProvChain::Many(v) = c {
+                bytes += v.capacity() * size_of::<ProvStep>();
+            }
+        }
+        for side in [&self.prov_out, &self.prov_in] {
+            bytes += side.capacity() * (size_of::<TxnId>() + size_of::<Vec<TxnId>>());
+            for v in side.values() {
+                bytes += v.capacity() * size_of::<TxnId>();
+            }
+        }
+        bytes
     }
 
     /// Events ingested so far.
@@ -568,6 +642,16 @@ impl OnlineChecker {
         }
         self.clock += 1;
         adya_obs::counter!("online.ingest_events").inc();
+        self.sampled_now = if self.telemetry_every == 0 {
+            false
+        } else if self.telemetry_countdown == 0 {
+            self.telemetry_countdown = self.telemetry_every - 1;
+            true
+        } else {
+            self.telemetry_countdown -= 1;
+            false
+        };
+        let _apply_span = self.sampled_now.then(|| adya_obs::span!("online.apply_ns"));
         let verdict = match event {
             Event::Begin(t) => {
                 self.ensure_txn(*t);
@@ -681,6 +765,9 @@ impl OnlineChecker {
         self.active.remove(&t);
         self.committed += 1;
 
+        let _verdict_span = self
+            .sampled_now
+            .then(|| adya_obs::span!("online.verdict_ns"));
         self.install_writes(t);
         let reads = std::mem::take(&mut self.txns.get_mut(&t).expect("ensured").reads);
         for br in reads {
@@ -1049,6 +1136,7 @@ impl OnlineChecker {
         } else {
             None
         };
+        let insert_t0 = self.sampled_now.then(Instant::now);
         let (fresh, fired) = match self.ww.as_mut() {
             Some(g) => match g.add_edge(from, to, EdgeMask::DEP) {
                 Insert::Duplicate => (false, None),
@@ -1057,18 +1145,23 @@ impl OnlineChecker {
             },
             None => (false, None),
         };
+        if let Some(t0) = insert_t0 {
+            adya_obs::histogram!("online.graph_insert_ns").record(t0.elapsed().as_nanos() as u64);
+        }
         if fresh {
             if let Some(st) = step.take() {
                 self.record_prov(from, to, st);
             }
         }
         if let Some(info) = fired {
+            let t0 = Instant::now();
             let w = format!("write cycle: {}", Self::cycle_string(&info.witness));
             let cyc = self.cycle_prov(&info.witness);
             if self.fired.set(PhenomenonKind::G0, w) {
                 self.fired.set_cycle(PhenomenonKind::G0, cyc);
             }
             self.drop_graph_ww();
+            adya_obs::histogram!("online.cycle_check_ns").record(t0.elapsed().as_nanos() as u64);
         }
         self.add_dep_edge(from, to, &mut step);
         self.add_full_edge(from, to, EdgeMask::DEP, &mut step);
@@ -1120,6 +1213,7 @@ impl OnlineChecker {
     }
 
     fn add_dep_edge(&mut self, from: TxnId, to: TxnId, step: &mut Option<ProvStep>) {
+        let insert_t0 = self.sampled_now.then(Instant::now);
         let (fresh, fired) = match self.dep.as_mut() {
             Some(g) => match g.add_edge(from, to, EdgeMask::DEP) {
                 Insert::Duplicate => (false, None),
@@ -1128,14 +1222,19 @@ impl OnlineChecker {
             },
             None => (false, None),
         };
+        if let Some(t0) = insert_t0 {
+            adya_obs::histogram!("online.graph_insert_ns").record(t0.elapsed().as_nanos() as u64);
+        }
         self.record_if_fresh(fresh, from, to, step);
         if let Some(info) = fired {
+            let t0 = Instant::now();
             let w = format!("dependency cycle: {}", Self::cycle_string(&info.witness));
             let cyc = self.cycle_prov(&info.witness);
             if self.fired.set(PhenomenonKind::G1c, w) {
                 self.fired.set_cycle(PhenomenonKind::G1c, cyc);
             }
             self.drop_graph_dep();
+            adya_obs::histogram!("online.cycle_check_ns").record(t0.elapsed().as_nanos() as u64);
         }
     }
 
@@ -1146,13 +1245,18 @@ impl OnlineChecker {
         mask: EdgeMask,
         step: &mut Option<ProvStep>,
     ) {
+        let insert_t0 = self.sampled_now.then(Instant::now);
         let result = match self.full.as_mut() {
             Some(g) => g.add_edge(from, to, mask),
             None => return,
         };
+        if let Some(t0) = insert_t0 {
+            adya_obs::histogram!("online.graph_insert_ns").record(t0.elapsed().as_nanos() as u64);
+        }
         self.record_if_fresh(!matches!(result, Insert::Duplicate), from, to, step);
         match result {
             Insert::CycleFormed(info) => {
+                let t0 = Instant::now();
                 let anti = info
                     .intra_edges
                     .iter()
@@ -1174,6 +1278,8 @@ impl OnlineChecker {
                     }
                     self.drop_graph_full_if_done();
                 }
+                adya_obs::histogram!("online.cycle_check_ns")
+                    .record(t0.elapsed().as_nanos() as u64);
             }
             Insert::IntraComponent if mask.has_item_anti() => {
                 let w = format!(
@@ -1250,6 +1356,7 @@ impl OnlineChecker {
             return;
         }
         self.events_since_gc = 0;
+        let _gc_span = (self.telemetry_every != 0).then(|| adya_obs::span!("online.gc_ns"));
         self.run_gc();
     }
 
@@ -1743,6 +1850,13 @@ impl OnlineChecker {
         let cycle = new_fired
             .first()
             .and_then(|k| self.fired.cycle_of(*k).cloned());
+        let witness_id = new_fired.first().map(|k| {
+            let nodes: Vec<u64> = cycle
+                .as_deref()
+                .map(|c| c.iter().map(|e| u64::from(e.from.0)).collect())
+                .unwrap_or_default();
+            adya_obs::witness_id(&k.to_string(), &nodes, witness.as_deref().unwrap_or(""))
+        });
         Verdict {
             txn,
             committed: self.committed,
@@ -1750,6 +1864,7 @@ impl OnlineChecker {
             fired: self.fired.kinds(),
             new_fired: new_fired.to_vec(),
             witness,
+            witness_id,
             cycle,
             pruned_txns: self.pruned_txns,
             stale_refs: self.stale_refs,

@@ -70,7 +70,9 @@
 
 mod checker;
 mod feed;
+pub mod monitor;
 pub mod wire;
 
 pub use checker::{CycleEdgeProv, GcConfig, OnlineChecker, SnapshotError, Verdict};
 pub use feed::{encode_log, EventLogReader, EventLogWriter, LogError, StreamParser, LOG_MAGIC};
+pub use monitor::{CheckerMonitor, Exemplar, HealthPolicy};

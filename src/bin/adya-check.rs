@@ -22,12 +22,17 @@
 //! `#pred`) are comments.
 
 use std::fmt::Write as _;
-use std::io::{BufRead as _, Read as _};
+use std::io::{BufRead as _, Read as _, Write as _};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use adya::core::{analyze, Analysis, IsolationLevel};
 use adya::history::parse_history_completed;
-use adya::online::{EventLogReader, LogError, OnlineChecker, StreamParser, Verdict};
+use adya::online::{
+    CheckerMonitor, EventLogReader, HealthPolicy, LogError, OnlineChecker, StreamParser, Verdict,
+};
+use adya_obs::{ObsServer, Response};
 
 /// Where and how `--metrics` output is rendered.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -48,6 +53,16 @@ struct Args {
     stream: bool,
     trace_out: Option<String>,
     level: Option<IsolationLevel>,
+    /// `--obs-listen ADDR`: serve /metrics, /health, /trace while
+    /// streaming.
+    obs_listen: Option<String>,
+    /// `/health` staleness threshold (ms without an applied event).
+    obs_stale_ms: u64,
+    /// `/health` ingest-lag threshold (ms from arrival to applied).
+    obs_lag_ms: u64,
+    /// Tap-side fault injection: sleep this long before applying each
+    /// event, inflating ingest lag (exercises the /health semantics).
+    delay_event_ms: u64,
 }
 
 /// Minimal JSON string escaping (the only dynamic content is names and
@@ -166,6 +181,15 @@ fn parse_args() -> Result<Args, String> {
         stream: false,
         trace_out: None,
         level: None,
+        obs_listen: None,
+        obs_stale_ms: 5_000,
+        obs_lag_ms: 1_000,
+        delay_event_ms: 0,
+    };
+    let parse_ms = |flag: &str, v: Option<String>| -> Result<u64, String> {
+        let v = v.ok_or_else(|| format!("{flag} needs a millisecond value"))?;
+        v.parse()
+            .map_err(|_| format!("{flag}: not a millisecond count: {v:?}"))
     };
     let mut it = std::env::args().skip(1).peekable();
     let mut first_positional = true;
@@ -197,6 +221,15 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--level needs a value (e.g. PL-3)")?;
                 args.level = Some(parse_level(&v).ok_or_else(|| format!("unknown level {v:?}"))?);
             }
+            "--obs-listen" => {
+                let v = it
+                    .next()
+                    .ok_or("--obs-listen needs an address (e.g. 127.0.0.1:0)")?;
+                args.obs_listen = Some(v);
+            }
+            "--obs-stale-ms" => args.obs_stale_ms = parse_ms("--obs-stale-ms", it.next())?,
+            "--obs-lag-ms" => args.obs_lag_ms = parse_ms("--obs-lag-ms", it.next())?,
+            "--delay-event-ms" => args.delay_event_ms = parse_ms("--delay-event-ms", it.next())?,
             "--help" | "-h" => {
                 return Err(USAGE.to_string());
             }
@@ -215,7 +248,9 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const USAGE: &str = "usage: adya-check [explain] [--dot] [--json] [--metrics [prom]] [--stream]
-                  [--trace-out FILE] [--level PL-3] [FILE]
+                  [--trace-out FILE] [--level PL-3] [--obs-listen ADDR]
+                  [--obs-stale-ms MS] [--obs-lag-ms MS] [--delay-event-ms MS]
+                  [FILE]
 Reads a history (paper notation) from FILE or stdin and analyzes it.
   explain        forensic mode: shrink the history to a minimal
                  sub-history per detected phenomenon and print a
@@ -229,7 +264,10 @@ Reads a history (paper notation) from FILE or stdin and analyzes it.
                  `--metrics prom` renders them as Prometheus text
                  exposition instead of the human-readable block
   --trace-out F  write the history as Chrome trace-event JSON (open in
-                 Perfetto / chrome://tracing); batch and explain only
+                 Perfetto / chrome://tracing). With --stream, writes
+                 rotating trace segments F.0..F.3 of checker spans over
+                 a bounded ring instead (memory stays bounded on
+                 unbounded streams)
   --stream       incremental mode: ingest events one at a time and emit
                  one NDJSON verdict line per commit plus a final line;
                  binary event logs (ADYALOG magic) are auto-detected.
@@ -241,7 +279,19 @@ Reads a history (paper notation) from FILE or stdin and analyzes it.
                  reads and explicit version orders are not supported,
                  and --level is restricted to the ANSI chain
   --level LEVEL  exit non-zero unless the history satisfies LEVEL
-                 (PL-1, PL-2, PL-CS, PL-MAV, PL-2+, PL-2.99, PL-SI, PL-3)";
+                 (PL-1, PL-2, PL-CS, PL-MAV, PL-2+, PL-2.99, PL-SI, PL-3)
+  --obs-listen A stream only: serve a live obs endpoint on address A
+                 (e.g. 127.0.0.1:9464; port 0 picks one — the bound
+                 address is printed to stderr). Routes: /metrics
+                 (Prometheus text), /health (JSON SLIs; HTTP 503 when
+                 degraded), /trace (Chrome trace of recent spans)
+  --obs-stale-ms /health degrades after this many ms without an
+                 applied event (default 5000)
+  --obs-lag-ms   /health degrades when ingest lag (event arrival to
+                 applied) exceeds this many ms (default 1000)
+  --delay-event-ms
+                 fault injection: sleep this long before applying each
+                 event — induces ingest lag the obs plane must report";
 
 /// Exit code for a cleanly detected torn tail (distinct from level
 /// violations = 1 and hard errors = 2).
@@ -254,6 +304,190 @@ fn emit_metrics_stderr(mode: MetricsMode) {
         MetricsMode::Off => {}
         MetricsMode::Text => eprintln!("{}", metrics_text(&adya_obs::global().snapshot())),
         MetricsMode::Prom => eprint!("{}", adya_obs::global().snapshot().to_prometheus()),
+    }
+}
+
+/// Emits one complete DOT document to stderr as a single buffered
+/// write under the stderr lock, then flushes. `eprint!` wrote the
+/// graph through the unbuffered stderr handle a fragment at a time,
+/// so under redirection a concurrent NDJSON line (or another thread's
+/// diagnostics) could land mid-graph; one `write_all` + flush means
+/// the document is never torn.
+fn emit_dot_stderr(d: &str) {
+    let stderr = std::io::stderr();
+    let mut h = stderr.lock();
+    let _ = h.write_all(d.as_bytes());
+    let _ = h.flush();
+}
+
+/// Telemetry sampling period used by the stream obs plane: every Nth
+/// event gets full span attribution. 32 keeps E17's measured ingest
+/// overhead inside the 10% budget that provenance (E16) was held to.
+const TELEMETRY_SAMPLE_EVERY: u32 = 32;
+
+/// Trace segments kept by the streaming `--trace-out` ring.
+const TRACE_SEGMENTS: u64 = 4;
+
+/// Events between trace segment rotations. The global span ring holds
+/// 4096 spans; at 1-in-32 sampling this rotates well before overwrite.
+const TRACE_ROTATE_EVENTS: u64 = 8192;
+
+/// Streaming `--trace-out`: rotating Chrome-trace segments over the
+/// bounded global span ring. Long-running streams get `FILE.0` ..
+/// `FILE.3`, newest overwriting oldest — bounded memory AND bounded
+/// disk, instead of buffering the whole run like batch mode.
+struct TraceRing {
+    base: String,
+    segment: u64,
+    last_rotate_events: u64,
+}
+
+impl TraceRing {
+    fn new(base: String) -> TraceRing {
+        TraceRing {
+            base,
+            segment: 0,
+            last_rotate_events: 0,
+        }
+    }
+
+    fn maybe_rotate(&mut self, events: u64) {
+        if events.saturating_sub(self.last_rotate_events) >= TRACE_ROTATE_EVENTS {
+            self.last_rotate_events = events;
+            self.rotate(false);
+        }
+    }
+
+    /// Drains the span ring into the next segment file. Mid-stream
+    /// rotations skip an empty ring; the final rotation (`force`)
+    /// always writes, so `--trace-out F` yields at least `F.0` even
+    /// on streams too short to sample a span.
+    fn rotate(&mut self, force: bool) {
+        let reg = adya_obs::global();
+        let records = reg.span_records();
+        if records.is_empty() && !force {
+            return;
+        }
+        let path = format!("{}.{}", self.base, self.segment % TRACE_SEGMENTS);
+        let body = adya_obs::chrome_trace(&records, reg.spans_dropped());
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("adya-check: cannot write {path}: {e}");
+        }
+        reg.reset_spans();
+        self.segment += 1;
+    }
+}
+
+/// The live obs plane for one `--stream` run: checker monitor, HTTP
+/// endpoint, fault-injection delay, and the trace segment ring —
+/// each present only when the corresponding flag asked for it.
+struct StreamObs {
+    monitor: Option<Arc<CheckerMonitor>>,
+    server: Option<ObsServer>,
+    delay: Option<Duration>,
+    trace: Option<TraceRing>,
+}
+
+impl StreamObs {
+    /// Builds the plane from the flags and arms the checker's sampled
+    /// telemetry when any of it is on.
+    fn start(args: &Args, checker: &mut OnlineChecker) -> Result<StreamObs, String> {
+        let mut obs = StreamObs {
+            monitor: None,
+            server: None,
+            delay: (args.delay_event_ms > 0).then(|| Duration::from_millis(args.delay_event_ms)),
+            trace: args.trace_out.clone().map(TraceRing::new),
+        };
+        if args.obs_listen.is_some() || obs.trace.is_some() {
+            checker.set_telemetry_sampling(TELEMETRY_SAMPLE_EVERY);
+        }
+        if let Some(addr) = &args.obs_listen {
+            let monitor = Arc::new(CheckerMonitor::new(HealthPolicy {
+                stale_ms: args.obs_stale_ms,
+                lag_ms: args.obs_lag_ms,
+            }));
+            let handler_monitor = Arc::clone(&monitor);
+            let server = ObsServer::bind(
+                addr,
+                Arc::new(move |path: &str| match path {
+                    "/metrics" => Response::ok(
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        adya_obs::global().snapshot().to_prometheus(),
+                    ),
+                    "/health" => {
+                        let body = handler_monitor.health_json();
+                        let status = if handler_monitor.judge().is_ok() {
+                            200
+                        } else {
+                            503
+                        };
+                        Response {
+                            status,
+                            content_type: "application/json",
+                            body: body.into_bytes(),
+                        }
+                    }
+                    "/trace" => {
+                        let reg = adya_obs::global();
+                        Response::json(adya_obs::chrome_trace(
+                            &reg.span_records(),
+                            reg.spans_dropped(),
+                        ))
+                    }
+                    _ => Response::status(404, "routes: /metrics /health /trace\n"),
+                }),
+            )
+            .map_err(|e| format!("cannot bind obs endpoint {addr}: {e}"))?;
+            eprintln!(
+                "adya-check: obs endpoint listening on {}",
+                server.local_addr()
+            );
+            obs.monitor = Some(monitor);
+            obs.server = Some(server);
+        }
+        Ok(obs)
+    }
+
+    /// Marks one event's arrival and applies the injected tap delay.
+    /// The timestamp (present when the monitor samples this event)
+    /// anchors the ingest-lag SLI, so the delay shows up as lag on
+    /// the next sampled `/health` render — and the first event is
+    /// always sampled.
+    fn event_arrived(&self) -> Option<Instant> {
+        let arrived = self.monitor.as_ref().and_then(|m| m.arrival());
+        if let Some(d) = self.delay {
+            std::thread::sleep(d);
+        }
+        arrived
+    }
+
+    /// Records one applied event (and its verdict, when the event was
+    /// a commit) into the monitor, and rotates the trace ring.
+    fn event_applied(
+        &mut self,
+        checker: &OnlineChecker,
+        arrived: Option<Instant>,
+        v: Option<&Verdict>,
+    ) {
+        if let Some(m) = &self.monitor {
+            m.observe_event(checker, arrived);
+            if let Some(v) = v {
+                m.observe_verdict(v);
+            }
+        }
+        if let Some(tr) = &mut self.trace {
+            tr.maybe_rotate(checker.events());
+        }
+    }
+
+    /// Final verdict: last monitor update, final trace segment.
+    fn finish(&mut self, v: &Verdict) {
+        if let Some(m) = &self.monitor {
+            m.observe_verdict(v);
+        }
+        if let Some(tr) = &mut self.trace {
+            tr.rotate(true);
+        }
     }
 }
 
@@ -341,14 +575,24 @@ fn run_stream_binary(args: &Args, buf: &[u8]) -> ExitCode {
     // This tool exists to explain violations, so it pays for the
     // per-edge provenance the library leaves off by default.
     checker.set_provenance(true);
+    let mut obs = match StreamObs::start(args, &mut checker) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("adya-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
     while let Some(item) = log.next() {
         match item {
             Ok(ev) => {
-                if let Some(v) = checker.ingest(&ev) {
+                let arrived = obs.event_arrived();
+                let v = checker.ingest(&ev);
+                obs.event_applied(&checker, arrived, v.as_ref());
+                if let Some(v) = v {
                     println!("{}", v.to_json());
                     if args.dot {
                         if let Some(d) = stream_cycle_dot(&v) {
-                            eprint!("{d}");
+                            emit_dot_stderr(&d);
                         }
                     }
                 }
@@ -363,6 +607,7 @@ fn run_stream_binary(args: &Args, buf: &[u8]) -> ExitCode {
         }
     }
     let fin = checker.finish();
+    obs.finish(&fin);
     println!("{}", fin.to_json());
     emit_metrics_stderr(args.metrics);
     if let Some(level) = args.level {
@@ -382,10 +627,6 @@ fn run_stream_binary(args: &Args, buf: &[u8]) -> ExitCode {
 /// was cut mid-write), reported as a `truncated_input` record with
 /// exit 3 rather than a hard parse error.
 fn run_stream(args: &Args) -> ExitCode {
-    if args.trace_out.is_some() {
-        eprintln!("adya-check: --trace-out needs the complete history (batch or explain mode)");
-        return ExitCode::from(2);
-    }
     if let Some(level) = args.level {
         let ansi = [
             IsolationLevel::PL1,
@@ -437,6 +678,13 @@ fn run_stream(args: &Args) -> ExitCode {
     let mut parser = StreamParser::new();
     let mut checker = OnlineChecker::new();
     checker.set_provenance(true); // see run_stream_binary
+    let mut obs = match StreamObs::start(args, &mut checker) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("adya-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     // (line number, parse error, were there tokens after it)
     let mut damage: Option<(usize, String, bool)> = None;
@@ -457,6 +705,7 @@ fn run_stream(args: &Args) -> ExitCode {
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
         for (ti, tok) in toks.iter().enumerate() {
+            let arrived = obs.event_arrived();
             let ev = match parser.parse_token(tok) {
                 Ok(e) => e,
                 Err(e) => {
@@ -464,11 +713,13 @@ fn run_stream(args: &Args) -> ExitCode {
                     break 'ingest;
                 }
             };
-            if let Some(v) = checker.ingest(&ev) {
+            let v = checker.ingest(&ev);
+            obs.event_applied(&checker, arrived, v.as_ref());
+            if let Some(v) = v {
                 println!("{}", v.to_json());
                 if args.dot {
                     if let Some(d) = stream_cycle_dot(&v) {
-                        eprint!("{d}");
+                        emit_dot_stderr(&d);
                     }
                 }
             }
@@ -492,6 +743,7 @@ fn run_stream(args: &Args) -> ExitCode {
         return finish_truncated(checker, &msg, "line", line_no, args.metrics);
     }
     let fin = checker.finish();
+    obs.finish(&fin);
     println!("{}", fin.to_json());
     emit_metrics_stderr(args.metrics);
     if let Some(level) = args.level {
@@ -540,6 +792,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if !args.stream && (args.obs_listen.is_some() || args.delay_event_ms > 0) {
+        eprintln!("adya-check: --obs-listen and --delay-event-ms need --stream");
+        return ExitCode::from(2);
+    }
     if args.stream {
         if args.explain {
             eprintln!("adya-check: explain needs the complete history (drop --stream)");

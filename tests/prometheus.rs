@@ -1,0 +1,245 @@
+//! Prometheus exposition-format tests: a golden for a synthetic
+//! registry snapshot, plus a format lint applied to every surface
+//! that emits the format — the golden, `adya-check --metrics prom`,
+//! and the live `/metrics` obs endpoint.
+//!
+//! Regenerate the golden with
+//! `REGEN_GOLDEN=1 cargo test --test prometheus`.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+use adya_obs::Registry;
+
+/// Lints `text` against the text exposition format (version 0.0.4):
+/// every sample belongs to a family declared by a `# HELP` line
+/// followed by a `# TYPE` line (each exactly once, HELP first), type
+/// is a known kind, summary families may emit `_sum`/`_count`
+/// series, names are well-formed, values parse, and no series
+/// (name + label set) repeats. Panics with the offending line.
+fn lint_prometheus(text: &str) {
+    let name_ok = |n: &str| {
+        !n.is_empty()
+            && n.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && n.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    let mut helped: HashSet<String> = HashSet::new();
+    let mut typed: HashMap<String, String> = HashMap::new();
+    let mut series: HashSet<String> = HashSet::new();
+    let mut sampled: HashSet<String> = HashSet::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (fam, docs) = rest.split_once(' ').unwrap_or((rest, ""));
+            assert!(name_ok(fam), "bad HELP family name: {line}");
+            assert!(!docs.is_empty(), "HELP without docs: {line}");
+            assert!(helped.insert(fam.to_string()), "duplicate HELP: {line}");
+            assert!(!typed.contains_key(fam), "HELP must precede TYPE for {fam}");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (fam, kind) = rest.split_once(' ').unwrap_or((rest, ""));
+            assert!(helped.contains(fam), "TYPE without preceding HELP: {line}");
+            assert!(
+                ["counter", "gauge", "summary", "histogram", "untyped"].contains(&kind),
+                "unknown TYPE kind: {line}"
+            );
+            assert!(
+                typed.insert(fam.to_string(), kind.to_string()).is_none(),
+                "duplicate TYPE: {line}"
+            );
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment form: {line}");
+        // Sample: `name{labels} value` or `name value`.
+        let (id, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample without value: {line}");
+        });
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparsable sample value: {line}"
+        );
+        let name = id.split('{').next().expect("split is non-empty");
+        if let Some(labels) = id.strip_prefix(name) {
+            if !labels.is_empty() {
+                assert!(
+                    labels.starts_with('{') && labels.ends_with('}'),
+                    "malformed labels: {line}"
+                );
+            }
+        }
+        assert!(name_ok(name), "bad sample name: {line}");
+        // Resolve the family: the name itself, or its summary
+        // `_sum`/`_count` companions.
+        let fam = [
+            name,
+            name.trim_end_matches("_sum"),
+            name.trim_end_matches("_count"),
+        ]
+        .into_iter()
+        .find(|f| typed.contains_key(*f))
+        .unwrap_or_else(|| panic!("sample before/without TYPE declaration: {line}"));
+        if fam != name {
+            assert_eq!(
+                typed[fam], "summary",
+                "_sum/_count on a non-summary family: {line}"
+            );
+        }
+        assert!(series.insert(id.to_string()), "duplicate series: {line}");
+        sampled.insert(fam.to_string());
+    }
+    for fam in helped {
+        assert!(typed.contains_key(&fam), "HELP without TYPE: {fam}");
+        assert!(sampled.contains(&fam), "family with no samples: {fam}");
+    }
+}
+
+/// A deterministic snapshot exercising every rendering path: dotted
+/// and dashed names needing sanitization, a negative gauge, and a
+/// summary with exact quantiles.
+fn synthetic_prometheus() -> String {
+    let r = Registry::new();
+    r.counter("online.ingest_events").add(42);
+    r.counter("weird.name-1").add(7);
+    r.gauge("sli.live_txns").set(3);
+    r.gauge("gc.drift").set(-5);
+    let h = r.histogram("online.apply_ns");
+    for _ in 0..4 {
+        h.record(100);
+    }
+    r.snapshot().to_prometheus()
+}
+
+#[test]
+fn synthetic_snapshot_matches_golden() {
+    let text = synthetic_prometheus();
+    lint_prometheus(&text);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/metrics_prom.golden"
+    );
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::write(path, &text).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("read golden");
+    assert_eq!(
+        text, golden,
+        "Prometheus rendering drifted; regenerate with REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn cli_metrics_prom_is_well_formed() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_adya-check"))
+        .args(["--metrics", "prom"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn adya-check");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(b"w1(x,1) c1 r2(x1) c2")
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let prom_at = stdout.find("# HELP").expect("prom block in stdout");
+    let prom = &stdout[prom_at..];
+    lint_prometheus(prom);
+    // Batch mode runs the offline checker, so its families lead.
+    assert!(prom.contains("checker_analyses"), "{prom}");
+}
+
+/// Holds the spawned streaming process with its stdin open so the
+/// obs endpoint stays up, and kills it on drop.
+struct StreamingChild(Child);
+
+impl Drop for StreamingChild {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Starts `adya-check --stream --obs-listen 127.0.0.1:0` with some
+/// events applied, returning the process and the bound address.
+fn spawn_streaming() -> (StreamingChild, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_adya-check"))
+        .args(["--stream", "--obs-listen", "127.0.0.1:0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn adya-check --stream");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(b"w1(x,1) c1 r2(x1) c2\n")
+        .expect("write events");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut line = String::new();
+    BufReader::new(stderr)
+        .read_line(&mut line)
+        .expect("read listen line");
+    let addr = line
+        .rsplit_once("listening on ")
+        .unwrap_or_else(|| panic!("unexpected stderr line: {line:?}"))
+        .1
+        .trim()
+        .to_string();
+    (StreamingChild(child), addr)
+}
+
+/// One HTTP/1.1 GET against the obs endpoint; returns (status, body).
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect obs endpoint");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: adya\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send");
+    let mut response = String::new();
+    s.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn obs_endpoint_metrics_is_well_formed() {
+    let (_child, addr) = spawn_streaming();
+    // The endpoint is up before the first event applies; poll until
+    // ingest shows, then lint the full exposition.
+    let mut body = String::new();
+    for _ in 0..100 {
+        let (status, b) = http_get(&addr, "/metrics");
+        assert_eq!(status, 200);
+        body = b;
+        if body.contains("online_ingest_events") {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    lint_prometheus(&body);
+    assert!(body.contains("online_ingest_events"), "{body}");
+    assert!(body.contains("sli_"), "SLI gauges exported: {body}");
+}
