@@ -36,6 +36,8 @@
 
 mod engine;
 mod plane;
+mod tap;
 
 pub use engine::FaultyEngine;
 pub use plane::{Decision, FaultConfig, FaultPlane, FaultStats, Site, SITES};
+pub use tap::{TapCrashConfig, TapCrashPlane, TapCrashStats};

@@ -1,0 +1,151 @@
+//! Tap-side crash points for the online ingest path.
+//!
+//! [`FaultPlane`](crate::FaultPlane) schedules crashes at *engine*
+//! commit attempts — the PR-4 scenario where the system of record dies
+//! mid-commit. The tap (the process feeding events into an
+//! [`OnlineChecker`](../../adya_online/struct.OnlineChecker.html) — the
+//! `adya-check --stream` pipe or an `adya-serve` session) can die at a
+//! different, strictly nastier set of points: between appending an
+//! event to its durable log and applying it, on *any* event, not just
+//! commits. [`TapCrashPlane`] schedules those points deterministically
+//! so recovery tests can kill the ingest path exactly where they mean
+//! to.
+//!
+//! Non-commit events only: a crash scheduled on a commit would overlap
+//! the engine-side schedule and test the same code twice. The counter
+//! advances once per non-commit event observed, and the decision for
+//! the k-th such event is pure in the configuration — no seed needed,
+//! because unlike the probabilistic plane this one is an exact
+//! schedule (`crash_at` for one-shot test kill points, `crash_every`
+//! for recurring soak pressure).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Crash schedule for a [`TapCrashPlane`]. `None` everywhere = never
+/// crash.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TapCrashConfig {
+    /// Crash immediately before applying the Nth non-commit event
+    /// (1-based), once.
+    pub crash_at: Option<u64>,
+    /// Crash before every Nth non-commit event, repeatedly.
+    pub crash_every: Option<u64>,
+}
+
+/// Counters for a [`TapCrashPlane`], for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TapCrashStats {
+    /// Non-commit events observed (the crash clock).
+    pub events: u64,
+    /// Commit/abort events passed through without advancing the clock.
+    pub terminals: u64,
+    /// Crash points reached.
+    pub crashes: u64,
+}
+
+/// A deterministic crash clock for the ingest tap. Shared (`Arc`)
+/// between the server's sessions so the schedule covers the whole
+/// fleet's interleaved ingest order.
+#[derive(Debug, Default)]
+pub struct TapCrashPlane {
+    cfg: TapCrashConfig,
+    events: AtomicU64,
+    terminals: AtomicU64,
+    crashes: AtomicU64,
+}
+
+impl TapCrashPlane {
+    /// A plane following `cfg`'s schedule.
+    pub fn new(cfg: TapCrashConfig) -> TapCrashPlane {
+        TapCrashPlane {
+            cfg,
+            ..TapCrashPlane::default()
+        }
+    }
+
+    /// The configuration this plane runs.
+    pub fn config(&self) -> &TapCrashConfig {
+        &self.cfg
+    }
+
+    /// Advances the crash clock for one ingested event; true when the
+    /// tap must crash *before applying* it. `is_terminal` events
+    /// (commit/abort — the engine-side plane's territory) never crash
+    /// and do not advance the clock.
+    pub fn crash_due(&self, is_terminal: bool) -> bool {
+        if is_terminal {
+            self.terminals.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let n = self.events.fetch_add(1, Ordering::Relaxed) + 1;
+        let due = self.cfg.crash_at == Some(n)
+            || self
+                .cfg
+                .crash_every
+                .is_some_and(|every| every > 0 && n.is_multiple_of(every));
+        if due {
+            self.crashes.fetch_add(1, Ordering::Relaxed);
+            adya_obs::counter!("faults.tap_crashes").inc();
+        }
+        due
+    }
+
+    /// Counter values so far.
+    pub fn stats(&self) -> TapCrashStats {
+        TapCrashStats {
+            events: self.events.load(Ordering::Relaxed),
+            terminals: self.terminals.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_crash_at_fires_exactly_once() {
+        let p = TapCrashPlane::new(TapCrashConfig {
+            crash_at: Some(3),
+            crash_every: None,
+        });
+        let fired: Vec<bool> = (0..6).map(|_| p.crash_due(false)).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+        assert_eq!(p.stats().crashes, 1);
+    }
+
+    #[test]
+    fn terminals_pass_through_without_advancing_the_clock() {
+        let p = TapCrashPlane::new(TapCrashConfig {
+            crash_at: Some(2),
+            crash_every: None,
+        });
+        assert!(!p.crash_due(false)); // event 1
+        assert!(!p.crash_due(true)); // commit: not counted
+        assert!(!p.crash_due(true)); // abort: not counted
+        assert!(p.crash_due(false)); // event 2: crash point
+        let s = p.stats();
+        assert_eq!((s.events, s.terminals, s.crashes), (2, 2, 1));
+    }
+
+    #[test]
+    fn recurring_crash_every_matches_the_engine_clock_shape() {
+        let p = TapCrashPlane::new(TapCrashConfig {
+            crash_at: None,
+            crash_every: Some(4),
+        });
+        let fired: Vec<bool> = (0..8).map(|_| p.crash_due(false)).collect();
+        assert_eq!(
+            fired,
+            vec![false, false, false, true, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn default_plane_never_crashes() {
+        let p = TapCrashPlane::default();
+        assert!((0..100).all(|_| !p.crash_due(false)));
+        assert_eq!(p.stats().crashes, 0);
+    }
+}

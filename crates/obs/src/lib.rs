@@ -35,7 +35,7 @@ pub mod spans;
 pub use http::{ObsServer, Response};
 pub use journal::{Event, Field, Journal};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
-pub use registry::{Registry, Snapshot, SpanTimer, WideSpan};
+pub use registry::{labeled, Registry, Snapshot, SpanTimer, WideSpan};
 pub use spans::{chrome_trace, spans_json, stable_id, witness_id, SpanRecord, SpanRing};
 
 use std::sync::OnceLock;

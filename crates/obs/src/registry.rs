@@ -301,6 +301,25 @@ fn esc_label(s: &str) -> String {
         .replace('\n', "\\n")
 }
 
+/// Builds a labelled metric name, `base{k="v",...}`, with label values
+/// escaped per the exposition spec. Register the result like any other
+/// name; [`Snapshot::to_prometheus`] renders it as a labelled series
+/// of the `base` family. Callers with a dynamic label set (one series
+/// per checker session, say) hold the returned handle rather than
+/// going through the call-site-cached `counter!`/`gauge!` macros.
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    let mut s = String::from(base);
+    s.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{k}=\"{}\"", esc_label(v));
+    }
+    s.push('}');
+    s
+}
+
 /// A point-in-time copy of a registry's metrics.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
@@ -402,6 +421,13 @@ impl Snapshot {
     /// `_sum`/`_count`. Label values are escaped per the exposition
     /// spec (`\\`, `\"`, `\n`). The journal is not exported —
     /// Prometheus scrapes numbers, not logs.
+    ///
+    /// A registered name of the form `base{key="value"}` (see
+    /// [`labeled`](crate::labeled())) renders as a labelled series of
+    /// the `base` family: only `base` is sanitized, the label block
+    /// passes through verbatim, and adjacent series of the same family
+    /// share one HELP/TYPE header — how the serve fleet exposes
+    /// per-session SLIs.
     pub fn to_prometheus(&self) -> String {
         fn sanitize(name: &str) -> String {
             let mut s: String = name
@@ -419,29 +445,68 @@ impl Snapshot {
             }
             s
         }
-        fn header(out: &mut String, n: &str, source: &str, kind: &str) {
+        /// Splits `base{k="v"}` into (`base`, Some(`k="v"`)).
+        fn split_labels(name: &str) -> (&str, Option<&str>) {
+            match name.find('{') {
+                Some(i) if name.ends_with('}') => (&name[..i], Some(&name[i + 1..name.len() - 1])),
+                _ => (name, None),
+            }
+        }
+        fn header(out: &mut String, last: &mut String, n: &str, source: &str, kind: &str) {
+            if *last == n {
+                return; // same family: one header covers all series
+            }
+            let source = split_labels(source).0;
             let _ = writeln!(out, "# HELP {n} adya metric {}", esc_help(source));
             let _ = writeln!(out, "# TYPE {n} {kind}");
+            *last = n.to_string();
         }
         let mut out = String::new();
+        let mut last = String::new();
         for (name, v) in &self.counters {
-            let n = sanitize(name);
-            header(&mut out, &n, name, "counter");
-            let _ = writeln!(out, "{n} {v}");
+            let (base, labels) = split_labels(name);
+            let n = sanitize(base);
+            header(&mut out, &mut last, &n, name, "counter");
+            match labels {
+                Some(l) => {
+                    let _ = writeln!(out, "{n}{{{l}}} {v}");
+                }
+                None => {
+                    let _ = writeln!(out, "{n} {v}");
+                }
+            }
         }
         for (name, v) in &self.gauges {
-            let n = sanitize(name);
-            header(&mut out, &n, name, "gauge");
-            let _ = writeln!(out, "{n} {v}");
+            let (base, labels) = split_labels(name);
+            let n = sanitize(base);
+            header(&mut out, &mut last, &n, name, "gauge");
+            match labels {
+                Some(l) => {
+                    let _ = writeln!(out, "{n}{{{l}}} {v}");
+                }
+                None => {
+                    let _ = writeln!(out, "{n} {v}");
+                }
+            }
         }
         for (name, h) in &self.histograms {
-            let n = sanitize(name);
-            header(&mut out, &n, name, "summary");
+            let (base, labels) = split_labels(name);
+            let n = sanitize(base);
+            header(&mut out, &mut last, &n, name, "summary");
+            let prefix = labels.map(|l| format!("{l},")).unwrap_or_default();
             for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
-                let _ = writeln!(out, "{n}{{quantile=\"{}\"}} {v}", esc_label(q));
+                let _ = writeln!(out, "{n}{{{prefix}quantile=\"{}\"}} {v}", esc_label(q));
             }
-            let _ = writeln!(out, "{n}_sum {}", h.sum);
-            let _ = writeln!(out, "{n}_count {}", h.count);
+            match labels {
+                Some(l) => {
+                    let _ = writeln!(out, "{n}_sum{{{l}}} {}", h.sum);
+                    let _ = writeln!(out, "{n}_count{{{l}}} {}", h.count);
+                }
+                None => {
+                    let _ = writeln!(out, "{n}_sum {}", h.sum);
+                    let _ = writeln!(out, "{n}_count {}", h.count);
+                }
+            }
         }
         for (n, source, v) in [
             (
@@ -460,7 +525,7 @@ impl Snapshot {
                 self.spans_dropped,
             ),
         ] {
-            header(&mut out, n, source, "counter");
+            header(&mut out, &mut last, n, source, "counter");
             let _ = writeln!(out, "{n} {v}");
         }
         out
@@ -560,6 +625,38 @@ mod tests {
         }
         // JSON and text renderings are untouched by the new format.
         assert!(r.to_json().contains("\"checker.dsg.nodes\": 3"));
+    }
+
+    #[test]
+    fn labeled_series_share_a_family_header() {
+        let r = Registry::new();
+        r.counter(&labeled("serve.events", &[("session", "a")]))
+            .add(3);
+        r.counter(&labeled("serve.events", &[("session", "b")]))
+            .add(5);
+        r.gauge(&labeled("sli.lag", &[("session", "a\"x")])).set(7);
+        r.histogram(&labeled("serve.ingest_ns", &[("session", "a")]))
+            .record(9);
+        let s = r.snapshot().to_prometheus();
+        assert!(s.contains("serve_events{session=\"a\"} 3\n"), "{s}");
+        assert!(s.contains("serve_events{session=\"b\"} 5\n"), "{s}");
+        assert_eq!(
+            s.matches("# TYPE serve_events counter").count(),
+            1,
+            "one header for the family:\n{s}"
+        );
+        // Label values are escaped, not sanitized into the name.
+        assert!(s.contains("sli_lag{session=\"a\\\"x\"} 7\n"), "{s}");
+        // Summary series merge the quantile label into the label set.
+        assert!(
+            s.contains("serve_ingest_ns{session=\"a\",quantile=\"0.5\"} 9\n"),
+            "{s}"
+        );
+        assert!(s.contains("serve_ingest_ns_sum{session=\"a\"} 9\n"), "{s}");
+        assert!(
+            s.contains("serve_ingest_ns_count{session=\"a\"} 1\n"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -29,7 +29,15 @@ use crate::wire::{self, WireError};
 /// Streaming token parser. Stateful: it interns object names and
 /// tracks each transaction's per-object write counters so that `r2(x1)`
 /// resolves to the latest modification T1 has made to `x` *so far*.
-#[derive(Debug, Default)]
+///
+/// Because that state determines how future tokens parse, a durable
+/// session must persist it alongside the checker: [`snapshot`] /
+/// [`restore`] freeze it to deterministic bytes (binary log events
+/// alone cannot rebuild the name table).
+///
+/// [`snapshot`]: StreamParser::snapshot
+/// [`restore`]: StreamParser::restore
+#[derive(Debug, Default, Clone)]
 pub struct StreamParser {
     objects: HashMap<String, ObjectId>,
     names: Vec<String>,
@@ -42,9 +50,88 @@ impl StreamParser {
         StreamParser::default()
     }
 
+    /// Serializes the parser state (interned names and per-(txn,
+    /// object) write counters) to deterministic bytes: equal states
+    /// produce equal bytes, so snapshots can prove state equality.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut e = wire::Enc::new();
+        e.len(self.names.len());
+        for name in &self.names {
+            e.str(name);
+        }
+        let mut seqs: Vec<_> = self.last_seq.iter().collect();
+        seqs.sort_by_key(|((t, o), _)| (t.0, o.0));
+        e.len(seqs.len());
+        for ((txn, object), seq) in seqs {
+            e.u32(txn.0);
+            e.u32(object.0);
+            e.u32(*seq);
+        }
+        e.into_bytes()
+    }
+
+    /// Revives a parser from [`snapshot`](StreamParser::snapshot)
+    /// bytes.
+    pub fn restore(bytes: &[u8]) -> Result<StreamParser, WireError> {
+        let mut d = wire::Dec::new(bytes);
+        let n = d.len()?;
+        let mut names = Vec::with_capacity(n);
+        let mut objects = HashMap::with_capacity(n);
+        for i in 0..n {
+            let name = d.str()?;
+            objects.insert(name.clone(), ObjectId(i as u32));
+            names.push(name);
+        }
+        let n = d.len()?;
+        let mut last_seq = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let txn = TxnId(d.u32()?);
+            let object = ObjectId(d.u32()?);
+            let seq = d.u32()?;
+            if object.0 as usize >= names.len() {
+                return Err(WireError::Malformed(format!(
+                    "write counter references unknown object {}",
+                    object.0
+                )));
+            }
+            last_seq.insert((txn, object), seq);
+        }
+        if d.remaining() != 0 {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after parser state",
+                d.remaining()
+            )));
+        }
+        Ok(StreamParser {
+            objects,
+            names,
+            last_seq,
+        })
+    }
+
     /// The interned name of `o` (for rendering verdicts).
     pub fn object_name(&self, o: ObjectId) -> &str {
         &self.names[o.0 as usize]
+    }
+
+    /// Number of interned object names (ids are `0..count`).
+    pub fn interned(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Interns `name` (idempotent), returning its id. Durable sessions
+    /// use this to rebuild the name table from a persisted side log —
+    /// the binary event log stores resolved ids only.
+    pub fn intern(&mut self, name: &str) -> ObjectId {
+        self.object(name)
+    }
+
+    /// Records that `txn` has installed modification `seq` of
+    /// `object`, as if a `w` token had been parsed. Replaying decoded
+    /// log events through this keeps latest-version read resolution
+    /// (`r2(x1)`) identical to the uninterrupted run.
+    pub fn note_write(&mut self, txn: TxnId, object: ObjectId, seq: u32) {
+        self.last_seq.insert((txn, object), seq);
     }
 
     fn object(&mut self, name: &str) -> ObjectId {
@@ -307,6 +394,32 @@ impl<'a> EventLogReader<'a> {
         })
     }
 
+    /// Opens `buf` positioned at `offset` — a byte offset previously
+    /// reported by [`offset`](EventLogReader::offset) or by
+    /// [`LogError::TornTail::good_len`] — so recovery resumes exactly
+    /// where a prior scan stopped instead of re-reading the segment
+    /// from the top. `offset` must land on a record boundary inside
+    /// the log (at minimum the magic header, at most the buffer end).
+    ///
+    /// [`LogError::TornTail::good_len`]: LogError::TornTail
+    pub fn open_at(buf: &'a [u8], offset: usize) -> Result<EventLogReader<'a>, LogError> {
+        let reader = EventLogReader::open(buf)?;
+        if offset < LOG_MAGIC.len() || offset > buf.len() {
+            return Err(LogError::Corrupt {
+                offset,
+                detail: format!(
+                    "resume offset outside the log (header {}, len {})",
+                    LOG_MAGIC.len(),
+                    buf.len()
+                ),
+            });
+        }
+        Ok(EventLogReader {
+            pos: offset,
+            ..reader
+        })
+    }
+
     /// True when `buf` starts with the binary-log magic (used by
     /// `adya-check` to auto-detect binary vs. text input).
     pub fn sniff(buf: &[u8]) -> bool {
@@ -560,6 +673,76 @@ mod tests {
         let (got2, err2) = drain(&buf2);
         assert_eq!(got2.len(), evs.len() - 1);
         assert!(matches!(err2, Some(LogError::TornTail { .. })), "{err2:?}");
+    }
+
+    #[test]
+    fn parser_snapshot_round_trips_and_is_deterministic() {
+        let mut p = StreamParser::new();
+        p.parse_token("w1(x,5)").unwrap();
+        p.parse_token("w1(x,6)").unwrap();
+        p.parse_token("w2(y,1)").unwrap();
+        let bytes = p.snapshot();
+        let q = StreamParser::restore(&bytes).unwrap();
+        assert_eq!(q.snapshot(), bytes, "restore is byte-stable");
+        // The revived parser resolves latest-version reads with the
+        // original counters and interning.
+        let mut p2 = p.clone();
+        let mut q2 = q;
+        assert_eq!(
+            q2.parse_token("r3(x1)").unwrap(),
+            p2.parse_token("r3(x1)").unwrap()
+        );
+        assert_eq!(
+            q2.parse_token("w1(x)").unwrap(),
+            p2.parse_token("w1(x)").unwrap(),
+            "seq counters survive"
+        );
+        assert_eq!(q2.object_name(ObjectId(1)), "y");
+        // Truncated and trailing-garbage snapshots are rejected.
+        assert!(StreamParser::restore(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(StreamParser::restore(&long).is_err());
+    }
+
+    #[test]
+    fn open_at_resumes_a_scan_without_rescanning() {
+        let evs = sample_events();
+        let buf = encode_log(&evs);
+        // First pass: read two records, note the offset.
+        let mut r = EventLogReader::open(&buf).unwrap();
+        r.next().unwrap().unwrap();
+        r.next().unwrap().unwrap();
+        let mid = r.offset();
+        // Second pass resumes exactly there.
+        let mut r2 = EventLogReader::open_at(&buf, mid).unwrap();
+        let mut rest = Vec::new();
+        while let Some(item) = r2.next() {
+            rest.push(item.unwrap());
+        }
+        assert_eq!(rest, evs[2..]);
+        // A torn tail's good_len is a valid resume point: the resumed
+        // reader immediately reports the same torn tail.
+        let torn = &buf[..buf.len() - 3];
+        let (prefix, err) = drain(torn);
+        let good_len = match err.unwrap() {
+            LogError::TornTail { good_len, .. } => good_len,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(prefix.len(), evs.len() - 1);
+        let mut r3 = EventLogReader::open_at(torn, good_len).unwrap();
+        match r3.next().unwrap() {
+            Err(LogError::TornTail { good_len: g, .. }) => assert_eq!(g, good_len),
+            other => panic!("{other:?}"),
+        }
+        // Out-of-range offsets are refused.
+        assert!(EventLogReader::open_at(&buf, 2).is_err());
+        assert!(EventLogReader::open_at(&buf, buf.len() + 1).is_err());
+        // At exactly the end the reader is cleanly exhausted.
+        assert!(EventLogReader::open_at(&buf, buf.len())
+            .unwrap()
+            .next()
+            .is_none());
     }
 
     #[test]

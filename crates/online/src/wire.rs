@@ -115,6 +115,12 @@ impl Enc {
         self.len(s.len());
         self.buf.extend_from_slice(s.as_bytes());
     }
+
+    /// Appends raw bytes (write a length first — e.g. [`Enc::len`] —
+    /// if the decoder needs to find the end).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
 }
 
 /// Byte-string decoder (a cursor over a slice).
@@ -195,6 +201,11 @@ impl<'a> Dec<'a> {
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| WireError::Malformed("non-UTF-8 string".into()))
+    }
+
+    /// Reads `n` raw bytes (the counterpart of [`Enc::bytes`]).
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
     }
 }
 

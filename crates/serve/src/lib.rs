@@ -1,0 +1,44 @@
+//! `adya-serve`: a durable, multi-tenant checker-as-a-service.
+//!
+//! This crate hosts many concurrent [`OnlineChecker`] *sessions*
+//! behind one socket server (TCP and optionally unix), std only,
+//! thread-per-connection. Each session pairs a checker with a durable
+//! event log — segment files rotated on a record cadence, compacted
+//! against periodic snapshots of the post-GC checker state — so that
+//! killing the server at any instant and restarting it recovers every
+//! session from snapshot + log tail with a **byte-identical resumed
+//! verdict stream**: the client re-sends what the server never logged,
+//! the server re-sends what the client never read, and the
+//! concatenation equals the uninterrupted run.
+//!
+//! The wire protocol is the existing NDJSON event/verdict framing from
+//! `adya-check --stream`, extended with a small session-control
+//! vocabulary ([`proto`]): `hello` to create, `resume` to re-attach
+//! (with the client's verdict count for exactly-once replay), `close`
+//! to finish, plus structured errors and `closing` frames. The obs
+//! plane rides on the same port: a connection whose first line is an
+//! HTTP request gets `/metrics` (with per-session SLI labels) or the
+//! fleet `/health` document instead.
+//!
+//! Module map:
+//! - [`log`] — segmented event log, snapshots, compaction, recovery
+//!   (including exact-offset torn-tail truncation).
+//! - [`session`] — one checker session and its durability ordering.
+//! - [`Server`] — accept loops, connection protocol, obs plane.
+//! - [`proto`] — control-frame parsing and rendering.
+//! - [`shutdown`] — process-wide SIGINT/SIGTERM latch for graceful
+//!   drains.
+//!
+//! [`OnlineChecker`]: adya_online::OnlineChecker
+
+pub mod log;
+pub mod proto;
+pub mod session;
+pub mod shutdown;
+
+mod server;
+
+pub use log::{LogConfig, RecoverError, Recovered, SessionLog};
+pub use proto::ClientFrame;
+pub use server::{ServeConfig, Server};
+pub use session::{ApplyError, ResumeError, Session, SessionConfig};

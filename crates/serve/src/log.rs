@@ -1,0 +1,813 @@
+//! The durable per-session store: a segmented binary event log plus
+//! periodic whole-session snapshots, with compaction keyed off the
+//! snapshot horizon.
+//!
+//! On disk a session is a directory:
+//!
+//! ```text
+//! <data>/<session>/
+//!   seg-0.log        events 0..      (EventLogWriter format)
+//!   seg-4096.log     events 4096..   (rotated every rotate_events)
+//!   snap-6000.snap   checker+parser state after event 6000
+//!   names.log        interned object names, one per line, id order
+//!   closed           final verdict line, present once closed
+//! ```
+//!
+//! A segment is named by the index of its first event record. A
+//! snapshot freezes the [`OnlineChecker`] and [`StreamParser`] after
+//! its named record count *and remembers the exact byte offset in the
+//! open segment*, so recovery is `restore(snapshot) + replay from that
+//! byte` — no rescan of already-consumed records. Every closed segment
+//! whose records all precede the snapshot horizon is deleted right
+//! after the snapshot lands (the open segment never is); because the
+//! checker snapshot serializes the *post-GC* state, the watermark GC
+//! is what bounds both the snapshot size and, through this horizon,
+//! the bytes the log retains.
+//!
+//! `names.log` exists because the binary event log stores resolved
+//! [`ObjectId`](adya_history::ObjectId)s: replaying the tail rebuilds
+//! the parser's write counters, but the name→id interning that future
+//! *text* tokens depend on has to be persisted separately. It is one
+//! line per distinct object ever seen — never rotated, never
+//! compacted, effectively constant-size for real workloads.
+//!
+//! Durability model: appends go straight to the OS (no userspace
+//! buffering), so a killed *process* loses at most the record being
+//! written — the torn tail [`EventLogReader`] detects and
+//! [`recover`](SessionLog::recover) truncates at the exact `good_len`
+//! byte. Surviving an OS crash would need fsync on every append; a
+//! checker is a diagnostic sidecar, so that cost is not paid
+//! (snapshots, which delete log segments, *are* synced before the
+//! rename that makes them current).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use adya_history::Event;
+use adya_online::{
+    wire, EventLogReader, EventLogWriter, GcConfig, LogError, OnlineChecker, StreamParser,
+    LOG_MAGIC,
+};
+
+/// First 8 bytes of every session snapshot container.
+pub const SNAP_MAGIC: [u8; 8] = *b"ADYASRV\x01";
+
+/// Rotation and snapshot cadence for a [`SessionLog`].
+#[derive(Debug, Clone, Copy)]
+pub struct LogConfig {
+    /// Start a new segment after this many event records.
+    pub rotate_events: u64,
+    /// Write a snapshot (and compact) every this many event records.
+    pub snapshot_every: u64,
+}
+
+impl Default for LogConfig {
+    fn default() -> LogConfig {
+        LogConfig {
+            rotate_events: 4096,
+            snapshot_every: 1024,
+        }
+    }
+}
+
+/// Failure while recovering a session directory.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// Filesystem trouble.
+    Io(io::Error),
+    /// The directory's contents cannot be trusted: mid-file log
+    /// corruption, an unusable snapshot chain, or a broken segment
+    /// chain. Recovery refuses to guess.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "session recovery i/o: {e}"),
+            RecoverError::Corrupt(m) => write!(f, "session store corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<io::Error> for RecoverError {
+    fn from(e: io::Error) -> RecoverError {
+        RecoverError::Io(e)
+    }
+}
+
+/// The open, writable durable store of one session.
+#[derive(Debug)]
+pub struct SessionLog {
+    dir: PathBuf,
+    cfg: LogConfig,
+    writer: EventLogWriter<File>,
+    names: File,
+    /// Total durable event records across all segments.
+    records: u64,
+    /// First record index of the open segment.
+    seg_start: u64,
+    /// Byte length of the open segment (header included).
+    seg_bytes: u64,
+    /// Records at the last snapshot (0 when none yet).
+    last_snap: u64,
+}
+
+/// Everything [`SessionLog::recover`] reconstructs from a session
+/// directory.
+pub struct Recovered {
+    /// The reopened, append-ready log.
+    pub log: SessionLog,
+    /// Checker state as of the last durable record.
+    pub checker: OnlineChecker,
+    /// Parser state as of the last durable record.
+    pub parser: StreamParser,
+    /// Total durable commit verdicts.
+    pub verdicts: u64,
+    /// Verdict count at the snapshot replay started from.
+    pub snap_verdicts: u64,
+    /// Oldest re-sendable verdict index: verdict lines with indices
+    /// `replay_base..verdicts` are in `replayed`; anything older is
+    /// gone (the client must have consumed it — the snapshot cadence
+    /// bounds the replay window). The snapshot carries the verdict
+    /// window that was live when it was written, so `replay_base`
+    /// reaches one snapshot interval *behind* the snapshot itself —
+    /// a client killed at the worst moment (snapshot written, its
+    /// triggering verdicts never delivered) can still resume.
+    pub replay_base: u64,
+    /// Verdict lines re-sendable from `replay_base`, in order: the
+    /// snapshot's stored window followed by the replayed tail.
+    pub replayed: Vec<String>,
+    /// `Some(detail)` when a torn tail was found and truncated at its
+    /// exact `good_len` byte offset.
+    pub truncated: Option<String>,
+    /// The final verdict line when the session was closed in a
+    /// previous life.
+    pub closed: Option<String>,
+    /// Events replayed from the log tail (after the snapshot).
+    pub tail_events: u64,
+}
+
+impl SessionLog {
+    /// Creates a brand-new session directory. Fails if it already
+    /// exists — `hello` on an existing session must be a `resume`.
+    pub fn create(dir: &Path, cfg: LogConfig) -> io::Result<SessionLog> {
+        if let Some(parent) = dir.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::create_dir(dir)?;
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(dir.join("seg-0.log"))?;
+        let writer = EventLogWriter::create(file)?;
+        let names = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(dir.join("names.log"))?;
+        Ok(SessionLog {
+            dir: dir.to_path_buf(),
+            cfg,
+            writer,
+            names,
+            records: 0,
+            seg_start: 0,
+            seg_bytes: LOG_MAGIC.len() as u64,
+            last_snap: 0,
+        })
+    }
+
+    /// Total durable event records.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Records in the open (not yet rotated) segment.
+    pub fn open_segment_records(&self) -> u64 {
+        self.records - self.seg_start
+    }
+
+    /// Appends newly interned object names (id order) to the name
+    /// side-log. Call *before* appending the events that use them.
+    pub fn append_names<'a>(&mut self, names: impl Iterator<Item = &'a str>) -> io::Result<()> {
+        let mut buf = String::new();
+        for n in names {
+            buf.push_str(n);
+            buf.push('\n');
+        }
+        if !buf.is_empty() {
+            self.names.write_all(buf.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Appends one event durably (reaches the OS before returning),
+    /// rotating the segment afterwards when the cadence says so.
+    pub fn append(&mut self, ev: &Event) -> io::Result<()> {
+        let payload_len = wire::encode_event(ev).len() as u64;
+        self.writer.append(ev)?;
+        self.records += 1;
+        self.seg_bytes += 8 + payload_len;
+        if self.records - self.seg_start >= self.cfg.rotate_events {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(self.dir.join(format!("seg-{}.log", self.records)))?;
+        // Swap the new segment in; the old file closes (and flushes)
+        // when the old writer drops.
+        let old = std::mem::replace(&mut self.writer, EventLogWriter::create(file)?);
+        old.into_inner()?;
+        self.seg_start = self.records;
+        self.seg_bytes = LOG_MAGIC.len() as u64;
+        Ok(())
+    }
+
+    /// True when the snapshot cadence is due.
+    pub fn snapshot_due(&self) -> bool {
+        self.records - self.last_snap >= self.cfg.snapshot_every
+    }
+
+    /// Writes a snapshot of `checker` + `parser` (which must reflect
+    /// exactly the `records` appended so far) and compacts: every
+    /// older snapshot and every fully-covered closed segment is
+    /// deleted. Returns the number of segments removed.
+    ///
+    /// `window` is the live verdict-replay window (`window_base` is
+    /// the index of its first line); it rides inside the snapshot so
+    /// recovery can re-send verdicts from *before* the snapshot —
+    /// closing the race where the snapshot lands but the verdicts that
+    /// triggered it never reach the client.
+    pub fn write_snapshot(
+        &mut self,
+        checker: &OnlineChecker,
+        parser: &StreamParser,
+        verdicts: u64,
+        window_base: u64,
+        window: &[String],
+    ) -> io::Result<usize> {
+        let mut e = wire::Enc::new();
+        e.u64(self.records);
+        e.u64(verdicts);
+        e.u64(self.seg_start);
+        e.u64(self.seg_bytes);
+        let parser_bytes = parser.snapshot();
+        e.len(parser_bytes.len());
+        e.bytes(&parser_bytes);
+        let checker_bytes = checker.snapshot();
+        e.len(checker_bytes.len());
+        e.bytes(&checker_bytes);
+        e.u64(window_base);
+        e.len(window.len());
+        for line in window {
+            e.str(line);
+        }
+        let payload = e.into_bytes();
+
+        let mut buf = Vec::with_capacity(payload.len() + 16);
+        buf.extend_from_slice(&SNAP_MAGIC);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&wire::crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+
+        let tmp = self.dir.join("snap.tmp");
+        let final_path = self.dir.join(format!("snap-{}.snap", self.records));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &final_path)?;
+        self.last_snap = self.records;
+        self.compact()
+    }
+
+    /// Deletes snapshots older than the newest and closed segments
+    /// fully covered by it. The open segment is never deleted.
+    fn compact(&self) -> io::Result<usize> {
+        let (mut segs, mut snaps) = scan_dir(&self.dir)?;
+        segs.sort_unstable();
+        snaps.sort_unstable();
+        let Some(&newest) = snaps.last() else {
+            return Ok(0);
+        };
+        for &n in &snaps[..snaps.len() - 1] {
+            let _ = fs::remove_file(self.dir.join(format!("snap-{n}.snap")));
+        }
+        let mut removed = 0;
+        // A closed segment [start_i, start_{i+1}) is covered when its
+        // records all precede the snapshot horizon.
+        for pair in segs.windows(2) {
+            if pair[1] <= newest {
+                fs::remove_file(self.dir.join(format!("seg-{}.log", pair[0])))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Marks the session closed: `final_line` (the `finish()` verdict)
+    /// is durable and any later resume is refused with it.
+    pub fn mark_closed(&self, final_line: &str) -> io::Result<()> {
+        let tmp = self.dir.join("closed.tmp");
+        fs::write(&tmp, final_line)?;
+        fs::rename(tmp, self.dir.join("closed"))
+    }
+
+    /// Reopens a session directory: newest valid snapshot, then replay
+    /// of the log tail from the snapshot's exact byte offset. The
+    /// revived checker/parser continue the stream with verdicts
+    /// byte-identical to an uninterrupted run (the `adya-online`
+    /// snapshot invariant, now per-session).
+    pub fn recover(
+        dir: &Path,
+        cfg: LogConfig,
+        gc: GcConfig,
+        provenance: bool,
+    ) -> Result<Recovered, RecoverError> {
+        let (mut segs, mut snaps) = scan_dir(dir)?;
+        segs.sort_unstable();
+        snaps.sort_unstable();
+        if segs.is_empty() {
+            return Err(RecoverError::Corrupt(
+                "no log segments (not a session directory)".into(),
+            ));
+        }
+
+        // Newest decodable snapshot wins; damaged ones are skipped.
+        let mut state = None;
+        for &n in snaps.iter().rev() {
+            let bytes = fs::read(dir.join(format!("snap-{n}.snap")))?;
+            if let Some(s) = decode_snapshot(&bytes) {
+                state = Some(s);
+                break;
+            }
+        }
+        let SnapState {
+            records: snap_records,
+            verdicts: snap_verdicts,
+            seg_start: snap_seg,
+            seg_off: snap_off,
+            mut parser,
+            mut checker,
+            window_base,
+            window,
+        } = match state {
+            Some(s) => s,
+            None => SnapState {
+                records: 0,
+                verdicts: 0,
+                seg_start: 0,
+                seg_off: LOG_MAGIC.len() as u64,
+                parser: StreamParser::new(),
+                checker: {
+                    let mut c = OnlineChecker::with_gc(gc);
+                    c.set_provenance(provenance);
+                    c
+                },
+                window_base: 0,
+                window: Vec::new(),
+            },
+        };
+
+        // Re-intern every name beyond the snapshot's table, in id
+        // order, so post-recovery text tokens resolve identically.
+        let names_path = dir.join("names.log");
+        let names_text = fs::read_to_string(&names_path)?;
+        for (i, name) in names_text.lines().enumerate() {
+            if i < parser.interned() {
+                continue;
+            }
+            let id = parser.intern(name);
+            if id.0 as usize != i {
+                return Err(RecoverError::Corrupt(format!(
+                    "names.log line {i} interned as id {}",
+                    id.0
+                )));
+            }
+        }
+
+        let mut records = snap_records;
+        let mut verdicts = snap_verdicts;
+        let mut replayed = window;
+        let mut truncated = None;
+        let mut tail_events = 0u64;
+
+        if !segs.contains(&snap_seg) {
+            return Err(RecoverError::Corrupt(format!(
+                "snapshot references missing segment seg-{snap_seg}.log"
+            )));
+        }
+
+        let last_seg = *segs.last().expect("segs nonempty");
+        for &start in &segs {
+            if start < snap_seg {
+                continue; // fully covered by the snapshot
+            }
+            let path = dir.join(format!("seg-{start}.log"));
+            let buf = fs::read(&path)?;
+            let mut reader = if start == snap_seg {
+                EventLogReader::open_at(&buf, snap_off as usize)
+            } else {
+                if start != records {
+                    return Err(RecoverError::Corrupt(format!(
+                        "segment chain broken: seg-{start}.log but {records} records replayed"
+                    )));
+                }
+                EventLogReader::open(&buf)
+            }
+            .map_err(|e| RecoverError::Corrupt(format!("seg-{start}.log: {e}")))?;
+            loop {
+                match reader.next() {
+                    None => break,
+                    Some(Ok(ev)) => {
+                        records += 1;
+                        tail_events += 1;
+                        if let Some(v) = checker.ingest(&ev) {
+                            verdicts += 1;
+                            replayed.push(v.to_json());
+                        }
+                        if let Event::Write(w) = &ev {
+                            parser.note_write(w.txn, w.object, w.seq);
+                        }
+                    }
+                    Some(Err(LogError::TornTail { good_len, detail })) if start == last_seg => {
+                        // The writer died mid-append: truncate at the
+                        // exact intact-prefix byte and resume there.
+                        OpenOptions::new()
+                            .write(true)
+                            .open(&path)?
+                            .set_len(good_len as u64)?;
+                        truncated = Some(format!(
+                            "seg-{start}.log truncated to {good_len} bytes: {detail}"
+                        ));
+                        break;
+                    }
+                    Some(Err(e)) => {
+                        return Err(RecoverError::Corrupt(format!("seg-{start}.log: {e}")));
+                    }
+                }
+            }
+        }
+
+        let open_path = dir.join(format!("seg-{last_seg}.log"));
+        let seg_bytes = fs::metadata(&open_path)?.len();
+        let file = OpenOptions::new().append(true).open(&open_path)?;
+        let names = OpenOptions::new().append(true).open(&names_path)?;
+        let closed = match fs::read_to_string(dir.join("closed")) {
+            Ok(s) => Some(s),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+        };
+        Ok(Recovered {
+            log: SessionLog {
+                dir: dir.to_path_buf(),
+                cfg,
+                writer: EventLogWriter::append_to(file),
+                names,
+                records,
+                seg_start: last_seg,
+                seg_bytes,
+                last_snap: snap_records,
+            },
+            checker,
+            parser,
+            verdicts,
+            snap_verdicts,
+            replay_base: window_base,
+            replayed,
+            truncated,
+            closed,
+            tail_events,
+        })
+    }
+}
+
+/// Splits directory entries into segment starts and snapshot record
+/// counts.
+fn scan_dir(dir: &Path) -> io::Result<(Vec<u64>, Vec<u64>)> {
+    let mut segs = Vec::new();
+    let mut snaps = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(n) = name
+            .strip_prefix("seg-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse().ok())
+        {
+            segs.push(n);
+        } else if let Some(n) = name
+            .strip_prefix("snap-")
+            .and_then(|s| s.strip_suffix(".snap"))
+            .and_then(|s| s.parse().ok())
+        {
+            snaps.push(n);
+        }
+    }
+    Ok((segs, snaps))
+}
+
+struct SnapState {
+    records: u64,
+    verdicts: u64,
+    seg_start: u64,
+    seg_off: u64,
+    parser: StreamParser,
+    checker: OnlineChecker,
+    window_base: u64,
+    window: Vec<String>,
+}
+
+/// Decodes a snapshot container; `None` when it cannot be trusted.
+fn decode_snapshot(bytes: &[u8]) -> Option<SnapState> {
+    if bytes.len() < 16 || bytes[..8] != SNAP_MAGIC {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let payload = bytes.get(16..16 + len)?;
+    if bytes.len() != 16 + len || wire::crc32(payload) != crc {
+        return None;
+    }
+    let mut d = wire::Dec::new(payload);
+    let records = d.u64().ok()?;
+    let verdicts = d.u64().ok()?;
+    let seg_start = d.u64().ok()?;
+    let seg_off = d.u64().ok()?;
+    let n = d.len().ok()?;
+    let parser = StreamParser::restore(d.bytes(n).ok()?).ok()?;
+    let n = d.len().ok()?;
+    let checker = OnlineChecker::restore(d.bytes(n).ok()?).ok()?;
+    let window_base = d.u64().ok()?;
+    let n = d.len().ok()?;
+    let mut window = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        window.push(d.str().ok()?);
+    }
+    if d.remaining() != 0 {
+        return None;
+    }
+    Some(SnapState {
+        records,
+        verdicts,
+        seg_start,
+        seg_off,
+        parser,
+        checker,
+        window_base,
+        window,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adya_history::ObjectId;
+
+    struct Rig {
+        log: SessionLog,
+        parser: StreamParser,
+        checker: OnlineChecker,
+        verdicts: Vec<String>,
+    }
+
+    impl Rig {
+        fn create(dir: &Path, cfg: LogConfig) -> Rig {
+            Rig {
+                log: SessionLog::create(dir, cfg).unwrap(),
+                parser: StreamParser::new(),
+                checker: OnlineChecker::new(),
+                verdicts: Vec::new(),
+            }
+        }
+
+        /// Mirrors `Session::apply_line`'s durability ordering.
+        fn apply(&mut self, tokens: &str) {
+            for tok in tokens.split_whitespace() {
+                let known = self.parser.interned();
+                let ev = self.parser.parse_token(tok).unwrap();
+                let fresh: Vec<String> = (known..self.parser.interned())
+                    .map(|i| self.parser.object_name(ObjectId(i as u32)).to_string())
+                    .collect();
+                self.log
+                    .append_names(fresh.iter().map(|s| s.as_str()))
+                    .unwrap();
+                self.log.append(&ev).unwrap();
+                if let Some(v) = self.checker.ingest(&ev) {
+                    self.verdicts.push(v.to_json());
+                }
+            }
+        }
+
+        fn snapshot(&mut self) -> usize {
+            self.log
+                .write_snapshot(
+                    &self.checker,
+                    &self.parser,
+                    self.verdicts.len() as u64,
+                    0,
+                    &self.verdicts,
+                )
+                .unwrap()
+        }
+    }
+
+    fn files(dir: &Path) -> Vec<String> {
+        let mut v: Vec<String> = fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("adya-serve-log-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const NINE: &str = "b1 w1(x,1) c1 b2 w2(y,1) c2 b3 r3(x1) c3";
+
+    #[test]
+    fn rotation_starts_a_new_segment_on_the_record_cadence() {
+        let dir = tmp("rotate");
+        let mut rig = Rig::create(
+            &dir,
+            LogConfig {
+                rotate_events: 4,
+                snapshot_every: u64::MAX,
+            },
+        );
+        rig.apply(NINE); // 9 records: 4 + 4 + 1
+        assert_eq!(rig.log.records(), 9);
+        assert_eq!(rig.log.open_segment_records(), 1);
+        assert_eq!(
+            files(&dir),
+            vec!["names.log", "seg-0.log", "seg-4.log", "seg-8.log"]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_deletes_exactly_the_covered_closed_segments() {
+        let dir = tmp("compact");
+        let cfg = LogConfig {
+            rotate_events: 4,
+            snapshot_every: u64::MAX,
+        };
+        let mut rig = Rig::create(&dir, cfg);
+        rig.apply("b1 w1(x,1) c1 b2 w2(y,1)"); // 5 records: seg-0 closed, seg-4 open
+        let removed = rig.snapshot(); // horizon 5 covers seg-0 (records 0..4)
+        assert_eq!(removed, 1);
+        assert_eq!(files(&dir), vec!["names.log", "seg-4.log", "snap-5.snap"]);
+
+        // A boundary snapshot: horizon exactly at a closed segment's
+        // end. seg-4 holds records 4..8 and rotates at 8, so after 8
+        // records the snapshot at 8 must delete it but keep the brand-
+        // new empty seg-8.
+        rig.apply("c2 b3 r3(x1)"); // records 6,7,8 → rotation at 8
+        let removed = rig.snapshot();
+        assert_eq!(removed, 1);
+        assert_eq!(files(&dir), vec!["names.log", "seg-8.log", "snap-8.snap"]);
+
+        // Older snapshots go too; the open segment never does.
+        rig.apply("c3");
+        let removed = rig.snapshot();
+        assert_eq!(removed, 0);
+        assert_eq!(files(&dir), vec!["names.log", "seg-8.log", "snap-9.snap"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_replays_the_tail_with_byte_identical_verdicts() {
+        let dir = tmp("recover");
+        let cfg = LogConfig {
+            rotate_events: 3,
+            snapshot_every: 4,
+        };
+        let mut rig = Rig::create(&dir, cfg);
+        rig.apply(NINE);
+        if rig.log.snapshot_due() {
+            rig.snapshot();
+        }
+        let before = rig.verdicts.clone();
+        let records = rig.log.records();
+        drop(rig); // "kill": nothing flushed beyond what append wrote
+
+        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false).unwrap();
+        assert_eq!(r.log.records(), records);
+        assert!(r.truncated.is_none());
+        assert!(r.closed.is_none());
+        // Verdicts replayed from the tail must be byte-identical to
+        // the uninterrupted run's suffix.
+        assert_eq!(
+            r.replayed,
+            before[r.replay_base as usize..].to_vec(),
+            "resumed verdict stream diverged"
+        );
+
+        // The revived parser still resolves old names: continuing the
+        // stream with a text token against object `x` must produce the
+        // same verdict an uninterrupted checker would.
+        let mut rig2 = Rig {
+            log: r.log,
+            parser: r.parser,
+            checker: r.checker,
+            verdicts: Vec::new(),
+        };
+        let mut reference = Rig::create(&tmp("recover-ref"), cfg);
+        reference.apply(NINE);
+        reference.verdicts.clear();
+        rig2.apply("b4 r4(x1) w4(x,2) c4");
+        reference.apply("b4 r4(x1) w4(x,2) c4");
+        assert_eq!(rig2.verdicts, reference.verdicts);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_the_exact_good_byte() {
+        let dir = tmp("torn");
+        let cfg = LogConfig {
+            rotate_events: u64::MAX,
+            snapshot_every: u64::MAX,
+        };
+        let mut rig = Rig::create(&dir, cfg);
+        rig.apply("b1 w1(x,1) c1 b2 w2(x,2)");
+        drop(rig);
+
+        let path = dir.join("seg-0.log");
+        let good_len = fs::metadata(&path).unwrap().len();
+        // A record header promising more payload than exists: the torn
+        // write of a killed process.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[40, 0, 0, 0, 0xde, 0xad]).unwrap();
+        drop(f);
+
+        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false).unwrap();
+        assert_eq!(r.log.records(), 5);
+        let detail = r.truncated.expect("torn tail must be reported");
+        assert!(
+            detail.contains(&format!("truncated to {good_len} bytes")),
+            "{detail}"
+        );
+        assert_eq!(fs::metadata(&path).unwrap().len(), good_len);
+
+        // The healed log accepts appends and recovers cleanly again.
+        let mut rig = Rig {
+            log: r.log,
+            parser: r.parser,
+            checker: r.checker,
+            verdicts: Vec::new(),
+        };
+        rig.apply("c2");
+        assert_eq!(rig.verdicts.len(), 1);
+        drop(rig);
+        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false).unwrap();
+        assert_eq!(r.log.records(), 6);
+        assert!(r.truncated.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_without_any_snapshot_replays_from_zero() {
+        let dir = tmp("nosnap");
+        let cfg = LogConfig {
+            rotate_events: 4,
+            snapshot_every: u64::MAX,
+        };
+        let mut rig = Rig::create(&dir, cfg);
+        rig.apply(NINE);
+        let before = rig.verdicts.clone();
+        drop(rig);
+        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false).unwrap();
+        assert_eq!(r.replay_base, 0);
+        assert_eq!(r.replayed, before);
+        assert_eq!(r.tail_events, 9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn closed_marker_survives_recovery() {
+        let dir = tmp("closed");
+        let cfg = LogConfig::default();
+        let mut rig = Rig::create(&dir, cfg);
+        rig.apply("b1 w1(x,1) c1");
+        let fin = rig.checker.finish().to_json();
+        rig.log.mark_closed(&fin).unwrap();
+        drop(rig);
+        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false).unwrap();
+        assert_eq!(r.closed.as_deref(), Some(fin.as_str()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

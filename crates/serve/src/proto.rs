@@ -1,0 +1,294 @@
+//! The session-control vocabulary layered over the NDJSON
+//! event/verdict framing.
+//!
+//! One line = one frame. Lines beginning with `{` are control frames;
+//! every other non-empty line is whitespace-separated event tokens in
+//! the `adya-check --stream` text notation. The server answers with
+//! NDJSON only: `ok` acks, verdict lines ([`Verdict::to_json`]),
+//! structured `error` frames (the `truncated_input` vocabulary of
+//! `adya-check` exit code 3), and a `closing` frame as the last line
+//! of every orderly connection end.
+//!
+//! Client frames:
+//!
+//! ```text
+//! {"op": "hello", "session": "tenant-1"}
+//! {"op": "resume", "session": "tenant-1", "verdicts": 12}
+//! {"op": "close"}
+//! ```
+//!
+//! The control parser is deliberately tiny: flat objects, string /
+//! unsigned-integer values, no nesting — exactly the vocabulary above,
+//! rejected loudly otherwise.
+//!
+//! [`Verdict::to_json`]: adya_online::Verdict::to_json
+
+use adya_obs::json::esc;
+
+/// A parsed client control frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientFrame {
+    /// Open a brand-new session.
+    Hello {
+        /// Session name (also the on-disk directory name).
+        session: String,
+    },
+    /// Re-attach to a durable session. `verdicts` is how many commit
+    /// verdict lines the client has already received; the server
+    /// re-sends everything after that.
+    Resume {
+        /// Session name.
+        session: String,
+        /// Commit-verdict lines already delivered to this client.
+        verdicts: u64,
+    },
+    /// Finish the session: final verdict, then a `closing` frame.
+    Close,
+}
+
+/// Parses one `{`-prefixed control line.
+pub fn parse_frame(line: &str) -> Result<ClientFrame, String> {
+    let fields = parse_flat_object(line)?;
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let op = match get("op") {
+        Some(JsonValue::Str(op)) => op.as_str(),
+        _ => return Err("control frame is missing a string \"op\"".into()),
+    };
+    let session = || -> Result<String, String> {
+        match get("session") {
+            Some(JsonValue::Str(s)) => validate_session_name(s).map(|()| s.clone()),
+            _ => Err(format!("{op:?} frame is missing a string \"session\"")),
+        }
+    };
+    match op {
+        "hello" => Ok(ClientFrame::Hello {
+            session: session()?,
+        }),
+        "resume" => {
+            let verdicts = match get("verdicts") {
+                Some(JsonValue::Num(n)) => *n,
+                None => 0,
+                _ => return Err("\"verdicts\" must be an unsigned integer".into()),
+            };
+            Ok(ClientFrame::Resume {
+                session: session()?,
+                verdicts,
+            })
+        }
+        "close" => Ok(ClientFrame::Close),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Session names become directory names, so they are restricted to a
+/// conservative portable set and may not start with a dot.
+pub fn validate_session_name(name: &str) -> Result<(), String> {
+    let ok_char = |c: char| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.');
+    if name.is_empty() || name.len() > 64 {
+        return Err("session names are 1..=64 characters".into());
+    }
+    if name.starts_with('.') || !name.chars().all(ok_char) {
+        return Err(format!(
+            "bad session name {name:?}: use [A-Za-z0-9._-], no leading dot"
+        ));
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JsonValue {
+    Str(String),
+    Num(u64),
+}
+
+/// Parses `{"k": "v", "n": 3}` — flat, strings and unsigned ints only.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = Vec::new();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    };
+    if chars.next() != Some('{') {
+        return Err("control frames are JSON objects".into());
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            _ if out.is_empty() => return Err("expected a key or '}'".into()),
+            _ => return Err("expected a key".into()),
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::Str(parse_string(&mut chars)?),
+            Some(c) if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(d as u64))
+                        .ok_or("integer overflow")?;
+                    chars.next();
+                }
+                JsonValue::Num(n)
+            }
+            _ => return Err(format!("unsupported value for key {key:?}")),
+        };
+        out.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            _ => return Err("expected ',' or '}'".into()),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing bytes after control frame".into());
+    }
+    Ok(out)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected a string".into());
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(s),
+            Some('\\') => match chars.next() {
+                Some('"') => s.push('"'),
+                Some('\\') => s.push('\\'),
+                Some('n') => s.push('\n'),
+                Some('t') => s.push('\t'),
+                other => return Err(format!("unsupported escape {other:?}")),
+            },
+            Some(c) => s.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server → client frames
+// ---------------------------------------------------------------------
+
+/// Ack for a successful `hello`/`resume`. `events` is the number of
+/// durable event records (the client resends its token stream from
+/// that index); `verdicts` is the number of durable commit verdicts;
+/// `replay` is how many verdict lines follow this ack immediately.
+pub fn ok_frame(op: &str, session: &str, events: u64, verdicts: u64, replay: u64) -> String {
+    format!(
+        "{{\"ok\": \"{}\", \"session\": \"{}\", \"events\": {events}, \
+         \"verdicts\": {verdicts}, \"replay\": {replay}}}",
+        esc(op),
+        esc(session),
+    )
+}
+
+/// A structured error frame. `code` is machine-readable (the
+/// `truncated_input` vocabulary plus the session-control codes);
+/// `detail` is for humans.
+pub fn error_frame(code: &str, detail: &str) -> String {
+    format!(
+        "{{\"error\": \"{}\", \"detail\": \"{}\"}}",
+        esc(code),
+        esc(detail)
+    )
+}
+
+/// The last frame of an orderly connection end. `why` is `close`
+/// (client asked), `detach` (client went away; session stays durable)
+/// or `shutdown` (server is draining).
+pub fn closing_frame(why: &str, session: Option<&str>, events: u64, verdicts: u64) -> String {
+    let session = match session {
+        Some(s) => format!("\"{}\"", esc(s)),
+        None => "null".into(),
+    };
+    format!(
+        "{{\"closing\": \"{}\", \"session\": {session}, \"events\": {events}, \
+         \"verdicts\": {verdicts}}}",
+        esc(why),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_frames() {
+        assert_eq!(
+            parse_frame("{\"op\": \"hello\", \"session\": \"t1\"}").unwrap(),
+            ClientFrame::Hello {
+                session: "t1".into()
+            }
+        );
+        assert_eq!(
+            parse_frame("{\"op\":\"resume\",\"session\":\"t1\",\"verdicts\":12}").unwrap(),
+            ClientFrame::Resume {
+                session: "t1".into(),
+                verdicts: 12
+            }
+        );
+        // verdicts defaults to 0.
+        assert_eq!(
+            parse_frame("{\"op\":\"resume\",\"session\":\"x\"}").unwrap(),
+            ClientFrame::Resume {
+                session: "x".into(),
+                verdicts: 0
+            }
+        );
+        assert_eq!(
+            parse_frame("{\"op\":\"close\"}").unwrap(),
+            ClientFrame::Close
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_frames() {
+        for bad in [
+            "{",
+            "{}",
+            "{\"op\": \"hello\"}",                        // no session
+            "{\"op\": \"nope\", \"session\": \"x\"}",     // unknown op
+            "{\"op\": \"hello\", \"session\": \"../x\"}", // path escape
+            "{\"op\": \"hello\", \"session\": \".x\"}",   // leading dot
+            "{\"op\": \"hello\", \"session\": \"\"}",     // empty
+            "{\"op\": \"close\"} trailing",
+            "{\"op\": 3}",
+            "not json",
+        ] {
+            assert!(parse_frame(bad).is_err(), "{bad}");
+        }
+        let long = format!("{{\"op\":\"hello\",\"session\":\"{}\"}}", "a".repeat(65));
+        assert!(parse_frame(&long).is_err());
+    }
+
+    #[test]
+    fn frames_render_as_single_lines() {
+        for s in [
+            ok_frame("resume", "t1", 7, 3, 1),
+            error_frame("truncated_input", "torn tail after byte 91"),
+            closing_frame("shutdown", Some("t1"), 7, 3),
+            closing_frame("detach", None, 0, 0),
+        ] {
+            assert!(!s.contains('\n'), "{s}");
+            assert!(s.starts_with('{') && s.ends_with('}'), "{s}");
+        }
+        assert!(ok_frame("hello", "t", 0, 0, 0).contains("\"ok\": \"hello\""));
+        assert!(closing_frame("close", Some("t"), 1, 2).contains("\"closing\": \"close\""));
+    }
+}

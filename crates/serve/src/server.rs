@@ -1,0 +1,649 @@
+//! The multi-tenant server: accept loops, the per-connection NDJSON
+//! protocol, and the obs plane mounted on the same port.
+//!
+//! Transport follows the `ObsServer` idiom from `crates/obs`: a
+//! nonblocking listener polled against a stop flag every 25ms, one
+//! thread per connection, std only. A connection speaks either the
+//! session protocol (NDJSON control frames + event tokens) or plain
+//! HTTP — the server peeks at the first line and treats `GET …` as a
+//! scrape, so `/metrics` and `/health` work on the same address a
+//! client streams events to.
+//!
+//! Sessions are shared state: a registry of `Arc<Mutex<Session>>` by
+//! name. A session is *attached* while one connection owns it; a
+//! second `hello`/`resume` for the same name is refused with
+//! `session_busy` rather than interleaving two clients' streams.
+//! Detach (EOF, error, shutdown) parks the session — snapshot to disk,
+//! replay window kept — ready for the next resume or a restart.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use adya_faults::{TapCrashConfig, TapCrashPlane};
+
+use crate::proto::{self, ClientFrame};
+use crate::session::{ApplyError, ResumeError, Session, SessionConfig};
+
+/// Server-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Root directory holding one subdirectory per session.
+    pub data_dir: PathBuf,
+    /// Per-session checker/durability settings.
+    pub session: SessionConfig,
+    /// Tap-side crash schedule (tests/soak only; default never).
+    pub tap: TapCrashConfig,
+}
+
+impl ServeConfig {
+    /// A server storing sessions under `data_dir`, defaults elsewhere.
+    pub fn new(data_dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            data_dir: data_dir.into(),
+            session: SessionConfig::default(),
+            tap: TapCrashConfig::default(),
+        }
+    }
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    tap: TapCrashPlane,
+    conns: AtomicUsize,
+    stop: AtomicBool,
+}
+
+/// The running server: accept loops plus shared session registry.
+pub struct Server {
+    inner: Arc<Inner>,
+    tcp_addr: SocketAddr,
+    unix_path: Option<PathBuf>,
+    accept_threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `tcp` (e.g. `127.0.0.1:0`) and optionally a unix socket
+    /// path, and starts accepting.
+    pub fn bind(tcp: &str, unix: Option<&Path>, cfg: ServeConfig) -> io::Result<Server> {
+        std::fs::create_dir_all(&cfg.data_dir)?;
+        let tap = TapCrashPlane::new(cfg.tap);
+        let inner = Arc::new(Inner {
+            cfg,
+            sessions: Mutex::new(HashMap::new()),
+            tap,
+            conns: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let listener = TcpListener::bind(tcp)?;
+        listener.set_nonblocking(true)?;
+        let tcp_addr = listener.local_addr()?;
+        let mut accept_threads = vec![{
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("serve-accept-tcp".into())
+                .spawn(move || loop {
+                    if inner.stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => spawn_conn(Box::new(stream), Arc::clone(&inner)),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(25)),
+                    }
+                })?
+        }];
+        let mut unix_path = None;
+        #[cfg(unix)]
+        if let Some(path) = unix {
+            // A stale socket file from a killed predecessor would make
+            // bind fail; recovery-after-kill is the whole point here.
+            let _ = std::fs::remove_file(path);
+            let ul = UnixListener::bind(path)?;
+            ul.set_nonblocking(true)?;
+            unix_path = Some(path.to_path_buf());
+            let inner = Arc::clone(&inner);
+            accept_threads.push(
+                thread::Builder::new()
+                    .name("serve-accept-unix".into())
+                    .spawn(move || loop {
+                        if inner.stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        match ul.accept() {
+                            Ok((stream, _)) => spawn_conn(Box::new(stream), Arc::clone(&inner)),
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                thread::sleep(Duration::from_millis(25));
+                            }
+                            Err(_) => thread::sleep(Duration::from_millis(25)),
+                        }
+                    })?,
+            );
+        }
+        #[cfg(not(unix))]
+        let _ = unix;
+        Ok(Server {
+            inner,
+            tcp_addr,
+            unix_path,
+            accept_threads,
+        })
+    }
+
+    /// The bound TCP address (real port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.tcp_addr
+    }
+
+    /// Events seen by the tap crash plane (for reports).
+    pub fn tap_stats(&self) -> adya_faults::TapCrashStats {
+        self.inner.tap.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, let every connection send
+    /// its `closing` frame and park its session, then write a final
+    /// snapshot for every session still open. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        for t in self.accept_threads.drain(..) {
+            let _ = t.join();
+        }
+        // Connections poll the stop flag at their read timeout; give
+        // them a bounded window to drain.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.inner.conns.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        let sessions: Vec<_> = self
+            .inner
+            .sessions
+            .lock()
+            .unwrap()
+            .values()
+            .cloned()
+            .collect();
+        for s in sessions {
+            if let Ok(mut s) = s.lock() {
+                s.park();
+            }
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A byte stream a connection can be served on: TCP or unix.
+trait Conn: Read + Write + Send {
+    fn split(&self) -> io::Result<Box<dyn Read + Send>>;
+    fn set_timeouts(&self) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn split(&self) -> io::Result<Box<dyn Read + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+    fn set_timeouts(&self) -> io::Result<()> {
+        self.set_read_timeout(Some(Duration::from_millis(100)))?;
+        self.set_write_timeout(Some(Duration::from_secs(5)))
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn split(&self) -> io::Result<Box<dyn Read + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+    fn set_timeouts(&self) -> io::Result<()> {
+        self.set_read_timeout(Some(Duration::from_millis(100)))?;
+        self.set_write_timeout(Some(Duration::from_secs(5)))
+    }
+}
+
+fn spawn_conn(stream: Box<dyn Conn>, inner: Arc<Inner>) {
+    inner.conns.fetch_add(1, Ordering::Relaxed);
+    adya_obs::gauge!("serve.connections").add(1);
+    let _ = thread::Builder::new()
+        .name("serve-conn".into())
+        .spawn(move || {
+            handle_conn(stream, &inner);
+            adya_obs::gauge!("serve.connections").add(-1);
+            inner.conns.fetch_sub(1, Ordering::Relaxed);
+        });
+}
+
+/// Serves one connection to completion.
+fn handle_conn(mut stream: Box<dyn Conn>, inner: &Inner) {
+    if stream.set_timeouts().is_err() {
+        return;
+    }
+    let mut reader = match stream.split() {
+        Ok(r) => BufReader::new(r),
+        Err(_) => return,
+    };
+    let mut attached: Option<Arc<Mutex<Session>>> = None;
+    let mut line = String::new();
+    let why_closing;
+    loop {
+        if inner.stop.load(Ordering::Relaxed) {
+            why_closing = "shutdown";
+            break;
+        }
+        match reader.read_line(&mut line) {
+            // Timeout with a partial (or no) line buffered: poll stop
+            // and keep accumulating — read_line appends, so nothing
+            // read so far is lost.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                why_closing = "detach";
+                break;
+            }
+            Ok(0) => {
+                if !line.trim().is_empty() {
+                    // Final unterminated line before EOF.
+                    match dispatch_line(&line, &mut stream, &mut attached, inner, &mut reader) {
+                        LineOutcome::Continue => {}
+                        LineOutcome::End => {
+                            detach(&mut attached);
+                            return;
+                        }
+                    }
+                }
+                why_closing = "detach";
+                break;
+            }
+            Ok(_) => {
+                let outcome = dispatch_line(&line, &mut stream, &mut attached, inner, &mut reader);
+                line.clear();
+                match outcome {
+                    LineOutcome::Continue => {}
+                    LineOutcome::End => {
+                        detach(&mut attached);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    let (name, events, verdicts) = match &attached {
+        Some(s) => {
+            let s = s.lock().unwrap();
+            (Some(s.name().to_string()), s.records(), s.verdicts())
+        }
+        None => (None, 0, 0),
+    };
+    let _ = writeln!(
+        stream,
+        "{}",
+        proto::closing_frame(why_closing, name.as_deref(), events, verdicts)
+    );
+    let _ = stream.flush();
+    detach(&mut attached);
+}
+
+fn detach(attached: &mut Option<Arc<Mutex<Session>>>) {
+    if let Some(s) = attached.take() {
+        if let Ok(mut s) = s.lock() {
+            s.park();
+        }
+    }
+}
+
+enum LineOutcome {
+    Continue,
+    End,
+}
+
+fn dispatch_line(
+    raw: &str,
+    stream: &mut Box<dyn Conn>,
+    attached: &mut Option<Arc<Mutex<Session>>>,
+    inner: &Inner,
+    reader: &mut BufReader<Box<dyn Read + Send>>,
+) -> LineOutcome {
+    let line = raw.trim();
+    if line.is_empty() {
+        return LineOutcome::Continue;
+    }
+    // First line of an HTTP scrape: same port, different protocol.
+    if attached.is_none() && (line.starts_with("GET ") || line.starts_with("HEAD ")) {
+        serve_http(line, stream, reader, inner);
+        return LineOutcome::End;
+    }
+    if line.starts_with('{') {
+        return dispatch_frame(line, stream, attached, inner);
+    }
+    // Event tokens.
+    let Some(session) = attached else {
+        let _ = writeln!(
+            stream,
+            "{}",
+            proto::error_frame("not_attached", "send a hello or resume frame first")
+        );
+        return LineOutcome::Continue;
+    };
+    let result = session.lock().unwrap().apply_line(line, &inner.tap);
+    match result {
+        Ok(verdicts) => {
+            for v in verdicts {
+                if writeln!(stream, "{v}").is_err() {
+                    return LineOutcome::End;
+                }
+            }
+            LineOutcome::Continue
+        }
+        Err(ApplyError::Parse(detail)) => {
+            adya_obs::counter!("serve.parse_errors").inc();
+            let _ = writeln!(stream, "{}", proto::error_frame("parse", &detail));
+            LineOutcome::Continue
+        }
+        Err(ApplyError::Closed(fin)) => {
+            let _ = writeln!(stream, "{}", proto::error_frame("session_closed", &fin));
+            LineOutcome::Continue
+        }
+        Err(ApplyError::Io(e)) => {
+            let _ = writeln!(
+                stream,
+                "{}",
+                proto::error_frame("io", &format!("durability failure: {e}"))
+            );
+            LineOutcome::End
+        }
+    }
+}
+
+fn dispatch_frame(
+    line: &str,
+    stream: &mut Box<dyn Conn>,
+    attached: &mut Option<Arc<Mutex<Session>>>,
+    inner: &Inner,
+) -> LineOutcome {
+    let frame = match proto::parse_frame(line) {
+        Ok(f) => f,
+        Err(detail) => {
+            let _ = writeln!(stream, "{}", proto::error_frame("bad_frame", &detail));
+            return LineOutcome::Continue;
+        }
+    };
+    match frame {
+        ClientFrame::Hello { session: name } => {
+            if attached.is_some() {
+                let _ = writeln!(
+                    stream,
+                    "{}",
+                    proto::error_frame("already_attached", "one session per connection")
+                );
+                return LineOutcome::Continue;
+            }
+            let mut sessions = inner.sessions.lock().unwrap();
+            if sessions.contains_key(&name) || inner.cfg.data_dir.join(&name).exists() {
+                let _ = writeln!(
+                    stream,
+                    "{}",
+                    proto::error_frame("session_exists", "use resume to re-attach")
+                );
+                return LineOutcome::Continue;
+            }
+            match Session::create(&inner.cfg.data_dir, &name, inner.cfg.session) {
+                Ok(mut s) => {
+                    s.attached = true;
+                    sessions.insert(name.clone(), Arc::new(Mutex::new(s)));
+                    *attached = Some(Arc::clone(&sessions[&name]));
+                    adya_obs::counter!("serve.hellos").inc();
+                    adya_obs::gauge!("serve.sessions").set(sessions.len() as i64);
+                    let _ = writeln!(stream, "{}", proto::ok_frame("hello", &name, 0, 0, 0));
+                    LineOutcome::Continue
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        proto::error_frame("io", &format!("cannot create session: {e}"))
+                    );
+                    LineOutcome::Continue
+                }
+            }
+        }
+        ClientFrame::Resume {
+            session: name,
+            verdicts: have,
+        } => {
+            if attached.is_some() {
+                let _ = writeln!(
+                    stream,
+                    "{}",
+                    proto::error_frame("already_attached", "one session per connection")
+                );
+                return LineOutcome::Continue;
+            }
+            let session = {
+                let mut sessions = inner.sessions.lock().unwrap();
+                match sessions.get(&name) {
+                    Some(s) => Arc::clone(s),
+                    None => {
+                        if !inner.cfg.data_dir.join(&name).is_dir() {
+                            let _ = writeln!(
+                                stream,
+                                "{}",
+                                proto::error_frame("unknown_session", &name)
+                            );
+                            return LineOutcome::Continue;
+                        }
+                        match Session::recover(&inner.cfg.data_dir, &name, inner.cfg.session) {
+                            Ok(s) => {
+                                let s = Arc::new(Mutex::new(s));
+                                sessions.insert(name.clone(), Arc::clone(&s));
+                                adya_obs::gauge!("serve.sessions").set(sessions.len() as i64);
+                                s
+                            }
+                            Err(e) => {
+                                let _ = writeln!(
+                                    stream,
+                                    "{}",
+                                    proto::error_frame("corrupt", &e.to_string())
+                                );
+                                return LineOutcome::Continue;
+                            }
+                        }
+                    }
+                }
+            };
+            let mut s = session.lock().unwrap();
+            if s.attached {
+                let _ = writeln!(
+                    stream,
+                    "{}",
+                    proto::error_frame("session_busy", "another connection owns this session")
+                );
+                return LineOutcome::Continue;
+            }
+            // A torn tail healed during recovery is reported with the
+            // adya-check truncated_input vocabulary, then the resume
+            // proceeds — the log was truncated at the exact good byte.
+            if let Some(detail) = s.truncated.take() {
+                let _ = writeln!(stream, "{}", proto::error_frame("truncated_input", &detail));
+            }
+            match s.resume(have) {
+                Ok((events, verdicts, replay)) => {
+                    s.attached = true;
+                    drop(s);
+                    *attached = Some(session);
+                    adya_obs::counter!("serve.resumes").inc();
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        proto::ok_frame("resume", &name, events, verdicts, replay.len() as u64)
+                    );
+                    for v in replay {
+                        let _ = writeln!(stream, "{v}");
+                    }
+                    LineOutcome::Continue
+                }
+                Err(ResumeError::Closed(fin)) => {
+                    let _ = writeln!(stream, "{}", proto::error_frame("session_closed", &fin));
+                    LineOutcome::Continue
+                }
+                Err(ResumeError::Unrecoverable { base }) => {
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        proto::error_frame(
+                            "verdicts_unrecoverable",
+                            &format!("replay window starts at verdict {base}")
+                        )
+                    );
+                    LineOutcome::Continue
+                }
+                Err(ResumeError::Ahead { durable }) => {
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        proto::error_frame(
+                            "verdicts_ahead",
+                            &format!("only {durable} verdicts are durable")
+                        )
+                    );
+                    LineOutcome::Continue
+                }
+            }
+        }
+        ClientFrame::Close => {
+            let Some(session) = attached else {
+                let _ = writeln!(
+                    stream,
+                    "{}",
+                    proto::error_frame("not_attached", "nothing to close")
+                );
+                return LineOutcome::Continue;
+            };
+            let mut s = session.lock().unwrap();
+            match s.close() {
+                Ok(fin) => {
+                    let name = s.name().to_string();
+                    let (events, verdicts) = (s.records(), s.verdicts());
+                    s.attached = false;
+                    drop(s);
+                    let _ = writeln!(stream, "{fin}");
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        proto::closing_frame("close", Some(&name), events, verdicts)
+                    );
+                    let _ = stream.flush();
+                    *attached = None;
+                    LineOutcome::End
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        proto::error_frame("io", &format!("close failed: {e}"))
+                    );
+                    LineOutcome::End
+                }
+            }
+        }
+    }
+}
+
+/// Serves one HTTP request on a connection that opened with `GET`.
+fn serve_http(
+    request_line: &str,
+    stream: &mut Box<dyn Conn>,
+    reader: &mut BufReader<Box<dyn Read + Send>>,
+    inner: &Inner,
+) {
+    // Drain headers.
+    loop {
+        let mut h = String::new();
+        match reader.read_line(&mut h) {
+            Ok(0) => break,
+            Ok(_) if h == "\r\n" || h == "\n" => break,
+            Ok(_) => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        }
+    }
+    let target = request_line.split_whitespace().nth(1).unwrap_or("");
+    let path = target.split('?').next().unwrap_or(target);
+    let resp = match path {
+        "/metrics" => adya_obs::Response::ok(
+            "text/plain; version=0.0.4; charset=utf-8",
+            adya_obs::global().snapshot().to_prometheus(),
+        ),
+        "/health" => {
+            let draining = inner.stop.load(Ordering::Relaxed);
+            let body = fleet_health(inner, draining);
+            if draining {
+                adya_obs::Response {
+                    status: 503,
+                    content_type: "application/json",
+                    body: body.into_bytes(),
+                }
+            } else {
+                adya_obs::Response::json(body)
+            }
+        }
+        _ => adya_obs::Response::status(404, "not found\n"),
+    };
+    let reason = match resp.status {
+        200 => "OK",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason,
+        resp.content_type,
+        resp.body.len()
+    );
+    if stream.write_all(head.as_bytes()).is_ok() {
+        let _ = stream.write_all(&resp.body);
+    }
+    let _ = stream.flush();
+}
+
+/// The fleet `/health` document: one entry per live session.
+fn fleet_health(inner: &Inner, draining: bool) -> String {
+    let sessions = inner.sessions.lock().unwrap();
+    let mut entries = Vec::with_capacity(sessions.len());
+    let mut names: Vec<_> = sessions.keys().cloned().collect();
+    names.sort();
+    for name in &names {
+        if let Ok(s) = sessions[name].lock() {
+            entries.push(s.health_entry());
+        }
+    }
+    format!(
+        "{{\"healthy\": {}, \"draining\": {draining}, \"sessions\": [{}], \"connections\": {}}}",
+        !draining,
+        entries.join(", "),
+        inner.conns.load(Ordering::Relaxed),
+    )
+}

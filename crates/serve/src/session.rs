@@ -1,0 +1,344 @@
+//! One checker session: an [`OnlineChecker`] + [`StreamParser`] pair
+//! bound to a [`SessionLog`], with the durability ordering that makes
+//! resumed verdict streams byte-identical.
+//!
+//! The invariant: *an event is durable before its effects are
+//! observable.* `apply_line` parses a whole line first (against a
+//! scratch parser, so a bad token poisons nothing), persists any newly
+//! interned names, then per event: append to the log, consult the tap
+//! crash plane, ingest, emit. A kill anywhere leaves the log a prefix
+//! of the applied stream, and recovery replays exactly the suffix the
+//! client never saw.
+//!
+//! Verdict replay window: the session keeps in memory every verdict
+//! line since the last snapshot (`recent`). A resuming client that has
+//! consumed at least the pre-snapshot verdicts — which it must have,
+//! or it was gone for longer than a whole snapshot interval — gets the
+//! missing tail re-sent verbatim. The snapshot cadence is therefore
+//! also the replay-window bound, which is what keeps the window from
+//! growing without bound on long streams.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use adya_faults::TapCrashPlane;
+use adya_obs::{labeled, Counter, Gauge};
+use adya_online::{GcConfig, OnlineChecker, StreamParser};
+
+use crate::log::{LogConfig, RecoverError, SessionLog};
+
+/// Checker + durability configuration shared by every session of a
+/// server.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionConfig {
+    /// Rotation/snapshot cadence.
+    pub log: LogConfig,
+    /// Watermark GC policy for each session's checker.
+    pub gc: GcConfig,
+    /// Track cycle provenance in verdicts.
+    pub provenance: bool,
+}
+
+/// Why a line could not be applied.
+#[derive(Debug)]
+pub enum ApplyError {
+    /// A token failed to parse; nothing from the line was applied.
+    Parse(String),
+    /// The session is closed; its final verdict line is attached.
+    Closed(String),
+    /// Durability failure — the session can no longer promise
+    /// recovery, so the connection must drop.
+    Io(std::io::Error),
+}
+
+/// Why a resume was refused.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// Closed session; the final verdict line is attached.
+    Closed(String),
+    /// The client claims fewer verdicts than the replay window holds:
+    /// it missed more than one snapshot interval of output.
+    Unrecoverable {
+        /// Oldest replayable verdict index.
+        base: u64,
+    },
+    /// The client claims more verdicts than are durable.
+    Ahead {
+        /// Total durable verdicts.
+        durable: u64,
+    },
+}
+
+/// A live (attached or parked) checker session.
+pub struct Session {
+    name: String,
+    checker: OnlineChecker,
+    parser: StreamParser,
+    log: SessionLog,
+    /// Total commit verdicts emitted over the session's life.
+    verdicts: u64,
+    /// Verdict index of `recent[0]`.
+    recent_base: u64,
+    /// The replay window: every verdict line since the *previous*
+    /// snapshot (not just the last one — see [`Session::snapshot`]).
+    recent: Vec<String>,
+    /// Verdict count when the last snapshot was written.
+    last_snap_verdicts: u64,
+    /// Final verdict line once closed.
+    closed: Option<String>,
+    /// A connection currently owns this session.
+    pub attached: bool,
+    /// Torn-tail healing notice from recovery, reported once on the
+    /// next resume.
+    pub truncated: Option<String>,
+    m_events: Arc<Counter>,
+    m_verdicts: Arc<Counter>,
+    m_staleness: Arc<Gauge>,
+    m_live: Arc<Gauge>,
+}
+
+impl Session {
+    fn metrics(name: &str) -> (Arc<Counter>, Arc<Counter>, Arc<Gauge>, Arc<Gauge>) {
+        let reg = adya_obs::global();
+        let l = |base: &str| labeled(base, &[("session", name)]);
+        (
+            reg.counter(&l("serve.session_events")),
+            reg.counter(&l("serve.session_verdicts")),
+            reg.gauge(&l("sli.session_watermark_staleness")),
+            reg.gauge(&l("sli.session_live_txns")),
+        )
+    }
+
+    /// Creates a brand-new durable session under `data_dir`.
+    pub fn create(data_dir: &Path, name: &str, cfg: SessionConfig) -> std::io::Result<Session> {
+        let log = SessionLog::create(&data_dir.join(name), cfg.log)?;
+        let mut checker = OnlineChecker::with_gc(cfg.gc);
+        checker.set_provenance(cfg.provenance);
+        let (m_events, m_verdicts, m_staleness, m_live) = Session::metrics(name);
+        Ok(Session {
+            name: name.to_string(),
+            checker,
+            parser: StreamParser::new(),
+            log,
+            verdicts: 0,
+            recent_base: 0,
+            recent: Vec::new(),
+            last_snap_verdicts: 0,
+            closed: None,
+            attached: false,
+            truncated: None,
+            m_events,
+            m_verdicts,
+            m_staleness,
+            m_live,
+        })
+    }
+
+    /// Recovers a session from its directory: snapshot + log tail,
+    /// with the replayed verdict tail as the initial replay window.
+    pub fn recover(
+        data_dir: &Path,
+        name: &str,
+        cfg: SessionConfig,
+    ) -> Result<Session, RecoverError> {
+        let r = SessionLog::recover(&data_dir.join(name), cfg.log, cfg.gc, cfg.provenance)?;
+        let (m_events, m_verdicts, m_staleness, m_live) = Session::metrics(name);
+        adya_obs::counter!("serve.recoveries").inc();
+        Ok(Session {
+            name: name.to_string(),
+            checker: r.checker,
+            parser: r.parser,
+            log: r.log,
+            verdicts: r.verdicts,
+            recent_base: r.replay_base,
+            recent: r.replayed,
+            last_snap_verdicts: r.snap_verdicts,
+            closed: r.closed,
+            attached: false,
+            truncated: r.truncated,
+            m_events,
+            m_verdicts,
+            m_staleness,
+            m_live,
+        })
+    }
+
+    /// The session's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total durable event records.
+    pub fn records(&self) -> u64 {
+        self.log.records()
+    }
+
+    /// Total commit verdicts emitted.
+    pub fn verdicts(&self) -> u64 {
+        self.verdicts
+    }
+
+    /// The final verdict line, once closed.
+    pub fn closed(&self) -> Option<&str> {
+        self.closed.as_deref()
+    }
+
+    /// Applies one line of whitespace-separated event tokens,
+    /// returning the verdict lines it produced, in order. All-or-
+    /// nothing per line: a parse error applies none of it.
+    pub fn apply_line(
+        &mut self,
+        line: &str,
+        tap: &TapCrashPlane,
+    ) -> Result<Vec<String>, ApplyError> {
+        if let Some(fin) = &self.closed {
+            return Err(ApplyError::Closed(fin.clone()));
+        }
+        let mut scratch = self.parser.clone();
+        let mut events = Vec::new();
+        for tok in line.split_whitespace() {
+            events.push(scratch.parse_token(tok).map_err(ApplyError::Parse)?);
+        }
+        // Names first: recovery re-interns before replaying events.
+        let known = self.parser.interned();
+        self.log
+            .append_names(
+                (known..scratch.interned())
+                    .map(|i| scratch.object_name(adya_history::ObjectId(i as u32))),
+            )
+            .map_err(ApplyError::Io)?;
+        self.parser = scratch;
+        let mut out = Vec::new();
+        for ev in &events {
+            self.log.append(ev).map_err(ApplyError::Io)?;
+            // Tap-side crash point: the event is durable, its effects
+            // are not — the exact window recovery must close.
+            if tap.crash_due(ev.is_terminal()) {
+                std::process::abort();
+            }
+            self.m_events.inc();
+            if let Some(v) = self.checker.ingest(ev) {
+                self.verdicts += 1;
+                let line = v.to_json();
+                self.recent.push(line.clone());
+                out.push(line);
+                self.m_verdicts.inc();
+            }
+        }
+        if self.log.snapshot_due() {
+            self.snapshot().map_err(ApplyError::Io)?;
+        }
+        self.m_staleness
+            .set(self.checker.watermark_staleness() as i64);
+        self.m_live.set(self.checker.live_txns() as i64);
+        Ok(out)
+    }
+
+    /// Writes a snapshot now: the post-GC checker state is what lands
+    /// on disk, so the watermark GC bounds both the snapshot and
+    /// (through compaction) the log. The current replay window rides
+    /// inside the snapshot, and the in-memory window is then trimmed
+    /// to start at the *previous* snapshot's verdict count — so both
+    /// the durable and live windows always reach one full snapshot
+    /// interval back. A client killed at the worst moment (this
+    /// snapshot durable, its triggering verdicts never delivered) can
+    /// therefore still resume: its verdict count cannot be older than
+    /// the previous snapshot, because those verdicts were delivered
+    /// before the line that triggered this one was accepted.
+    pub fn snapshot(&mut self) -> std::io::Result<()> {
+        self.log.write_snapshot(
+            &self.checker,
+            &self.parser,
+            self.verdicts,
+            self.recent_base,
+            &self.recent,
+        )?;
+        let keep_from = (self.last_snap_verdicts - self.recent_base) as usize;
+        self.recent.drain(..keep_from);
+        self.recent_base = self.last_snap_verdicts;
+        self.last_snap_verdicts = self.verdicts;
+        self.m_staleness
+            .set(self.checker.watermark_staleness() as i64);
+        adya_obs::counter!("serve.snapshots").inc();
+        Ok(())
+    }
+
+    /// Validates a resume at `have` client-held verdicts and returns
+    /// `(records, total_verdicts, lines_to_replay)`.
+    pub fn resume(&mut self, have: u64) -> Result<(u64, u64, Vec<String>), ResumeError> {
+        if let Some(fin) = &self.closed {
+            return Err(ResumeError::Closed(fin.clone()));
+        }
+        if have < self.recent_base {
+            return Err(ResumeError::Unrecoverable {
+                base: self.recent_base,
+            });
+        }
+        if have > self.verdicts {
+            return Err(ResumeError::Ahead {
+                durable: self.verdicts,
+            });
+        }
+        let replay = self.recent[(have - self.recent_base) as usize..].to_vec();
+        Ok((self.log.records(), self.verdicts, replay))
+    }
+
+    /// Closes the session: snapshot, final verdict, durable `closed`
+    /// marker. Returns the final verdict line.
+    pub fn close(&mut self) -> std::io::Result<String> {
+        if let Some(fin) = &self.closed {
+            return Ok(fin.clone());
+        }
+        self.snapshot()?;
+        let fin = self.checker.finish().to_json();
+        self.log.mark_closed(&fin)?;
+        self.closed = Some(fin.clone());
+        adya_obs::counter!("serve.closes").inc();
+        Ok(fin)
+    }
+
+    /// Parks the session (connection gone): best-effort snapshot so a
+    /// later restart replays little. The full in-memory replay window
+    /// is stored with it and kept live — the departed client may not
+    /// have read its last verdicts, and both a live resume and a
+    /// post-restart resume must still be able to re-send them.
+    pub fn park(&mut self) {
+        if self.closed.is_none() {
+            let _ = self.log.write_snapshot(
+                &self.checker,
+                &self.parser,
+                self.verdicts,
+                self.recent_base,
+                &self.recent,
+            );
+            self.last_snap_verdicts = self.verdicts;
+        }
+        self.attached = false;
+    }
+
+    /// One fleet-health JSON object for this session.
+    pub fn health_entry(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"session\": \"{}\", \"records\": {}, \"verdicts\": {}, \"attached\": {}, \
+             \"closed\": {}, \"live_txns\": {}, \"staleness\": {}, \"stale_refs\": {}",
+            adya_obs::json::esc(&self.name),
+            self.log.records(),
+            self.verdicts,
+            self.attached,
+            self.closed.is_some(),
+            self.checker.live_txns(),
+            self.checker.watermark_staleness(),
+            self.checker.stale_refs(),
+        );
+        match self.checker.strongest_ansi() {
+            Some(l) => {
+                let _ = write!(s, ", \"strongest_ansi\": \"{l}\"}}");
+            }
+            None => s.push_str(", \"strongest_ansi\": null}"),
+        }
+        s
+    }
+}

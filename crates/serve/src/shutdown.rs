@@ -1,0 +1,69 @@
+//! Graceful-shutdown signal flag, std-only.
+//!
+//! `SIGTERM`/`SIGINT` (ctrl-c) set a process-wide atomic that long
+//! loops poll; nothing else happens in the handler, which keeps it
+//! async-signal-safe (one relaxed store). A *second* signal restores
+//! the default disposition first, so a stuck shutdown can still be
+//! killed the ordinary way.
+//!
+//! The registration goes through the C `signal` function directly —
+//! the libc symbol is always linked — because pulling in a signal
+//! crate is out of bounds for this workspace. On non-Unix targets
+//! installation is a no-op and the flag simply never trips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+    pub const SIG_DFL: usize = 0;
+
+    extern "C" {
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub extern "C" fn on_signal(signum: i32) {
+        // Re-arm to the default disposition so a second signal of the
+        // same kind terminates immediately instead of being swallowed.
+        unsafe {
+            signal(signum, SIG_DFL);
+        }
+        super::REQUESTED.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Installs the SIGTERM/SIGINT handlers. Idempotent; safe to call from
+/// any binary that wants [`requested`] to mean something.
+pub fn install() {
+    #[cfg(unix)]
+    unsafe {
+        let handler = sys::on_signal as extern "C" fn(i32) as *const () as usize;
+        sys::signal(sys::SIGINT, handler);
+        sys::signal(sys::SIGTERM, handler);
+    }
+}
+
+/// True once a shutdown signal has arrived (or [`request`] was called).
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Trips the flag programmatically (tests, or an in-process trigger).
+pub fn request() {
+    REQUESTED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_trips_the_flag() {
+        install();
+        request();
+        assert!(requested());
+    }
+}

@@ -1,0 +1,290 @@
+//! A std-only TCP client for the `adya-serve` session protocol, with
+//! crash-resumable streaming.
+//!
+//! The client keeps the two ledgers the resume contract is built on:
+//! every event token it has ever sent (in order) and every verdict
+//! line it has ever received. After the server dies — mid-stream,
+//! mid-verdict, whenever — [`ServeClient::resume`] reconnects under
+//! the [`RetryPolicy`] backoff schedule, tells the server how many
+//! verdicts it holds, appends the replayed tail, and re-sends exactly
+//! the suffix of tokens the server never made durable. The resulting
+//! verdict ledger is byte-identical to an uninterrupted run, which is
+//! the property the `serve_soak` bench and the serve integration tests
+//! assert.
+//!
+//! Tokens go one per line, so the server's durable record count maps
+//! 1:1 onto an index into the token ledger — the resume ack's
+//! `events` field says precisely where re-sending starts.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::retry::RetryPolicy;
+
+/// A connected (or resumable) session against one `adya-serve`
+/// address.
+#[derive(Debug)]
+pub struct ServeClient {
+    addr: String,
+    session: String,
+    conn: Option<(TcpStream, BufReader<TcpStream>)>,
+    /// Every event token ever sent, in order (one server record each).
+    tokens: Vec<String>,
+    /// Every verdict line ever received, in order.
+    verdicts: Vec<String>,
+    /// `truncated_input` notices surfaced by resumes, oldest first.
+    pub truncated_notices: Vec<String>,
+}
+
+/// A client-side protocol failure (transport errors come as
+/// [`ClientError::Io`], server `error` frames as
+/// [`ClientError::Server`]).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket/transport trouble.
+    Io(io::Error),
+    /// The server answered with a structured error frame: `(code,
+    /// full line)`.
+    Server(String, String),
+    /// Reconnect attempts exhausted under the retry policy.
+    GaveUp,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "serve client i/o: {e}"),
+            ClientError::Server(code, line) => write!(f, "server error {code}: {line}"),
+            ClientError::GaveUp => write!(f, "reconnect attempts exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// `true` for the tokens that make the server emit one verdict line
+/// (commit `c<N>` / abort `a<N>`).
+fn is_terminal_token(tok: &str) -> bool {
+    let mut chars = tok.chars();
+    matches!(chars.next(), Some('c') | Some('a')) && {
+        let rest = &tok[1..];
+        !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit())
+    }
+}
+
+/// Extracts `"key": <uint>` from a flat NDJSON frame.
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key": "<value>"` from a flat NDJSON frame (no unescape —
+/// callers only match known machine codes).
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+impl ServeClient {
+    /// Connects and opens a brand-new session.
+    pub fn hello(addr: &str, session: &str) -> Result<ServeClient, ClientError> {
+        let mut client = ServeClient {
+            addr: addr.to_string(),
+            session: session.to_string(),
+            conn: None,
+            tokens: Vec::new(),
+            verdicts: Vec::new(),
+            truncated_notices: Vec::new(),
+        };
+        client.connect()?;
+        client.send_frame(&format!(
+            "{{\"op\": \"hello\", \"session\": \"{session}\"}}"
+        ))?;
+        let ack = client.read_line()?;
+        if str_field(&ack, "ok") != Some("hello") {
+            return Err(server_error(ack));
+        }
+        Ok(client)
+    }
+
+    fn connect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        self.conn = Some((stream, reader));
+        Ok(())
+    }
+
+    fn send_frame(&mut self, frame: &str) -> io::Result<()> {
+        let (stream, _) = self.conn.as_mut().expect("not connected");
+        stream.write_all(frame.as_bytes())?;
+        stream.write_all(b"\n")
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let (_, reader) = self.conn.as_mut().expect("not connected");
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// The verdict ledger so far (commit/abort verdict lines, in
+    /// order).
+    pub fn verdicts(&self) -> &[String] {
+        &self.verdicts
+    }
+
+    /// Event tokens sent so far.
+    pub fn tokens_sent(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Streams one event token; when it is a transaction terminal the
+    /// verdict line is read and appended to the ledger. An [`Err`]
+    /// leaves the ledgers consistent for a later [`resume`].
+    ///
+    /// [`resume`]: ServeClient::resume
+    pub fn send_token(&mut self, tok: &str) -> Result<(), ClientError> {
+        self.tokens.push(tok.to_string());
+        self.push_token_to_wire(tok.to_string())
+    }
+
+    fn push_token_to_wire(&mut self, tok: String) -> Result<(), ClientError> {
+        self.send_frame(&tok)?;
+        if is_terminal_token(&tok) {
+            let line = self.read_line()?;
+            if line.starts_with("{\"error\"") {
+                return Err(server_error(line));
+            }
+            self.verdicts.push(line);
+        }
+        Ok(())
+    }
+
+    /// Reconnects and resumes after a server death or dropped
+    /// connection, retrying under `policy` (seeded jitter, exponential
+    /// backoff). On success the verdict ledger has absorbed the
+    /// server's replay and every token the server lost has been
+    /// re-sent.
+    pub fn resume(&mut self, policy: &RetryPolicy, seed: u64) -> Result<(), ClientError> {
+        let mut retry = policy.session(seed);
+        loop {
+            match self.try_resume() {
+                Ok(()) => return Ok(()),
+                Err(ClientError::Io(_)) => {
+                    adya_obs::counter!("serve_client.reconnect_failures").inc();
+                    if !retry.admit_op() {
+                        return Err(ClientError::GaveUp);
+                    }
+                    for _ in 0..retry.backoff_spins() {
+                        std::thread::yield_now();
+                    }
+                    // A spin of yields is too fast for a process
+                    // restart; stretch the tail with a real sleep.
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_resume(&mut self) -> Result<(), ClientError> {
+        self.connect()?;
+        adya_obs::counter!("serve_client.resumes").inc();
+        self.send_frame(&format!(
+            "{{\"op\": \"resume\", \"session\": \"{}\", \"verdicts\": {}}}",
+            self.session,
+            self.verdicts.len()
+        ))?;
+        let mut ack = self.read_line()?;
+        // A torn-tail healing notice precedes the ack.
+        if str_field(&ack, "error") == Some("truncated_input") {
+            self.truncated_notices.push(ack);
+            ack = self.read_line()?;
+        }
+        if str_field(&ack, "ok") != Some("resume") {
+            return Err(server_error(ack));
+        }
+        let durable = u64_field(&ack, "events").expect("resume ack carries events") as usize;
+        let replay = u64_field(&ack, "replay").expect("resume ack carries replay");
+        for _ in 0..replay {
+            let line = self.read_line()?;
+            self.verdicts.push(line);
+        }
+        // Re-send everything the server never logged (cloned one at a
+        // time: the wire push borrows self mutably).
+        for i in durable..self.tokens.len() {
+            let tok = self.tokens[i].clone();
+            self.push_token_to_wire(tok)?;
+        }
+        Ok(())
+    }
+
+    /// Closes the session; returns the final (`"final": true`) verdict
+    /// line. The `closing` frame is consumed and verified.
+    pub fn close(mut self) -> Result<String, ClientError> {
+        self.send_frame("{\"op\": \"close\"}")?;
+        let fin = self.read_line()?;
+        if fin.starts_with("{\"error\"") {
+            return Err(server_error(fin));
+        }
+        let closing = self.read_line()?;
+        if str_field(&closing, "closing") != Some("close") {
+            return Err(server_error(closing));
+        }
+        Ok(fin)
+    }
+}
+
+fn server_error(line: String) -> ClientError {
+    let code = str_field(&line, "error").unwrap_or("protocol").to_string();
+    ClientError::Server(code, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_token_classification() {
+        for t in ["c1", "a1", "c42", "a107"] {
+            assert!(is_terminal_token(t), "{t}");
+        }
+        for t in ["b1", "w1(x,1)", "r1(x1)", "c", "a", "cx", "c1x", "xinit"] {
+            assert!(!is_terminal_token(t), "{t}");
+        }
+    }
+
+    #[test]
+    fn frame_field_extraction() {
+        let ack = "{\"ok\": \"resume\", \"session\": \"t\", \"events\": 41, \
+                   \"verdicts\": 12, \"replay\": 3}";
+        assert_eq!(u64_field(ack, "events"), Some(41));
+        assert_eq!(u64_field(ack, "replay"), Some(3));
+        assert_eq!(str_field(ack, "ok"), Some("resume"));
+        assert_eq!(u64_field(ack, "missing"), None);
+    }
+}

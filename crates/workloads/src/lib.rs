@@ -16,9 +16,14 @@
 //!   phantom scenario of §5.4, hotspot counters, zipfian mixes) plus a
 //!   [`histgen`] module that samples random *histories* directly for
 //!   permissiveness experiments and property tests.
+//!
+//! Plus one transport piece: [`ServeClient`], a crash-resumable TCP
+//! client for the `adya-serve` session protocol, reusing the same
+//! [`RetryPolicy`] backoff machinery for reconnects.
 
 #![warn(missing_docs)]
 
+mod client;
 mod concurrent;
 mod driver;
 mod generators;
@@ -27,6 +32,7 @@ mod program;
 mod retry;
 mod zipf;
 
+pub use client::{ClientError, ServeClient};
 pub use concurrent::{run_concurrent, ConcurrentConfig};
 pub use driver::{run_deterministic, DriverConfig, RunStats, SessionOutcome};
 pub use generators::{

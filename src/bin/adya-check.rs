@@ -582,13 +582,25 @@ fn run_stream_binary(args: &Args, buf: &[u8]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let mut emitted = 0u64;
     while let Some(item) = log.next() {
+        if adya_serve::shutdown::requested() {
+            // SIGTERM/ctrl-c: stop ingesting, emit the closing frame,
+            // then fall through to the ordinary final verdict so the
+            // stream ends the same way an EOF would.
+            println!(
+                "{}",
+                adya_serve::proto::closing_frame("shutdown", None, checker.events(), emitted)
+            );
+            break;
+        }
         match item {
             Ok(ev) => {
                 let arrived = obs.event_arrived();
                 let v = checker.ingest(&ev);
                 obs.event_applied(&checker, arrived, v.as_ref());
                 if let Some(v) = v {
+                    emitted += 1;
                     println!("{}", v.to_json());
                     if args.dot {
                         if let Some(d) = stream_cycle_dot(&v) {
@@ -627,6 +639,9 @@ fn run_stream_binary(args: &Args, buf: &[u8]) -> ExitCode {
 /// was cut mid-write), reported as a `truncated_input` record with
 /// exit 3 rather than a hard parse error.
 fn run_stream(args: &Args) -> ExitCode {
+    // Streaming runs can be long-lived sidecars; SIGTERM/ctrl-c must
+    // end them with a closing frame and a final verdict, not mid-line.
+    adya_serve::shutdown::install();
     if let Some(level) = args.level {
         let ansi = [
             IsolationLevel::PL1,
@@ -688,8 +703,16 @@ fn run_stream(args: &Args) -> ExitCode {
 
     // (line number, parse error, were there tokens after it)
     let mut damage: Option<(usize, String, bool)> = None;
+    let mut emitted = 0u64;
     let mut lines = reader.lines().enumerate();
     'ingest: for (ix, line) in lines.by_ref() {
+        if adya_serve::shutdown::requested() {
+            println!(
+                "{}",
+                adya_serve::proto::closing_frame("shutdown", None, checker.events(), emitted)
+            );
+            break 'ingest;
+        }
         let line = match line {
             Ok(l) => l,
             Err(e) => {
@@ -716,6 +739,7 @@ fn run_stream(args: &Args) -> ExitCode {
             let v = checker.ingest(&ev);
             obs.event_applied(&checker, arrived, v.as_ref());
             if let Some(v) = v {
+                emitted += 1;
                 println!("{}", v.to_json());
                 if args.dot {
                     if let Some(d) = stream_cycle_dot(&v) {

@@ -1,0 +1,147 @@
+//! `adya-serve` — the durable, multi-tenant checker service.
+//!
+//! Hosts many concurrent online-checker sessions over TCP (and
+//! optionally a unix socket), each with a segmented durable event log
+//! and periodic snapshots under `--data`, so killing the process and
+//! restarting it on the same directory resumes every session with a
+//! byte-identical verdict stream. The obs plane (`/metrics`,
+//! `/health`) is served on the same port.
+//!
+//! Protocol (NDJSON, one frame or event line per line):
+//!
+//! ```text
+//! → {"op": "hello", "session": "sess-a"}          create a session
+//! ← {"ok": "hello", "session": "sess-a", ...}
+//! → b1 w1(x,1) c1                    event tokens (adya-check notation)
+//! ← {"txn": 1, "committed": true, ...}     one verdict per commit/abort
+//! → {"op": "resume", "session": "sess-a", "verdicts": 3}   re-attach
+//! ← {"ok": "resume", "events": N, "verdicts": T, "replay": M} + M lines
+//! → {"op": "close"}                  finish: final verdict + closing
+//! ```
+//!
+//! SIGTERM/ctrl-c drains gracefully: connections get a
+//! `{"closing": "shutdown"}` frame, every session parks with a final
+//! snapshot, sockets close, exit 0.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use adya::serve::{shutdown, ServeConfig, Server};
+use adya_faults::TapCrashConfig;
+
+const USAGE: &str = "usage: adya-serve --data DIR [--listen ADDR] [--unix PATH]
+                  [--rotate-events N] [--snapshot-every N]
+                  [--gc-interval N] [--no-gc] [--provenance]
+                  [--crash-at-event N]
+
+  --data DIR        session store root (one subdirectory per session)
+  --listen ADDR     TCP listen address (default 127.0.0.1:0; the bound
+                    address is printed to stderr)
+  --unix PATH       also listen on a unix socket at PATH
+  --rotate-events N start a new log segment every N events (default 4096)
+  --snapshot-every N snapshot + compact every N events (default 1024)
+  --gc-interval N   checker watermark-GC interval (default 64)
+  --no-gc           disable watermark GC (unbounded checker memory)
+  --provenance      record cycle provenance in verdicts
+  --crash-at-event N abort the process at the N-th non-commit event
+                    after it is logged but before it is applied
+                    (crash-recovery testing only)
+";
+
+struct Args {
+    data: String,
+    listen: String,
+    unix: Option<String>,
+    cfg: ServeConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut data = None;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut unix = None;
+    let mut cfg = ServeConfig::new("");
+    let mut it = std::env::args().skip(1);
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--data" => data = Some(need(&mut it, "--data")?),
+            "--listen" => listen = need(&mut it, "--listen")?,
+            "--unix" => unix = Some(need(&mut it, "--unix")?),
+            "--rotate-events" => {
+                cfg.session.log.rotate_events = parse_u64(&need(&mut it, "--rotate-events")?)?
+            }
+            "--snapshot-every" => {
+                cfg.session.log.snapshot_every = parse_u64(&need(&mut it, "--snapshot-every")?)?
+            }
+            "--gc-interval" => {
+                cfg.session.gc.interval = parse_u64(&need(&mut it, "--gc-interval")?)?
+            }
+            "--no-gc" => cfg.session.gc.enabled = false,
+            "--provenance" => cfg.session.provenance = true,
+            "--crash-at-event" => {
+                cfg.tap = TapCrashConfig {
+                    crash_at: Some(parse_u64(&need(&mut it, "--crash-at-event")?)?),
+                    crash_every: None,
+                }
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if cfg.session.log.rotate_events == 0 || cfg.session.log.snapshot_every == 0 {
+        return Err("--rotate-events/--snapshot-every must be at least 1".into());
+    }
+    let data = data.ok_or("--data is required")?;
+    cfg.data_dir = data.clone().into();
+    Ok(Args {
+        data,
+        listen,
+        unix,
+        cfg,
+    })
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("not a number: {s}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("adya-serve: {e}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    shutdown::install();
+    let mut server = match Server::bind(
+        &args.listen,
+        args.unix.as_ref().map(std::path::Path::new),
+        args.cfg,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("adya-serve: cannot bind {}: {e}", args.listen);
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("adya-serve: listening on {}", server.local_addr());
+    if let Some(p) = &args.unix {
+        eprintln!("adya-serve: listening on unix:{p}");
+    }
+    eprintln!("adya-serve: sessions under {}", args.data);
+
+    while !shutdown::requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("adya-serve: shutdown requested, draining");
+    server.shutdown();
+    eprintln!("adya-serve: all sessions parked, bye");
+    ExitCode::SUCCESS
+}

@@ -60,3 +60,7 @@ pub use adya_online as online;
 /// Violation forensics: minimal witnesses, explain narratives,
 /// cycle-scoped DOT and Chrome-trace timeline export.
 pub use adya_forensics as forensics;
+
+/// The checker service: durable multi-tenant sessions over sockets
+/// with kill-and-restart recovery and graceful shutdown.
+pub use adya_serve as serve;

@@ -1,0 +1,331 @@
+//! End-to-end tests of `adya-serve`: concurrent durable sessions over
+//! TCP, kill -9 / restart recovery with byte-identical resumed verdict
+//! streams, the tap-side crash plane, graceful SIGTERM drains, and the
+//! fleet obs endpoints on the service port.
+
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use adya::online::{GcConfig, OnlineChecker, StreamParser};
+use adya::workloads::{ClientError, RetryPolicy, ServeClient};
+
+struct Server(Child);
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn data_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawns `adya-serve` on `listen` over `data`, returning the process
+/// and the actually-bound address. Retries briefly so a restart can
+/// rebind the port a killed predecessor just held.
+fn spawn_server(data: &std::path::Path, listen: &str, extra: &[&str]) -> (Server, String) {
+    for attempt in 0..50 {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_adya-serve"))
+            .arg("--data")
+            .arg(data)
+            .args([
+                "--listen",
+                listen,
+                "--snapshot-every",
+                "8",
+                "--rotate-events",
+                "16",
+            ])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn adya-serve");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let mut reader = BufReader::new(stderr);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read first stderr line");
+        if let Some((_, addr)) = line.rsplit_once("listening on ") {
+            // Keep stderr draining so the child never blocks on it.
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut reader, &mut std::io::sink());
+            });
+            return (Server(child), addr.trim().to_string());
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+        assert!(attempt < 49, "adya-serve kept failing to bind: {line:?}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    unreachable!()
+}
+
+/// A deterministic token stream for one session: interleaved begins,
+/// version-correct reads, writes and commits over eight objects.
+fn session_tokens(session: usize, txns: u64) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut last_writer = [None::<u64>; 8];
+    let obj = |i: usize| (b'a' + i as u8) as char;
+    for t in 1..=txns {
+        let wobj = ((t as usize) * 7 + session) % 8;
+        let robj = ((t as usize) * 3 + session) % 8;
+        tokens.push(format!("b{t}"));
+        if let Some(w) = last_writer[robj] {
+            tokens.push(format!("r{t}(k{}{w})", obj(robj)));
+        }
+        tokens.push(format!("w{t}(k{},{t})", obj(wobj)));
+        tokens.push(format!("c{t}"));
+        last_writer[wobj] = Some(t);
+    }
+    tokens
+}
+
+/// The uninterrupted in-process reference: same tokens, same checker
+/// configuration as a server session — (verdict lines, final line).
+fn reference(tokens: &[String]) -> (Vec<String>, String) {
+    let mut parser = StreamParser::new();
+    let mut checker = OnlineChecker::with_gc(GcConfig::default());
+    let mut verdicts = Vec::new();
+    for tok in tokens {
+        let ev = parser.parse_token(tok).expect("reference tokens parse");
+        if let Some(v) = checker.ingest(&ev) {
+            verdicts.push(v.to_json());
+        }
+    }
+    (verdicts, checker.finish().to_json())
+}
+
+/// Streams one token, transparently resuming (and counting the
+/// resume) when the server is down.
+fn send_resilient(client: &mut ServeClient, tok: &str, addr_hint: &str, resumes: &mut u32) {
+    match client.send_token(tok) {
+        Ok(()) => {}
+        Err(ClientError::Io(_)) => {
+            let policy = RetryPolicy {
+                deadline_ops: Some(2_000),
+                ..RetryPolicy::default()
+            };
+            client
+                .resume(&policy, 0xAD7A)
+                .unwrap_or_else(|e| panic!("resume against {addr_hint} failed: {e}"));
+            *resumes += 1;
+        }
+        Err(e) => panic!("protocol error streaming {tok:?}: {e}"),
+    }
+}
+
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect service port");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: adya\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send");
+    let mut response = String::new();
+    s.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn kill_minus_nine_resumes_four_sessions_byte_identically() {
+    let data = data_dir("serve-kill");
+    let (server, addr) = spawn_server(&data, "127.0.0.1:0", &[]);
+
+    // 4 clients + the killer thread rendezvous twice: once with every
+    // session mid-stream, once after the replacement server is up.
+    let barrier = Arc::new(Barrier::new(5));
+    let mut handles = Vec::new();
+    for s in 0..4 {
+        let addr = addr.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let tokens = session_tokens(s, 40);
+            let name = format!("tenant-{s}");
+            let mut client = ServeClient::hello(&addr, &name).expect("hello");
+            let mut resumes = 0u32;
+            let half = tokens.len() / 2;
+            for tok in &tokens[..half] {
+                send_resilient(&mut client, tok, &addr, &mut resumes);
+            }
+            barrier.wait(); // everyone is mid-stream
+            barrier.wait(); // the server has been killed and restarted
+            for tok in &tokens[half..] {
+                send_resilient(&mut client, tok, &addr, &mut resumes);
+            }
+            let verdicts = client.verdicts().to_vec();
+            let fin = client.close().expect("close");
+            (tokens, verdicts, fin, resumes)
+        }));
+    }
+
+    barrier.wait();
+    drop(server); // SIGKILL — no flush, no goodbye
+    let (_server2, addr2) = spawn_server(&data, &addr, &[]);
+    assert_eq!(
+        addr2, addr,
+        "replacement server must rebind the same address"
+    );
+    barrier.wait();
+
+    let mut total_resumes = 0;
+    for handle in handles {
+        let (tokens, verdicts, fin, resumes) = handle.join().expect("client thread");
+        let (want_verdicts, want_final) = reference(&tokens);
+        assert_eq!(
+            verdicts, want_verdicts,
+            "resumed verdict stream must be byte-identical to the uninterrupted run"
+        );
+        assert_eq!(fin, want_final, "final verdict must match the reference");
+        total_resumes += resumes;
+    }
+    assert!(
+        total_resumes >= 4,
+        "every session must actually have resumed across the kill (got {total_resumes})"
+    );
+}
+
+#[test]
+fn tap_crash_point_aborts_the_server_and_recovery_closes_the_gap() {
+    let data = data_dir("serve-tap");
+    // The tap plane fires after the 30th non-commit event is durable
+    // but before it is applied — the exact durable-but-unapplied
+    // window recovery must close.
+    let (server, addr) = spawn_server(&data, "127.0.0.1:0", &["--crash-at-event", "30"]);
+
+    let tokens = session_tokens(0, 30);
+    let mut client = ServeClient::hello(&addr, "crashy").expect("hello");
+    let mut resumes = 0u32;
+    let mut crashed_server = Some(server);
+    for tok in &tokens {
+        match client.send_token(tok) {
+            Ok(()) => {}
+            Err(ClientError::Io(_)) => {
+                // The server aborted itself; restart it sans crash
+                // point and resume.
+                let dead = crashed_server
+                    .take()
+                    .expect("only one tap crash is scheduled");
+                drop(dead);
+                let (s2, addr2) = spawn_server(&data, &addr, &[]);
+                assert_eq!(addr2, addr);
+                crashed_server = Some(s2);
+                let policy = RetryPolicy {
+                    deadline_ops: Some(2_000),
+                    ..RetryPolicy::default()
+                };
+                client.resume(&policy, 7).expect("resume after tap crash");
+                resumes += 1;
+            }
+            Err(e) => panic!("protocol error: {e}"),
+        }
+    }
+    assert_eq!(
+        resumes, 1,
+        "the scheduled tap crash must have fired exactly once"
+    );
+    let (want_verdicts, want_final) = reference(&tokens);
+    assert_eq!(client.verdicts(), &want_verdicts[..]);
+    assert_eq!(client.close().expect("close"), want_final);
+}
+
+#[test]
+fn violations_stream_through_the_service_and_health_covers_the_fleet() {
+    let data = data_dir("serve-golden");
+    let (_server, addr) = spawn_server(&data, "127.0.0.1:0", &[]);
+
+    // Write skew: two rw antidependencies close a G2 cycle at c2.
+    let golden = [
+        "b1",
+        "b2",
+        "r1(xinit)",
+        "r2(yinit)",
+        "w1(y,1)",
+        "w2(x,2)",
+        "c1",
+        "c2",
+    ];
+    let mut client = ServeClient::hello(&addr, "golden").expect("hello");
+    for tok in golden {
+        client.send_token(tok).expect("stream golden history");
+    }
+    let (want, want_final) = {
+        let owned: Vec<String> = golden.iter().map(|t| t.to_string()).collect();
+        reference(&owned)
+    };
+    assert_eq!(client.verdicts(), &want[..]);
+    assert!(
+        client.verdicts()[1].contains("\"G2\""),
+        "write skew must fire G2 at c2: {}",
+        client.verdicts()[1]
+    );
+
+    let (status, body) = http_get(&addr, "/health");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"session\": \"golden\""), "{body}");
+    assert!(body.contains("\"healthy\": true"), "{body}");
+    let (status, metrics) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("session=\"golden\""),
+        "per-session SLI labels missing from /metrics"
+    );
+
+    assert_eq!(client.close().expect("close"), want_final);
+}
+
+#[test]
+fn sigterm_drains_gracefully_and_sessions_survive() {
+    let data = data_dir("serve-term");
+    let (mut server, addr) = spawn_server(&data, "127.0.0.1:0", &[]);
+
+    let tokens = session_tokens(1, 12);
+    let mut client = ServeClient::hello(&addr, "steady").expect("hello");
+    for tok in &tokens {
+        client.send_token(tok).expect("stream");
+    }
+    let before = client.verdicts().to_vec();
+
+    let pid = server.0.id().to_string();
+    let ok = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("send SIGTERM")
+        .success();
+    assert!(ok, "kill -TERM failed");
+    let status = server.0.wait().expect("server exits");
+    assert_eq!(status.code(), Some(0), "graceful shutdown must exit 0");
+
+    // The parked session recovers on a fresh server with nothing lost.
+    let (_server2, addr2) = spawn_server(&data, &addr, &[]);
+    assert_eq!(addr2, addr);
+    let policy = RetryPolicy::default();
+    client
+        .resume(&policy, 3)
+        .expect("resume after graceful drain");
+    assert_eq!(
+        client.verdicts(),
+        &before[..],
+        "no verdicts may be lost or duplicated"
+    );
+    let (want, want_final) = reference(&tokens);
+    assert_eq!(client.verdicts(), &want[..]);
+    assert_eq!(client.close().expect("close"), want_final);
+}
