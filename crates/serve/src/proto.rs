@@ -210,8 +210,9 @@ pub fn error_frame(code: &str, detail: &str) -> String {
 }
 
 /// The last frame of an orderly connection end. `why` is `close`
-/// (client asked), `detach` (client went away; session stays durable)
-/// or `shutdown` (server is draining).
+/// (client asked), `detach` (client went away; session stays durable),
+/// `idle` (no read progress past the idle deadline; session parked) or
+/// `shutdown` (server is draining).
 pub fn closing_frame(why: &str, session: Option<&str>, events: u64, verdicts: u64) -> String {
     let session = match session {
         Some(s) => format!("\"{}\"", esc(s)),

@@ -13,10 +13,12 @@
 //! name. A session is *attached* while one connection owns it; a
 //! second `hello`/`resume` for the same name is refused with
 //! `session_busy` rather than interleaving two clients' streams.
-//! Detach (EOF, error, shutdown) parks the session — snapshot to disk,
-//! replay window kept — ready for the next resume or a restart.
+//! Detach (EOF, error, idle deadline, shutdown) parks the session —
+//! snapshot to disk, replay window kept — ready for the next resume or
+//! a restart. The idle deadline is what guarantees a half-open peer
+//! cannot pin its session attached forever.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
@@ -41,6 +43,10 @@ pub struct ServeConfig {
     pub session: SessionConfig,
     /// Tap-side crash schedule (tests/soak only; default never).
     pub tap: TapCrashConfig,
+    /// Connections that make no read progress for this long are
+    /// detached (their session parked): a half-open peer — one that
+    /// vanished without a FIN — must not pin its session forever.
+    pub idle_timeout: Duration,
 }
 
 impl ServeConfig {
@@ -50,6 +56,7 @@ impl ServeConfig {
             data_dir: data_dir.into(),
             session: SessionConfig::default(),
             tap: TapCrashConfig::default(),
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -57,6 +64,11 @@ impl ServeConfig {
 struct Inner {
     cfg: ServeConfig,
     sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    /// Session names whose disk recovery is in flight. Claiming a name
+    /// here lets [`Session::recover`] run without the `sessions` lock,
+    /// so one slow recovery cannot stall `/metrics`, `/health` or
+    /// other connections' hellos and resumes.
+    recovering: Mutex<HashSet<String>>,
     tap: TapCrashPlane,
     conns: AtomicUsize,
     stop: AtomicBool,
@@ -79,6 +91,7 @@ impl Server {
         let inner = Arc::new(Inner {
             cfg,
             sessions: Mutex::new(HashMap::new()),
+            recovering: Mutex::new(HashSet::new()),
             tap,
             conns: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
@@ -238,49 +251,61 @@ fn handle_conn(mut stream: Box<dyn Conn>, inner: &Inner) {
         Err(_) => return,
     };
     let mut attached: Option<Arc<Mutex<Session>>> = None;
-    let mut line = String::new();
+    // Raw bytes, not read_line: its UTF-8 guard truncates everything a
+    // timed-out call appended when the partial line ends mid-codepoint,
+    // silently dropping bytes of a multi-byte object name split across
+    // the poll boundary. read_until keeps partial bytes in `buf`.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut last_progress = Instant::now();
     let why_closing;
     loop {
         if inner.stop.load(Ordering::Relaxed) {
             why_closing = "shutdown";
             break;
         }
-        match reader.read_line(&mut line) {
-            // Timeout with a partial (or no) line buffered: poll stop
-            // and keep accumulating — read_line appends, so nothing
-            // read so far is lost.
+        let len_before = buf.len();
+        match reader.read_until(b'\n', &mut buf) {
+            // Timeout with a partial (or no) line buffered: poll stop,
+            // check the idle deadline, keep accumulating.
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
+                if buf.len() > len_before {
+                    last_progress = Instant::now();
+                } else if last_progress.elapsed() >= inner.cfg.idle_timeout {
+                    // A half-open peer (vanished without a FIN) would
+                    // otherwise hold its session attached forever,
+                    // turning every resume into session_busy until a
+                    // server restart.
+                    why_closing = "idle";
+                    break;
+                }
                 continue;
             }
             Err(_) => {
                 why_closing = "detach";
                 break;
             }
-            Ok(0) => {
-                if !line.trim().is_empty() {
-                    // Final unterminated line before EOF.
-                    match dispatch_line(&line, &mut stream, &mut attached, inner, &mut reader) {
-                        LineOutcome::Continue => {}
-                        LineOutcome::End => {
-                            detach(&mut attached);
-                            return;
-                        }
-                    }
-                }
+            Ok(0) if buf.is_empty() => {
                 why_closing = "detach";
                 break;
             }
             Ok(_) => {
-                let outcome = dispatch_line(&line, &mut stream, &mut attached, inner, &mut reader);
-                line.clear();
+                last_progress = Instant::now();
+                // read_until stops short of the delimiter only at EOF.
+                let at_eof = !buf.ends_with(b"\n");
+                let outcome = dispatch_bytes(&buf, &mut stream, &mut attached, inner, &mut reader);
+                buf.clear();
                 match outcome {
                     LineOutcome::Continue => {}
                     LineOutcome::End => {
                         detach(&mut attached);
                         return;
                     }
+                }
+                if at_eof {
+                    why_closing = "detach";
+                    break;
                 }
             }
         }
@@ -312,6 +337,29 @@ fn detach(attached: &mut Option<Arc<Mutex<Session>>>) {
 enum LineOutcome {
     Continue,
     End,
+}
+
+/// Validates one raw line as UTF-8 and dispatches it. A line that is
+/// not UTF-8 is rejected loudly instead of being applied mangled.
+fn dispatch_bytes(
+    raw: &[u8],
+    stream: &mut Box<dyn Conn>,
+    attached: &mut Option<Arc<Mutex<Session>>>,
+    inner: &Inner,
+    reader: &mut BufReader<Box<dyn Read + Send>>,
+) -> LineOutcome {
+    match std::str::from_utf8(raw) {
+        Ok(line) => dispatch_line(line, stream, attached, inner, reader),
+        Err(_) => {
+            adya_obs::counter!("serve.parse_errors").inc();
+            let _ = writeln!(
+                stream,
+                "{}",
+                proto::error_frame("parse", "line is not valid UTF-8")
+            );
+            LineOutcome::Continue
+        }
+    }
 }
 
 fn dispatch_line(
@@ -436,37 +484,8 @@ fn dispatch_frame(
                 );
                 return LineOutcome::Continue;
             }
-            let session = {
-                let mut sessions = inner.sessions.lock().unwrap();
-                match sessions.get(&name) {
-                    Some(s) => Arc::clone(s),
-                    None => {
-                        if !inner.cfg.data_dir.join(&name).is_dir() {
-                            let _ = writeln!(
-                                stream,
-                                "{}",
-                                proto::error_frame("unknown_session", &name)
-                            );
-                            return LineOutcome::Continue;
-                        }
-                        match Session::recover(&inner.cfg.data_dir, &name, inner.cfg.session) {
-                            Ok(s) => {
-                                let s = Arc::new(Mutex::new(s));
-                                sessions.insert(name.clone(), Arc::clone(&s));
-                                adya_obs::gauge!("serve.sessions").set(sessions.len() as i64);
-                                s
-                            }
-                            Err(e) => {
-                                let _ = writeln!(
-                                    stream,
-                                    "{}",
-                                    proto::error_frame("corrupt", &e.to_string())
-                                );
-                                return LineOutcome::Continue;
-                            }
-                        }
-                    }
-                }
+            let Some(session) = lookup_or_recover(inner, &name, stream) else {
+                return LineOutcome::Continue;
             };
             let mut s = session.lock().unwrap();
             if s.attached {
@@ -564,6 +583,58 @@ fn dispatch_frame(
             }
         }
     }
+}
+
+/// Finds `name` in the registry, or recovers it from disk and
+/// registers it. The (potentially slow) snapshot read + log-tail
+/// replay runs with *no* lock on the registry — only a per-name claim
+/// in `recovering` — so a fleet of post-restart resumes recovers in
+/// parallel and never stalls `/metrics`, `/health` or other
+/// connections. A concurrent resume for the same name gets
+/// `session_busy`, which clients retry with backoff. On failure the
+/// error frame has already been written; the caller just continues.
+fn lookup_or_recover(
+    inner: &Inner,
+    name: &str,
+    stream: &mut Box<dyn Conn>,
+) -> Option<Arc<Mutex<Session>>> {
+    if let Some(s) = inner.sessions.lock().unwrap().get(name) {
+        return Some(Arc::clone(s));
+    }
+    if !inner.cfg.data_dir.join(name).is_dir() {
+        let _ = writeln!(stream, "{}", proto::error_frame("unknown_session", name));
+        return None;
+    }
+    if !inner.recovering.lock().unwrap().insert(name.to_string()) {
+        let _ = writeln!(
+            stream,
+            "{}",
+            proto::error_frame("session_busy", "recovery in progress")
+        );
+        return None;
+    }
+    // Recheck under the claim: another connection may have finished
+    // this recovery between our registry miss and the claim.
+    if let Some(s) = inner.sessions.lock().unwrap().get(name) {
+        inner.recovering.lock().unwrap().remove(name);
+        return Some(Arc::clone(s));
+    }
+    let recovered = Session::recover(&inner.cfg.data_dir, name, inner.cfg.session);
+    let result = match recovered {
+        Ok(s) => {
+            let s = Arc::new(Mutex::new(s));
+            let mut sessions = inner.sessions.lock().unwrap();
+            sessions.insert(name.to_string(), Arc::clone(&s));
+            adya_obs::gauge!("serve.sessions").set(sessions.len() as i64);
+            Some(s)
+        }
+        Err(e) => {
+            let _ = writeln!(stream, "{}", proto::error_frame("corrupt", &e.to_string()));
+            None
+        }
+    };
+    inner.recovering.lock().unwrap().remove(name);
+    result
 }
 
 /// Serves one HTTP request on a connection that opened with `GET`.

@@ -304,14 +304,21 @@ impl Session {
     /// post-restart resume must still be able to re-send them.
     pub fn park(&mut self) {
         if self.closed.is_none() {
-            let _ = self.log.write_snapshot(
+            let wrote = self.log.write_snapshot(
                 &self.checker,
                 &self.parser,
                 self.verdicts,
                 self.recent_base,
                 &self.recent,
             );
-            self.last_snap_verdicts = self.verdicts;
+            // Advance the trim marker only if the snapshot is actually
+            // durable: advancing past a failed write would let the next
+            // successful snapshot() trim the replay window beyond
+            // verdicts no snapshot ever captured, making a resume
+            // within one interval spuriously unrecoverable.
+            if wrote.is_ok() {
+                self.last_snap_verdicts = self.verdicts;
+            }
         }
         self.attached = false;
     }

@@ -69,14 +69,12 @@ impl From<io::Error> for ClientError {
     }
 }
 
-/// `true` for the tokens that make the server emit one verdict line
-/// (commit `c<N>` / abort `a<N>`).
-fn is_terminal_token(tok: &str) -> bool {
-    let mut chars = tok.chars();
-    matches!(chars.next(), Some('c') | Some('a')) && {
-        let rest = &tok[1..];
-        !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit())
-    }
+/// `true` for the tokens that make the server emit one verdict line.
+/// Only commits (`c<N>`) do: aborts feed the checker but produce no
+/// verdict, so waiting for a line after `a<N>` would stall the stream.
+fn is_commit_token(tok: &str) -> bool {
+    tok.strip_prefix('c')
+        .is_some_and(|rest| !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()))
 }
 
 /// Extracts `"key": <uint>` from a flat NDJSON frame.
@@ -151,8 +149,8 @@ impl ServeClient {
         Ok(line)
     }
 
-    /// The verdict ledger so far (commit/abort verdict lines, in
-    /// order).
+    /// The verdict ledger so far (commit verdict lines, in order;
+    /// aborts emit none).
     pub fn verdicts(&self) -> &[String] {
         &self.verdicts
     }
@@ -162,9 +160,10 @@ impl ServeClient {
         self.tokens.len()
     }
 
-    /// Streams one event token; when it is a transaction terminal the
-    /// verdict line is read and appended to the ledger. An [`Err`]
-    /// leaves the ledgers consistent for a later [`resume`].
+    /// Streams one event token; when it is a commit the verdict line
+    /// is read and appended to the ledger (aborts produce no server
+    /// response). An [`Err`] leaves the ledgers consistent for a later
+    /// [`resume`].
     ///
     /// [`resume`]: ServeClient::resume
     pub fn send_token(&mut self, tok: &str) -> Result<(), ClientError> {
@@ -174,7 +173,7 @@ impl ServeClient {
 
     fn push_token_to_wire(&mut self, tok: String) -> Result<(), ClientError> {
         self.send_frame(&tok)?;
-        if is_terminal_token(&tok) {
+        if is_commit_token(&tok) {
             let line = self.read_line()?;
             if line.starts_with("{\"error\"") {
                 return Err(server_error(line));
@@ -186,9 +185,12 @@ impl ServeClient {
 
     /// Reconnects and resumes after a server death or dropped
     /// connection, retrying under `policy` (seeded jitter, exponential
-    /// backoff). On success the verdict ledger has absorbed the
-    /// server's replay and every token the server lost has been
-    /// re-sent.
+    /// backoff). `session_busy` is retried too: the previous owner of
+    /// the session may still be detaching (or the server may be
+    /// recovering it for another connection), and the server's idle
+    /// deadline guarantees a vanished owner eventually releases it. On
+    /// success the verdict ledger has absorbed the server's replay and
+    /// every token the server lost has been re-sent.
     pub fn resume(&mut self, policy: &RetryPolicy, seed: u64) -> Result<(), ClientError> {
         let mut retry = policy.session(seed);
         loop {
@@ -196,18 +198,22 @@ impl ServeClient {
                 Ok(()) => return Ok(()),
                 Err(ClientError::Io(_)) => {
                     adya_obs::counter!("serve_client.reconnect_failures").inc();
-                    if !retry.admit_op() {
-                        return Err(ClientError::GaveUp);
-                    }
-                    for _ in 0..retry.backoff_spins() {
-                        std::thread::yield_now();
-                    }
-                    // A spin of yields is too fast for a process
-                    // restart; stretch the tail with a real sleep.
-                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(ClientError::Server(code, _)) if code == "session_busy" => {
+                    adya_obs::counter!("serve_client.busy_retries").inc();
                 }
                 Err(e) => return Err(e),
             }
+            if !retry.admit_op() {
+                return Err(ClientError::GaveUp);
+            }
+            for _ in 0..retry.backoff_spins() {
+                std::thread::yield_now();
+            }
+            // A spin of yields is too fast for a process restart or an
+            // idle-deadline release; stretch the tail with a real
+            // sleep.
+            std::thread::sleep(Duration::from_millis(20));
         }
     }
 
@@ -269,12 +275,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn terminal_token_classification() {
-        for t in ["c1", "a1", "c42", "a107"] {
-            assert!(is_terminal_token(t), "{t}");
+    fn commit_token_classification() {
+        for t in ["c1", "c42", "c107"] {
+            assert!(is_commit_token(t), "{t}");
         }
-        for t in ["b1", "w1(x,1)", "r1(x1)", "c", "a", "cx", "c1x", "xinit"] {
-            assert!(!is_terminal_token(t), "{t}");
+        // Aborts produce no verdict line, so they must not be treated
+        // as verdict-producing — a client waiting after `a1` would
+        // stall until the read timeout.
+        for t in ["a1", "a107", "b1", "w1(x,1)", "r1(x1)", "c", "a", "cx", "c1x", "xinit"] {
+            assert!(!is_commit_token(t), "{t}");
         }
     }
 

@@ -13,7 +13,8 @@
 //! → {"op": "hello", "session": "sess-a"}          create a session
 //! ← {"ok": "hello", "session": "sess-a", ...}
 //! → b1 w1(x,1) c1                    event tokens (adya-check notation)
-//! ← {"txn": 1, "committed": true, ...}     one verdict per commit/abort
+//! ← {"txn": 1, "committed": true, ...}     one verdict per commit
+//!                                          (aborts produce no reply)
 //! → {"op": "resume", "session": "sess-a", "verdicts": 3}   re-attach
 //! ← {"ok": "resume", "events": N, "verdicts": T, "replay": M} + M lines
 //! → {"op": "close"}                  finish: final verdict + closing
@@ -32,7 +33,7 @@ use adya_faults::TapCrashConfig;
 const USAGE: &str = "usage: adya-serve --data DIR [--listen ADDR] [--unix PATH]
                   [--rotate-events N] [--snapshot-every N]
                   [--gc-interval N] [--no-gc] [--provenance]
-                  [--crash-at-event N]
+                  [--idle-timeout-ms N] [--crash-at-event N]
 
   --data DIR        session store root (one subdirectory per session)
   --listen ADDR     TCP listen address (default 127.0.0.1:0; the bound
@@ -43,6 +44,8 @@ const USAGE: &str = "usage: adya-serve --data DIR [--listen ADDR] [--unix PATH]
   --gc-interval N   checker watermark-GC interval (default 64)
   --no-gc           disable watermark GC (unbounded checker memory)
   --provenance      record cycle provenance in verdicts
+  --idle-timeout-ms N detach a connection (parking its session) after N
+                    milliseconds without read progress (default 60000)
   --crash-at-event N abort the process at the N-th non-commit event
                     after it is logged but before it is applied
                     (crash-recovery testing only)
@@ -80,6 +83,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-gc" => cfg.session.gc.enabled = false,
             "--provenance" => cfg.session.provenance = true,
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout =
+                    Duration::from_millis(parse_u64(&need(&mut it, "--idle-timeout-ms")?)?)
+            }
             "--crash-at-event" => {
                 cfg.tap = TapCrashConfig {
                     crash_at: Some(parse_u64(&need(&mut it, "--crash-at-event")?)?),
@@ -95,6 +102,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if cfg.session.log.rotate_events == 0 || cfg.session.log.snapshot_every == 0 {
         return Err("--rotate-events/--snapshot-every must be at least 1".into());
+    }
+    if cfg.idle_timeout.is_zero() {
+        return Err("--idle-timeout-ms must be at least 1".into());
     }
     let data = data.ok_or("--data is required")?;
     cfg.data_dir = data.clone().into();

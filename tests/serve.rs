@@ -1,14 +1,16 @@
 //! End-to-end tests of `adya-serve`: concurrent durable sessions over
 //! TCP, kill -9 / restart recovery with byte-identical resumed verdict
-//! streams, the tap-side crash plane, graceful SIGTERM drains, and the
-//! fleet obs endpoints on the service port.
+//! streams, abort-bearing (G1a) histories, the idle-detach deadline,
+//! lines split mid-codepoint across read timeouts, the tap-side crash
+//! plane, graceful SIGTERM drains, and the fleet obs endpoints on the
+//! service port.
 
 use std::io::{BufRead as _, BufReader, Read as _, Write as _};
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Barrier};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use adya::online::{GcConfig, OnlineChecker, StreamParser};
 use adya::workloads::{ClientError, RetryPolicy, ServeClient};
@@ -289,6 +291,169 @@ fn violations_stream_through_the_service_and_health_covers_the_fleet() {
     );
 
     assert_eq!(client.close().expect("close"), want_final);
+}
+
+#[test]
+fn aborts_stream_through_the_service_and_survive_kill_resume() {
+    let data = data_dir("serve-abort");
+    let (server, addr) = spawn_server(&data, "127.0.0.1:0", &[]);
+
+    // G1a: t2 reads t1's write, then t1 aborts — the verdict arrives
+    // at c2. Aborts themselves produce no verdict line, so the stream
+    // must keep flowing straight through `a1` and `a3` without the
+    // client stalling on a reply that never comes.
+    let tokens: Vec<String> = [
+        "b1",
+        "w1(x,1)",
+        "b2",
+        "r2(x1)",
+        "a1",
+        "c2",
+        "b3",
+        "w3(y,3)",
+        "a3",
+        "b4",
+        "r4(xinit)",
+        "c4",
+    ]
+    .iter()
+    .map(|t| t.to_string())
+    .collect();
+
+    let mut client = ServeClient::hello(&addr, "aborter").expect("hello");
+    let mut resumes = 0u32;
+    // Stream through the first abort, then kill -9 the server so the
+    // resume's re-sent suffix can itself contain abort tokens.
+    for tok in &tokens[..5] {
+        send_resilient(&mut client, tok, &addr, &mut resumes);
+    }
+    drop(server);
+    let (_server2, addr2) = spawn_server(&data, &addr, &[]);
+    assert_eq!(addr2, addr);
+    for tok in &tokens[5..] {
+        send_resilient(&mut client, tok, &addr, &mut resumes);
+    }
+    assert!(resumes >= 1, "the kill must have forced a resume");
+
+    let (want, want_final) = reference(&tokens);
+    assert_eq!(
+        client.verdicts(),
+        &want[..],
+        "verdict stream with aborts must be byte-identical to the reference"
+    );
+    assert!(
+        client.verdicts()[0].contains("\"G1a\""),
+        "reading from an aborted transaction must fire G1a at c2: {}",
+        client.verdicts()[0]
+    );
+    assert_eq!(client.close().expect("close"), want_final);
+}
+
+#[test]
+fn idle_connections_detach_and_release_their_session() {
+    let data = data_dir("serve-idle");
+    let (_server, addr) = spawn_server(&data, "127.0.0.1:0", &["--idle-timeout-ms", "750"]);
+
+    let mut first = TcpStream::connect(&addr).expect("connect");
+    first
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    first
+        .write_all(b"{\"op\": \"hello\", \"session\": \"sleepy\"}\n")
+        .expect("hello");
+    let mut first_r = BufReader::new(first.try_clone().expect("clone"));
+    let mut line = String::new();
+    first_r.read_line(&mut line).expect("hello ack");
+    assert!(line.contains("\"ok\": \"hello\""), "{line}");
+    first.write_all(b"b1 w1(x,1) c1\n").expect("stream");
+    line.clear();
+    first_r.read_line(&mut line).expect("verdict");
+    let verdict = line.trim_end().to_string();
+    assert!(
+        verdict.starts_with('{') && !verdict.contains("\"error\""),
+        "{verdict}"
+    );
+
+    // Go silent without closing the socket — a stand-in for a peer
+    // that vanished half-open. The session is busy while this
+    // connection owns it, but the idle deadline must park it and let
+    // a second connection's resume win.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut saw_busy = false;
+    let replayed = loop {
+        assert!(
+            Instant::now() < deadline,
+            "idle deadline never released the session"
+        );
+        let mut s = TcpStream::connect(&addr).expect("connect resumer");
+        s.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        s.write_all(b"{\"op\": \"resume\", \"session\": \"sleepy\", \"verdicts\": 0}\n")
+            .expect("resume");
+        let mut r = BufReader::new(s.try_clone().expect("clone"));
+        let mut ack = String::new();
+        r.read_line(&mut ack).expect("resume ack");
+        if ack.contains("\"error\": \"session_busy\"") {
+            saw_busy = true;
+            std::thread::sleep(Duration::from_millis(25));
+            continue;
+        }
+        assert!(ack.contains("\"ok\": \"resume\""), "{ack}");
+        assert!(ack.contains("\"replay\": 1"), "{ack}");
+        let mut v = String::new();
+        r.read_line(&mut v).expect("replayed verdict");
+        break v.trim_end().to_string();
+    };
+    assert!(
+        saw_busy,
+        "the idle connection must have owned the session at first"
+    );
+    assert_eq!(replayed, verdict, "replay must re-send the verdict verbatim");
+
+    // The idle connection is told why it was cut loose.
+    line.clear();
+    first_r.read_line(&mut line).expect("closing frame");
+    assert!(line.contains("\"closing\": \"idle\""), "{line}");
+}
+
+#[test]
+fn multibyte_object_names_survive_timeout_split_lines() {
+    let data = data_dir("serve-utf8");
+    let (_server, addr) = spawn_server(&data, "127.0.0.1:0", &[]);
+
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    s.write_all(b"{\"op\": \"hello\", \"session\": \"utf8\"}\n")
+        .expect("hello");
+    let mut r = BufReader::new(s.try_clone().expect("clone"));
+    let mut line = String::new();
+    r.read_line(&mut line).expect("hello ack");
+    assert!(line.contains("\"ok\": \"hello\""), "{line}");
+
+    // Split the line in the middle of the two-byte 'é' and pause well
+    // past the server's 100ms read-poll timeout: the partial bytes
+    // must survive the timed-out read instead of being dropped by a
+    // UTF-8 completeness guard.
+    let full = "b1 w1(café,1) c1\n".as_bytes();
+    let split = full.iter().position(|&b| b == 0xC3).expect("é lead byte") + 1;
+    s.write_all(&full[..split]).expect("first half");
+    s.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(400));
+    s.write_all(&full[split..]).expect("second half");
+
+    line.clear();
+    r.read_line(&mut line).expect("verdict");
+    let tokens: Vec<String> = ["b1", "w1(café,1)", "c1"]
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
+    let (want, _) = reference(&tokens);
+    assert_eq!(
+        line.trim_end(),
+        want[0],
+        "the verdict after a mid-codepoint split must match the reference"
+    );
 }
 
 #[test]
