@@ -19,6 +19,11 @@
 //!    the online checker with snapshot/restore cycles at several cut
 //!    points yields a verdict stream byte-identical to an
 //!    uninterrupted pass.
+//! 4. **The pipeline changes nothing either.** Replaying the stream
+//!    through the staged ingest pipeline — threaded feeder, tiny rings
+//!    under constant backpressure, batched application — with the
+//!    stream cut (pipeline closed, sequencer drained, checker
+//!    snapshot/restored) at seeded points is also byte-identical.
 //!
 //! Seeds are CLI-settable and echoed into the JSON report
 //! (`--report`), so any soak run is reproducible from the report
@@ -45,7 +50,9 @@ use adya_engine::{
 use adya_faults::{FaultConfig, FaultPlane, FaultStats, FaultyEngine};
 use adya_history::Event;
 use adya_obs::json::JsonWriter;
-use adya_online::{encode_log, EventLogReader, LogError, OnlineChecker};
+use adya_online::{
+    encode_log, EventLogReader, EventPipeline, LogError, OnlineChecker, PipelineConfig,
+};
 use adya_workloads::{mixed_workload, run_concurrent, ConcurrentConfig, MixedConfig, RetryPolicy};
 
 type EngineFactory = Box<dyn Fn() -> (Box<dyn Engine>, IsolationLevel)>;
@@ -128,12 +135,13 @@ struct SoakRun {
     level_ok: bool,
     log_ok: bool,
     replay_ok: bool,
+    pipelined_ok: bool,
     micros: u128,
 }
 
 impl SoakRun {
     fn ok(&self) -> bool {
-        self.level_ok && self.log_ok && self.replay_ok
+        self.level_ok && self.log_ok && self.replay_ok && self.pipelined_ok
     }
 }
 
@@ -229,6 +237,73 @@ fn check_crash_replay(events: &[Event], seed: u64) -> bool {
     plain == resumed
 }
 
+/// Replays `events` through the *staged pipeline* — threaded feeder,
+/// tiny rings forcing backpressure, batched application — with the
+/// stream cut at seeded points: each cut closes the pipeline (the
+/// sequencer drains what the rings still buffer, exactly as on a
+/// crash), snapshots the checker, and resumes a restored checker on a
+/// fresh pipeline. The whole verdict stream must be byte-identical to
+/// a plain uninterrupted per-event pass.
+fn check_pipelined_replay(events: &[Event], seed: u64) -> bool {
+    let mut plain = Vec::new();
+    let mut c = OnlineChecker::new();
+    for e in events {
+        if let Some(v) = c.ingest(e) {
+            plain.push(verdict_line(&v));
+        }
+    }
+    plain.push(verdict_line(&c.finish()));
+
+    let n = events.len();
+    let mut cuts: Vec<usize> = (1..=2u64)
+        .map(|k| {
+            let h = seed
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                .wrapping_add(k)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (h % n.max(1) as u64) as usize
+        })
+        .collect();
+    cuts.push(n);
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let cfg = PipelineConfig {
+        rings: 3,
+        ring_capacity: 4, // tiny: the feeder hits backpressure
+        max_batch: 7,
+    };
+    let mut got = Vec::new();
+    let mut c = OnlineChecker::new();
+    let mut start = 0usize;
+    for cut in cuts {
+        let segment = &events[start..cut];
+        start = cut;
+        if !segment.is_empty() {
+            let (producers, pipe) = EventPipeline::manual(cfg);
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    let k = producers.len();
+                    for (i, ev) in segment.iter().enumerate() {
+                        producers[i % k].push(i as u64, ev.clone());
+                    }
+                    // producers drop: rings close, sequencer drains.
+                });
+                pipe.run(&mut c, |v| got.push(verdict_line(&v)));
+            });
+        }
+        if cut < n {
+            let snap = c.snapshot();
+            c = match OnlineChecker::restore(&snap) {
+                Ok(c) => c,
+                Err(_) => return false,
+            };
+        }
+    }
+    got.push(verdict_line(&c.finish()));
+    got == plain
+}
+
 fn run_one(
     name: &str,
     make: &dyn Fn() -> (Box<dyn Engine>, IsolationLevel),
@@ -288,6 +363,7 @@ fn run_one(
         .unwrap_or_else(|arc| arc.lock().expect("tap mutex").clone());
     let log_ok = check_log_roundtrip(&events);
     let replay_ok = check_crash_replay(&events, cfg.seed);
+    let pipelined_ok = check_pipelined_replay(&events, cfg.seed);
 
     SoakRun {
         engine: name.to_string(),
@@ -301,6 +377,7 @@ fn run_one(
         level_ok,
         log_ok,
         replay_ok,
+        pipelined_ok,
         micros,
         cfg,
     }
@@ -343,6 +420,7 @@ fn write_report(path: &str, base_seed: u64, runs: &[SoakRun]) -> std::io::Result
         w.bool_field("level_ok", r.level_ok);
         w.bool_field("log_roundtrip_ok", r.log_ok);
         w.bool_field("crash_replay_ok", r.replay_ok);
+        w.bool_field("pipelined_ok", r.pipelined_ok);
         w.close_object();
     }
     w.close_array();
@@ -387,6 +465,7 @@ fn main() {
         "level",
         "log",
         "replay",
+        "pipelined",
     ]);
     for r in &runs {
         table.row(&[
@@ -406,6 +485,7 @@ fn main() {
             },
             if r.log_ok { "ok" } else { "FAIL" }.to_string(),
             if r.replay_ok { "ok" } else { "FAIL" }.to_string(),
+            if r.pipelined_ok { "ok" } else { "FAIL" }.to_string(),
         ]);
     }
     println!("{}", table.render());
@@ -423,8 +503,8 @@ fn main() {
     let all_ok = runs.iter().all(SoakRun::ok);
     for r in runs.iter().filter(|r| !r.ok()) {
         note(&format!(
-            "  {} schedule {}: level_ok={} log_ok={} replay_ok={}",
-            r.engine, r.schedule, r.level_ok, r.log_ok, r.replay_ok
+            "  {} schedule {}: level_ok={} log_ok={} replay_ok={} pipelined_ok={}",
+            r.engine, r.schedule, r.level_ok, r.log_ok, r.replay_ok, r.pipelined_ok
         ));
     }
 

@@ -2,7 +2,7 @@
 
 use adya_history::{History, TxnId, Value};
 
-use crate::recorder::EventTap;
+use crate::recorder::{EventTap, SeqEventTap};
 use crate::types::{Catalog, Key, OpResult, TableId, TablePred};
 
 /// A transactional engine over the shared store model.
@@ -49,6 +49,16 @@ pub trait Engine: Send + Sync {
     /// live checking with `adya-online` while the workload runs.
     fn set_event_tap(&self, tap: EventTap);
 
+    /// Installs a sequence-carrying streaming observer (see
+    /// [`SeqEventTap`]): like [`set_event_tap`], but each event comes
+    /// with its recorder sequence number. The pipeline's buffering tap
+    /// ([`crate::recorder::buffering_tap`]) installs through this to
+    /// shard events across its rings by sequence. Independent of the
+    /// plain tap; both may be installed at once.
+    ///
+    /// [`set_event_tap`]: Engine::set_event_tap
+    fn set_seq_event_tap(&self, tap: SeqEventTap);
+
     /// Assembles the recorded history (completing still-active
     /// transactions with aborts). Call once, after the workload.
     fn finalize(&self) -> History;
@@ -87,6 +97,9 @@ impl Engine for Box<dyn Engine> {
     }
     fn set_event_tap(&self, tap: EventTap) {
         (**self).set_event_tap(tap)
+    }
+    fn set_seq_event_tap(&self, tap: SeqEventTap) {
+        (**self).set_seq_event_tap(tap)
     }
     fn finalize(&self) -> History {
         (**self).finalize()

@@ -58,6 +58,7 @@ mod mvcc;
 mod mvto;
 mod occ;
 mod recorder;
+mod ring;
 mod sgt;
 mod store;
 mod types;
@@ -68,7 +69,8 @@ pub use locking::{LockConfig, LockDuration, LockingEngine};
 pub use mvcc::{MvccEngine, MvccMode};
 pub use mvto::MvtoEngine;
 pub use occ::OccEngine;
-pub use recorder::{EventTap, Recorder, SeqEventTap};
+pub use recorder::{buffering_tap, EventTap, Recorder, SeqEventTap};
+pub use ring::{EventRing, RingCloser, RingConsumer, RingProducer};
 pub use sgt::{CertifyLevel, SgtEngine};
 pub use types::{AbortReason, Catalog, EngineError, Key, OpResult, TableId, TablePred};
 

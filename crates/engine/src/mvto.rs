@@ -557,6 +557,10 @@ impl Engine for MvtoEngine {
         self.recorder.set_tap(tap);
     }
 
+    fn set_seq_event_tap(&self, tap: crate::recorder::SeqEventTap) {
+        self.recorder.set_seq_tap(tap);
+    }
+
     fn finalize(&self) -> History {
         let inner = self.inner.lock();
         for chain in inner.chains.values() {

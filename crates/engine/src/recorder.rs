@@ -16,6 +16,7 @@ use adya_history::{
 };
 use parking_lot::Mutex;
 
+use crate::ring::{EventRing, RingCloser, RingConsumer};
 use crate::types::{Key, TableId, TablePred};
 
 /// Observer invoked synchronously (under the recorder lock, so taps
@@ -32,6 +33,65 @@ pub type EventTap = Arc<dyn Fn(&Event) + Send + Sync>;
 /// timelines on: it survives the trip through tap → event log →
 /// replay, unlike wall-clock times.
 pub type SeqEventTap = Arc<dyn Fn(u64, &Event) + Send + Sync>;
+
+/// Builds the pipeline's buffering tap: `rings` bounded SPSC event
+/// rings of `capacity` events each, plus a [`SeqEventTap`] that fans
+/// every recorded event into ring `seq % rings` with blocking
+/// backpressure. Install the tap with
+/// [`Engine::set_seq_event_tap`](crate::Engine::set_seq_event_tap) and
+/// hand the consumers to the pipeline sequencer.
+///
+/// Sequence numbers are rebased so the first event the tap observes is
+/// pipeline sequence 0 — a recorder may already hold events (workload
+/// setup transactions, say) when the pipeline attaches, and the
+/// sequencer always starts expecting 0. Taps run under the recorder
+/// lock, so the first observed event provably has the smallest
+/// recorder sequence.
+///
+/// Sharding by sequence number (rather than by producing thread) keeps
+/// the ring assignment a pure function of the recorded stream — so
+/// equivalence tests and crash replays are reproducible — and lets the
+/// sequencer merge rings in O(1): event `seq` can only ever be at the
+/// head of ring `seq % rings`. Each ring still honors the SPSC
+/// contract: taps run under the recorder mutex (one pusher at a time,
+/// with the mutex providing the cross-thread happens-before), and the
+/// sequencer is the only popper.
+///
+/// The returned [`RingCloser`]s end the stream once the producing side
+/// is done (the tap closure owns the producer endpoints, so a driver
+/// could not reach them otherwise); dropping the tap closes the rings
+/// too.
+pub fn buffering_tap(
+    rings: usize,
+    capacity: usize,
+) -> (SeqEventTap, Vec<RingConsumer>, Vec<RingCloser>) {
+    let rings = rings.max(1);
+    let mut producers = Vec::with_capacity(rings);
+    let mut consumers = Vec::with_capacity(rings);
+    for _ in 0..rings {
+        let (p, c) = EventRing::with_capacity(capacity);
+        producers.push(p);
+        consumers.push(c);
+    }
+    let closers = producers.iter().map(|p| p.closer()).collect();
+    let k = producers.len() as u64;
+    // u64::MAX marks "no event seen yet"; a real recorder sequence can
+    // never reach it. Relaxed suffices: the recorder lock already
+    // orders tap invocations.
+    let base = std::sync::atomic::AtomicU64::new(u64::MAX);
+    let tap: SeqEventTap = Arc::new(move |seq, ev| {
+        let b = match base.load(std::sync::atomic::Ordering::Relaxed) {
+            u64::MAX => {
+                base.store(seq, std::sync::atomic::Ordering::Relaxed);
+                seq
+            }
+            b => b,
+        };
+        let rel = seq - b;
+        producers[(rel % k) as usize].push(rel, ev.clone());
+    });
+    (tap, consumers, closers)
+}
 
 #[derive(Default)]
 struct Rec {

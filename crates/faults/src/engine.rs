@@ -4,7 +4,8 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use adya_engine::{
-    AbortReason, Catalog, Engine, EngineError, EventTap, Key, OpResult, TableId, TablePred,
+    AbortReason, Catalog, Engine, EngineError, EventTap, Key, OpResult, SeqEventTap, TableId,
+    TablePred,
 };
 use adya_history::{History, TxnId, Value};
 use parking_lot::Mutex;
@@ -180,6 +181,9 @@ impl<E: Engine> Engine for FaultyEngine<E> {
 
     fn set_event_tap(&self, tap: EventTap) {
         self.inner.set_event_tap(tap);
+    }
+    fn set_seq_event_tap(&self, tap: SeqEventTap) {
+        self.inner.set_seq_event_tap(tap);
     }
 
     fn finalize(&self) -> History {

@@ -133,6 +133,63 @@ pub struct DagParts<K, L> {
     pub merges: u64,
 }
 
+/// Reusable traversal buffers for the Pearce–Kelly DFS passes. Held by
+/// the graph (and shared across a whole [`IncrementalDag::insert_edges`]
+/// batch) so the hot insert path allocates nothing once the buffers have
+/// grown to the working-set size. Pure scratch: every field is cleared
+/// before use, so it carries no state between inserts and is excluded
+/// from [`DagParts`] snapshots.
+#[derive(Debug)]
+struct Scratch<K, L> {
+    /// DFS worklist (shared by the forward and backward passes).
+    stack: Vec<usize>,
+    /// Forward-reachable components (discovery order).
+    fwd: Vec<usize>,
+    /// Forward-reachable components (membership test).
+    fwd_set: HashSet<usize>,
+    /// DFS tree edge into each forward-discovered component.
+    parent_edge: HashMap<usize, Edge<K, L>>,
+    /// Backward-reachable components (discovery order).
+    back: Vec<usize>,
+    /// Backward-reachable components (membership test).
+    back_set: HashSet<usize>,
+    /// Order values being redistributed.
+    pool: Vec<u64>,
+    /// Per-node adjacency copy for the visit loop (edges are `Copy`, so
+    /// refilling this is a memcpy, not a clone of fresh allocations).
+    edges: Vec<Edge<K, L>>,
+}
+
+// Manual impl: the derived one would demand `K: Default + L: Default`
+// bounds the buffers do not actually need.
+impl<K, L> Default for Scratch<K, L> {
+    fn default() -> Self {
+        Scratch {
+            stack: Vec::new(),
+            fwd: Vec::new(),
+            fwd_set: HashSet::new(),
+            parent_edge: HashMap::new(),
+            back: Vec::new(),
+            back_set: HashSet::new(),
+            pool: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+}
+
+impl<K, L> Scratch<K, L> {
+    fn reset(&mut self) {
+        self.stack.clear();
+        self.fwd.clear();
+        self.fwd_set.clear();
+        self.parent_edge.clear();
+        self.back.clear();
+        self.back_set.clear();
+        self.pool.clear();
+        self.edges.clear();
+    }
+}
+
 /// A labelled digraph maintaining a topological order incrementally,
 /// condensing cycles, and supporting removal of singleton nodes.
 #[derive(Debug, Default)]
@@ -144,6 +201,7 @@ pub struct IncrementalDag<K, L> {
     next_ord: u64,
     reorders: u64,
     merges: u64,
+    scratch: Scratch<K, L>,
 }
 
 impl<K, L> IncrementalDag<K, L>
@@ -161,6 +219,7 @@ where
             next_ord: 0,
             reorders: 0,
             merges: 0,
+            scratch: Scratch::default(),
         }
     }
 
@@ -338,6 +397,39 @@ where
     /// Inserts the edge `from → to` (adding missing nodes), maintaining
     /// the topological order. Self-edges and duplicates are ignored.
     pub fn add_edge(&mut self, from: K, to: K, label: L) -> Insert<K, L> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let r = self.add_edge_in(&mut scratch, from, to, label);
+        self.scratch = scratch;
+        r
+    }
+
+    /// Inserts a batch of edges in order, returning one [`Insert`] per
+    /// edge. *State-identical* to calling [`add_edge`] once per edge in
+    /// the same order — same results, same adjacency order, same
+    /// topological order values, same witness paths — so callers can
+    /// batch freely without perturbing determinism contracts. What the
+    /// batch buys is amortization: the Pearce–Kelly traversal buffers
+    /// are reused across the whole batch, so steady-state insertion
+    /// allocates nothing.
+    ///
+    /// [`add_edge`]: IncrementalDag::add_edge
+    pub fn insert_edges(&mut self, edges: &[(K, K, L)]) -> Vec<Insert<K, L>> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = edges
+            .iter()
+            .map(|&(from, to, label)| self.add_edge_in(&mut scratch, from, to, label))
+            .collect();
+        self.scratch = scratch;
+        out
+    }
+
+    fn add_edge_in(
+        &mut self,
+        scratch: &mut Scratch<K, L>,
+        from: K,
+        to: K,
+        label: L,
+    ) -> Insert<K, L> {
         if from == to || !self.seen.insert((from, to, label)) {
             return Insert::Duplicate;
         }
@@ -355,59 +447,76 @@ where
         }
         // Order violation: bounded forward DFS from fv among
         // components with ord < ord[fu], watching for fu.
+        scratch.reset();
         let limit = self.slots[fu].ord;
-        let mut fwd: Vec<usize> = vec![fv];
-        let mut fwd_set: HashSet<usize> = HashSet::from([fv]);
-        let mut parent_edge: HashMap<usize, Edge<K, L>> = HashMap::new();
-        let mut stack = vec![fv];
+        scratch.fwd.push(fv);
+        scratch.fwd_set.insert(fv);
+        scratch.stack.push(fv);
         let mut cycle = false;
-        while let Some(x) = stack.pop() {
-            let edges = self.slots[x].out.clone();
-            for e in edges {
+        while let Some(x) = scratch.stack.pop() {
+            scratch.edges.clear();
+            scratch.edges.extend_from_slice(&self.slots[x].out);
+            for i in 0..scratch.edges.len() {
+                let e = scratch.edges[i];
                 let t = self.find(e.slot);
                 if t == x {
                     continue;
                 }
                 if t == fu {
-                    parent_edge.entry(fu).or_insert(e);
+                    scratch.parent_edge.entry(fu).or_insert(e);
                     cycle = true;
                     continue;
                 }
-                if self.slots[t].ord < limit && fwd_set.insert(t) {
-                    parent_edge.insert(t, e);
-                    fwd.push(t);
-                    stack.push(t);
+                if self.slots[t].ord < limit && scratch.fwd_set.insert(t) {
+                    scratch.parent_edge.insert(t, e);
+                    scratch.fwd.push(t);
+                    scratch.stack.push(t);
                 }
             }
         }
         if cycle {
-            let info = self.condense(fu, fv, &fwd_set, &parent_edge, from, to, label, su, sv);
+            let info = self.condense(
+                fu,
+                fv,
+                &scratch.fwd_set,
+                &scratch.parent_edge,
+                from,
+                to,
+                label,
+                su,
+                sv,
+            );
             return Insert::CycleFormed(info);
         }
         // No cycle: Pearce–Kelly re-order of the affected region.
         let floor = self.slots[fv].ord;
-        let mut back: Vec<usize> = vec![fu];
-        let mut back_set: HashSet<usize> = HashSet::from([fu]);
-        let mut stack = vec![fu];
-        while let Some(x) = stack.pop() {
-            let edges = self.slots[x].inc.clone();
-            for e in edges {
+        scratch.back.push(fu);
+        scratch.back_set.insert(fu);
+        scratch.stack.push(fu);
+        while let Some(x) = scratch.stack.pop() {
+            scratch.edges.clear();
+            scratch.edges.extend_from_slice(&self.slots[x].inc);
+            for i in 0..scratch.edges.len() {
+                let e = scratch.edges[i];
                 let t = self.find(e.slot);
-                if t != x && self.slots[t].ord > floor && back_set.insert(t) {
-                    back.push(t);
-                    stack.push(t);
+                if t != x && self.slots[t].ord > floor && scratch.back_set.insert(t) {
+                    scratch.back.push(t);
+                    scratch.stack.push(t);
                 }
             }
         }
-        let mut pool: Vec<u64> = fwd
+        for &x in scratch.fwd.iter().chain(scratch.back.iter()) {
+            scratch.pool.push(self.slots[x].ord);
+        }
+        scratch.pool.sort_unstable();
+        scratch.back.sort_unstable_by_key(|&x| self.slots[x].ord);
+        scratch.fwd.sort_unstable_by_key(|&x| self.slots[x].ord);
+        for (&x, &o) in scratch
+            .back
             .iter()
-            .chain(back.iter())
-            .map(|&x| self.slots[x].ord)
-            .collect();
-        pool.sort_unstable();
-        back.sort_unstable_by_key(|&x| self.slots[x].ord);
-        fwd.sort_unstable_by_key(|&x| self.slots[x].ord);
-        for (&x, &o) in back.iter().chain(fwd.iter()).zip(pool.iter()) {
+            .chain(scratch.fwd.iter())
+            .zip(scratch.pool.iter())
+        {
             self.slots[x].ord = o;
         }
         self.reorders += 1;
@@ -638,6 +747,7 @@ where
             next_ord: parts.next_ord,
             reorders: parts.reorders,
             merges: parts.merges,
+            scratch: Scratch::default(),
         }
     }
 }
@@ -826,6 +936,61 @@ mod tests {
             h.to_parts(),
             "states diverged after identical ops"
         );
+    }
+
+    #[test]
+    fn insert_edges_matches_per_edge_inserts() {
+        // The batched path must be state-identical to per-edge inserts:
+        // same Insert results (including witness paths) and an equal
+        // to_parts image after a stream covering adds, reorders,
+        // condensations and intra-component edges.
+        let mut x = 0x243f6a8885a308d3u64;
+        let mut stream: Vec<(u32, u32, u8)> = Vec::new();
+        for _ in 0..600 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = ((x >> 33) % 24) as u32;
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = ((x >> 33) % 24) as u32;
+            stream.push((a, b, (x % 3) as u8));
+        }
+        let mut per_edge: IncrementalDag<u32, u8> = IncrementalDag::new();
+        let seq: Vec<Insert<u32, u8>> = stream
+            .iter()
+            .map(|&(a, b, l)| per_edge.add_edge(a, b, l))
+            .collect();
+        // Replay the same stream in mixed batch sizes (including empty
+        // batches and batch-of-one).
+        let mut batched: IncrementalDag<u32, u8> = IncrementalDag::new();
+        let mut got: Vec<Insert<u32, u8>> = Vec::new();
+        let mut i = 0usize;
+        let mut step = 0usize;
+        while i < stream.len() {
+            let n = [0, 1, 7, 3, 17, 2][step % 6].min(stream.len() - i);
+            step += 1;
+            got.extend(batched.insert_edges(&stream[i..i + n]));
+            i += n;
+        }
+        assert_eq!(seq, got, "batched Insert results diverged");
+        assert_eq!(
+            per_edge.to_parts(),
+            batched.to_parts(),
+            "batched state diverged"
+        );
+        assert!(seq.iter().any(|r| matches!(r, Insert::CycleFormed(_))));
+        assert!(seq.iter().any(|r| matches!(r, Insert::Reordered)));
+    }
+
+    #[test]
+    fn insert_edges_empty_batch_is_a_noop() {
+        let mut g: IncrementalDag<u32, char> = IncrementalDag::new();
+        g.add_edge(1, 2, 'a');
+        let before = g.to_parts();
+        assert!(g.insert_edges(&[]).is_empty());
+        assert_eq!(g.to_parts(), before);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Property tests: Tarjan SCC and constrained cycle search validated
-//! against a naive O(V·E) reachability oracle on random graphs.
+//! against a naive O(V·E) reachability oracle on random graphs, plus
+//! batched-vs-per-edge equivalence for the incremental DAG.
 
-use adya_graph::DiGraph;
+use adya_graph::{DiGraph, IncrementalDag};
 use proptest::prelude::*;
 
 /// A random edge list over `n` nodes with boolean labels.
@@ -104,6 +105,41 @@ proptest! {
         if let Some(c) = found {
             prop_assert_eq!(c.count_labels(|&l| l), 1, "exactly one special edge");
         }
+    }
+
+    /// Batched `insert_edges` is state-identical to per-edge
+    /// `add_edge`: identical `Insert` results (topological-order
+    /// verdicts *and* cycle reports with witness paths) and an equal
+    /// exact-state image, for any edge stream and any batch split.
+    #[test]
+    fn insert_edges_equals_per_edge(
+        (n, edges) in graph_strategy(),
+        splits in proptest::collection::vec(0usize..8, 0..40),
+    ) {
+        let stream: Vec<(usize, usize, bool)> = edges;
+        let mut per_edge: IncrementalDag<usize, bool> = IncrementalDag::new();
+        for i in 0..n {
+            per_edge.add_node(i);
+        }
+        let seq: Vec<_> = stream
+            .iter()
+            .map(|&(a, b, l)| per_edge.add_edge(a, b, l))
+            .collect();
+        let mut batched: IncrementalDag<usize, bool> = IncrementalDag::new();
+        for i in 0..n {
+            batched.add_node(i);
+        }
+        let mut got = Vec::new();
+        let mut i = 0usize;
+        let mut s = 0usize;
+        while i < stream.len() {
+            let n = splits.get(s).copied().unwrap_or(usize::MAX).min(stream.len() - i);
+            s += 1;
+            got.extend(batched.insert_edges(&stream[i..i + n]));
+            i += n;
+        }
+        prop_assert_eq!(seq, got, "Insert results diverged");
+        prop_assert_eq!(per_edge.to_parts(), batched.to_parts(), "exact state diverged");
     }
 
     /// topo_order is a valid topological order exactly when acyclic.

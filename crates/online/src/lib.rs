@@ -71,8 +71,10 @@
 mod checker;
 mod feed;
 pub mod monitor;
+pub mod pipeline;
 pub mod wire;
 
 pub use checker::{CycleEdgeProv, GcConfig, OnlineChecker, SnapshotError, Verdict};
 pub use feed::{encode_log, EventLogReader, EventLogWriter, LogError, StreamParser, LOG_MAGIC};
 pub use monitor::{CheckerMonitor, Exemplar, HealthPolicy};
+pub use pipeline::{EventPipeline, PipelineCloser, PipelineConfig, PipelineStats};

@@ -317,7 +317,11 @@ impl CheckerMonitor {
         w.u64_field("lag_ms", self.policy.lag_ms);
         w.close_object();
         w.open_array(Some("exemplars"));
-        for ex in self.exemplars.lock().expect("exemplar lock").iter() {
+        // Clone the exemplars out so the lock is not held across JSON
+        // rendering — a slow scrape must never stall the ingest-side
+        // record path that appends under this mutex.
+        let exemplars: Vec<Exemplar> = self.exemplars.lock().expect("exemplar lock").clone();
+        for ex in &exemplars {
             let mut e = JsonWriter::new();
             e.open_object(None);
             e.str_field("phenomenon", &ex.kind.to_string());

@@ -9,14 +9,19 @@
 //! scrape, so `/metrics` and `/health` work on the same address a
 //! client streams events to.
 //!
-//! Sessions are shared state: a registry of `Arc<Mutex<Session>>` by
-//! name. A session is *attached* while one connection owns it; a
-//! second `hello`/`resume` for the same name is refused with
-//! `session_busy` rather than interleaving two clients' streams.
-//! Detach (EOF, error, idle deadline, shutdown) parks the session —
-//! snapshot to disk, replay window kept — ready for the next resume or
-//! a restart. The idle deadline is what guarantees a half-open peer
-//! cannot pin its session attached forever.
+//! Sessions are shared state: a registry of [`SessionSlot`]s by name.
+//! A session is *attached* while one connection owns it — the
+//! connection thread checks the `Session` out of its slot and works on
+//! it with no lock held, so per-session ingest never serializes on a
+//! registry-visible mutex during checker work, and `/metrics` and
+//! `/health` (which read each slot's cached health entry) never stall
+//! behind a long apply. A second `hello`/`resume` for the same name is
+//! refused with `session_busy` rather than interleaving two clients'
+//! streams. Detach (EOF, error, idle deadline, shutdown) parks the
+//! session — snapshot to disk, replay window kept, checked back into
+//! its slot — ready for the next resume or a restart. The idle
+//! deadline is what guarantees a half-open peer cannot pin its session
+//! attached forever.
 
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -61,9 +66,64 @@ impl ServeConfig {
     }
 }
 
+/// One registry entry. The `Session` itself is *checked out* of the
+/// slot by the owning connection thread while attached (`parked` is
+/// `None`), so ingest holds no registry-visible lock during checker
+/// work; scrapes read the cached `health` entry instead of touching
+/// the session.
+struct SessionSlot {
+    /// The session, present while no connection owns it.
+    parked: Mutex<Option<Box<Session>>>,
+    /// Cached fleet-health entry, refreshed by the owning connection
+    /// thread after every applied line and at check-in.
+    health: Mutex<String>,
+}
+
+impl SessionSlot {
+    /// A slot whose session is immediately checked out by the creator.
+    fn new_attached(session: &Session) -> SessionSlot {
+        SessionSlot {
+            parked: Mutex::new(None),
+            health: Mutex::new(session.health_entry()),
+        }
+    }
+
+    /// A slot holding a parked session.
+    fn new_parked(session: Box<Session>) -> SessionSlot {
+        let health = Mutex::new(session.health_entry());
+        SessionSlot {
+            parked: Mutex::new(Some(session)),
+            health,
+        }
+    }
+
+    /// Checks the session out for exclusive use; `None` means another
+    /// connection owns it.
+    fn checkout(&self) -> Option<Box<Session>> {
+        self.parked.lock().unwrap().take()
+    }
+
+    /// Returns the session to the slot, refreshing the health cache.
+    fn checkin(&self, session: Box<Session>) {
+        *self.health.lock().unwrap() = session.health_entry();
+        *self.parked.lock().unwrap() = Some(session);
+    }
+
+    /// Refreshes the cached health entry for a checked-out session.
+    fn refresh_health(&self, session: &Session) {
+        *self.health.lock().unwrap() = session.health_entry();
+    }
+}
+
+/// A connection's checked-out session plus the slot to return it to.
+struct Attached {
+    slot: Arc<SessionSlot>,
+    session: Box<Session>,
+}
+
 struct Inner {
     cfg: ServeConfig,
-    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    sessions: Mutex<HashMap<String, Arc<SessionSlot>>>,
     /// Session names whose disk recovery is in flight. Claiming a name
     /// here lets [`Session::recover`] run without the `sessions` lock,
     /// so one slow recovery cannot stall `/metrics`, `/health` or
@@ -177,7 +237,7 @@ impl Server {
         while self.inner.conns.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
             thread::sleep(Duration::from_millis(10));
         }
-        let sessions: Vec<_> = self
+        let slots: Vec<_> = self
             .inner
             .sessions
             .lock()
@@ -185,9 +245,12 @@ impl Server {
             .values()
             .cloned()
             .collect();
-        for s in sessions {
-            if let Ok(mut s) = s.lock() {
+        for slot in slots {
+            // A session still checked out past the drain deadline is
+            // parked by its own connection thread when it exits.
+            if let Some(mut s) = slot.checkout() {
                 s.park();
+                slot.checkin(s);
             }
         }
         if let Some(path) = &self.unix_path {
@@ -250,7 +313,7 @@ fn handle_conn(mut stream: Box<dyn Conn>, inner: &Inner) {
         Ok(r) => BufReader::new(r),
         Err(_) => return,
     };
-    let mut attached: Option<Arc<Mutex<Session>>> = None;
+    let mut attached: Option<Attached> = None;
     // Raw bytes, not read_line: its UTF-8 guard truncates everything a
     // timed-out call appended when the partial line ends mid-codepoint,
     // silently dropping bytes of a multi-byte object name split across
@@ -311,10 +374,11 @@ fn handle_conn(mut stream: Box<dyn Conn>, inner: &Inner) {
         }
     }
     let (name, events, verdicts) = match &attached {
-        Some(s) => {
-            let s = s.lock().unwrap();
-            (Some(s.name().to_string()), s.records(), s.verdicts())
-        }
+        Some(a) => (
+            Some(a.session.name().to_string()),
+            a.session.records(),
+            a.session.verdicts(),
+        ),
         None => (None, 0, 0),
     };
     let _ = writeln!(
@@ -326,11 +390,10 @@ fn handle_conn(mut stream: Box<dyn Conn>, inner: &Inner) {
     detach(&mut attached);
 }
 
-fn detach(attached: &mut Option<Arc<Mutex<Session>>>) {
-    if let Some(s) = attached.take() {
-        if let Ok(mut s) = s.lock() {
-            s.park();
-        }
+fn detach(attached: &mut Option<Attached>) {
+    if let Some(mut a) = attached.take() {
+        a.session.park();
+        a.slot.checkin(a.session);
     }
 }
 
@@ -344,7 +407,7 @@ enum LineOutcome {
 fn dispatch_bytes(
     raw: &[u8],
     stream: &mut Box<dyn Conn>,
-    attached: &mut Option<Arc<Mutex<Session>>>,
+    attached: &mut Option<Attached>,
     inner: &Inner,
     reader: &mut BufReader<Box<dyn Read + Send>>,
 ) -> LineOutcome {
@@ -365,7 +428,7 @@ fn dispatch_bytes(
 fn dispatch_line(
     raw: &str,
     stream: &mut Box<dyn Conn>,
-    attached: &mut Option<Arc<Mutex<Session>>>,
+    attached: &mut Option<Attached>,
     inner: &Inner,
     reader: &mut BufReader<Box<dyn Read + Send>>,
 ) -> LineOutcome {
@@ -381,8 +444,10 @@ fn dispatch_line(
     if line.starts_with('{') {
         return dispatch_frame(line, stream, attached, inner);
     }
-    // Event tokens.
-    let Some(session) = attached else {
+    // Event tokens. The session is checked out by this thread: the
+    // whole apply — log, crash plane, batched checker application —
+    // runs with no lock held.
+    let Some(a) = attached else {
         let _ = writeln!(
             stream,
             "{}",
@@ -390,7 +455,8 @@ fn dispatch_line(
         );
         return LineOutcome::Continue;
     };
-    let result = session.lock().unwrap().apply_line(line, &inner.tap);
+    let result = a.session.apply_line(line, &inner.tap);
+    a.slot.refresh_health(&a.session);
     match result {
         Ok(verdicts) => {
             for v in verdicts {
@@ -423,7 +489,7 @@ fn dispatch_line(
 fn dispatch_frame(
     line: &str,
     stream: &mut Box<dyn Conn>,
-    attached: &mut Option<Arc<Mutex<Session>>>,
+    attached: &mut Option<Attached>,
     inner: &Inner,
 ) -> LineOutcome {
     let frame = match proto::parse_frame(line) {
@@ -455,10 +521,15 @@ fn dispatch_frame(
             match Session::create(&inner.cfg.data_dir, &name, inner.cfg.session) {
                 Ok(mut s) => {
                     s.attached = true;
-                    sessions.insert(name.clone(), Arc::new(Mutex::new(s)));
-                    *attached = Some(Arc::clone(&sessions[&name]));
+                    let slot = Arc::new(SessionSlot::new_attached(&s));
+                    sessions.insert(name.clone(), Arc::clone(&slot));
                     adya_obs::counter!("serve.hellos").inc();
                     adya_obs::gauge!("serve.sessions").set(sessions.len() as i64);
+                    drop(sessions);
+                    *attached = Some(Attached {
+                        slot,
+                        session: Box::new(s),
+                    });
                     let _ = writeln!(stream, "{}", proto::ok_frame("hello", &name, 0, 0, 0));
                     LineOutcome::Continue
                 }
@@ -484,18 +555,19 @@ fn dispatch_frame(
                 );
                 return LineOutcome::Continue;
             }
-            let Some(session) = lookup_or_recover(inner, &name, stream) else {
+            let Some(slot) = lookup_or_recover(inner, &name, stream) else {
                 return LineOutcome::Continue;
             };
-            let mut s = session.lock().unwrap();
-            if s.attached {
+            // Checking the session out is the attachment claim: if the
+            // slot is empty another connection owns it right now.
+            let Some(mut s) = slot.checkout() else {
                 let _ = writeln!(
                     stream,
                     "{}",
                     proto::error_frame("session_busy", "another connection owns this session")
                 );
                 return LineOutcome::Continue;
-            }
+            };
             // A torn tail healed during recovery is reported with the
             // adya-check truncated_input vocabulary, then the resume
             // proceeds — the log was truncated at the exact good byte.
@@ -505,8 +577,8 @@ fn dispatch_frame(
             match s.resume(have) {
                 Ok((events, verdicts, replay)) => {
                     s.attached = true;
-                    drop(s);
-                    *attached = Some(session);
+                    slot.refresh_health(&s);
+                    *attached = Some(Attached { slot, session: s });
                     adya_obs::counter!("serve.resumes").inc();
                     let _ = writeln!(
                         stream,
@@ -518,36 +590,28 @@ fn dispatch_frame(
                     }
                     LineOutcome::Continue
                 }
-                Err(ResumeError::Closed(fin)) => {
-                    let _ = writeln!(stream, "{}", proto::error_frame("session_closed", &fin));
-                    LineOutcome::Continue
-                }
-                Err(ResumeError::Unrecoverable { base }) => {
-                    let _ = writeln!(
-                        stream,
-                        "{}",
-                        proto::error_frame(
+                Err(e) => {
+                    let frame = match e {
+                        ResumeError::Closed(fin) => proto::error_frame("session_closed", &fin),
+                        ResumeError::Unrecoverable { base } => proto::error_frame(
                             "verdicts_unrecoverable",
-                            &format!("replay window starts at verdict {base}")
-                        )
-                    );
-                    LineOutcome::Continue
-                }
-                Err(ResumeError::Ahead { durable }) => {
-                    let _ = writeln!(
-                        stream,
-                        "{}",
-                        proto::error_frame(
+                            &format!("replay window starts at verdict {base}"),
+                        ),
+                        ResumeError::Ahead { durable } => proto::error_frame(
                             "verdicts_ahead",
-                            &format!("only {durable} verdicts are durable")
-                        )
-                    );
+                            &format!("only {durable} verdicts are durable"),
+                        ),
+                    };
+                    let _ = writeln!(stream, "{frame}");
+                    // A refused resume mutated nothing worth snapshotting:
+                    // return the session to the slot without parking.
+                    slot.checkin(s);
                     LineOutcome::Continue
                 }
             }
         }
         ClientFrame::Close => {
-            let Some(session) = attached else {
+            let Some(a) = attached.as_mut() else {
                 let _ = writeln!(
                     stream,
                     "{}",
@@ -555,13 +619,11 @@ fn dispatch_frame(
                 );
                 return LineOutcome::Continue;
             };
-            let mut s = session.lock().unwrap();
-            match s.close() {
+            match a.session.close() {
                 Ok(fin) => {
-                    let name = s.name().to_string();
-                    let (events, verdicts) = (s.records(), s.verdicts());
-                    s.attached = false;
-                    drop(s);
+                    let name = a.session.name().to_string();
+                    let (events, verdicts) = (a.session.records(), a.session.verdicts());
+                    a.session.attached = false;
                     let _ = writeln!(stream, "{fin}");
                     let _ = writeln!(
                         stream,
@@ -569,7 +631,8 @@ fn dispatch_frame(
                         proto::closing_frame("close", Some(&name), events, verdicts)
                     );
                     let _ = stream.flush();
-                    *attached = None;
+                    let a = attached.take().expect("attached checked above");
+                    a.slot.checkin(a.session);
                     LineOutcome::End
                 }
                 Err(e) => {
@@ -597,7 +660,7 @@ fn lookup_or_recover(
     inner: &Inner,
     name: &str,
     stream: &mut Box<dyn Conn>,
-) -> Option<Arc<Mutex<Session>>> {
+) -> Option<Arc<SessionSlot>> {
     if let Some(s) = inner.sessions.lock().unwrap().get(name) {
         return Some(Arc::clone(s));
     }
@@ -622,11 +685,11 @@ fn lookup_or_recover(
     let recovered = Session::recover(&inner.cfg.data_dir, name, inner.cfg.session);
     let result = match recovered {
         Ok(s) => {
-            let s = Arc::new(Mutex::new(s));
+            let slot = Arc::new(SessionSlot::new_parked(Box::new(s)));
             let mut sessions = inner.sessions.lock().unwrap();
-            sessions.insert(name.to_string(), Arc::clone(&s));
+            sessions.insert(name.to_string(), Arc::clone(&slot));
             adya_obs::gauge!("serve.sessions").set(sessions.len() as i64);
-            Some(s)
+            Some(slot)
         }
         Err(e) => {
             let _ = writeln!(stream, "{}", proto::error_frame("corrupt", &e.to_string()));
@@ -707,9 +770,10 @@ fn fleet_health(inner: &Inner, draining: bool) -> String {
     let mut names: Vec<_> = sessions.keys().cloned().collect();
     names.sort();
     for name in &names {
-        if let Ok(s) = sessions[name].lock() {
-            entries.push(s.health_entry());
-        }
+        // The slot caches each session's health entry so a scrape never
+        // contends with (or waits behind) a checked-out session's
+        // ingest work.
+        entries.push(sessions[name].health.lock().unwrap().clone());
     }
     format!(
         "{{\"healthy\": {}, \"draining\": {draining}, \"sessions\": [{}], \"connections\": {}}}",

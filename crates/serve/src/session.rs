@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use adya_faults::TapCrashPlane;
 use adya_obs::{labeled, Counter, Gauge};
-use adya_online::{GcConfig, OnlineChecker, StreamParser};
+use adya_online::{GcConfig, OnlineChecker, PipelineConfig, StreamParser};
 
 use crate::log::{LogConfig, RecoverError, SessionLog};
 
@@ -37,6 +37,10 @@ pub struct SessionConfig {
     pub gc: GcConfig,
     /// Track cycle provenance in verdicts.
     pub provenance: bool,
+    /// Ingest shape: `pipeline.max_batch` bounds how many events of a
+    /// line are logged ahead and applied through the checker's batched
+    /// path in one go.
+    pub pipeline: PipelineConfig,
 }
 
 /// Why a line could not be applied.
@@ -84,6 +88,9 @@ pub struct Session {
     recent: Vec<String>,
     /// Verdict count when the last snapshot was written.
     last_snap_verdicts: u64,
+    /// Largest event batch logged ahead and applied through
+    /// [`OnlineChecker::ingest_batch`] in one go.
+    batch: usize,
     /// Final verdict line once closed.
     closed: Option<String>,
     /// A connection currently owns this session.
@@ -124,6 +131,7 @@ impl Session {
             recent_base: 0,
             recent: Vec::new(),
             last_snap_verdicts: 0,
+            batch: cfg.pipeline.max_batch.max(1),
             closed: None,
             attached: false,
             truncated: None,
@@ -153,6 +161,7 @@ impl Session {
             recent_base: r.replay_base,
             recent: r.replayed,
             last_snap_verdicts: r.snap_verdicts,
+            batch: cfg.pipeline.max_batch.max(1),
             closed: r.closed,
             attached: false,
             truncated: r.truncated,
@@ -209,15 +218,24 @@ impl Session {
             .map_err(ApplyError::Io)?;
         self.parser = scratch;
         let mut out = Vec::new();
-        for ev in &events {
-            self.log.append(ev).map_err(ApplyError::Io)?;
-            // Tap-side crash point: the event is durable, its effects
-            // are not — the exact window recovery must close.
-            if tap.crash_due(ev.is_terminal()) {
-                std::process::abort();
+        // Log ahead per batch, then apply through the checker's
+        // batched path: the durability invariant only needs the log to
+        // stay a (superset) prefix of the *observed* stream, and batch
+        // application makes it durable-then-observable a whole batch
+        // at a time. A crash anywhere still leaves every emitted
+        // verdict's event durable, and recovery replays the rest.
+        for chunk in events.chunks(self.batch) {
+            for ev in chunk {
+                self.log.append(ev).map_err(ApplyError::Io)?;
+                // Tap-side crash point: the event is durable, its
+                // effects are not — the exact window recovery must
+                // close.
+                if tap.crash_due(ev.is_terminal()) {
+                    std::process::abort();
+                }
+                self.m_events.inc();
             }
-            self.m_events.inc();
-            if let Some(v) = self.checker.ingest(ev) {
+            for v in self.checker.ingest_batch(chunk) {
                 self.verdicts += 1;
                 let line = v.to_json();
                 self.recent.push(line.clone());

@@ -282,7 +282,9 @@ mod tests {
         // Aborts produce no verdict line, so they must not be treated
         // as verdict-producing — a client waiting after `a1` would
         // stall until the read timeout.
-        for t in ["a1", "a107", "b1", "w1(x,1)", "r1(x1)", "c", "a", "cx", "c1x", "xinit"] {
+        for t in [
+            "a1", "a107", "b1", "w1(x,1)", "r1(x1)", "c", "a", "cx", "c1x", "xinit",
+        ] {
             assert!(!is_commit_token(t), "{t}");
         }
     }

@@ -28,6 +28,7 @@ mod concurrent;
 mod driver;
 mod generators;
 pub mod histgen;
+mod live;
 mod program;
 mod retry;
 mod zipf;
@@ -39,6 +40,7 @@ pub use generators::{
     bank_workload, hotspot_workload, mixed_workload, phantom_workload, BankConfig, HotspotConfig,
     MixedConfig, PhantomConfig,
 };
+pub use live::{run_concurrent_live, LiveConfig, LiveReport};
 pub use program::{Expr, PredSpec, Program, Step};
 pub use retry::{GiveUpCause, RetryPolicy, RetrySession};
 pub use zipf::Zipf;

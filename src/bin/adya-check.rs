@@ -28,9 +28,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adya::core::{analyze, Analysis, IsolationLevel};
+use adya::engine::RingProducer;
 use adya::history::parse_history_completed;
 use adya::online::{
-    CheckerMonitor, EventLogReader, HealthPolicy, LogError, OnlineChecker, StreamParser, Verdict,
+    CheckerMonitor, EventLogReader, EventPipeline, HealthPolicy, LogError, OnlineChecker,
+    PipelineConfig, StreamParser, Verdict,
 };
 use adya_obs::{ObsServer, Response};
 
@@ -63,6 +65,10 @@ struct Args {
     /// Tap-side fault injection: sleep this long before applying each
     /// event, inflating ingest lag (exercises the /health semantics).
     delay_event_ms: u64,
+    /// `--pipeline-threads N`: stream mode runs the staged ingest
+    /// pipeline over N event rings, with the checker on a dedicated
+    /// application thread. 0 = classic in-thread sequential ingest.
+    pipeline_threads: usize,
 }
 
 /// Minimal JSON string escaping (the only dynamic content is names and
@@ -185,6 +191,7 @@ fn parse_args() -> Result<Args, String> {
         obs_stale_ms: 5_000,
         obs_lag_ms: 1_000,
         delay_event_ms: 0,
+        pipeline_threads: 0,
     };
     let parse_ms = |flag: &str, v: Option<String>| -> Result<u64, String> {
         let v = v.ok_or_else(|| format!("{flag} needs a millisecond value"))?;
@@ -227,6 +234,12 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--obs-listen needs an address (e.g. 127.0.0.1:0)")?;
                 args.obs_listen = Some(v);
             }
+            "--pipeline-threads" => {
+                let v = it.next().ok_or("--pipeline-threads needs a ring count")?;
+                args.pipeline_threads = v
+                    .parse()
+                    .map_err(|_| format!("--pipeline-threads: not a count: {v:?}"))?;
+            }
             "--obs-stale-ms" => args.obs_stale_ms = parse_ms("--obs-stale-ms", it.next())?,
             "--obs-lag-ms" => args.obs_lag_ms = parse_ms("--obs-lag-ms", it.next())?,
             "--delay-event-ms" => args.delay_event_ms = parse_ms("--delay-event-ms", it.next())?,
@@ -248,9 +261,9 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const USAGE: &str = "usage: adya-check [explain] [--dot] [--json] [--metrics [prom]] [--stream]
-                  [--trace-out FILE] [--level PL-3] [--obs-listen ADDR]
-                  [--obs-stale-ms MS] [--obs-lag-ms MS] [--delay-event-ms MS]
-                  [FILE]
+                  [--pipeline-threads N] [--trace-out FILE] [--level PL-3]
+                  [--obs-listen ADDR] [--obs-stale-ms MS] [--obs-lag-ms MS]
+                  [--delay-event-ms MS] [FILE]
 Reads a history (paper notation) from FILE or stdin and analyzes it.
   explain        forensic mode: shrink the history to a minimal
                  sub-history per detected phenomenon and print a
@@ -278,6 +291,14 @@ Reads a history (paper notation) from FILE or stdin and analyzes it.
                  before the end is corruption and exits 2. Predicate
                  reads and explicit version orders are not supported,
                  and --level is restricted to the ANSI chain
+  --pipeline-threads N
+                 stream only: run the staged ingest pipeline — this
+                 thread parses and stamps events into N bounded rings
+                 while a dedicated application thread drains them in
+                 sequence order and applies batches; the verdict
+                 stream is byte-identical to the sequential path.
+                 Incompatible with --obs-listen, --trace-out and
+                 --delay-event-ms (per-event hooks are sequential)
   --level LEVEL  exit non-zero unless the history satisfies LEVEL
                  (PL-1, PL-2, PL-CS, PL-MAV, PL-2+, PL-2.99, PL-SI, PL-3)
   --obs-listen A stream only: serve a live obs endpoint on address A
@@ -540,6 +561,129 @@ fn stream_cycle_dot(v: &Verdict) -> Option<String> {
     Some(s)
 }
 
+/// Where `--stream` events go: the classic in-thread checker, or the
+/// staged ingest pipeline (`--pipeline-threads N`) with the checker on
+/// a dedicated application thread while this thread only parses and
+/// stamps dense sequence numbers into the rings.
+enum StreamSink {
+    Sequential {
+        checker: Box<OnlineChecker>,
+        obs: StreamObs,
+        emitted: u64,
+        dot: bool,
+    },
+    Pipelined {
+        producers: Vec<RingProducer>,
+        next: u64,
+        handle: std::thread::JoinHandle<(OnlineChecker, u64)>,
+    },
+}
+
+impl StreamSink {
+    fn start(args: &Args) -> Result<StreamSink, String> {
+        if args.pipeline_threads == 0 {
+            let mut checker = OnlineChecker::new();
+            // This tool exists to explain violations, so it pays for
+            // the per-edge provenance the library leaves off by
+            // default.
+            checker.set_provenance(true);
+            let obs = StreamObs::start(args, &mut checker)?;
+            return Ok(StreamSink::Sequential {
+                checker: Box::new(checker),
+                obs,
+                emitted: 0,
+                dot: args.dot,
+            });
+        }
+        let cfg = PipelineConfig {
+            rings: args.pipeline_threads,
+            ..PipelineConfig::default()
+        };
+        let (producers, pipe) = EventPipeline::manual(cfg);
+        let dot = args.dot;
+        let handle = std::thread::Builder::new()
+            .name("adya-check-apply".into())
+            .spawn(move || {
+                let mut checker = OnlineChecker::new();
+                checker.set_provenance(true); // see above
+                let mut emitted = 0u64;
+                pipe.run(&mut checker, |v| {
+                    emitted += 1;
+                    println!("{}", v.to_json());
+                    if dot {
+                        if let Some(d) = stream_cycle_dot(&v) {
+                            emit_dot_stderr(&d);
+                        }
+                    }
+                });
+                (checker, emitted)
+            })
+            .map_err(|e| format!("cannot spawn application thread: {e}"))?;
+        Ok(StreamSink::Pipelined {
+            producers,
+            next: 0,
+            handle,
+        })
+    }
+
+    /// Feeds one parsed event; sequential mode also prints any commit
+    /// verdict (pipelined mode prints from the application thread).
+    fn feed(&mut self, ev: adya::history::Event) {
+        match self {
+            StreamSink::Sequential {
+                checker,
+                obs,
+                emitted,
+                dot,
+            } => {
+                let arrived = obs.event_arrived();
+                let v = checker.ingest(&ev);
+                obs.event_applied(checker, arrived, v.as_ref());
+                if let Some(v) = v {
+                    *emitted += 1;
+                    println!("{}", v.to_json());
+                    if *dot {
+                        if let Some(d) = stream_cycle_dot(&v) {
+                            emit_dot_stderr(&d);
+                        }
+                    }
+                }
+            }
+            StreamSink::Pipelined {
+                producers, next, ..
+            } => {
+                producers[(*next as usize) % producers.len()].push(*next, ev);
+                *next += 1;
+            }
+        }
+    }
+
+    /// Ends the stream and reclaims the checker — in pipelined mode by
+    /// closing the rings (dropping the producers) and joining the
+    /// application thread, which first drains and prints everything
+    /// still buffered. Returns the checker, the number of verdicts
+    /// emitted so far, and the obs plane when one was armed.
+    fn close(self) -> (OnlineChecker, u64, Option<StreamObs>) {
+        match self {
+            StreamSink::Sequential {
+                checker,
+                obs,
+                emitted,
+                ..
+            } => (*checker, emitted, Some(obs)),
+            StreamSink::Pipelined {
+                producers, handle, ..
+            } => {
+                drop(producers);
+                let (checker, emitted) = handle
+                    .join()
+                    .expect("pipeline application thread must not panic");
+                (checker, emitted, None)
+            }
+        }
+    }
+}
+
 /// Emits the `truncated_input` NDJSON record, the final verdict of the
 /// intact prefix, and optional metrics; the caller exits 3.
 fn finish_truncated(
@@ -571,45 +715,26 @@ fn run_stream_binary(args: &Args, buf: &[u8]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let mut checker = OnlineChecker::new();
-    // This tool exists to explain violations, so it pays for the
-    // per-edge provenance the library leaves off by default.
-    checker.set_provenance(true);
-    let mut obs = match StreamObs::start(args, &mut checker) {
-        Ok(o) => o,
+    let mut sink = match StreamSink::start(args) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("adya-check: {e}");
             return ExitCode::from(2);
         }
     };
-    let mut emitted = 0u64;
+    let mut was_shutdown = false;
     while let Some(item) = log.next() {
         if adya_serve::shutdown::requested() {
             // SIGTERM/ctrl-c: stop ingesting, emit the closing frame,
             // then fall through to the ordinary final verdict so the
             // stream ends the same way an EOF would.
-            println!(
-                "{}",
-                adya_serve::proto::closing_frame("shutdown", None, checker.events(), emitted)
-            );
+            was_shutdown = true;
             break;
         }
         match item {
-            Ok(ev) => {
-                let arrived = obs.event_arrived();
-                let v = checker.ingest(&ev);
-                obs.event_applied(&checker, arrived, v.as_ref());
-                if let Some(v) = v {
-                    emitted += 1;
-                    println!("{}", v.to_json());
-                    if args.dot {
-                        if let Some(d) = stream_cycle_dot(&v) {
-                            emit_dot_stderr(&d);
-                        }
-                    }
-                }
-            }
+            Ok(ev) => sink.feed(ev),
             Err(LogError::TornTail { good_len, detail }) => {
+                let (checker, _, _) = sink.close();
                 return finish_truncated(checker, &detail, "good_len", good_len, args.metrics);
             }
             Err(e) => {
@@ -618,8 +743,17 @@ fn run_stream_binary(args: &Args, buf: &[u8]) -> ExitCode {
             }
         }
     }
+    let (mut checker, emitted, mut obs) = sink.close();
+    if was_shutdown {
+        println!(
+            "{}",
+            adya_serve::proto::closing_frame("shutdown", None, checker.events(), emitted)
+        );
+    }
     let fin = checker.finish();
-    obs.finish(&fin);
+    if let Some(obs) = &mut obs {
+        obs.finish(&fin);
+    }
     println!("{}", fin.to_json());
     emit_metrics_stderr(args.metrics);
     if let Some(level) = args.level {
@@ -642,6 +776,15 @@ fn run_stream(args: &Args) -> ExitCode {
     // Streaming runs can be long-lived sidecars; SIGTERM/ctrl-c must
     // end them with a closing frame and a final verdict, not mid-line.
     adya_serve::shutdown::install();
+    if args.pipeline_threads > 0
+        && (args.obs_listen.is_some() || args.delay_event_ms > 0 || args.trace_out.is_some())
+    {
+        eprintln!(
+            "adya-check: --obs-listen, --trace-out and --delay-event-ms hook each event \
+             in-thread; drop --pipeline-threads to use them"
+        );
+        return ExitCode::from(2);
+    }
     if let Some(level) = args.level {
         let ansi = [
             IsolationLevel::PL1,
@@ -691,10 +834,8 @@ fn run_stream(args: &Args) -> ExitCode {
     ));
 
     let mut parser = StreamParser::new();
-    let mut checker = OnlineChecker::new();
-    checker.set_provenance(true); // see run_stream_binary
-    let mut obs = match StreamObs::start(args, &mut checker) {
-        Ok(o) => o,
+    let mut sink = match StreamSink::start(args) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("adya-check: {e}");
             return ExitCode::from(2);
@@ -703,14 +844,11 @@ fn run_stream(args: &Args) -> ExitCode {
 
     // (line number, parse error, were there tokens after it)
     let mut damage: Option<(usize, String, bool)> = None;
-    let mut emitted = 0u64;
+    let mut was_shutdown = false;
     let mut lines = reader.lines().enumerate();
     'ingest: for (ix, line) in lines.by_ref() {
         if adya_serve::shutdown::requested() {
-            println!(
-                "{}",
-                adya_serve::proto::closing_frame("shutdown", None, checker.events(), emitted)
-            );
+            was_shutdown = true;
             break 'ingest;
         }
         let line = match line {
@@ -728,7 +866,6 @@ fn run_stream(args: &Args) -> ExitCode {
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
         for (ti, tok) in toks.iter().enumerate() {
-            let arrived = obs.event_arrived();
             let ev = match parser.parse_token(tok) {
                 Ok(e) => e,
                 Err(e) => {
@@ -736,17 +873,7 @@ fn run_stream(args: &Args) -> ExitCode {
                     break 'ingest;
                 }
             };
-            let v = checker.ingest(&ev);
-            obs.event_applied(&checker, arrived, v.as_ref());
-            if let Some(v) = v {
-                emitted += 1;
-                println!("{}", v.to_json());
-                if args.dot {
-                    if let Some(d) = stream_cycle_dot(&v) {
-                        emit_dot_stderr(&d);
-                    }
-                }
-            }
+            sink.feed(ev);
         }
     }
     if let Some((line_no, msg, mid_line)) = damage {
@@ -764,10 +891,20 @@ fn run_stream(args: &Args) -> ExitCode {
             eprintln!("adya-check: line {line_no}: {msg}");
             return ExitCode::from(2);
         }
+        let (checker, _, _) = sink.close();
         return finish_truncated(checker, &msg, "line", line_no, args.metrics);
     }
+    let (mut checker, emitted, mut obs) = sink.close();
+    if was_shutdown {
+        println!(
+            "{}",
+            adya_serve::proto::closing_frame("shutdown", None, checker.events(), emitted)
+        );
+    }
     let fin = checker.finish();
-    obs.finish(&fin);
+    if let Some(obs) = &mut obs {
+        obs.finish(&fin);
+    }
     println!("{}", fin.to_json());
     emit_metrics_stderr(args.metrics);
     if let Some(level) = args.level {

@@ -163,3 +163,36 @@ fn unknown_flag_and_bad_level() {
     assert_eq!(code, Some(2));
     assert!(stderr.contains("unknown level"));
 }
+
+#[test]
+fn pipelined_stream_matches_sequential() {
+    // A stream with a G2 write-skew plus clean traffic: the pipelined
+    // apply thread must emit the byte-identical verdict stream,
+    // whatever the ring/batch timing was.
+    let h = "b1 b2 r1(xinit) r2(yinit) w1(y,1) w2(x,2) c1 c2 w3(z,3) c3 r4(z3) c4\n";
+    let (seq_out, _, seq_code) = run(&["--stream"], h);
+    let (par_out, _, par_code) = run(&["--stream", "--pipeline-threads", "3"], h);
+    assert_eq!(seq_code, Some(0));
+    assert_eq!(par_code, Some(0));
+    assert_eq!(par_out, seq_out, "pipelined verdict stream diverged");
+    assert!(seq_out.contains("\"G2\""), "{seq_out}");
+}
+
+#[test]
+fn pipelined_stream_rejects_in_thread_hooks() {
+    // --delay-event-ms / --obs-listen / --trace-out hook each event on
+    // the ingest thread; combined with --pipeline-threads they are a
+    // usage error, not silently ignored.
+    let (_, stderr, code) = run(
+        &[
+            "--stream",
+            "--pipeline-threads",
+            "2",
+            "--delay-event-ms",
+            "1",
+        ],
+        "",
+    );
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--pipeline-threads"), "{stderr}");
+}

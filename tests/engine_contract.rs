@@ -7,7 +7,7 @@
 
 use adya::engine::{
     CertifyLevel, Engine, EngineError, EventTap, Key, LockConfig, LockingEngine, MvccEngine,
-    MvccMode, MvtoEngine, OccEngine, SgtEngine, TableId, TablePred, TxnId, Value,
+    MvccMode, MvtoEngine, OccEngine, SeqEventTap, SgtEngine, TableId, TablePred, TxnId, Value,
 };
 use adya::history::History;
 use adya::workloads::{mixed_workload, run_deterministic, DriverConfig, MixedConfig};
@@ -84,6 +84,9 @@ impl<E: Engine> Engine for BlockAmplifier<E> {
     }
     fn set_event_tap(&self, tap: EventTap) {
         self.inner.set_event_tap(tap);
+    }
+    fn set_seq_event_tap(&self, tap: SeqEventTap) {
+        self.inner.set_seq_event_tap(tap);
     }
     fn finalize(&self) -> History {
         self.inner.finalize()

@@ -408,7 +408,10 @@ fn idle_connections_detach_and_release_their_session() {
         saw_busy,
         "the idle connection must have owned the session at first"
     );
-    assert_eq!(replayed, verdict, "replay must re-send the verdict verbatim");
+    assert_eq!(
+        replayed, verdict,
+        "replay must re-send the verdict verbatim"
+    );
 
     // The idle connection is told why it was cut loose.
     line.clear();
