@@ -1,0 +1,449 @@
+//! E20 — replica failover: leader/follower session-log replication
+//! under concurrent tenants and a leader SIGKILL. The bench spawns a
+//! real follower `adya-serve`, a leader replicating every durable log
+//! byte to it, streams N concurrent sessions at the leader, samples
+//! the leader's acknowledged replication lag, SIGKILLs the leader with
+//! every session mid-stream — and never restarts it. Clients fail over
+//! to the follower on their multi-endpoint list, promote it, and
+//! finish their streams there.
+//!
+//! Three properties must hold on every run:
+//!
+//! 1. **Verdict-stream parity.** Each session's verdict ledger,
+//!    continued on the promoted follower, must be byte-identical to an
+//!    uninterrupted in-process run of the same tokens, final verdict
+//!    included — even when the follower's acknowledged prefix trailed
+//!    the leader at the moment of the kill.
+//! 2. **Every session failed over.** The kill lands with all sessions
+//!    mid-stream, so each must reconnect at least once.
+//! 3. **The follower was actually promoted** — its `/health` reports
+//!    the leader role afterwards.
+//!
+//! Reported: replication lag at kill time (records + bytes, as last
+//! acknowledged by the follower), per-session client-observed failover
+//! latency (rotation, redirects and promotion included), events/sec
+//! and the parity bits, into `--report experiments/replica_failover.json`.
+//! `--budget-pct <p>` scales the per-session transaction count to p%
+//! for CI smoke runs; `--seed/--sessions/--txns` make any run
+//! reproducible from its report.
+
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use adya_bench::{banner, note, report_path_from_args, u64_from_args, verdict, Table};
+use adya_obs::json::JsonWriter;
+use adya_online::{GcConfig, OnlineChecker, StreamParser};
+use adya_workloads::{ClientError, RetryPolicy, ServeClient};
+
+/// A spawned server; killed on drop so a panicking bench never leaks
+/// a listener.
+struct Server(Child);
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// `adya-serve` lands in the same target directory as this bench
+/// binary, so the sibling path is the default; `ADYA_SERVE_BIN`
+/// overrides it for out-of-tree runs.
+fn serve_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("ADYA_SERVE_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.pop();
+    p.push("adya-serve");
+    p
+}
+
+/// Spawns the server over `data` on `listen` with `extra` role flags,
+/// returning the process and the bound address.
+fn spawn_server(
+    bin: &std::path::Path,
+    data: &std::path::Path,
+    listen: &str,
+    extra: &[&str],
+) -> (Server, String) {
+    for attempt in 0..50 {
+        let mut child = Command::new(bin)
+            .arg("--data")
+            .arg(data)
+            .args([
+                "--listen",
+                listen,
+                "--snapshot-every",
+                "32",
+                "--rotate-events",
+                "64",
+            ])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn {}: {e}", bin.display()));
+        let stderr = child.stderr.take().expect("piped stderr");
+        let mut reader = BufReader::new(stderr);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read first stderr line");
+        if let Some((_, addr)) = line.rsplit_once("listening on ") {
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut reader, &mut std::io::sink());
+            });
+            return (Server(child), addr.trim().to_string());
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+        assert!(attempt < 49, "adya-serve kept failing to bind: {line:?}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    unreachable!()
+}
+
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect service port");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: adya\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send");
+    let mut response = String::new();
+    s.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Extracts the number after `"key": ` in a flat JSON body.
+fn u64_field(body: &str, key: &str) -> Option<u64> {
+    let at = body.find(&format!("\"{key}\": "))?;
+    let digits: String = body[at + key.len() + 4..]
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// A deterministic token stream for one session: interleaved begins,
+/// version-correct reads, writes and commits over eight objects. The
+/// seed perturbs the object choices so sessions diverge run to run
+/// while staying reproducible.
+fn session_tokens(session: u64, seed: u64, txns: u64) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut last_writer = [None::<u64>; 8];
+    let obj = |i: usize| (b'a' + i as u8) as char;
+    let salt = (seed ^ session.wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize;
+    for t in 1..=txns {
+        let wobj = ((t as usize) * 7 + salt) % 8;
+        let robj = ((t as usize) * 3 + salt / 8) % 8;
+        tokens.push(format!("b{t}"));
+        if let Some(w) = last_writer[robj] {
+            tokens.push(format!("r{t}(k{}{w})", obj(robj)));
+        }
+        tokens.push(format!("w{t}(k{},{t})", obj(wobj)));
+        tokens.push(format!("c{t}"));
+        last_writer[wobj] = Some(t);
+    }
+    tokens
+}
+
+/// The uninterrupted in-process reference: same tokens, same checker
+/// configuration as a server session — (verdict lines, final line).
+fn reference(tokens: &[String]) -> (Vec<String>, String) {
+    let mut parser = StreamParser::new();
+    let mut checker = OnlineChecker::with_gc(GcConfig::default());
+    let mut verdicts = Vec::new();
+    for tok in tokens {
+        let ev = parser.parse_token(tok).expect("reference tokens parse");
+        if let Some(v) = checker.ingest(&ev) {
+            verdicts.push(v.to_json());
+        }
+    }
+    (verdicts, checker.finish().to_json())
+}
+
+/// One session's outcome, as reported.
+struct SessionRun {
+    name: String,
+    events: u64,
+    verdicts: u64,
+    failovers: u32,
+    /// Client-observed failover latency (endpoint rotation, not_leader
+    /// redirects and promotion included), summed over all failovers.
+    failover_micros: u128,
+    stream_ok: bool,
+    final_ok: bool,
+}
+
+impl SessionRun {
+    fn ok(&self) -> bool {
+        self.stream_ok && self.final_ok
+    }
+}
+
+/// Streams a whole session around the leader kill: half the tokens,
+/// two barrier waits while the leader dies (for good), the rest, then
+/// close. Transport errors anywhere turn into a timed failover resume
+/// against the endpoint list.
+fn run_session(
+    endpoints: &str,
+    session: u64,
+    seed: u64,
+    txns: u64,
+    barrier: &Barrier,
+) -> SessionRun {
+    let tokens = session_tokens(session, seed, txns);
+    let name = format!("tenant-{session}");
+    let mut client = ServeClient::hello(endpoints, &name).expect("hello");
+    let mut failovers = 0u32;
+    let mut failover_micros = 0u128;
+    let policy = RetryPolicy {
+        deadline_ops: Some(4_000),
+        ..RetryPolicy::default()
+    };
+    let mut send = |client: &mut ServeClient, tok: &str| match client.send_token(tok) {
+        Ok(()) => {}
+        Err(ClientError::Io(_)) => {
+            let t0 = Instant::now();
+            client
+                .resume(&policy, seed ^ session)
+                .unwrap_or_else(|e| panic!("{name}: failover resume failed: {e}"));
+            failover_micros += t0.elapsed().as_micros();
+            failovers += 1;
+        }
+        Err(e) => panic!("{name}: protocol error on {tok:?}: {e}"),
+    };
+
+    let half = tokens.len() / 2;
+    for tok in &tokens[..half] {
+        send(&mut client, tok);
+    }
+    barrier.wait(); // everyone is mid-stream
+    barrier.wait(); // the leader is dead — no replacement coming
+    for tok in &tokens[half..] {
+        send(&mut client, tok);
+    }
+
+    let (want_verdicts, want_final) = reference(&tokens);
+    let stream_ok = client.verdicts() == &want_verdicts[..];
+    let events = client.tokens_sent() as u64;
+    let verdicts = client.verdicts().len() as u64;
+    let fin = client.close().expect("close");
+    SessionRun {
+        name,
+        events,
+        verdicts,
+        failovers,
+        failover_micros,
+        stream_ok,
+        final_ok: fin == want_final,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_report(
+    path: &str,
+    seed: u64,
+    txns: u64,
+    budget_pct: u64,
+    runs: &[SessionRun],
+    lag_records_at_kill: u64,
+    lag_bytes_at_kill: u64,
+    promoted: bool,
+    elapsed: Duration,
+) -> std::io::Result<()> {
+    let total_events: u64 = runs.iter().map(|r| r.events).sum();
+    let total_verdicts: u64 = runs.iter().map(|r| r.verdicts).sum();
+    let total_failovers: u64 = runs.iter().map(|r| u64::from(r.failovers)).sum();
+    let max_failover: u128 = runs.iter().map(|r| r.failover_micros).max().unwrap_or(0);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let mut w = JsonWriter::new();
+    w.open_object(None);
+    w.str_field("report", "replica_failover");
+    w.u64_field("seed", seed);
+    w.u64_field("sessions", runs.len() as u64);
+    w.u64_field("txns_per_session", txns);
+    w.u64_field("budget_pct", budget_pct);
+    w.u64_field("events_total", total_events);
+    w.u64_field("verdicts_total", total_verdicts);
+    w.u64_field("failovers_total", total_failovers);
+    w.u64_field("repl_lag_records_at_kill", lag_records_at_kill);
+    w.u64_field("repl_lag_bytes_at_kill", lag_bytes_at_kill);
+    w.u64_field("failover_micros_max", max_failover as u64);
+    w.u64_field("elapsed_micros", elapsed.as_micros() as u64);
+    w.u64_field("events_per_sec", (total_events as f64 / secs) as u64);
+    w.bool_field("follower_promoted", promoted);
+    w.bool_field("parity_ok", runs.iter().all(SessionRun::ok));
+    w.open_array(Some("per_session"));
+    for r in runs {
+        w.open_object(None);
+        w.str_field("session", &r.name);
+        w.u64_field("events", r.events);
+        w.u64_field("verdicts", r.verdicts);
+        w.u64_field("failovers", u64::from(r.failovers));
+        w.u64_field("failover_micros", r.failover_micros as u64);
+        w.bool_field("stream_parity", r.stream_ok);
+        w.bool_field("final_parity", r.final_ok);
+        w.close_object();
+    }
+    w.close_array();
+    w.close_object();
+    let mut json = w.finish();
+    json.push('\n');
+    std::fs::write(path, json)
+}
+
+fn main() {
+    banner("Replica failover: leader SIGKILL, follower promotion, verdict parity");
+    let report_path = report_path_from_args();
+    let seed = u64_from_args("seed", 0xFA110);
+    let sessions = u64_from_args("sessions", 4).max(1);
+    let budget_pct = u64_from_args("budget-pct", 100).clamp(1, 100);
+    let txns = (u64_from_args("txns", 120) * budget_pct / 100).max(8);
+    note(&format!(
+        "seed {seed}, {sessions} concurrent sessions x {txns} txns (budget {budget_pct}%)"
+    ));
+
+    let bin = serve_bin();
+    assert!(
+        bin.exists(),
+        "adya-serve binary not found at {} — build it first (cargo build --release) \
+         or set ADYA_SERVE_BIN",
+        bin.display()
+    );
+    let base = std::env::temp_dir().join(format!("adya-replica-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let (follower, faddr) =
+        spawn_server(&bin, &base.join("follower"), "127.0.0.1:0", &["--follower"]);
+    let (leader, laddr) = spawn_server(
+        &bin,
+        &base.join("leader"),
+        "127.0.0.1:0",
+        &["--replicate-to", &faddr],
+    );
+    note(&format!(
+        "leader pid {} on {laddr} -> follower pid {} on {faddr}",
+        leader.0.id(),
+        follower.0.id(),
+    ));
+    let endpoints = format!("{laddr},{faddr}");
+
+    let start = Instant::now();
+    let barrier = Arc::new(Barrier::new(sessions as usize + 1));
+    let mut handles = Vec::new();
+    for s in 0..sessions {
+        let endpoints = endpoints.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            run_session(&endpoints, s, seed, txns, &barrier)
+        }));
+    }
+
+    barrier.wait(); // every session is mid-stream
+                    // Sample the acknowledged replication lag the follower will have
+                    // to absorb, then SIGKILL the leader — and never bring it back.
+    let (_, health) = http_get(&laddr, "/health");
+    let lag_records_at_kill = u64_field(&health, "max_lag_records").unwrap_or(0);
+    let lag_bytes_at_kill = u64_field(&health, "max_lag_bytes").unwrap_or(0);
+    drop(leader); // SIGKILL — no flush, no goodbye
+    note(&format!(
+        "leader killed mid-stream; acknowledged lag {lag_records_at_kill} records / {lag_bytes_at_kill} bytes"
+    ));
+    barrier.wait();
+
+    let runs: Vec<SessionRun> = handles
+        .into_iter()
+        .map(|h| h.join().expect("session thread"))
+        .collect();
+    let elapsed = start.elapsed();
+    let (_, fhealth) = http_get(&faddr, "/health");
+    let promoted = fhealth.contains("\"role\": \"leader\"");
+    drop(follower);
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut table = Table::new(&[
+        "session",
+        "events",
+        "verdicts",
+        "failovers",
+        "failover ms",
+        "stream",
+        "final",
+    ]);
+    for r in &runs {
+        table.row(&[
+            r.name.clone(),
+            r.events.to_string(),
+            r.verdicts.to_string(),
+            r.failovers.to_string(),
+            format!("{:.1}", r.failover_micros as f64 / 1000.0),
+            if r.stream_ok { "ok" } else { "FAIL" }.to_string(),
+            if r.final_ok { "ok" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let total_events: u64 = runs.iter().map(|r| r.events).sum();
+    let total_failovers: u32 = runs.iter().map(|r| r.failovers).sum();
+    let max_failover: u128 = runs.iter().map(|r| r.failover_micros).max().unwrap_or(0);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    note(&format!(
+        "{:.0} events/sec, {total_failovers} failovers, worst client-observed failover {:.1} ms",
+        total_events as f64 / secs,
+        max_failover as f64 / 1000.0,
+    ));
+
+    let parity = runs.iter().all(SessionRun::ok);
+    let all_failed_over = runs.iter().all(|r| r.failovers >= 1);
+    if !all_failed_over {
+        note("  a session never failed over — the kill missed it; run is vacuous");
+    }
+    if !promoted {
+        note("  the follower never reported the leader role after failover");
+    }
+    for r in runs.iter().filter(|r| !r.ok()) {
+        note(&format!(
+            "  {}: stream_parity={} final_parity={}",
+            r.name, r.stream_ok, r.final_ok
+        ));
+    }
+
+    if let Some(path) = &report_path {
+        match write_report(
+            path,
+            seed,
+            txns,
+            budget_pct,
+            &runs,
+            lag_records_at_kill,
+            lag_bytes_at_kill,
+            promoted,
+            elapsed,
+        ) {
+            Ok(()) => note(&format!("report written to {path}")),
+            Err(e) => {
+                eprintln!("replica_failover: cannot write report {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    verdict(
+        "E20 replica failover",
+        parity && all_failed_over && promoted,
+    );
+}

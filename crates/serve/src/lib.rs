@@ -20,12 +20,22 @@
 //! HTTP request gets `/metrics` (with per-session SLI labels) or the
 //! fleet `/health` document instead.
 //!
+//! Replication ([`replica`]): a leader ships every durable log byte to
+//! follower nodes over the same NDJSON protocol (`repl_hello` /
+//! `replicate` / `append` / `put` / `remove` / `repl_flush`→`ack`), so
+//! a follower's data directory is byte-identical and recovery works on
+//! it unchanged. A follower promoted by operator `promote` frame — or
+//! by client failover after leader death — resumes every session with
+//! the same byte-identical verdict stream a local restart would.
+//!
 //! Module map:
 //! - [`log`] — segmented event log, snapshots, compaction, recovery
 //!   (including exact-offset torn-tail truncation).
 //! - [`session`] — one checker session and its durability ordering.
 //! - [`Server`] — accept loops, connection protocol, obs plane.
 //! - [`proto`] — control-frame parsing and rendering.
+//! - [`replica`] — replication hub (leader side), follower sink, lag
+//!   accounting.
 //! - [`shutdown`] — process-wide SIGINT/SIGTERM latch for graceful
 //!   drains.
 //!
@@ -33,12 +43,14 @@
 
 pub mod log;
 pub mod proto;
+pub mod replica;
 pub mod session;
 pub mod shutdown;
 
 mod server;
 
-pub use log::{LogConfig, RecoverError, Recovered, SessionLog};
+pub use log::{FsyncPolicy, LogConfig, RecoverError, Recovered, SessionLog};
 pub use proto::ClientFrame;
+pub use replica::{LogPublisher, ReplConfig, ReplicaSink, ReplicationHub};
 pub use server::{ServeConfig, Server};
 pub use session::{ApplyError, ResumeError, Session, SessionConfig};

@@ -9,7 +9,7 @@
 //!   seg-0.log        events 0..      (EventLogWriter format)
 //!   seg-4096.log     events 4096..   (rotated every rotate_events)
 //!   snap-6000.snap   checker+parser state after event 6000
-//!   names.log        interned object names, one per line, id order
+//!   names-17.log     interned object names from id 17, one per line
 //!   closed           final verdict line, present once closed
 //! ```
 //!
@@ -24,21 +24,37 @@
 //! is what bounds both the snapshot size and, through this horizon,
 //! the bytes the log retains.
 //!
-//! `names.log` exists because the binary event log stores resolved
-//! [`ObjectId`](adya_history::ObjectId)s: replaying the tail rebuilds
-//! the parser's write counters, but the name→id interning that future
-//! *text* tokens depend on has to be persisted separately. It is one
-//! line per distinct object ever seen — never rotated, never
-//! compacted, effectively constant-size for real workloads.
+//! The name side-log exists because the binary event log stores
+//! resolved [`ObjectId`](adya_history::ObjectId)s: replaying the tail
+//! rebuilds the parser's write counters, but the name→id interning
+//! that future *text* tokens depend on has to be persisted separately.
+//! It is folded into compaction: each `names-<base>.log` holds the
+//! names of ids `base..`, and because a snapshot's serialized parser
+//! already carries every name interned before it, the side-log rotates
+//! to a fresh empty `names-<interned>.log` at snapshot time and the
+//! older files are deleted — a session that cycles object names
+//! forever keeps at most one snapshot interval of names on disk.
+//! (Legacy `names.log` files are read as `base = 0` and migrate to the
+//! rotated scheme at their first snapshot.)
 //!
-//! Durability model: appends go straight to the OS (no userspace
-//! buffering), so a killed *process* loses at most the record being
-//! written — the torn tail [`EventLogReader`] detects and
-//! [`recover`](SessionLog::recover) truncates at the exact `good_len`
-//! byte. Surviving an OS crash would need fsync on every append; a
-//! checker is a diagnostic sidecar, so that cost is not paid
-//! (snapshots, which delete log segments, *are* synced before the
-//! rename that makes them current).
+//! Durability model ([`FsyncPolicy`]): appends always go straight to
+//! the OS (no userspace buffering), so a killed *process* loses at
+//! most the record being written — the torn tail [`EventLogReader`]
+//! detects and [`recover`](SessionLog::recover) truncates at the exact
+//! `good_len` byte. Surviving an *OS* crash is what the policy tunes:
+//! `always` fsyncs every append (durability window: the in-flight
+//! record), the default `interval` fsyncs the open segment and name
+//! log at each snapshot (window: everything since the last snapshot —
+//! but snapshots, which delete log segments, are themselves always
+//! synced before the rename that makes them current), and `never`
+//! syncs nothing (window: whatever the OS had not written back).
+//!
+//! When a [`LogPublisher`] is attached, every durable byte is also
+//! published to the replication hub as a file mutation — appends with
+//! their exact offsets, snapshots and the `closed` marker as
+//! whole-file puts, compaction as removes — so a follower's copy of
+//! the directory is byte-identical and [`recover`](SessionLog::recover)
+//! works on it unchanged after promotion.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
@@ -50,16 +66,51 @@ use adya_online::{
     LOG_MAGIC,
 };
 
+use crate::replica::LogPublisher;
+
 /// First 8 bytes of every session snapshot container.
 pub const SNAP_MAGIC: [u8; 8] = *b"ADYASRV\x01";
 
-/// Rotation and snapshot cadence for a [`SessionLog`].
+/// When the log explicitly syncs its appends to stable storage. The
+/// durability window each setting leaves open (on a leader or a
+/// follower applying replicated bytes) is documented in the module
+/// header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after every append: survives OS crash at per-record cost.
+    Always,
+    /// fsync the open segment and name log at each snapshot (and every
+    /// snapshot itself): a process kill loses nothing, an OS crash
+    /// loses at most one snapshot interval.
+    #[default]
+    Interval,
+    /// No explicit syncs at all, snapshots included.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the `--fsync` CLI value.
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "interval" => Ok(FsyncPolicy::Interval),
+            "never" => Ok(FsyncPolicy::Never),
+            other => Err(format!(
+                "--fsync must be always|interval|never, got {other}"
+            )),
+        }
+    }
+}
+
+/// Rotation, snapshot cadence and sync policy for a [`SessionLog`].
 #[derive(Debug, Clone, Copy)]
 pub struct LogConfig {
     /// Start a new segment after this many event records.
     pub rotate_events: u64,
     /// Write a snapshot (and compact) every this many event records.
     pub snapshot_every: u64,
+    /// Explicit-fsync policy.
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for LogConfig {
@@ -67,6 +118,7 @@ impl Default for LogConfig {
         LogConfig {
             rotate_events: 4096,
             snapshot_every: 1024,
+            fsync: FsyncPolicy::Interval,
         }
     }
 }
@@ -105,7 +157,16 @@ pub struct SessionLog {
     dir: PathBuf,
     cfg: LogConfig,
     writer: EventLogWriter<File>,
+    /// Second handle on the open segment, for explicit fsync.
+    seg_sync: File,
     names: File,
+    /// File name of the open name side-log (`names-<base>.log`, or a
+    /// legacy `names.log` until its first rotation).
+    names_file: String,
+    /// Byte length of the open name side-log.
+    names_len: u64,
+    /// Id of the first name the open side-log holds.
+    names_base: u64,
     /// Total durable event records across all segments.
     records: u64,
     /// First record index of the open segment.
@@ -114,6 +175,8 @@ pub struct SessionLog {
     seg_bytes: u64,
     /// Records at the last snapshot (0 when none yet).
     last_snap: u64,
+    /// Replication handle; every durable mutation is mirrored here.
+    repl: Option<LogPublisher>,
 }
 
 /// Everything [`SessionLog::recover`] reconstructs from a session
@@ -154,7 +217,11 @@ pub struct Recovered {
 impl SessionLog {
     /// Creates a brand-new session directory. Fails if it already
     /// exists — `hello` on an existing session must be a `resume`.
-    pub fn create(dir: &Path, cfg: LogConfig) -> io::Result<SessionLog> {
+    pub fn create(
+        dir: &Path,
+        cfg: LogConfig,
+        repl: Option<LogPublisher>,
+    ) -> io::Result<SessionLog> {
         if let Some(parent) = dir.parent() {
             fs::create_dir_all(parent)?;
         }
@@ -163,20 +230,30 @@ impl SessionLog {
             .create_new(true)
             .append(true)
             .open(dir.join("seg-0.log"))?;
+        let seg_sync = file.try_clone()?;
         let writer = EventLogWriter::create(file)?;
         let names = OpenOptions::new()
             .create_new(true)
             .append(true)
-            .open(dir.join("names.log"))?;
+            .open(dir.join("names-0.log"))?;
+        if let Some(p) = &repl {
+            p.append("seg-0.log", 0, &LOG_MAGIC, 0);
+            p.put("names-0.log", b"");
+        }
         Ok(SessionLog {
             dir: dir.to_path_buf(),
             cfg,
             writer,
+            seg_sync,
             names,
+            names_file: "names-0.log".into(),
+            names_len: 0,
+            names_base: 0,
             records: 0,
             seg_start: 0,
             seg_bytes: LOG_MAGIC.len() as u64,
             last_snap: 0,
+            repl,
         })
     }
 
@@ -200,6 +277,13 @@ impl SessionLog {
         }
         if !buf.is_empty() {
             self.names.write_all(buf.as_bytes())?;
+            if self.cfg.fsync == FsyncPolicy::Always {
+                self.names.sync_data()?;
+            }
+            if let Some(p) = &self.repl {
+                p.append(&self.names_file, self.names_len, buf.as_bytes(), 0);
+            }
+            self.names_len += buf.len() as u64;
         }
         Ok(())
     }
@@ -207,10 +291,27 @@ impl SessionLog {
     /// Appends one event durably (reaches the OS before returning),
     /// rotating the segment afterwards when the cadence says so.
     pub fn append(&mut self, ev: &Event) -> io::Result<()> {
-        let payload_len = wire::encode_event(ev).len() as u64;
+        let payload = wire::encode_event(ev);
         self.writer.append(ev)?;
+        if self.cfg.fsync == FsyncPolicy::Always {
+            self.seg_sync.sync_data()?;
+        }
+        if let Some(p) = &self.repl {
+            // The exact record bytes the writer just produced:
+            // [len u32 LE][crc32(payload) u32 LE][payload].
+            let mut rec = Vec::with_capacity(8 + payload.len());
+            rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            rec.extend_from_slice(&wire::crc32(&payload).to_le_bytes());
+            rec.extend_from_slice(&payload);
+            p.append(
+                &format!("seg-{}.log", self.seg_start),
+                self.seg_bytes,
+                &rec,
+                1,
+            );
+        }
         self.records += 1;
-        self.seg_bytes += 8 + payload_len;
+        self.seg_bytes += 8 + payload.len() as u64;
         if self.records - self.seg_start >= self.cfg.rotate_events {
             self.rotate()?;
         }
@@ -222,12 +323,17 @@ impl SessionLog {
             .create_new(true)
             .append(true)
             .open(self.dir.join(format!("seg-{}.log", self.records)))?;
+        let seg_sync = file.try_clone()?;
         // Swap the new segment in; the old file closes (and flushes)
         // when the old writer drops.
         let old = std::mem::replace(&mut self.writer, EventLogWriter::create(file)?);
         old.into_inner()?;
+        self.seg_sync = seg_sync;
         self.seg_start = self.records;
         self.seg_bytes = LOG_MAGIC.len() as u64;
+        if let Some(p) = &self.repl {
+            p.append(&format!("seg-{}.log", self.seg_start), 0, &LOG_MAGIC, 0);
+        }
         Ok(())
     }
 
@@ -278,16 +384,31 @@ impl SessionLog {
         buf.extend_from_slice(&wire::crc32(&payload).to_le_bytes());
         buf.extend_from_slice(&payload);
 
+        // Under `always` every append is already synced; under
+        // `interval` this is the moment the open files catch up with
+        // stable storage, so the snapshot never outlives log bytes it
+        // claims to cover.
+        if self.cfg.fsync != FsyncPolicy::Never {
+            self.seg_sync.sync_data()?;
+            self.names.sync_data()?;
+        }
         let tmp = self.dir.join("snap.tmp");
         let final_path = self.dir.join(format!("snap-{}.snap", self.records));
         {
             let mut f = File::create(&tmp)?;
             f.write_all(&buf)?;
-            f.sync_all()?;
+            if self.cfg.fsync != FsyncPolicy::Never {
+                f.sync_all()?;
+            }
         }
         fs::rename(&tmp, &final_path)?;
+        if let Some(p) = &self.repl {
+            p.put(&format!("snap-{}.snap", self.records), &buf);
+        }
         self.last_snap = self.records;
-        self.compact()
+        let removed = self.compact()?;
+        self.rotate_names(parser.interned() as u64)?;
+        Ok(removed)
     }
 
     /// Deletes snapshots older than the newest and closed segments
@@ -300,7 +421,11 @@ impl SessionLog {
             return Ok(0);
         };
         for &n in &snaps[..snaps.len() - 1] {
-            let _ = fs::remove_file(self.dir.join(format!("snap-{n}.snap")));
+            if fs::remove_file(self.dir.join(format!("snap-{n}.snap"))).is_ok() {
+                if let Some(p) = &self.repl {
+                    p.remove(&format!("snap-{n}.snap"));
+                }
+            }
         }
         let mut removed = 0;
         // A closed segment [start_i, start_{i+1}) is covered when its
@@ -308,10 +433,47 @@ impl SessionLog {
         for pair in segs.windows(2) {
             if pair[1] <= newest {
                 fs::remove_file(self.dir.join(format!("seg-{}.log", pair[0])))?;
+                if let Some(p) = &self.repl {
+                    p.remove(&format!("seg-{}.log", pair[0]));
+                }
                 removed += 1;
             }
         }
         Ok(removed)
+    }
+
+    /// Folds the name side-log into compaction: the snapshot that just
+    /// landed serializes a parser that already knows every name
+    /// interned so far (`interned`), so everything the side-log holds
+    /// is redundant — rotate to a fresh empty `names-<interned>.log`
+    /// and delete the older files. This is what bounds the side-log
+    /// for sessions that cycle object names forever: at most one
+    /// snapshot interval of names is ever on disk.
+    fn rotate_names(&mut self, interned: u64) -> io::Result<()> {
+        if self.names_len == 0 {
+            return Ok(()); // nothing interned since the last rotation
+        }
+        let new_file = format!("names-{interned}.log");
+        let names = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(self.dir.join(&new_file))?;
+        if let Some(p) = &self.repl {
+            p.put(&new_file, b"");
+        }
+        for (base, old) in scan_names(&self.dir)? {
+            if base < interned {
+                let _ = fs::remove_file(self.dir.join(&old));
+                if let Some(p) = &self.repl {
+                    p.remove(&old);
+                }
+            }
+        }
+        self.names = names;
+        self.names_file = new_file;
+        self.names_len = 0;
+        self.names_base = interned;
+        Ok(())
     }
 
     /// Marks the session closed: `final_line` (the `finish()` verdict)
@@ -319,7 +481,11 @@ impl SessionLog {
     pub fn mark_closed(&self, final_line: &str) -> io::Result<()> {
         let tmp = self.dir.join("closed.tmp");
         fs::write(&tmp, final_line)?;
-        fs::rename(tmp, self.dir.join("closed"))
+        fs::rename(tmp, self.dir.join("closed"))?;
+        if let Some(p) = &self.repl {
+            p.put("closed", final_line.as_bytes());
+        }
+        Ok(())
     }
 
     /// Reopens a session directory: newest valid snapshot, then replay
@@ -332,6 +498,7 @@ impl SessionLog {
         cfg: LogConfig,
         gc: GcConfig,
         provenance: bool,
+        repl: Option<LogPublisher>,
     ) -> Result<Recovered, RecoverError> {
         let (mut segs, mut snaps) = scan_dir(dir)?;
         segs.sort_unstable();
@@ -380,18 +547,49 @@ impl SessionLog {
 
         // Re-intern every name beyond the snapshot's table, in id
         // order, so post-recovery text tokens resolve identically.
-        let names_path = dir.join("names.log");
-        let names_text = fs::read_to_string(&names_path)?;
-        for (i, name) in names_text.lines().enumerate() {
-            if i < parser.interned() {
-                continue;
+        // Names live in base-offset side-log files; ids covered by the
+        // snapshot's serialized table are skipped, and a gap between a
+        // file's base and the next expected id means lost names —
+        // recovery refuses to guess.
+        let names_files = scan_names(dir)?;
+        let mut next = parser.interned() as u64;
+        for (base, fname) in &names_files {
+            let path = dir.join(fname);
+            let mut bytes = fs::read(&path)?;
+            // A kill mid-write can leave a torn final line; truncate
+            // it — its event was never durable, so the client will
+            // re-send the token and the name will re-intern cleanly.
+            if bytes.last().is_some_and(|&b| b != b'\n') {
+                let good = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(good as u64)?;
+                bytes.truncate(good);
+                if let Some(p) = &repl {
+                    p.put(fname, &bytes);
+                }
             }
-            let id = parser.intern(name);
-            if id.0 as usize != i {
-                return Err(RecoverError::Corrupt(format!(
-                    "names.log line {i} interned as id {}",
-                    id.0
-                )));
+            let text = std::str::from_utf8(&bytes)
+                .map_err(|_| RecoverError::Corrupt(format!("{fname} is not UTF-8")))?;
+            for (j, name) in text.lines().enumerate() {
+                let id = base + j as u64;
+                if id < next {
+                    continue;
+                }
+                if id > next {
+                    return Err(RecoverError::Corrupt(format!(
+                        "name side-log gap: expected id {next}, {fname} starts at {id}"
+                    )));
+                }
+                let got = parser.intern(name);
+                if u64::from(got.0) != id {
+                    return Err(RecoverError::Corrupt(format!(
+                        "{fname} line {j} interned as id {} (expected {id})",
+                        got.0
+                    )));
+                }
+                next += 1;
             }
         }
 
@@ -442,10 +640,16 @@ impl SessionLog {
                     Some(Err(LogError::TornTail { good_len, detail })) if start == last_seg => {
                         // The writer died mid-append: truncate at the
                         // exact intact-prefix byte and resume there.
+                        // Published as a whole-file put: a follower
+                        // holding the torn bytes must drop them too,
+                        // or later appends would land after garbage.
                         OpenOptions::new()
                             .write(true)
                             .open(&path)?
                             .set_len(good_len as u64)?;
+                        if let Some(p) = &repl {
+                            p.put(&format!("seg-{start}.log"), &buf[..good_len]);
+                        }
                         truncated = Some(format!(
                             "seg-{start}.log truncated to {good_len} bytes: {detail}"
                         ));
@@ -461,7 +665,29 @@ impl SessionLog {
         let open_path = dir.join(format!("seg-{last_seg}.log"));
         let seg_bytes = fs::metadata(&open_path)?.len();
         let file = OpenOptions::new().append(true).open(&open_path)?;
-        let names = OpenOptions::new().append(true).open(&names_path)?;
+        let seg_sync = file.try_clone()?;
+        // The open names file is the newest-base side log; a directory
+        // that predates name rotation may have none beyond the legacy
+        // `names.log`, and a fresh post-rotation directory may have an
+        // empty one — create the file if the scan found nothing.
+        let (names_base, names_file) = match names_files.last() {
+            Some((base, fname)) => (*base, fname.clone()),
+            None => {
+                let fname = format!("names-{next}.log");
+                OpenOptions::new()
+                    .create_new(true)
+                    .append(true)
+                    .open(dir.join(&fname))?;
+                if let Some(p) = &repl {
+                    p.put(&fname, b"");
+                }
+                (next, fname)
+            }
+        };
+        let names_len = fs::metadata(dir.join(&names_file))?.len();
+        let names = OpenOptions::new()
+            .append(true)
+            .open(dir.join(&names_file))?;
         let closed = match fs::read_to_string(dir.join("closed")) {
             Ok(s) => Some(s),
             Err(e) if e.kind() == io::ErrorKind::NotFound => None,
@@ -472,11 +698,16 @@ impl SessionLog {
                 dir: dir.to_path_buf(),
                 cfg,
                 writer: EventLogWriter::append_to(file),
+                seg_sync,
                 names,
+                names_file,
+                names_len,
+                names_base,
                 records,
                 seg_start: last_seg,
                 seg_bytes,
                 last_snap: snap_records,
+                repl,
             },
             checker,
             parser,
@@ -514,6 +745,29 @@ fn scan_dir(dir: &Path) -> io::Result<(Vec<u64>, Vec<u64>)> {
         }
     }
     Ok((segs, snaps))
+}
+
+/// Lists name side-log files as `(base_id, file_name)` sorted by base.
+/// The legacy un-rotated `names.log` (pre-compaction-folding layouts)
+/// reads as base 0; it migrates to the rotated scheme at the first
+/// snapshot after recovery.
+fn scan_names(dir: &Path) -> io::Result<Vec<(u64, String)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name == "names.log" {
+            out.push((0, name.to_string()));
+        } else if let Some(base) = name
+            .strip_prefix("names-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse().ok())
+        {
+            out.push((base, name.to_string()));
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
 }
 
 struct SnapState {
@@ -583,7 +837,7 @@ mod tests {
     impl Rig {
         fn create(dir: &Path, cfg: LogConfig) -> Rig {
             Rig {
-                log: SessionLog::create(dir, cfg).unwrap(),
+                log: SessionLog::create(dir, cfg, None).unwrap(),
                 parser: StreamParser::new(),
                 checker: OnlineChecker::new(),
                 verdicts: Vec::new(),
@@ -647,6 +901,7 @@ mod tests {
             LogConfig {
                 rotate_events: 4,
                 snapshot_every: u64::MAX,
+                ..LogConfig::default()
             },
         );
         rig.apply(NINE); // 9 records: 4 + 4 + 1
@@ -654,7 +909,7 @@ mod tests {
         assert_eq!(rig.log.open_segment_records(), 1);
         assert_eq!(
             files(&dir),
-            vec!["names.log", "seg-0.log", "seg-4.log", "seg-8.log"]
+            vec!["names-0.log", "seg-0.log", "seg-4.log", "seg-8.log"]
         );
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -665,12 +920,16 @@ mod tests {
         let cfg = LogConfig {
             rotate_events: 4,
             snapshot_every: u64::MAX,
+            ..LogConfig::default()
         };
         let mut rig = Rig::create(&dir, cfg);
         rig.apply("b1 w1(x,1) c1 b2 w2(y,1)"); // 5 records: seg-0 closed, seg-4 open
         let removed = rig.snapshot(); // horizon 5 covers seg-0 (records 0..4)
         assert_eq!(removed, 1);
-        assert_eq!(files(&dir), vec!["names.log", "seg-4.log", "snap-5.snap"]);
+        // The name side-log rotated too: x and y are inside the
+        // snapshot's parser, so names-0.log gave way to an empty
+        // names-2.log.
+        assert_eq!(files(&dir), vec!["names-2.log", "seg-4.log", "snap-5.snap"]);
 
         // A boundary snapshot: horizon exactly at a closed segment's
         // end. seg-4 holds records 4..8 and rotates at 8, so after 8
@@ -679,13 +938,79 @@ mod tests {
         rig.apply("c2 b3 r3(x1)"); // records 6,7,8 → rotation at 8
         let removed = rig.snapshot();
         assert_eq!(removed, 1);
-        assert_eq!(files(&dir), vec!["names.log", "seg-8.log", "snap-8.snap"]);
+        assert_eq!(files(&dir), vec!["names-2.log", "seg-8.log", "snap-8.snap"]);
 
         // Older snapshots go too; the open segment never does.
         rig.apply("c3");
         let removed = rig.snapshot();
         assert_eq!(removed, 0);
-        assert_eq!(files(&dir), vec!["names.log", "seg-8.log", "snap-9.snap"]);
+        assert_eq!(files(&dir), vec!["names-2.log", "seg-8.log", "snap-9.snap"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn name_side_log_is_bounded_when_names_cycle() {
+        let dir = tmp("names-bound");
+        let cfg = LogConfig {
+            rotate_events: 8,
+            snapshot_every: 6,
+            ..LogConfig::default()
+        };
+        let mut rig = Rig::create(&dir, cfg);
+        let mut reference = Rig::create(&tmp("names-bound-ref"), cfg);
+        // One stable object plus a session that never reuses a name:
+        // ~640 bytes of names total, snapshotting every 6 records.
+        // Write targets are digit-free; spell the index in letters.
+        let key = |i: u32| {
+            let spelled: String = format!("{i:04}")
+                .bytes()
+                .map(|b| (b'a' + (b - b'0')) as char)
+                .collect();
+            format!("key-{spelled}-cycled")
+        };
+        let mut stream = vec!["b1 w1(zz,1) c1".to_string()];
+        for i in 0..40u32 {
+            let t = i + 2;
+            stream.push(format!("b{t} w{t}({},1) c{t}", key(i)));
+        }
+        for txn in &stream {
+            rig.apply(txn);
+            if rig.log.snapshot_due() {
+                rig.snapshot();
+            }
+            reference.apply(txn);
+        }
+        assert_eq!(rig.parser.interned(), 41);
+
+        // Without folding, the side-log would hold all 41 names. With
+        // it, exactly one file remains and it holds at most what came
+        // after the last snapshot.
+        let names: Vec<String> = files(&dir)
+            .into_iter()
+            .filter(|f| f.starts_with("names"))
+            .collect();
+        assert_eq!(names.len(), 1, "side-log not folded: {names:?}");
+        let len = fs::metadata(dir.join(&names[0])).unwrap().len();
+        assert!(len < 200, "side-log grew unbounded: {len} bytes");
+
+        // Recovery re-interns from the rotated file and the continued
+        // stream resolves both the oldest and the newest names with
+        // verdicts byte-identical to an uninterrupted run.
+        let before = rig.verdicts.clone();
+        drop(rig);
+        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false, None).unwrap();
+        assert_eq!(r.verdicts, before.len() as u64);
+        let mut rig2 = Rig {
+            log: r.log,
+            parser: r.parser,
+            checker: r.checker,
+            verdicts: Vec::new(),
+        };
+        reference.verdicts.clear();
+        let cont = format!("b99 r99(zz1) w99({},2) w99(fresh,1) c99", key(39));
+        rig2.apply(&cont);
+        reference.apply(&cont);
+        assert_eq!(rig2.verdicts, reference.verdicts);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -695,6 +1020,7 @@ mod tests {
         let cfg = LogConfig {
             rotate_events: 3,
             snapshot_every: 4,
+            ..LogConfig::default()
         };
         let mut rig = Rig::create(&dir, cfg);
         rig.apply(NINE);
@@ -705,7 +1031,7 @@ mod tests {
         let records = rig.log.records();
         drop(rig); // "kill": nothing flushed beyond what append wrote
 
-        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false).unwrap();
+        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false, None).unwrap();
         assert_eq!(r.log.records(), records);
         assert!(r.truncated.is_none());
         assert!(r.closed.is_none());
@@ -741,6 +1067,7 @@ mod tests {
         let cfg = LogConfig {
             rotate_events: u64::MAX,
             snapshot_every: u64::MAX,
+            ..LogConfig::default()
         };
         let mut rig = Rig::create(&dir, cfg);
         rig.apply("b1 w1(x,1) c1 b2 w2(x,2)");
@@ -754,7 +1081,7 @@ mod tests {
         f.write_all(&[40, 0, 0, 0, 0xde, 0xad]).unwrap();
         drop(f);
 
-        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false).unwrap();
+        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false, None).unwrap();
         assert_eq!(r.log.records(), 5);
         let detail = r.truncated.expect("torn tail must be reported");
         assert!(
@@ -773,7 +1100,7 @@ mod tests {
         rig.apply("c2");
         assert_eq!(rig.verdicts.len(), 1);
         drop(rig);
-        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false).unwrap();
+        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false, None).unwrap();
         assert_eq!(r.log.records(), 6);
         assert!(r.truncated.is_none());
         fs::remove_dir_all(&dir).unwrap();
@@ -785,12 +1112,13 @@ mod tests {
         let cfg = LogConfig {
             rotate_events: 4,
             snapshot_every: u64::MAX,
+            ..LogConfig::default()
         };
         let mut rig = Rig::create(&dir, cfg);
         rig.apply(NINE);
         let before = rig.verdicts.clone();
         drop(rig);
-        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false).unwrap();
+        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false, None).unwrap();
         assert_eq!(r.replay_base, 0);
         assert_eq!(r.replayed, before);
         assert_eq!(r.tail_events, 9);
@@ -806,7 +1134,7 @@ mod tests {
         let fin = rig.checker.finish().to_json();
         rig.log.mark_closed(&fin).unwrap();
         drop(rig);
-        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false).unwrap();
+        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false, None).unwrap();
         assert_eq!(r.closed.as_deref(), Some(fin.as_str()));
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -15,6 +15,20 @@
 //! {"op": "hello", "session": "tenant-1"}
 //! {"op": "resume", "session": "tenant-1", "verdicts": 12}
 //! {"op": "close"}
+//! {"op": "promote"}
+//! ```
+//!
+//! Replication frames (leader → follower, same NDJSON transport; the
+//! binary log payloads ride as hex with a CRC-32 the follower verifies
+//! before anything touches disk):
+//!
+//! ```text
+//! {"op": "repl_hello", "node": "…", "advertise": "host:port"}
+//! {"op": "replicate", "session": "tenant-1"}
+//! {"op": "append", "session": "…", "file": "seg-0.log", "off": N, "crc": C, "hex": "…"}
+//! {"op": "put", "session": "…", "file": "snap-8.snap", "crc": C, "hex": "…"}
+//! {"op": "remove", "session": "…", "file": "seg-0.log"}
+//! {"op": "repl_flush", "seq": S}        → {"ack": S} once durable
 //! ```
 //!
 //! The control parser is deliberately tiny: flat objects, string /
@@ -44,6 +58,63 @@ pub enum ClientFrame {
     },
     /// Finish the session: final verdict, then a `closing` frame.
     Close,
+    /// Turn this follower into the leader (operator frame, or a
+    /// client failing over after leader death). Idempotent.
+    Promote,
+    /// A leader introducing itself on a replication connection.
+    ReplHello {
+        /// Leader's self-chosen node name (diagnostics only).
+        node: String,
+        /// Leader's client-facing address, handed back to clients in
+        /// `not_leader` redirects.
+        advertise: Option<String>,
+    },
+    /// Open (or re-open) the replication stream for one session; the
+    /// follower answers with its durable file inventory.
+    Replicate {
+        /// Session name.
+        session: String,
+    },
+    /// Append `data` at byte offset `off` of a session file. The
+    /// follower verifies `crc` and that `off` matches its durable
+    /// length (smaller offsets are idempotent replays, skipped).
+    ReplAppend {
+        /// Session name.
+        session: String,
+        /// Target file (validated: `seg-*.log`, `names*.log` only).
+        file: String,
+        /// Byte offset the payload starts at.
+        off: u64,
+        /// CRC-32 of the payload.
+        crc: u32,
+        /// The payload.
+        data: Vec<u8>,
+    },
+    /// Atomically replace a whole session file (snapshots, `closed`).
+    ReplPut {
+        /// Session name.
+        session: String,
+        /// Target file (validated: `snap-*.snap`, `names*.log`,
+        /// `closed`).
+        file: String,
+        /// CRC-32 of the payload.
+        crc: u32,
+        /// The payload.
+        data: Vec<u8>,
+    },
+    /// Delete a session file the leader compacted away.
+    ReplRemove {
+        /// Session name.
+        session: String,
+        /// Target file.
+        file: String,
+    },
+    /// Durability barrier: the follower answers `{"ack": seq}` once
+    /// everything before it is durable under its fsync policy.
+    ReplFlush {
+        /// The leader's mutation sequence number.
+        seq: u64,
+    },
 }
 
 /// Parses one `{`-prefixed control line.
@@ -59,6 +130,28 @@ pub fn parse_frame(line: &str) -> Result<ClientFrame, String> {
             Some(JsonValue::Str(s)) => validate_session_name(s).map(|()| s.clone()),
             _ => Err(format!("{op:?} frame is missing a string \"session\"")),
         }
+    };
+    let str_of = |key: &str| -> Result<String, String> {
+        match get(key) {
+            Some(JsonValue::Str(s)) => Ok(s.clone()),
+            _ => Err(format!("{op:?} frame is missing a string \"{key}\"")),
+        }
+    };
+    let num_of = |key: &str| -> Result<u64, String> {
+        match get(key) {
+            Some(JsonValue::Num(n)) => Ok(*n),
+            _ => Err(format!("{op:?} frame is missing an unsigned \"{key}\"")),
+        }
+    };
+    let file = || -> Result<String, String> {
+        let f = str_of("file")?;
+        validate_replica_file(&f)?;
+        Ok(f)
+    };
+    let payload = || -> Result<(u32, Vec<u8>), String> {
+        let crc = num_of("crc")?;
+        let crc = u32::try_from(crc).map_err(|_| "\"crc\" exceeds 32 bits".to_string())?;
+        Ok((crc, decode_hex(&str_of("hex")?)?))
     };
     match op {
         "hello" => Ok(ClientFrame::Hello {
@@ -76,6 +169,44 @@ pub fn parse_frame(line: &str) -> Result<ClientFrame, String> {
             })
         }
         "close" => Ok(ClientFrame::Close),
+        "promote" => Ok(ClientFrame::Promote),
+        "repl_hello" => Ok(ClientFrame::ReplHello {
+            node: str_of("node").unwrap_or_else(|_| "leader".into()),
+            advertise: str_of("advertise").ok(),
+        }),
+        "replicate" => Ok(ClientFrame::Replicate {
+            session: session()?,
+        }),
+        "append" => {
+            let (crc, data) = payload()?;
+            let file = file()?;
+            if !is_append_file(&file) {
+                return Err(format!("{file:?} is not appendable"));
+            }
+            Ok(ClientFrame::ReplAppend {
+                session: session()?,
+                file,
+                off: num_of("off")?,
+                crc,
+                data,
+            })
+        }
+        "put" => {
+            let (crc, data) = payload()?;
+            Ok(ClientFrame::ReplPut {
+                session: session()?,
+                file: file()?,
+                crc,
+                data,
+            })
+        }
+        "remove" => Ok(ClientFrame::ReplRemove {
+            session: session()?,
+            file: file()?,
+        }),
+        "repl_flush" => Ok(ClientFrame::ReplFlush {
+            seq: num_of("seq")?,
+        }),
         other => Err(format!("unknown op {other:?}")),
     }
 }
@@ -93,6 +224,68 @@ pub fn validate_session_name(name: &str) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// Replication may only touch the exact file shapes [`SessionLog`]
+/// produces; anything else from a peer — however well-formed its JSON —
+/// is rejected before it can name a path.
+///
+/// [`SessionLog`]: crate::log::SessionLog
+pub fn validate_replica_file(name: &str) -> Result<(), String> {
+    let numbered = |prefix: &str, suffix: &str| {
+        name.strip_prefix(prefix)
+            .and_then(|s| s.strip_suffix(suffix))
+            .is_some_and(|mid| !mid.is_empty() && mid.bytes().all(|b| b.is_ascii_digit()))
+    };
+    if name == "closed"
+        || name == "names.log"
+        || numbered("seg-", ".log")
+        || numbered("names-", ".log")
+        || numbered("snap-", ".snap")
+    {
+        Ok(())
+    } else {
+        Err(format!("{name:?} is not a session log file"))
+    }
+}
+
+/// `true` for the append-only session files (segments and the name
+/// side-log); snapshots and `closed` are whole-file replacements.
+pub fn is_append_file(name: &str) -> bool {
+    name.ends_with(".log")
+}
+
+/// Lowercase hex of `bytes`, for replication payloads.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(HEX[(b >> 4) as usize] as char);
+        s.push(HEX[(b & 0xf) as usize] as char);
+    }
+    s
+}
+
+/// Decodes a replication hex payload; malformed input is an error,
+/// never a panic — it arrives off the network.
+pub fn decode_hex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("hex payload has odd length".into());
+    }
+    let nib = |c: u8| -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(format!("bad hex byte {:?}", c as char)),
+        }
+    };
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len() / 2);
+    for pair in b.chunks_exact(2) {
+        out.push((nib(pair[0])? << 4) | nib(pair[1])?);
+    }
+    Ok(out)
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -209,6 +402,72 @@ pub fn error_frame(code: &str, detail: &str) -> String {
     )
 }
 
+/// Durability ack for a `repl_flush` barrier.
+pub fn ack_frame(seq: u64) -> String {
+    format!("{{\"ack\": {seq}}}")
+}
+
+/// Follower's answer to `replicate`: its durable file inventory for
+/// the session, encoded as one `name:len,name:len` string so it stays
+/// inside the flat string/uint frame vocabulary. Absent files are
+/// simply not listed — the leader ships anything missing in full.
+pub fn inventory_frame(session: &str, files: &[(String, u64)]) -> String {
+    let listing = files
+        .iter()
+        .map(|(name, len)| format!("{name}:{len}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"ok\": \"replicate\", \"session\": \"{}\", \"files\": \"{}\"}}",
+        esc(session),
+        esc(&listing),
+    )
+}
+
+/// Parses the `files` listing of an [`inventory_frame`] back into
+/// `(name, len)` pairs; file names are re-validated — the follower is
+/// a network peer too.
+pub fn parse_inventory(listing: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    for part in listing.split(',').filter(|p| !p.is_empty()) {
+        let (name, len) = part
+            .rsplit_once(':')
+            .ok_or_else(|| format!("inventory entry {part:?} has no ':'"))?;
+        validate_replica_file(name)?;
+        let len = len
+            .parse::<u64>()
+            .map_err(|_| format!("inventory entry {part:?} has a bad length"))?;
+        out.push((name.to_string(), len));
+    }
+    Ok(out)
+}
+
+/// Refusal sent by a follower to ordinary client frames. `leader` is
+/// the advertised address of the node this follower last replicated
+/// from, when known — clients redirect there first.
+pub fn not_leader_frame(leader: Option<&str>) -> String {
+    match leader {
+        Some(addr) => format!(
+            "{{\"error\": \"not_leader\", \"detail\": \"this node is a follower\", \
+             \"leader\": \"{}\"}}",
+            esc(addr)
+        ),
+        None => error_frame("not_leader", "this node is a follower"),
+    }
+}
+
+/// Refusal for a resume whose verdict ledger is ahead of this node's
+/// durable history (a freshly promoted follower that was lagging).
+/// `durable` tells the client how many commit verdicts this node can
+/// stand behind; the client truncates its ledger to that count and
+/// re-sends the suffix of its token stream.
+pub fn verdicts_ahead_frame(have: u64, durable: u64) -> String {
+    format!(
+        "{{\"error\": \"verdicts_ahead\", \"detail\": \"client holds {have} verdicts, \
+         server has {durable} durable\", \"durable\": {durable}}}"
+    )
+}
+
 /// The last frame of an orderly connection end. `why` is `close`
 /// (client asked), `detach` (client went away; session stays durable),
 /// `idle` (no read progress past the idle deadline; session parked) or
@@ -291,5 +550,140 @@ mod tests {
         }
         assert!(ok_frame("hello", "t", 0, 0, 0).contains("\"ok\": \"hello\""));
         assert!(closing_frame("close", Some("t"), 1, 2).contains("\"closing\": \"close\""));
+    }
+
+    #[test]
+    fn parses_replication_frames() {
+        assert_eq!(
+            parse_frame("{\"op\": \"promote\"}").unwrap(),
+            ClientFrame::Promote
+        );
+        assert_eq!(
+            parse_frame("{\"op\": \"repl_hello\", \"node\": \"n1\", \"advertise\": \"h:1\"}")
+                .unwrap(),
+            ClientFrame::ReplHello {
+                node: "n1".into(),
+                advertise: Some("h:1".into()),
+            }
+        );
+        assert_eq!(
+            parse_frame("{\"op\": \"replicate\", \"session\": \"t1\"}").unwrap(),
+            ClientFrame::Replicate {
+                session: "t1".into()
+            }
+        );
+        let hex = encode_hex(b"\x00\xff magic");
+        let append = format!(
+            "{{\"op\": \"append\", \"session\": \"t1\", \"file\": \"seg-0.log\", \
+             \"off\": 32, \"crc\": 7, \"hex\": \"{hex}\"}}"
+        );
+        assert_eq!(
+            parse_frame(&append).unwrap(),
+            ClientFrame::ReplAppend {
+                session: "t1".into(),
+                file: "seg-0.log".into(),
+                off: 32,
+                crc: 7,
+                data: b"\x00\xff magic".to_vec(),
+            }
+        );
+        assert_eq!(
+            parse_frame(
+                "{\"op\": \"put\", \"session\": \"t1\", \"file\": \"snap-8.snap\", \
+                 \"crc\": 0, \"hex\": \"\"}"
+            )
+            .unwrap(),
+            ClientFrame::ReplPut {
+                session: "t1".into(),
+                file: "snap-8.snap".into(),
+                crc: 0,
+                data: Vec::new(),
+            }
+        );
+        assert_eq!(
+            parse_frame("{\"op\": \"remove\", \"session\": \"t1\", \"file\": \"seg-0.log\"}")
+                .unwrap(),
+            ClientFrame::ReplRemove {
+                session: "t1".into(),
+                file: "seg-0.log".into(),
+            }
+        );
+        assert_eq!(
+            parse_frame("{\"op\": \"repl_flush\", \"seq\": 41}").unwrap(),
+            ClientFrame::ReplFlush { seq: 41 }
+        );
+    }
+
+    #[test]
+    fn rejects_malicious_replication_frames() {
+        for bad in [
+            // Path escapes and non-log files must die in the parser.
+            "{\"op\": \"remove\", \"session\": \"t\", \"file\": \"../seg-0.log\"}",
+            "{\"op\": \"remove\", \"session\": \"t\", \"file\": \"/etc/passwd\"}",
+            "{\"op\": \"remove\", \"session\": \"t\", \"file\": \"seg-x.log\"}",
+            "{\"op\": \"put\", \"session\": \"t\", \"file\": \"evil\", \"crc\": 0, \"hex\": \"\"}",
+            // Snapshots are put-only, never appended.
+            "{\"op\": \"append\", \"session\": \"t\", \"file\": \"snap-1.snap\", \
+             \"off\": 0, \"crc\": 0, \"hex\": \"\"}",
+            // Bad hex, odd hex, oversized crc.
+            "{\"op\": \"put\", \"session\": \"t\", \"file\": \"closed\", \"crc\": 0, \
+             \"hex\": \"zz\"}",
+            "{\"op\": \"put\", \"session\": \"t\", \"file\": \"closed\", \"crc\": 0, \
+             \"hex\": \"abc\"}",
+            "{\"op\": \"put\", \"session\": \"t\", \"file\": \"closed\", \
+             \"crc\": 4294967296, \"hex\": \"\"}",
+            "{\"op\": \"repl_flush\"}",
+        ] {
+            assert!(parse_frame(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn replica_file_vocabulary() {
+        for good in [
+            "seg-0.log",
+            "seg-1024.log",
+            "names.log",
+            "names-0.log",
+            "names-77.log",
+            "snap-8.snap",
+            "closed",
+        ] {
+            assert!(validate_replica_file(good).is_ok(), "{good}");
+        }
+        for bad in ["seg-.log", "snap-.snap", "names-.log", "seg-0.snap", ""] {
+            assert!(validate_replica_file(bad).is_err(), "{bad}");
+        }
+        assert!(is_append_file("seg-0.log") && is_append_file("names-3.log"));
+        assert!(!is_append_file("snap-8.snap") && !is_append_file("closed"));
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for bytes in [&b""[..], b"\x00", b"\xff\x00\x7f", b"adya"] {
+            assert_eq!(decode_hex(&encode_hex(bytes)).unwrap(), bytes);
+        }
+        assert_eq!(
+            decode_hex("DEADbeef").unwrap(),
+            vec![0xde, 0xad, 0xbe, 0xef]
+        );
+    }
+
+    #[test]
+    fn inventory_round_trips() {
+        let files = vec![("seg-0.log".to_string(), 91), ("names.log".to_string(), 0)];
+        let frame = inventory_frame("t1", &files);
+        let fields = super::parse_flat_object(&frame).unwrap();
+        let listing = fields
+            .iter()
+            .find_map(|(k, v)| match (k.as_str(), v) {
+                ("files", JsonValue::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(parse_inventory(&listing).unwrap(), files);
+        assert_eq!(parse_inventory("").unwrap(), Vec::new());
+        assert!(parse_inventory("../x:3").is_err());
+        assert!(parse_inventory("seg-0.log").is_err());
     }
 }

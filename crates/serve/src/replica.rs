@@ -1,0 +1,1090 @@
+//! The replication plane: leader-side streaming of durable session-log
+//! mutations to follower nodes, and the follower-side state machine
+//! that applies them.
+//!
+//! The unit of replication is the *file mutation*, not the event: a
+//! [`SessionLog`] publishes every byte it makes durable — segment
+//! appends, name side-log appends, snapshot puts, compaction removes —
+//! through a [`LogPublisher`] into the hub's bounded in-memory ring.
+//! One sender thread per follower drains the ring over the NDJSON
+//! protocol (`append`/`put`/`remove` frames, hex payloads, CRC-32
+//! verified before anything touches the follower's disk) and issues
+//! `repl_flush` durability barriers the follower acks once its own
+//! [`FsyncPolicy`] says the bytes are safe.
+//!
+//! Mirroring files byte-for-byte (instead of replaying events through
+//! a second checker) is what makes promotion trivial and exact: a
+//! snapshot records the byte offset of the open segment it was taken
+//! at, so the follower's directory must be *the same bytes* for
+//! [`SessionLog::recover`] to work unchanged — and when it is, the
+//! promoted follower resumes every session with a verdict stream
+//! byte-identical to the dead leader's, by the same snapshot+replay
+//! invariant that already covers kill -9 restarts.
+//!
+//! Catch-up: on (re)connect the sender records the ring's next
+//! sequence number, asks the follower for its durable file inventory
+//! per session (`replicate`), and ships exactly the missing byte
+//! suffixes — the same segment-walk shape recovery uses. Ring
+//! mutations published while the walk ran overlap the shipped bytes;
+//! the follower's append is idempotent by offset (a replayed prefix is
+//! skipped, only the novel suffix is written), so the overlap is
+//! harmless. A sender that falls so far behind that its next sequence
+//! number was evicted from the ring simply redoes the walk.
+//!
+//! Lag accounting: the hub tracks per-session published totals
+//! (records, bytes) and per-follower acked totals installed at every
+//! barrier; the difference is the per-session replication lag exported
+//! as `sli.repl_lag_records`/`sli.repl_lag_bytes` gauges, and the
+//! worst acknowledged lag across followers is what `/health` compares
+//! against `--repl-lag-max`.
+
+use std::collections::HashMap;
+use std::fs::{self, OpenOptions};
+use std::io::{self, BufRead, BufReader, Seek, SeekFrom, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use adya_obs::{json::esc, labeled};
+use adya_online::{wire, EventLogReader};
+
+use crate::log::{FsyncPolicy, SNAP_MAGIC};
+use crate::proto;
+
+/// Largest payload shipped in one `append` frame during catch-up.
+const CHUNK: usize = 64 * 1024;
+/// Ring eviction thresholds: payload bytes and mutation count.
+const RING_MAX_BYTES: usize = 16 * 1024 * 1024;
+const RING_MAX_LEN: usize = 32 * 1024;
+/// Mutations drained per barrier.
+const BATCH: usize = 256;
+/// How long a sender waits for one follower reply before declaring the
+/// connection dead. Generous: a barrier after a large catch-up may sit
+/// behind megabytes of follower fsync work.
+const REPLY_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Replication role/topology configuration for a server.
+#[derive(Debug, Clone, Default)]
+pub struct ReplConfig {
+    /// Follower addresses this node (as leader) streams to.
+    pub followers: Vec<String>,
+    /// Start as a follower: refuse client frames with `not_leader`
+    /// until promoted.
+    pub follower: bool,
+    /// Client-facing address handed to followers for `not_leader`
+    /// redirects; defaults to the bound listen address.
+    pub advertise: Option<String>,
+    /// `/health` turns 503 when the worst acknowledged per-session
+    /// replication lag (in records) exceeds this.
+    pub lag_max: Option<u64>,
+}
+
+/// Per-session replication totals: event records and payload bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Durable event records published.
+    pub records: u64,
+    /// Durable payload bytes published (appends + puts).
+    pub bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+enum MutKind {
+    Append {
+        file: String,
+        off: u64,
+        crc: u32,
+        bytes: Arc<[u8]>,
+        records: u64,
+    },
+    Put {
+        file: String,
+        crc: u32,
+        bytes: Arc<[u8]>,
+    },
+    Remove {
+        file: String,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Mutation {
+    seq: u64,
+    session: Arc<str>,
+    kind: MutKind,
+}
+
+impl Mutation {
+    fn payload_len(&self) -> usize {
+        match &self.kind {
+            MutKind::Append { bytes, .. } | MutKind::Put { bytes, .. } => bytes.len(),
+            MutKind::Remove { .. } => 0,
+        }
+    }
+
+    fn frame(&self) -> String {
+        let s = esc(&self.session);
+        match &self.kind {
+            MutKind::Append {
+                file,
+                off,
+                crc,
+                bytes,
+                ..
+            } => format!(
+                "{{\"op\": \"append\", \"session\": \"{s}\", \"file\": \"{file}\", \
+                 \"off\": {off}, \"crc\": {crc}, \"hex\": \"{}\"}}",
+                proto::encode_hex(bytes)
+            ),
+            MutKind::Put { file, crc, bytes } => format!(
+                "{{\"op\": \"put\", \"session\": \"{s}\", \"file\": \"{file}\", \
+                 \"crc\": {crc}, \"hex\": \"{}\"}}",
+                proto::encode_hex(bytes)
+            ),
+            MutKind::Remove { file } => {
+                format!("{{\"op\": \"remove\", \"session\": \"{s}\", \"file\": \"{file}\"}}")
+            }
+        }
+    }
+}
+
+struct HubState {
+    ring: std::collections::VecDeque<Mutation>,
+    /// Sequence number the next published mutation gets.
+    next_seq: u64,
+    /// Sequence number of `ring.front()` (== `next_seq` when empty).
+    base_seq: u64,
+    /// Sum of ring payload bytes, for eviction.
+    ring_bytes: usize,
+    /// Per-session published totals since hub start.
+    published: HashMap<String, Totals>,
+}
+
+enum RingRead {
+    Batch(Vec<Mutation>),
+    /// The cursor's mutations were evicted; redo the disk catch-up.
+    Evicted,
+}
+
+/// Leader-side replication: the mutation ring plus one sender thread
+/// per configured follower.
+pub struct ReplicationHub {
+    state: Mutex<HubState>,
+    cv: Condvar,
+    data_dir: PathBuf,
+    followers: Vec<String>,
+    advertise: String,
+    node: String,
+    lag_max: Option<u64>,
+    connected: AtomicUsize,
+    /// Per-follower totals acknowledged at its last durability barrier.
+    acked: Mutex<HashMap<String, HashMap<String, Totals>>>,
+    stop: AtomicBool,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl ReplicationHub {
+    /// Starts the hub: one sender thread per follower, reconnecting
+    /// forever until [`ReplicationHub::stop`].
+    pub fn start(
+        data_dir: PathBuf,
+        followers: Vec<String>,
+        advertise: String,
+        node: String,
+        lag_max: Option<u64>,
+    ) -> Arc<ReplicationHub> {
+        let hub = Arc::new(ReplicationHub {
+            state: Mutex::new(HubState {
+                ring: std::collections::VecDeque::new(),
+                next_seq: 0,
+                base_seq: 0,
+                ring_bytes: 0,
+                published: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+            data_dir,
+            followers: followers.clone(),
+            advertise,
+            node,
+            lag_max,
+            connected: AtomicUsize::new(0),
+            acked: Mutex::new(HashMap::new()),
+            stop: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+        });
+        let mut threads = hub.threads.lock().unwrap();
+        for addr in followers {
+            let hub2 = Arc::clone(&hub);
+            if let Ok(t) = thread::Builder::new()
+                .name(format!("repl-send-{addr}"))
+                .spawn(move || hub2.sender_loop(&addr))
+            {
+                threads.push(t);
+            }
+        }
+        drop(threads);
+        hub
+    }
+
+    /// A publishing handle bound to one session.
+    pub fn publisher(self: &Arc<ReplicationHub>, session: &str) -> LogPublisher {
+        LogPublisher {
+            hub: Arc::clone(self),
+            session: Arc::from(session),
+        }
+    }
+
+    /// Stops every sender thread and joins them. Idempotent.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.cv.notify_all();
+        let mut threads = self.threads.lock().unwrap();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Configured and currently-connected follower counts.
+    pub fn connectivity(&self) -> (usize, usize) {
+        (self.followers.len(), self.connected.load(Ordering::Relaxed))
+    }
+
+    /// Worst acknowledged per-session lag across all configured
+    /// followers, as `(records, bytes)` behind. A follower that never
+    /// acked counts everything published as lag — disconnection *is*
+    /// lag.
+    pub fn lag_summary(&self) -> (u64, u64) {
+        let st = self.state.lock().unwrap();
+        let acked = self.acked.lock().unwrap();
+        let (mut rec, mut bytes) = (0u64, 0u64);
+        for f in &self.followers {
+            let am = acked.get(f);
+            for (s, tot) in &st.published {
+                let a = am.and_then(|m| m.get(s)).copied().unwrap_or_default();
+                rec = rec.max(tot.records.saturating_sub(a.records));
+                bytes = bytes.max(tot.bytes.saturating_sub(a.bytes));
+            }
+        }
+        (rec, bytes)
+    }
+
+    /// `true` when acknowledged lag exceeds the configured ceiling.
+    pub fn unhealthy(&self) -> bool {
+        self.lag_max.is_some_and(|max| self.lag_summary().0 > max)
+    }
+
+    /// The `replication` object embedded in the fleet `/health` doc.
+    pub fn health_json(&self) -> String {
+        let (followers, connected) = self.connectivity();
+        let (rec, bytes) = self.lag_summary();
+        format!(
+            "{{\"followers\": {followers}, \"connected\": {connected}, \
+             \"max_lag_records\": {rec}, \"max_lag_bytes\": {bytes}}}"
+        )
+    }
+
+    fn publish(&self, session: &Arc<str>, kind: MutKind) {
+        let mut st = self.state.lock().unwrap();
+        let m = Mutation {
+            seq: st.next_seq,
+            session: Arc::clone(session),
+            kind,
+        };
+        st.next_seq += 1;
+        let t = st.published.entry(session.to_string()).or_default();
+        if let MutKind::Append { records, bytes, .. } = &m.kind {
+            t.records += records;
+            t.bytes += bytes.len() as u64;
+        } else if let MutKind::Put { bytes, .. } = &m.kind {
+            t.bytes += bytes.len() as u64;
+        }
+        st.ring_bytes += m.payload_len();
+        st.ring.push_back(m);
+        while st.ring.len() > RING_MAX_LEN || st.ring_bytes > RING_MAX_BYTES {
+            let evicted = st.ring.pop_front().expect("ring nonempty");
+            st.ring_bytes -= evicted.payload_len();
+            st.base_seq += 1;
+            adya_obs::counter!("serve.repl_ring_evictions").inc();
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Returns the batch of mutations at `cursor`, waiting briefly for
+    /// new ones; an empty batch is a heartbeat tick.
+    fn take_from(&self, cursor: u64) -> RingRead {
+        let mut st = self.state.lock().unwrap();
+        if cursor < st.base_seq {
+            return RingRead::Evicted;
+        }
+        if cursor >= st.next_seq {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, Duration::from_millis(400))
+                .unwrap();
+            st = guard;
+            if cursor < st.base_seq {
+                return RingRead::Evicted;
+            }
+        }
+        let start = (cursor - st.base_seq) as usize;
+        RingRead::Batch(st.ring.iter().skip(start).take(BATCH).cloned().collect())
+    }
+
+    fn sender_loop(self: &Arc<ReplicationHub>, addr: &str) {
+        let g_conn = adya_obs::global().gauge(&labeled(
+            "sli.repl_follower_connected",
+            &[("follower", addr)],
+        ));
+        while !self.stop.load(Ordering::Relaxed) {
+            let stream = match TcpStream::connect(addr) {
+                Ok(s) => s,
+                Err(_) => {
+                    adya_obs::counter!("serve.repl_connect_failures").inc();
+                    thread::sleep(Duration::from_millis(250));
+                    continue;
+                }
+            };
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+            let Ok(clone) = stream.try_clone() else {
+                continue;
+            };
+            let mut reader = BufReader::new(clone);
+            let mut w = stream;
+            self.connected.fetch_add(1, Ordering::Relaxed);
+            g_conn.set(1);
+            adya_obs::gauge!("sli.repl_followers_connected")
+                .set(self.connected.load(Ordering::Relaxed) as i64);
+            let _ = self.feed(&mut w, &mut reader, addr);
+            g_conn.set(0);
+            self.connected.fetch_sub(1, Ordering::Relaxed);
+            adya_obs::gauge!("sli.repl_followers_connected")
+                .set(self.connected.load(Ordering::Relaxed) as i64);
+            thread::sleep(Duration::from_millis(200));
+        }
+    }
+
+    /// Drives one follower connection: hello, catch-up walk, then ring
+    /// streaming with durability barriers, until an error or stop.
+    fn feed(&self, w: &mut TcpStream, r: &mut BufReader<TcpStream>, addr: &str) -> io::Result<()> {
+        writeln!(
+            w,
+            "{{\"op\": \"repl_hello\", \"node\": \"{}\", \"advertise\": \"{}\"}}",
+            esc(&self.node),
+            esc(&self.advertise)
+        )?;
+        let hello = self.read_reply(r)?;
+        if json_str_field(&hello, "ok") != Some("repl_hello") {
+            return Err(bad_reply("repl_hello", &hello));
+        }
+        let rtt = adya_obs::global().histogram("sli.repl_ack_rtt_us");
+        loop {
+            let (mut cursor, mut sent) = self.catch_up(w, r, addr)?;
+            loop {
+                if self.stop.load(Ordering::Relaxed) {
+                    return Ok(());
+                }
+                let batch = match self.take_from(cursor) {
+                    RingRead::Evicted => {
+                        adya_obs::counter!("serve.repl_catchups").inc();
+                        break; // redo the disk walk on this connection
+                    }
+                    RingRead::Batch(b) => b,
+                };
+                for m in &batch {
+                    writeln!(w, "{}", m.frame())?;
+                    let t = sent.entry(m.session.to_string()).or_default();
+                    if let MutKind::Append { records, bytes, .. } = &m.kind {
+                        t.records += records;
+                        t.bytes += bytes.len() as u64;
+                    } else if let MutKind::Put { bytes, .. } = &m.kind {
+                        t.bytes += bytes.len() as u64;
+                    }
+                    cursor = m.seq + 1;
+                }
+                // Barrier (doubles as the idle heartbeat): the ack
+                // means everything sent so far is durable on the
+                // follower under its fsync policy.
+                let t0 = Instant::now();
+                self.barrier(w, r, cursor)?;
+                rtt.record(t0.elapsed().as_micros() as u64);
+                self.install_acked(addr, &sent);
+            }
+        }
+    }
+
+    fn barrier(&self, w: &mut TcpStream, r: &mut BufReader<TcpStream>, seq: u64) -> io::Result<()> {
+        writeln!(w, "{{\"op\": \"repl_flush\", \"seq\": {seq}}}")?;
+        let line = self.read_reply(r)?;
+        if json_u64_field(&line, "ack") != Some(seq) {
+            return Err(bad_reply("ack", &line));
+        }
+        Ok(())
+    }
+
+    /// Ships every byte the follower's inventory says it is missing.
+    /// Returns the ring cursor to stream from plus the published
+    /// totals the walk covers (installed as the acked baseline).
+    fn catch_up(
+        &self,
+        w: &mut TcpStream,
+        r: &mut BufReader<TcpStream>,
+        addr: &str,
+    ) -> io::Result<(u64, HashMap<String, Totals>)> {
+        // Recorded *before* reading any file: mutations published
+        // while the walk runs are replayed from the ring afterwards;
+        // the overlap with freshly-read file bytes is resolved by the
+        // follower's idempotent-by-offset append.
+        let (from_seq, published) = {
+            let st = self.state.lock().unwrap();
+            (st.next_seq, st.published.clone())
+        };
+        for session in list_sessions(&self.data_dir)? {
+            writeln!(w, "{{\"op\": \"replicate\", \"session\": \"{session}\"}}")?;
+            let reply = self.read_reply(r)?;
+            if json_str_field(&reply, "ok") != Some("replicate") {
+                return Err(bad_reply("replicate", &reply));
+            }
+            let listing = json_str_field(&reply, "files").unwrap_or("");
+            let inv: HashMap<String, u64> = proto::parse_inventory(listing)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+                .into_iter()
+                .collect();
+            let dir = self.data_dir.join(&session);
+            let local = scan_replica_files(&dir)?;
+            for (file, _) in &local {
+                let path = dir.join(file);
+                // The file may grow (or vanish, for snapshots racing
+                // compaction) between the listing and this read.
+                let data = match fs::read(&path) {
+                    Ok(d) => d,
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                    Err(e) => return Err(e),
+                };
+                if proto::is_append_file(file) {
+                    let have = match inv.get(file) {
+                        Some(&h) if h <= data.len() as u64 => h as usize,
+                        Some(_) => {
+                            // Follower holds more than we do: divergent
+                            // history (e.g. it outlived a wider tail).
+                            // Reship from scratch.
+                            writeln!(
+                                w,
+                                "{{\"op\": \"remove\", \"session\": \"{session}\", \
+                                 \"file\": \"{file}\"}}"
+                            )?;
+                            0
+                        }
+                        None => 0,
+                    };
+                    for chunk_start in (have..data.len()).step_by(CHUNK) {
+                        let chunk = &data[chunk_start..data.len().min(chunk_start + CHUNK)];
+                        writeln!(
+                            w,
+                            "{{\"op\": \"append\", \"session\": \"{session}\", \
+                             \"file\": \"{file}\", \"off\": {chunk_start}, \"crc\": {}, \
+                             \"hex\": \"{}\"}}",
+                            wire::crc32(chunk),
+                            proto::encode_hex(chunk)
+                        )?;
+                    }
+                } else if inv.get(file) != Some(&(data.len() as u64)) {
+                    writeln!(
+                        w,
+                        "{{\"op\": \"put\", \"session\": \"{session}\", \"file\": \"{file}\", \
+                         \"crc\": {}, \"hex\": \"{}\"}}",
+                        wire::crc32(&data),
+                        proto::encode_hex(&data)
+                    )?;
+                }
+            }
+            // Files the leader compacted away while the follower was
+            // gone. Removed last, so a follower killed mid-walk never
+            // loses coverage it cannot yet replace.
+            for file in inv.keys() {
+                if !local.iter().any(|(f, _)| f == file) {
+                    writeln!(
+                        w,
+                        "{{\"op\": \"remove\", \"session\": \"{session}\", \
+                         \"file\": \"{file}\"}}"
+                    )?;
+                }
+            }
+        }
+        self.barrier(w, r, from_seq)?;
+        self.install_acked(addr, &published);
+        Ok((from_seq, published))
+    }
+
+    fn install_acked(&self, addr: &str, sent: &HashMap<String, Totals>) {
+        self.acked
+            .lock()
+            .unwrap()
+            .insert(addr.to_string(), sent.clone());
+        let st = self.state.lock().unwrap();
+        let reg = adya_obs::global();
+        for (session, tot) in &st.published {
+            let a = sent.get(session).copied().unwrap_or_default();
+            let labels = [("session", session.as_str()), ("follower", addr)];
+            reg.gauge(&labeled("sli.repl_lag_records", &labels))
+                .set(tot.records.saturating_sub(a.records) as i64);
+            reg.gauge(&labeled("sli.repl_lag_bytes", &labels))
+                .set(tot.bytes.saturating_sub(a.bytes) as i64);
+        }
+    }
+
+    /// Reads one reply line, tolerating the 100ms poll timeout, up to
+    /// [`REPLY_DEADLINE`]; checks the stop flag between polls.
+    fn read_reply(&self, r: &mut BufReader<TcpStream>) -> io::Result<String> {
+        let deadline = Instant::now() + REPLY_DEADLINE;
+        let mut buf = Vec::new();
+        loop {
+            match r.read_until(b'\n', &mut buf) {
+                Ok(0) if buf.is_empty() => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "follower closed the connection",
+                    ))
+                }
+                Ok(0) => {}
+                Ok(_) if buf.ends_with(b"\n") => {
+                    let line = String::from_utf8_lossy(&buf).trim().to_string();
+                    return Ok(line);
+                }
+                Ok(_) => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(e),
+            }
+            if self.stop.load(Ordering::Relaxed) {
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "hub stopping"));
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "follower reply deadline exceeded",
+                ));
+            }
+        }
+    }
+}
+
+impl Drop for ReplicationHub {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.cv.notify_all();
+        for t in self.threads.lock().unwrap().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn bad_reply(expected: &str, line: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("follower did not {expected}: {line}"),
+    )
+}
+
+/// Session subdirectories of the data root, valid names only.
+fn list_sessions(data_dir: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(data_dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+            continue;
+        };
+        if proto::validate_session_name(&name).is_ok() {
+            out.push(name);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `(name, len)` for every replicable file in a session directory, in
+/// ship order: name side-logs, then segments ascending, then
+/// snapshots, then the `closed` marker — so a peer killed at any
+/// prefix of the stream still holds a recoverable directory.
+fn scan_replica_files(dir: &Path) -> io::Result<Vec<(String, u64)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+            continue;
+        };
+        if proto::validate_replica_file(&name).is_ok() {
+            out.push((name, entry.metadata()?.len()));
+        }
+    }
+    let class = |name: &str| {
+        if name.starts_with("names") {
+            0
+        } else if name.starts_with("seg-") {
+            1
+        } else if name.starts_with("snap-") {
+            2
+        } else {
+            3
+        }
+    };
+    let number = |name: &str| -> u64 {
+        name.split(['-', '.'])
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0)
+    };
+    out.sort_by_key(|(a, _)| (class(a), number(a)));
+    Ok(out)
+}
+
+/// Extracts `"key": "<value>"` from a flat reply line.
+fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Extracts `"key": <uint>` from a flat reply line.
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// A [`SessionLog`]'s handle for publishing its durable mutations into
+/// the hub ring.
+///
+/// [`SessionLog`]: crate::log::SessionLog
+#[derive(Clone)]
+pub struct LogPublisher {
+    hub: Arc<ReplicationHub>,
+    session: Arc<str>,
+}
+
+impl std::fmt::Debug for LogPublisher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LogPublisher({})", self.session)
+    }
+}
+
+impl LogPublisher {
+    /// Bytes appended at `off` of `file`; `records` is how many event
+    /// records they carry (0 for name side-log bytes).
+    pub fn append(&self, file: &str, off: u64, bytes: &[u8], records: u64) {
+        self.hub.publish(
+            &self.session,
+            MutKind::Append {
+                file: file.to_string(),
+                off,
+                crc: wire::crc32(bytes),
+                bytes: Arc::from(bytes),
+                records,
+            },
+        );
+    }
+
+    /// Whole-file replacement (snapshots, `closed`, truncation repair).
+    pub fn put(&self, file: &str, bytes: &[u8]) {
+        self.hub.publish(
+            &self.session,
+            MutKind::Put {
+                file: file.to_string(),
+                crc: wire::crc32(bytes),
+                bytes: Arc::from(bytes),
+            },
+        );
+    }
+
+    /// File deleted by compaction.
+    pub fn remove(&self, file: &str) {
+        self.hub.publish(
+            &self.session,
+            MutKind::Remove {
+                file: file.to_string(),
+            },
+        );
+    }
+}
+
+/// Why a follower refused a replication frame.
+#[derive(Debug)]
+pub enum SinkError {
+    /// The frame is wrong (CRC mismatch, offset gap): the leader must
+    /// reconnect and catch up. Nothing was written.
+    Reject(String),
+    /// Local disk trouble: this follower can no longer promise
+    /// durability on this connection.
+    Io(io::Error),
+}
+
+impl From<io::Error> for SinkError {
+    fn from(e: io::Error) -> SinkError {
+        SinkError::Io(e)
+    }
+}
+
+/// Follower-side state machine: applies `append`/`put`/`remove`
+/// frames under this node's [`FsyncPolicy`] and answers inventory
+/// requests after sanitizing its own torn tails.
+#[derive(Debug)]
+pub struct ReplicaSink {
+    data_dir: PathBuf,
+    fsync: FsyncPolicy,
+    /// Paths written since the last durability barrier (fsynced there
+    /// under [`FsyncPolicy::Interval`]).
+    dirty: Vec<PathBuf>,
+}
+
+impl ReplicaSink {
+    /// A sink writing under `data_dir` with the node's fsync policy.
+    pub fn new(data_dir: PathBuf, fsync: FsyncPolicy) -> ReplicaSink {
+        ReplicaSink {
+            data_dir,
+            fsync,
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Answers a `replicate` request: sanitizes the session directory
+    /// (truncating torn tails a kill -9 of *this* process left, so the
+    /// reported lengths are trustworthy append offsets) and returns
+    /// the durable file inventory.
+    pub fn inventory(&mut self, session: &str) -> io::Result<Vec<(String, u64)>> {
+        let dir = self.data_dir.join(session);
+        fs::create_dir_all(&dir)?;
+        sanitize_session_dir(&dir)?;
+        let mut files = scan_replica_files(&dir)?;
+        files.sort();
+        Ok(files)
+    }
+
+    /// Applies one `append`: CRC-verified, idempotent by offset (a
+    /// replayed prefix is skipped; only the novel suffix is written),
+    /// and gap-refusing (an offset beyond the durable length means
+    /// this follower missed bytes and must be caught up).
+    pub fn append(
+        &mut self,
+        session: &str,
+        file: &str,
+        off: u64,
+        crc: u32,
+        data: &[u8],
+    ) -> Result<(), SinkError> {
+        if wire::crc32(data) != crc {
+            return Err(SinkError::Reject(format!("crc mismatch on {file}")));
+        }
+        let dir = self.data_dir.join(session);
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(file);
+        let mut f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = f.metadata()?.len();
+        if off > len {
+            return Err(SinkError::Reject(format!(
+                "gap: append at {off} but {file} holds {len} bytes"
+            )));
+        }
+        let skip = (len - off) as usize;
+        if skip >= data.len() {
+            return Ok(()); // full replay of already-durable bytes
+        }
+        f.seek(SeekFrom::Start(len))?;
+        f.write_all(&data[skip..])?;
+        if matches!(self.fsync, FsyncPolicy::Always) {
+            f.sync_data()?;
+        } else if !self.dirty.contains(&path) {
+            self.dirty.push(path);
+        }
+        Ok(())
+    }
+
+    /// Applies one `put`: CRC-verified, atomic via tmp + rename.
+    pub fn put(
+        &mut self,
+        session: &str,
+        file: &str,
+        crc: u32,
+        data: &[u8],
+    ) -> Result<(), SinkError> {
+        if wire::crc32(data) != crc {
+            return Err(SinkError::Reject(format!("crc mismatch on {file}")));
+        }
+        let dir = self.data_dir.join(session);
+        fs::create_dir_all(&dir)?;
+        let tmp = dir.join(".put.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            if !matches!(self.fsync, FsyncPolicy::Never) {
+                f.sync_all()?;
+            }
+        }
+        fs::rename(&tmp, dir.join(file))?;
+        Ok(())
+    }
+
+    /// Applies one `remove`; a missing file is fine (never shipped, or
+    /// already removed by a replayed frame).
+    pub fn remove(&mut self, session: &str, file: &str) -> io::Result<()> {
+        match fs::remove_file(self.data_dir.join(session).join(file)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Durability barrier: make everything since the last barrier as
+    /// durable as the fsync policy promises, then the caller acks.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if matches!(self.fsync, FsyncPolicy::Interval) {
+            for path in &self.dirty {
+                match fs::File::open(path) {
+                    Ok(f) => f.sync_data()?,
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        self.dirty.clear();
+        Ok(())
+    }
+}
+
+/// Heals the marks a kill -9 of the *follower* leaves: torn segment
+/// tails truncated at the last intact record boundary, partial name
+/// lines truncated at the last newline, undecodable snapshots and
+/// stray tmp files deleted. After this, every reported length is a
+/// safe append offset.
+fn sanitize_session_dir(dir: &Path) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+            continue;
+        };
+        let path = dir.join(&name);
+        if name.ends_with(".tmp") {
+            let _ = fs::remove_file(&path);
+            continue;
+        }
+        if proto::validate_replica_file(&name).is_err() {
+            continue;
+        }
+        if name.starts_with("seg-") {
+            let buf = fs::read(&path)?;
+            let good = intact_log_prefix(&buf);
+            if good < buf.len() {
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(good as u64)?;
+                adya_obs::counter!("serve.repl_sanitized_tails").inc();
+            }
+        } else if name.starts_with("names") {
+            let buf = fs::read(&path)?;
+            if buf.last().is_some_and(|&b| b != b'\n') {
+                let good = buf.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(good as u64)?;
+                adya_obs::counter!("serve.repl_sanitized_tails").inc();
+            }
+        } else if name.starts_with("snap-") && !snapshot_container_ok(&fs::read(&path)?) {
+            let _ = fs::remove_file(&path);
+        }
+    }
+    Ok(())
+}
+
+/// Longest prefix of a segment file that parses as intact records; 0
+/// when even the header is damaged (the leader reships from scratch).
+fn intact_log_prefix(buf: &[u8]) -> usize {
+    let Ok(mut reader) = EventLogReader::open(buf) else {
+        return 0;
+    };
+    let mut good = reader.offset();
+    loop {
+        match reader.next() {
+            Some(Ok(_)) => good = reader.offset(),
+            Some(Err(_)) | None => return good,
+        }
+    }
+}
+
+/// Cheap container validation: magic, declared length, CRC — without
+/// decoding the checker state inside.
+fn snapshot_container_ok(bytes: &[u8]) -> bool {
+    if bytes.len() < 16 || bytes[..8] != SNAP_MAGIC {
+        return false;
+    }
+    let len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+    let crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    bytes.len() == 16 + len && wire::crc32(&bytes[16..]) == crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("adya-replica-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn sink_append_is_idempotent_by_offset_and_refuses_gaps() {
+        let dir = tmp("sink-append");
+        let mut sink = ReplicaSink::new(dir.clone(), FsyncPolicy::Never);
+        let payload = b"hello records";
+        let crc = wire::crc32(payload);
+        sink.append("s1", "seg-0.log", 0, crc, payload).unwrap();
+        // Full replay: skipped, file unchanged.
+        sink.append("s1", "seg-0.log", 0, crc, payload).unwrap();
+        assert_eq!(fs::read(dir.join("s1/seg-0.log")).unwrap(), payload);
+        // Overlapping replay: only the novel suffix lands.
+        let wider = b"hello records and more";
+        sink.append("s1", "seg-0.log", 0, wire::crc32(wider), wider)
+            .unwrap();
+        assert_eq!(fs::read(dir.join("s1/seg-0.log")).unwrap(), wider);
+        // A gap means missed bytes: refused, nothing written.
+        let e = sink
+            .append("s1", "seg-0.log", 100, wire::crc32(b"x"), b"x")
+            .unwrap_err();
+        assert!(matches!(e, SinkError::Reject(_)));
+        // A wrong checksum never touches disk.
+        let e = sink
+            .append("s1", "seg-0.log", 22, 0xbad, b"tail")
+            .unwrap_err();
+        assert!(matches!(e, SinkError::Reject(_)));
+        assert_eq!(fs::read(dir.join("s1/seg-0.log")).unwrap(), wider);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sink_put_is_atomic_and_remove_is_idempotent() {
+        let dir = tmp("sink-put");
+        let mut sink = ReplicaSink::new(dir.clone(), FsyncPolicy::Never);
+        sink.put("s1", "closed", wire::crc32(b"fin"), b"fin")
+            .unwrap();
+        assert_eq!(fs::read(dir.join("s1/closed")).unwrap(), b"fin");
+        sink.remove("s1", "closed").unwrap();
+        sink.remove("s1", "closed").unwrap(); // second remove: fine
+        assert!(!dir.join("s1/closed").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inventory_sanitizes_torn_tails_before_reporting_lengths() {
+        let dir = tmp("sink-sanitize");
+        let mut sink = ReplicaSink::new(dir.clone(), FsyncPolicy::Never);
+        // An intact one-record segment, then torn extra bytes — the
+        // half-written append of a killed follower.
+        let log = adya_online::encode_log(&[adya_history::Event::Begin(adya_history::TxnId(1))]);
+        let good_len = log.len() as u64;
+        let mut torn = log.clone();
+        torn.extend_from_slice(&[9, 0, 0, 0, 1, 2]);
+        fs::create_dir_all(dir.join("s1")).unwrap();
+        fs::write(dir.join("s1/seg-0.log"), &torn).unwrap();
+        fs::write(dir.join("s1/names-0.log"), b"x\npartial-nam").unwrap();
+        fs::write(dir.join("s1/snap-1.snap"), b"garbage").unwrap();
+        fs::write(dir.join("s1/.put.tmp"), b"stray").unwrap();
+        let inv = sink.inventory("s1").unwrap();
+        assert_eq!(
+            inv,
+            vec![
+                ("names-0.log".to_string(), 2),
+                ("seg-0.log".to_string(), good_len),
+            ]
+        );
+        assert!(!dir.join("s1/snap-1.snap").exists());
+        assert!(!dir.join("s1/.put.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hub_ring_streams_evicts_and_accounts_lag() {
+        let dir = tmp("hub-ring");
+        let hub = ReplicationHub::start(
+            dir.clone(),
+            Vec::new(), // no sender threads: drive the ring directly
+            "127.0.0.1:0".into(),
+            "test".into(),
+            Some(0),
+        );
+        let p = hub.publisher("s1");
+        p.append("seg-0.log", 0, b"abcd", 1);
+        p.put("snap-4.snap", b"snap");
+        p.remove("seg-0.log");
+        match hub.take_from(0) {
+            RingRead::Batch(b) => {
+                assert_eq!(b.len(), 3);
+                assert!(b[0].frame().contains("\"op\": \"append\""));
+                assert!(b[1].frame().contains("\"op\": \"put\""));
+                assert!(b[2].frame().contains("\"op\": \"remove\""));
+                assert_eq!((b[0].seq, b[1].seq, b[2].seq), (0, 1, 2));
+            }
+            RingRead::Evicted => panic!("nothing evicted yet"),
+        }
+        // With no follower configured there is no lag to report…
+        assert_eq!(hub.lag_summary(), (0, 0));
+        // …but published totals accumulated.
+        let st = hub.state.lock().unwrap();
+        assert_eq!(
+            st.published["s1"],
+            Totals {
+                records: 1,
+                bytes: 8
+            }
+        );
+        drop(st);
+        // Force eviction past the ring bound.
+        for _ in 0..(RING_MAX_LEN + 10) {
+            p.append("seg-0.log", 0, b"x", 0);
+        }
+        assert!(matches!(hub.take_from(0), RingRead::Evicted));
+        hub.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disconnected_follower_counts_published_work_as_lag() {
+        let dir = tmp("hub-lag");
+        let hub = ReplicationHub::start(
+            dir.clone(),
+            vec!["127.0.0.1:1".into()], // reserved port: never connects
+            "127.0.0.1:0".into(),
+            "test".into(),
+            Some(0),
+        );
+        assert!(!hub.unhealthy(), "no published work, no lag");
+        hub.publisher("s1").append("seg-0.log", 0, b"abcdef", 2);
+        let (rec, bytes) = hub.lag_summary();
+        assert_eq!((rec, bytes), (2, 6));
+        assert!(hub.unhealthy(), "lag 2 > max 0");
+        let health = hub.health_json();
+        assert!(health.contains("\"max_lag_records\": 2"), "{health}");
+        hub.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 use adya_faults::{TapCrashConfig, TapCrashPlane};
 
 use crate::proto::{self, ClientFrame};
+use crate::replica::{LogPublisher, ReplConfig, ReplicaSink, ReplicationHub, SinkError};
 use crate::session::{ApplyError, ResumeError, Session, SessionConfig};
 
 /// Server-wide configuration.
@@ -52,6 +53,8 @@ pub struct ServeConfig {
     /// detached (their session parked): a half-open peer — one that
     /// vanished without a FIN — must not pin its session forever.
     pub idle_timeout: Duration,
+    /// Replication role and topology.
+    pub repl: ReplConfig,
 }
 
 impl ServeConfig {
@@ -62,6 +65,7 @@ impl ServeConfig {
             session: SessionConfig::default(),
             tap: TapCrashConfig::default(),
             idle_timeout: Duration::from_secs(60),
+            repl: ReplConfig::default(),
         }
     }
 }
@@ -132,6 +136,24 @@ struct Inner {
     tap: TapCrashPlane,
     conns: AtomicUsize,
     stop: AtomicBool,
+    /// `true` while this node refuses client frames with `not_leader`.
+    /// Cleared by a `promote` frame, never set again: promotion is a
+    /// one-way door for a process lifetime.
+    follower: AtomicBool,
+    /// Where the leader said it lives (its advertise address), for
+    /// `not_leader` redirects. Set by each `repl_hello`.
+    leader_hint: Mutex<Option<String>>,
+    /// Leader-side replication fan-out; `None` on followers and on
+    /// leaders with no followers configured.
+    hub: Option<Arc<ReplicationHub>>,
+}
+
+impl Inner {
+    /// A replication publishing handle for session `name`, when this
+    /// node leads a replica set.
+    fn publisher(&self, name: &str) -> Option<LogPublisher> {
+        self.hub.as_ref().map(|h| h.publisher(name))
+    }
 }
 
 /// The running server: accept loops plus shared session registry.
@@ -148,6 +170,28 @@ impl Server {
     pub fn bind(tcp: &str, unix: Option<&Path>, cfg: ServeConfig) -> io::Result<Server> {
         std::fs::create_dir_all(&cfg.data_dir)?;
         let tap = TapCrashPlane::new(cfg.tap);
+        // Bind before building the hub: the advertise address handed to
+        // followers defaults to the real bound address (`:0` resolved).
+        let listener = TcpListener::bind(tcp)?;
+        listener.set_nonblocking(true)?;
+        let tcp_addr = listener.local_addr()?;
+        let hub = if !cfg.repl.follower && !cfg.repl.followers.is_empty() {
+            let advertise = cfg
+                .repl
+                .advertise
+                .clone()
+                .unwrap_or_else(|| tcp_addr.to_string());
+            Some(ReplicationHub::start(
+                cfg.data_dir.clone(),
+                cfg.repl.followers.clone(),
+                advertise.clone(),
+                advertise,
+                cfg.repl.lag_max,
+            ))
+        } else {
+            None
+        };
+        let follower = AtomicBool::new(cfg.repl.follower);
         let inner = Arc::new(Inner {
             cfg,
             sessions: Mutex::new(HashMap::new()),
@@ -155,10 +199,10 @@ impl Server {
             tap,
             conns: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
+            follower,
+            leader_hint: Mutex::new(None),
+            hub,
         });
-        let listener = TcpListener::bind(tcp)?;
-        listener.set_nonblocking(true)?;
-        let tcp_addr = listener.local_addr()?;
         let mut accept_threads = vec![{
             let inner = Arc::clone(&inner);
             thread::Builder::new()
@@ -253,6 +297,11 @@ impl Server {
                 slot.checkin(s);
             }
         }
+        // Stop the replication senders after the final park snapshots
+        // have been published, so followers get them too.
+        if let Some(hub) = &self.inner.hub {
+            hub.stop();
+        }
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
         }
@@ -314,6 +363,9 @@ fn handle_conn(mut stream: Box<dyn Conn>, inner: &Inner) {
         Err(_) => return,
     };
     let mut attached: Option<Attached> = None;
+    // The follower-side replication sink, present once this connection
+    // sent `repl_hello` (it is then a leader's sender, not a client).
+    let mut sink: Option<ReplicaSink> = None;
     // Raw bytes, not read_line: its UTF-8 guard truncates everything a
     // timed-out call appended when the partial line ends mid-codepoint,
     // silently dropping bytes of a multi-byte object name split across
@@ -357,7 +409,14 @@ fn handle_conn(mut stream: Box<dyn Conn>, inner: &Inner) {
                 last_progress = Instant::now();
                 // read_until stops short of the delimiter only at EOF.
                 let at_eof = !buf.ends_with(b"\n");
-                let outcome = dispatch_bytes(&buf, &mut stream, &mut attached, inner, &mut reader);
+                let outcome = dispatch_bytes(
+                    &buf,
+                    &mut stream,
+                    &mut attached,
+                    &mut sink,
+                    inner,
+                    &mut reader,
+                );
                 buf.clear();
                 match outcome {
                     LineOutcome::Continue => {}
@@ -408,11 +467,12 @@ fn dispatch_bytes(
     raw: &[u8],
     stream: &mut Box<dyn Conn>,
     attached: &mut Option<Attached>,
+    sink: &mut Option<ReplicaSink>,
     inner: &Inner,
     reader: &mut BufReader<Box<dyn Read + Send>>,
 ) -> LineOutcome {
     match std::str::from_utf8(raw) {
-        Ok(line) => dispatch_line(line, stream, attached, inner, reader),
+        Ok(line) => dispatch_line(line, stream, attached, sink, inner, reader),
         Err(_) => {
             adya_obs::counter!("serve.parse_errors").inc();
             let _ = writeln!(
@@ -429,6 +489,7 @@ fn dispatch_line(
     raw: &str,
     stream: &mut Box<dyn Conn>,
     attached: &mut Option<Attached>,
+    sink: &mut Option<ReplicaSink>,
     inner: &Inner,
     reader: &mut BufReader<Box<dyn Read + Send>>,
 ) -> LineOutcome {
@@ -442,7 +503,7 @@ fn dispatch_line(
         return LineOutcome::End;
     }
     if line.starts_with('{') {
-        return dispatch_frame(line, stream, attached, inner);
+        return dispatch_frame(line, stream, attached, sink, inner);
     }
     // Event tokens. The session is checked out by this thread: the
     // whole apply — log, crash plane, batched checker application —
@@ -490,6 +551,7 @@ fn dispatch_frame(
     line: &str,
     stream: &mut Box<dyn Conn>,
     attached: &mut Option<Attached>,
+    sink: &mut Option<ReplicaSink>,
     inner: &Inner,
 ) -> LineOutcome {
     let frame = match proto::parse_frame(line) {
@@ -499,6 +561,19 @@ fn dispatch_frame(
             return LineOutcome::Continue;
         }
     };
+    // A follower serves only the replication vocabulary (plus scrapes
+    // and `promote`): client frames are redirected at the last leader
+    // this node heard from.
+    if inner.follower.load(Ordering::Relaxed)
+        && matches!(
+            frame,
+            ClientFrame::Hello { .. } | ClientFrame::Resume { .. } | ClientFrame::Close
+        )
+    {
+        let hint = inner.leader_hint.lock().unwrap().clone();
+        let _ = writeln!(stream, "{}", proto::not_leader_frame(hint.as_deref()));
+        return LineOutcome::Continue;
+    }
     match frame {
         ClientFrame::Hello { session: name } => {
             if attached.is_some() {
@@ -518,7 +593,12 @@ fn dispatch_frame(
                 );
                 return LineOutcome::Continue;
             }
-            match Session::create(&inner.cfg.data_dir, &name, inner.cfg.session) {
+            match Session::create(
+                &inner.cfg.data_dir,
+                &name,
+                inner.cfg.session,
+                inner.publisher(&name),
+            ) {
                 Ok(mut s) => {
                     s.attached = true;
                     let slot = Arc::new(SessionSlot::new_attached(&s));
@@ -597,10 +677,13 @@ fn dispatch_frame(
                             "verdicts_unrecoverable",
                             &format!("replay window starts at verdict {base}"),
                         ),
-                        ResumeError::Ahead { durable } => proto::error_frame(
-                            "verdicts_ahead",
-                            &format!("only {durable} verdicts are durable"),
-                        ),
+                        // Structured: the client truncates its ledger
+                        // to `durable` and re-sends the token suffix —
+                        // the failover path after a promotion that
+                        // lost acknowledged-but-unreplicated verdicts.
+                        ResumeError::Ahead { durable } => {
+                            proto::verdicts_ahead_frame(have, durable)
+                        }
                     };
                     let _ = writeln!(stream, "{frame}");
                     // A refused resume mutated nothing worth snapshotting:
@@ -645,7 +728,163 @@ fn dispatch_frame(
                 }
             }
         }
+        ClientFrame::Promote => {
+            // One-way and idempotent: an operator (or a failing-over
+            // client) turns this follower into the leader. Nothing to
+            // recover eagerly — sessions lazy-load on first resume,
+            // exactly like a restart.
+            if inner.follower.swap(false, Ordering::Relaxed) {
+                inner.leader_hint.lock().unwrap().take();
+                adya_obs::counter!("serve.promotions").inc();
+            }
+            let _ = writeln!(stream, "{{\"ok\": \"promote\"}}");
+            LineOutcome::Continue
+        }
+        ClientFrame::ReplHello { node, advertise } => {
+            if !inner.follower.load(Ordering::Relaxed) {
+                let _ = writeln!(
+                    stream,
+                    "{}",
+                    proto::error_frame("not_follower", "this node is a leader")
+                );
+                return LineOutcome::Continue;
+            }
+            if let Some(addr) = advertise {
+                *inner.leader_hint.lock().unwrap() = Some(addr);
+            }
+            *sink = Some(ReplicaSink::new(
+                inner.cfg.data_dir.clone(),
+                inner.cfg.session.log.fsync,
+            ));
+            adya_obs::counter!("serve.repl_hellos").inc();
+            let _ = writeln!(
+                stream,
+                "{{\"ok\": \"repl_hello\", \"node\": \"{}\"}}",
+                adya_obs::json::esc(&node)
+            );
+            LineOutcome::Continue
+        }
+        ClientFrame::Replicate { session } => {
+            let Some(sink) = sink.as_mut() else {
+                return not_replicating(stream);
+            };
+            match sink.inventory(&session) {
+                Ok(files) => {
+                    let _ = writeln!(stream, "{}", proto::inventory_frame(&session, &files));
+                    LineOutcome::Continue
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        proto::error_frame("io", &format!("inventory failed: {e}"))
+                    );
+                    LineOutcome::End
+                }
+            }
+        }
+        ClientFrame::ReplAppend {
+            session,
+            file,
+            off,
+            crc,
+            data,
+        } => {
+            let Some(sink) = sink.as_mut() else {
+                return not_replicating(stream);
+            };
+            // No per-mutation reply: durability is acknowledged at the
+            // next `repl_flush` barrier. A reject makes the leader
+            // reconnect and redo catch-up from the real inventory.
+            match sink.append(&session, &file, off, crc, &data) {
+                Ok(()) => LineOutcome::Continue,
+                Err(SinkError::Reject(detail)) => {
+                    let _ = writeln!(stream, "{}", proto::error_frame("repl_reject", &detail));
+                    LineOutcome::Continue
+                }
+                Err(SinkError::Io(e)) => {
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        proto::error_frame("io", &format!("replica append failed: {e}"))
+                    );
+                    LineOutcome::End
+                }
+            }
+        }
+        ClientFrame::ReplPut {
+            session,
+            file,
+            crc,
+            data,
+        } => {
+            let Some(sink) = sink.as_mut() else {
+                return not_replicating(stream);
+            };
+            match sink.put(&session, &file, crc, &data) {
+                Ok(()) => LineOutcome::Continue,
+                Err(SinkError::Reject(detail)) => {
+                    let _ = writeln!(stream, "{}", proto::error_frame("repl_reject", &detail));
+                    LineOutcome::Continue
+                }
+                Err(SinkError::Io(e)) => {
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        proto::error_frame("io", &format!("replica put failed: {e}"))
+                    );
+                    LineOutcome::End
+                }
+            }
+        }
+        ClientFrame::ReplRemove { session, file } => {
+            let Some(sink) = sink.as_mut() else {
+                return not_replicating(stream);
+            };
+            match sink.remove(&session, &file) {
+                Ok(()) => LineOutcome::Continue,
+                Err(e) => {
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        proto::error_frame("io", &format!("replica remove failed: {e}"))
+                    );
+                    LineOutcome::End
+                }
+            }
+        }
+        ClientFrame::ReplFlush { seq } => {
+            let Some(sink) = sink.as_mut() else {
+                return not_replicating(stream);
+            };
+            match sink.flush() {
+                Ok(()) => {
+                    let _ = writeln!(stream, "{}", proto::ack_frame(seq));
+                    let _ = stream.flush();
+                    LineOutcome::Continue
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        proto::error_frame("io", &format!("replica fsync failed: {e}"))
+                    );
+                    LineOutcome::End
+                }
+            }
+        }
     }
+}
+
+/// Rejects a replication mutation on a connection that never sent
+/// `repl_hello`.
+fn not_replicating(stream: &mut Box<dyn Conn>) -> LineOutcome {
+    let _ = writeln!(
+        stream,
+        "{}",
+        proto::error_frame("not_replicating", "send a repl_hello frame first")
+    );
+    LineOutcome::Continue
 }
 
 /// Finds `name` in the registry, or recovers it from disk and
@@ -682,7 +921,12 @@ fn lookup_or_recover(
         inner.recovering.lock().unwrap().remove(name);
         return Some(Arc::clone(s));
     }
-    let recovered = Session::recover(&inner.cfg.data_dir, name, inner.cfg.session);
+    let recovered = Session::recover(
+        &inner.cfg.data_dir,
+        name,
+        inner.cfg.session,
+        inner.publisher(name),
+    );
     let result = match recovered {
         Ok(s) => {
             let slot = Arc::new(SessionSlot::new_parked(Box::new(s)));
@@ -731,8 +975,12 @@ fn serve_http(
         ),
         "/health" => {
             let draining = inner.stop.load(Ordering::Relaxed);
-            let body = fleet_health(inner, draining);
-            if draining {
+            // Acknowledged follower lag past --repl-lag-max is a
+            // health failure: the durability promise is degraded even
+            // though the leader itself is fine.
+            let lagging = inner.hub.as_ref().is_some_and(|h| h.unhealthy());
+            let body = fleet_health(inner, draining, lagging);
+            if draining || lagging {
                 adya_obs::Response {
                     status: 503,
                     content_type: "application/json",
@@ -764,7 +1012,7 @@ fn serve_http(
 }
 
 /// The fleet `/health` document: one entry per live session.
-fn fleet_health(inner: &Inner, draining: bool) -> String {
+fn fleet_health(inner: &Inner, draining: bool, lagging: bool) -> String {
     let sessions = inner.sessions.lock().unwrap();
     let mut entries = Vec::with_capacity(sessions.len());
     let mut names: Vec<_> = sessions.keys().cloned().collect();
@@ -775,9 +1023,19 @@ fn fleet_health(inner: &Inner, draining: bool) -> String {
         // ingest work.
         entries.push(sessions[name].health.lock().unwrap().clone());
     }
+    let role = if inner.follower.load(Ordering::Relaxed) {
+        "follower"
+    } else {
+        "leader"
+    };
+    let replication = match &inner.hub {
+        Some(h) => h.health_json(),
+        None => "null".to_string(),
+    };
     format!(
-        "{{\"healthy\": {}, \"draining\": {draining}, \"sessions\": [{}], \"connections\": {}}}",
-        !draining,
+        "{{\"healthy\": {}, \"draining\": {draining}, \"role\": \"{role}\", \
+         \"replication\": {replication}, \"sessions\": [{}], \"connections\": {}}}",
+        !draining && !lagging,
         entries.join(", "),
         inner.conns.load(Ordering::Relaxed),
     )

@@ -26,6 +26,7 @@ use adya_obs::{labeled, Counter, Gauge};
 use adya_online::{GcConfig, OnlineChecker, PipelineConfig, StreamParser};
 
 use crate::log::{LogConfig, RecoverError, SessionLog};
+use crate::replica::LogPublisher;
 
 /// Checker + durability configuration shared by every session of a
 /// server.
@@ -116,9 +117,16 @@ impl Session {
         )
     }
 
-    /// Creates a brand-new durable session under `data_dir`.
-    pub fn create(data_dir: &Path, name: &str, cfg: SessionConfig) -> std::io::Result<Session> {
-        let log = SessionLog::create(&data_dir.join(name), cfg.log)?;
+    /// Creates a brand-new durable session under `data_dir`. When
+    /// `repl` is set, every durable byte the log writes is mirrored to
+    /// the replication hub.
+    pub fn create(
+        data_dir: &Path,
+        name: &str,
+        cfg: SessionConfig,
+        repl: Option<LogPublisher>,
+    ) -> std::io::Result<Session> {
+        let log = SessionLog::create(&data_dir.join(name), cfg.log, repl)?;
         let mut checker = OnlineChecker::with_gc(cfg.gc);
         checker.set_provenance(cfg.provenance);
         let (m_events, m_verdicts, m_staleness, m_live) = Session::metrics(name);
@@ -148,8 +156,9 @@ impl Session {
         data_dir: &Path,
         name: &str,
         cfg: SessionConfig,
+        repl: Option<LogPublisher>,
     ) -> Result<Session, RecoverError> {
-        let r = SessionLog::recover(&data_dir.join(name), cfg.log, cfg.gc, cfg.provenance)?;
+        let r = SessionLog::recover(&data_dir.join(name), cfg.log, cfg.gc, cfg.provenance, repl)?;
         let (m_events, m_verdicts, m_staleness, m_live) = Session::metrics(name);
         adya_obs::counter!("serve.recoveries").inc();
         Ok(Session {

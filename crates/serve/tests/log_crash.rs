@@ -1,0 +1,195 @@
+//! Seeded crash-point property test of [`SessionLog`]: a random token
+//! stream under random (small) rotation and snapshot cadences is cut
+//! at a random point — optionally with a torn partial record appended,
+//! the disk image a kill -9 mid-append leaves — and recovery must
+//! round-trip: exact record count, replayed verdict tail byte-identical
+//! to the uninterrupted run, the torn tail truncated at its exact good
+//! byte, and the continued stream (including a second recovery)
+//! indistinguishable from one that never crashed.
+
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use adya_history::ObjectId;
+use adya_online::{GcConfig, OnlineChecker, StreamParser};
+use adya_serve::{LogConfig, SessionLog};
+use proptest::prelude::*;
+
+/// A deterministic, version-correct token stream: interleaved begins,
+/// reads of the last committed writer, writes and commits over five
+/// objects (digit-free names — write targets must not look versioned).
+fn token_stream(txns: u64) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut last_writer = [None::<u64>; 5];
+    let obj = |i: usize| (b'a' + i as u8) as char;
+    for t in 1..=txns {
+        let wobj = (t as usize * 7) % 5;
+        let robj = (t as usize * 3) % 5;
+        tokens.push(format!("b{t}"));
+        if let Some(w) = last_writer[robj] {
+            tokens.push(format!("r{t}(k{}{w})", obj(robj)));
+        }
+        tokens.push(format!("w{t}(k{},{t})", obj(wobj)));
+        tokens.push(format!("c{t}"));
+        last_writer[wobj] = Some(t);
+    }
+    tokens
+}
+
+/// The live side of a session: mirrors `Session::apply_line`'s
+/// durability ordering (names, then the event, snapshot on cadence).
+struct Rig {
+    log: SessionLog,
+    parser: StreamParser,
+    checker: OnlineChecker,
+    verdicts: Vec<String>,
+}
+
+impl Rig {
+    fn apply(&mut self, tok: &str) {
+        let known = self.parser.interned();
+        let ev = self.parser.parse_token(tok).expect("valid token");
+        let fresh: Vec<String> = (known..self.parser.interned())
+            .map(|i| self.parser.object_name(ObjectId(i as u32)).to_string())
+            .collect();
+        self.log
+            .append_names(fresh.iter().map(String::as_str))
+            .expect("append names");
+        self.log.append(&ev).expect("append event");
+        if let Some(v) = self.checker.ingest(&ev) {
+            self.verdicts.push(v.to_json());
+        }
+        if self.log.snapshot_due() {
+            self.log
+                .write_snapshot(
+                    &self.checker,
+                    &self.parser,
+                    self.verdicts.len() as u64,
+                    0,
+                    &self.verdicts,
+                )
+                .expect("snapshot");
+        }
+    }
+}
+
+/// The open (highest-numbered) segment file in a session directory.
+fn open_segment(dir: &Path) -> PathBuf {
+    let mut best = None::<(u64, PathBuf)>;
+    for entry in fs::read_dir(dir).expect("read session dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(n) = name
+            .strip_prefix("seg-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            if best.as_ref().is_none_or(|(b, _)| n > *b) {
+                best = Some((n, entry.path()));
+            }
+        }
+    }
+    best.expect("at least one segment").1
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adya-log-crash-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn crash_point_round_trips_rotation_compaction_and_torn_tails(
+        rotate in 2u64..8,
+        snapshot in 2u64..10,
+        txns in 4u64..24,
+        crash_frac in 0u64..1000,
+        torn in 0usize..8,
+    ) {
+        let cfg = LogConfig {
+            rotate_events: rotate,
+            snapshot_every: snapshot,
+            ..LogConfig::default()
+        };
+        let tokens = token_stream(txns);
+        let crash_at = 1 + (crash_frac as usize * (tokens.len() - 1)) / 1000;
+
+        // The uninterrupted reference run.
+        let mut ref_parser = StreamParser::new();
+        let mut ref_checker = OnlineChecker::with_gc(GcConfig::default());
+        let mut ref_verdicts = Vec::new();
+        for tok in &tokens {
+            if let Some(v) = ref_checker.ingest(&ref_parser.parse_token(tok).expect("token")) {
+                ref_verdicts.push(v.to_json());
+            }
+        }
+        let ref_final = ref_checker.finish().to_json();
+
+        // Live run up to the crash point, then drop (kill): appends
+        // reached the OS, nothing else is promised.
+        let dir = tmp(&format!("{rotate}-{snapshot}-{txns}-{crash_frac}-{torn}"));
+        let mut rig = Rig {
+            log: SessionLog::create(&dir, cfg, None).expect("create"),
+            parser: StreamParser::new(),
+            checker: OnlineChecker::with_gc(GcConfig::default()),
+            verdicts: Vec::new(),
+        };
+        for tok in &tokens[..crash_at] {
+            rig.apply(tok);
+        }
+        let crash_verdicts = rig.verdicts.len();
+        drop(rig);
+
+        // A kill mid-append leaves a torn partial record: any 1..8
+        // trailing bytes cannot form a complete [len][crc] header, so
+        // the reader reports a torn tail, never corruption.
+        let seg = open_segment(&dir);
+        let good_len = fs::metadata(&seg).expect("seg meta").len();
+        if torn > 0 {
+            let mut f = OpenOptions::new().append(true).open(&seg).expect("open seg");
+            f.write_all(&vec![0xFF; torn]).expect("tear");
+        }
+
+        let r = SessionLog::recover(&dir, cfg, GcConfig::default(), false, None)
+            .expect("recovery must succeed");
+        prop_assert_eq!(r.log.records(), crash_at as u64, "exact record count");
+        prop_assert_eq!(r.truncated.is_some(), torn > 0, "torn tail reported iff torn");
+        prop_assert_eq!(
+            fs::metadata(&seg).expect("seg meta").len(),
+            good_len,
+            "truncated at the exact good byte"
+        );
+        prop_assert_eq!(
+            &r.replayed[..],
+            &ref_verdicts[r.replay_base as usize..crash_verdicts],
+            "replayed verdict tail diverged from the uninterrupted run"
+        );
+
+        // Continue the stream on the recovered state: the remaining
+        // verdicts and the final line must be byte-identical.
+        let mut rig = Rig {
+            log: r.log,
+            parser: r.parser,
+            checker: r.checker,
+            verdicts: ref_verdicts[..crash_verdicts].to_vec(),
+        };
+        for tok in &tokens[crash_at..] {
+            rig.apply(tok);
+        }
+        prop_assert_eq!(&rig.verdicts, &ref_verdicts, "continued stream diverged");
+        prop_assert_eq!(rig.checker.finish().to_json(), ref_final, "final verdict diverged");
+
+        // And a second, clean recovery of the healed image still works.
+        let records = rig.log.records();
+        drop(rig);
+        let r2 = SessionLog::recover(&dir, cfg, GcConfig::default(), false, None)
+            .expect("second recovery");
+        prop_assert_eq!(r2.log.records(), records);
+        prop_assert!(r2.truncated.is_none(), "healed image must not re-report a tear");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -15,6 +15,18 @@
 //! Tokens go one per line, so the server's durable record count maps
 //! 1:1 onto an index into the token ledger — the resume ack's
 //! `events` field says precisely where re-sending starts.
+//!
+//! Failover: the address may be a comma-separated endpoint list
+//! (leader first, then followers). A `not_leader` refusal adopts the
+//! frame's `leader` hint; a transport error rotates to the next
+//! endpoint. When every endpoint has refused with `not_leader` twice —
+//! the leader is dead and no follower has been promoted — the client
+//! promotes the follower it is connected to and resumes there. A
+//! promoted follower that lost acknowledged-but-unreplicated verdicts
+//! answers `verdicts_ahead` with its durable count; the client
+//! truncates its verdict ledger to that count and re-sends the token
+//! suffix, and checker determinism regenerates the lost verdicts
+//! byte-identically.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -22,17 +34,23 @@ use std::time::Duration;
 
 use crate::retry::RetryPolicy;
 
-/// A connected (or resumable) session against one `adya-serve`
-/// address.
+/// A connected (or resumable) session against an `adya-serve` replica
+/// set (one or more endpoints).
 #[derive(Debug)]
 pub struct ServeClient {
-    addr: String,
+    /// Known endpoints; grows when a `not_leader` hint names a new one.
+    endpoints: Vec<String>,
+    /// Index of the endpoint currently (or last) connected.
+    current: usize,
     session: String,
     conn: Option<(TcpStream, BufReader<TcpStream>)>,
     /// Every event token ever sent, in order (one server record each).
     tokens: Vec<String>,
     /// Every verdict line ever received, in order.
     verdicts: Vec<String>,
+    /// Consecutive `not_leader` refusals since the last success; at
+    /// two full laps of the endpoint list the client promotes.
+    promote_streak: usize,
     /// `truncated_input` notices surfaced by resumes, oldest first.
     pub truncated_notices: Vec<String>,
 }
@@ -47,6 +65,8 @@ pub enum ClientError {
     /// The server answered with a structured error frame: `(code,
     /// full line)`.
     Server(String, String),
+    /// The server's reply was missing a required field.
+    Protocol(String),
     /// Reconnect attempts exhausted under the retry policy.
     GaveUp,
 }
@@ -56,6 +76,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "serve client i/o: {e}"),
             ClientError::Server(code, line) => write!(f, "server error {code}: {line}"),
+            ClientError::Protocol(detail) => write!(f, "malformed server reply: {detail}"),
             ClientError::GaveUp => write!(f, "reconnect attempts exhausted"),
         }
     }
@@ -98,29 +119,50 @@ fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 }
 
 impl ServeClient {
-    /// Connects and opens a brand-new session.
+    /// Connects and opens a brand-new session. `addr` may be a comma-
+    /// separated endpoint list; a `not_leader` refusal follows the
+    /// redirect (or rotates) until an endpoint accepts.
     pub fn hello(addr: &str, session: &str) -> Result<ServeClient, ClientError> {
+        let endpoints: Vec<String> = addr
+            .split(',')
+            .filter(|a| !a.is_empty())
+            .map(str::to_string)
+            .collect();
+        if endpoints.is_empty() {
+            return Err(ClientError::Protocol("empty endpoint list".into()));
+        }
         let mut client = ServeClient {
-            addr: addr.to_string(),
+            endpoints,
+            current: 0,
             session: session.to_string(),
             conn: None,
             tokens: Vec::new(),
             verdicts: Vec::new(),
+            promote_streak: 0,
             truncated_notices: Vec::new(),
         };
-        client.connect()?;
-        client.send_frame(&format!(
-            "{{\"op\": \"hello\", \"session\": \"{session}\"}}"
-        ))?;
-        let ack = client.read_line()?;
-        if str_field(&ack, "ok") != Some("hello") {
+        let mut redirects = 0;
+        loop {
+            client.connect()?;
+            client.send_frame(&format!(
+                "{{\"op\": \"hello\", \"session\": \"{session}\"}}"
+            ))?;
+            let ack = client.read_line()?;
+            if str_field(&ack, "ok") == Some("hello") {
+                return Ok(client);
+            }
+            if str_field(&ack, "error") == Some("not_leader") && redirects <= client.endpoints.len()
+            {
+                redirects += 1;
+                client.adopt_leader_hint(&ack);
+                continue;
+            }
             return Err(server_error(ack));
         }
-        Ok(client)
     }
 
     fn connect(&mut self) -> io::Result<()> {
-        let stream = TcpStream::connect(&self.addr)?;
+        let stream = TcpStream::connect(&self.endpoints[self.current])?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
@@ -128,14 +170,40 @@ impl ServeClient {
         Ok(())
     }
 
+    /// Moves `current` to the frame's `leader` hint (learning new
+    /// endpoints on the fly), or to the next endpoint when the refusing
+    /// node does not know where the leader is.
+    fn adopt_leader_hint(&mut self, line: &str) {
+        match str_field(line, "leader") {
+            Some(hint) => match self.endpoints.iter().position(|e| e == hint) {
+                Some(i) => self.current = i,
+                None => {
+                    self.endpoints.push(hint.to_string());
+                    self.current = self.endpoints.len() - 1;
+                }
+            },
+            None => self.rotate(),
+        }
+    }
+
+    fn rotate(&mut self) {
+        self.current = (self.current + 1) % self.endpoints.len();
+    }
+
+    fn conn_mut(&mut self) -> io::Result<&mut (TcpStream, BufReader<TcpStream>)> {
+        self.conn
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "not connected"))
+    }
+
     fn send_frame(&mut self, frame: &str) -> io::Result<()> {
-        let (stream, _) = self.conn.as_mut().expect("not connected");
+        let (stream, _) = self.conn_mut()?;
         stream.write_all(frame.as_bytes())?;
         stream.write_all(b"\n")
     }
 
     fn read_line(&mut self) -> io::Result<String> {
-        let (_, reader) = self.conn.as_mut().expect("not connected");
+        let (_, reader) = self.conn_mut()?;
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
             return Err(io::Error::new(
@@ -188,19 +256,56 @@ impl ServeClient {
     /// backoff). `session_busy` is retried too: the previous owner of
     /// the session may still be detaching (or the server may be
     /// recovering it for another connection), and the server's idle
-    /// deadline guarantees a vanished owner eventually releases it. On
-    /// success the verdict ledger has absorbed the server's replay and
-    /// every token the server lost has been re-sent.
+    /// deadline guarantees a vanished owner eventually releases it.
+    ///
+    /// Failover rides the same loop: transport errors rotate the
+    /// endpoint, `not_leader` refusals follow the redirect hint, and
+    /// two full laps of refusals promote the follower this client is
+    /// connected to. On success the verdict ledger has absorbed the
+    /// server's replay and every token the server lost has been
+    /// re-sent.
     pub fn resume(&mut self, policy: &RetryPolicy, seed: u64) -> Result<(), ClientError> {
         let mut retry = policy.session(seed);
         loop {
             match self.try_resume() {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    self.promote_streak = 0;
+                    return Ok(());
+                }
                 Err(ClientError::Io(_)) => {
                     adya_obs::counter!("serve_client.reconnect_failures").inc();
+                    self.rotate();
                 }
                 Err(ClientError::Server(code, _)) if code == "session_busy" => {
                     adya_obs::counter!("serve_client.busy_retries").inc();
+                }
+                Err(ClientError::Server(code, line)) if code == "not_leader" => {
+                    adya_obs::counter!("serve_client.not_leader").inc();
+                    self.promote_streak += 1;
+                    if self.promote_streak >= 2 * self.endpoints.len() {
+                        // Every endpoint refused twice with no leader
+                        // among them: the leader is dead and nobody
+                        // was promoted. Promote the follower on the
+                        // other end of this still-open connection.
+                        if self.promote().is_ok() {
+                            self.promote_streak = 0;
+                            continue;
+                        }
+                    } else {
+                        self.adopt_leader_hint(&line);
+                    }
+                }
+                Err(ClientError::Server(code, line)) if code == "verdicts_ahead" => {
+                    // A promoted follower that lost our acknowledged
+                    // tail: roll the ledger back to what it holds and
+                    // regenerate the rest by re-sending tokens —
+                    // checker determinism makes the regenerated lines
+                    // byte-identical.
+                    let durable = u64_field(&line, "durable").ok_or_else(|| {
+                        ClientError::Protocol(format!("verdicts_ahead missing durable: {line}"))
+                    })? as usize;
+                    adya_obs::counter!("serve_client.verdict_rollbacks").inc();
+                    self.verdicts.truncate(durable);
                 }
                 Err(e) => return Err(e),
             }
@@ -215,6 +320,17 @@ impl ServeClient {
             // sleep.
             std::thread::sleep(Duration::from_millis(20));
         }
+    }
+
+    /// Promotes the node on the other end of the open connection.
+    fn promote(&mut self) -> Result<(), ClientError> {
+        self.send_frame("{\"op\": \"promote\"}")?;
+        let ack = self.read_line()?;
+        if str_field(&ack, "ok") != Some("promote") {
+            return Err(server_error(ack));
+        }
+        adya_obs::counter!("serve_client.promotions").inc();
+        Ok(())
     }
 
     fn try_resume(&mut self) -> Result<(), ClientError> {
@@ -234,8 +350,11 @@ impl ServeClient {
         if str_field(&ack, "ok") != Some("resume") {
             return Err(server_error(ack));
         }
-        let durable = u64_field(&ack, "events").expect("resume ack carries events") as usize;
-        let replay = u64_field(&ack, "replay").expect("resume ack carries replay");
+        let durable = u64_field(&ack, "events")
+            .ok_or_else(|| ClientError::Protocol(format!("resume ack missing events: {ack}")))?
+            as usize;
+        let replay = u64_field(&ack, "replay")
+            .ok_or_else(|| ClientError::Protocol(format!("resume ack missing replay: {ack}")))?;
         for _ in 0..replay {
             let line = self.read_line()?;
             self.verdicts.push(line);

@@ -27,13 +27,16 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use adya::serve::{shutdown, ServeConfig, Server};
+use adya::serve::{shutdown, FsyncPolicy, ServeConfig, Server};
 use adya_faults::TapCrashConfig;
 
 const USAGE: &str = "usage: adya-serve --data DIR [--listen ADDR] [--unix PATH]
                   [--rotate-events N] [--snapshot-every N]
                   [--gc-interval N] [--no-gc] [--provenance]
                   [--batch N] [--idle-timeout-ms N] [--crash-at-event N]
+                  [--fsync always|interval|never]
+                  [--replicate-to ADDR[,ADDR...]] [--follower]
+                  [--advertise ADDR] [--repl-lag-max N]
 
   --data DIR        session store root (one subdirectory per session)
   --listen ADDR     TCP listen address (default 127.0.0.1:0; the bound
@@ -52,6 +55,19 @@ const USAGE: &str = "usage: adya-serve --data DIR [--listen ADDR] [--unix PATH]
   --crash-at-event N abort the process at the N-th non-commit event
                     after it is logged but before it is applied
                     (crash-recovery testing only)
+  --fsync POLICY    when appends reach stable storage: always (every
+                    append), interval (at each snapshot; default), or
+                    never (no explicit syncs)
+  --replicate-to A  lead a replica set: stream every durable log byte
+                    to the follower adya-serve at each ADDR
+  --follower        start as a follower: apply replication streams,
+                    refuse client frames with not_leader until promoted
+                    (operator {\"op\": \"promote\"} frame, or client
+                    failover promotes automatically)
+  --advertise ADDR  client-facing address handed to followers for
+                    not_leader redirects (default: the bound address)
+  --repl-lag-max N  /health turns 503 when the worst acknowledged
+                    follower lag exceeds N records (default: never)
 ";
 
 struct Args {
@@ -99,6 +115,19 @@ fn parse_args() -> Result<Args, String> {
                     crash_every: None,
                 }
             }
+            "--fsync" => cfg.session.log.fsync = FsyncPolicy::parse(&need(&mut it, "--fsync")?)?,
+            "--replicate-to" => {
+                cfg.repl.followers = need(&mut it, "--replicate-to")?
+                    .split(',')
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--follower" => cfg.repl.follower = true,
+            "--advertise" => cfg.repl.advertise = Some(need(&mut it, "--advertise")?),
+            "--repl-lag-max" => {
+                cfg.repl.lag_max = Some(parse_u64(&need(&mut it, "--repl-lag-max")?)?)
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -111,6 +140,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if cfg.idle_timeout.is_zero() {
         return Err("--idle-timeout-ms must be at least 1".into());
+    }
+    if cfg.repl.follower && !cfg.repl.followers.is_empty() {
+        return Err("--follower and --replicate-to are mutually exclusive".into());
     }
     let data = data.ok_or("--data is required")?;
     cfg.data_dir = data.clone().into();
@@ -136,6 +168,13 @@ fn main() -> ExitCode {
         }
     };
     shutdown::install();
+    let role = if args.cfg.repl.follower {
+        "follower (awaiting promotion)".to_string()
+    } else if args.cfg.repl.followers.is_empty() {
+        "standalone".to_string()
+    } else {
+        format!("leader of {} follower(s)", args.cfg.repl.followers.len())
+    };
     let mut server = match Server::bind(
         &args.listen,
         args.unix.as_ref().map(std::path::Path::new),
@@ -152,6 +191,7 @@ fn main() -> ExitCode {
         eprintln!("adya-serve: listening on unix:{p}");
     }
     eprintln!("adya-serve: sessions under {}", args.data);
+    eprintln!("adya-serve: role: {role}");
 
     while !shutdown::requested() {
         std::thread::sleep(Duration::from_millis(50));

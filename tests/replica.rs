@@ -1,0 +1,326 @@
+//! End-to-end tests of the `adya-serve` replication plane: a leader
+//! streams every durable log byte to a follower; kill -9'ing the
+//! leader mid-stream fails clients over to the promoted follower with
+//! byte-identical verdict streams; a follower kill -9'd mid-catch-up
+//! reconnects and drains its lag to zero; and the leader's `/health`
+//! degrades to 503 when acknowledged follower lag exceeds
+//! `--repl-lag-max`.
+
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use adya::online::{GcConfig, OnlineChecker, StreamParser};
+use adya::workloads::{ClientError, RetryPolicy, ServeClient};
+
+struct Server(Child);
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn data_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawns `adya-serve` on `listen` over `data`, returning the process
+/// and the actually-bound address. Retries briefly so a restart can
+/// rebind the port a killed predecessor just held.
+fn spawn_server(data: &std::path::Path, listen: &str, extra: &[&str]) -> (Server, String) {
+    for attempt in 0..50 {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_adya-serve"))
+            .arg("--data")
+            .arg(data)
+            .args([
+                "--listen",
+                listen,
+                "--snapshot-every",
+                "8",
+                "--rotate-events",
+                "16",
+            ])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn adya-serve");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let mut reader = BufReader::new(stderr);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read first stderr line");
+        if let Some((_, addr)) = line.rsplit_once("listening on ") {
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut reader, &mut std::io::sink());
+            });
+            return (Server(child), addr.trim().to_string());
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+        assert!(attempt < 49, "adya-serve kept failing to bind: {line:?}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    unreachable!()
+}
+
+/// A deterministic token stream for one session: interleaved begins,
+/// version-correct reads, writes and commits over eight objects.
+fn session_tokens(session: usize, txns: u64) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut last_writer = [None::<u64>; 8];
+    let obj = |i: usize| (b'a' + i as u8) as char;
+    for t in 1..=txns {
+        let wobj = ((t as usize) * 7 + session) % 8;
+        let robj = ((t as usize) * 3 + session) % 8;
+        tokens.push(format!("b{t}"));
+        if let Some(w) = last_writer[robj] {
+            tokens.push(format!("r{t}(k{}{w})", obj(robj)));
+        }
+        tokens.push(format!("w{t}(k{},{t})", obj(wobj)));
+        tokens.push(format!("c{t}"));
+        last_writer[wobj] = Some(t);
+    }
+    tokens
+}
+
+/// The uninterrupted in-process reference — (verdict lines, final line).
+fn reference(tokens: &[String]) -> (Vec<String>, String) {
+    let mut parser = StreamParser::new();
+    let mut checker = OnlineChecker::with_gc(GcConfig::default());
+    let mut verdicts = Vec::new();
+    for tok in tokens {
+        let ev = parser.parse_token(tok).expect("reference tokens parse");
+        if let Some(v) = checker.ingest(&ev) {
+            verdicts.push(v.to_json());
+        }
+    }
+    (verdicts, checker.finish().to_json())
+}
+
+/// Streams one token, transparently failing over (and counting the
+/// resume) when the current endpoint is down.
+fn send_resilient(client: &mut ServeClient, tok: &str, hint: &str, resumes: &mut u32) {
+    match client.send_token(tok) {
+        Ok(()) => {}
+        Err(ClientError::Io(_)) => {
+            let policy = RetryPolicy {
+                deadline_ops: Some(2_000),
+                ..RetryPolicy::default()
+            };
+            client
+                .resume(&policy, 0xAD7A)
+                .unwrap_or_else(|e| panic!("failover resume ({hint}) failed: {e}"));
+            *resumes += 1;
+        }
+        Err(e) => panic!("protocol error streaming {tok:?}: {e}"),
+    }
+}
+
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect service port");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: adya\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send");
+    let mut response = String::new();
+    s.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Polls `/health` until `pred` accepts the body (any status), with a
+/// hard deadline.
+fn await_health(addr: &str, what: &str, pred: impl Fn(u16, &str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = http_get(addr, "/health");
+        if pred(status, &body) {
+            return body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last /health: {status} {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn leader_sigkill_fails_over_to_promoted_follower_byte_identically() {
+    let ldata = data_dir("replica-kill-leader");
+    let fdata = data_dir("replica-kill-follower");
+    let (_follower, faddr) = spawn_server(&fdata, "127.0.0.1:0", &["--follower"]);
+    let (leader, laddr) = spawn_server(&ldata, "127.0.0.1:0", &["--replicate-to", &faddr]);
+    let endpoints = format!("{laddr},{faddr}");
+
+    // 4 clients + the killer thread rendezvous twice: once with every
+    // session mid-stream, once after the leader has been SIGKILLed.
+    let barrier = Arc::new(Barrier::new(5));
+    let mut handles = Vec::new();
+    for s in 0..4 {
+        let endpoints = endpoints.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let tokens = session_tokens(s, 40);
+            let name = format!("tenant-{s}");
+            let mut client = ServeClient::hello(&endpoints, &name).expect("hello");
+            let mut resumes = 0u32;
+            let half = tokens.len() / 2;
+            for tok in &tokens[..half] {
+                send_resilient(&mut client, tok, &endpoints, &mut resumes);
+            }
+            barrier.wait(); // everyone is mid-stream
+            barrier.wait(); // the leader is gone — no replacement coming
+            for tok in &tokens[half..] {
+                send_resilient(&mut client, tok, &endpoints, &mut resumes);
+            }
+            let verdicts = client.verdicts().to_vec();
+            let fin = client.close().expect("close");
+            (tokens, verdicts, fin, resumes)
+        }));
+    }
+
+    barrier.wait();
+    drop(leader); // SIGKILL mid-stream — no flush, no goodbye
+    barrier.wait();
+
+    let mut total_resumes = 0;
+    for handle in handles {
+        let (tokens, verdicts, fin, resumes) = handle.join().expect("client thread");
+        let (want_verdicts, want_final) = reference(&tokens);
+        assert_eq!(
+            verdicts, want_verdicts,
+            "post-failover verdict stream must be byte-identical to the uninterrupted run"
+        );
+        assert_eq!(fin, want_final, "final verdict must match the reference");
+        total_resumes += resumes;
+    }
+    assert!(
+        total_resumes >= 4,
+        "every session must have failed over across the kill (got {total_resumes})"
+    );
+
+    // The follower is the leader now, and says so.
+    let body = await_health(&faddr, "promotion to show on /health", |_, b| {
+        b.contains("\"role\": \"leader\"")
+    });
+    assert!(body.contains("\"healthy\": true"), "{body}");
+}
+
+#[test]
+fn follower_killed_mid_catchup_reconnects_and_drains_its_lag() {
+    let ldata = data_dir("replica-catchup-leader");
+    let fdata = data_dir("replica-catchup-follower");
+    let (follower, faddr) = spawn_server(&fdata, "127.0.0.1:0", &["--follower"]);
+    let (leader, laddr) = spawn_server(&ldata, "127.0.0.1:0", &["--replicate-to", &faddr]);
+    let endpoints = format!("{laddr},{faddr}");
+
+    let tokens = session_tokens(2, 60);
+    let mut client = ServeClient::hello(&endpoints, "churner").expect("hello");
+    let third = tokens.len() / 3;
+    for tok in &tokens[..third] {
+        client.send_token(tok).expect("stream");
+    }
+
+    // kill -9 the follower mid-stream, keep the leader under load so
+    // the restarted follower has a real catch-up backlog to walk, and
+    // the leader meanwhile shows the disconnect as lag.
+    drop(follower);
+    for tok in &tokens[third..2 * third] {
+        client
+            .send_token(tok)
+            .expect("stream during follower outage");
+    }
+    await_health(&laddr, "the leader to notice the dead follower", |_, b| {
+        b.contains("\"connected\": 0")
+    });
+
+    // The reborn follower rebinds the same address, reconnects, and is
+    // then kill -9'd again mid-catch-up — the second rebirth must still
+    // converge to zero lag.
+    let (follower2, faddr2) = spawn_server(&fdata, &faddr, &["--follower"]);
+    assert_eq!(faddr2, faddr, "follower must rebind its address");
+    await_health(&laddr, "the leader to reconnect", |_, b| {
+        b.contains("\"connected\": 1")
+    });
+    drop(follower2);
+    for tok in &tokens[2 * third..] {
+        client.send_token(tok).expect("stream during second outage");
+    }
+    let (_follower3, faddr3) = spawn_server(&fdata, &faddr, &["--follower"]);
+    assert_eq!(faddr3, faddr);
+    await_health(&laddr, "catch-up to drain the lag", |_, b| {
+        b.contains("\"connected\": 1") && b.contains("\"max_lag_records\": 0")
+    });
+
+    // Retire the leader; an operator promote frame turns the follower
+    // into the leader, and the resumed session is byte-identical.
+    drop(leader);
+    let mut s = TcpStream::connect(&faddr).expect("connect follower");
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    s.write_all(b"{\"op\": \"promote\"}\n").expect("promote");
+    let mut r = BufReader::new(s.try_clone().expect("clone"));
+    let mut line = String::new();
+    r.read_line(&mut line).expect("promote ack");
+    assert!(line.contains("\"ok\": \"promote\""), "{line}");
+
+    let policy = RetryPolicy {
+        deadline_ops: Some(2_000),
+        ..RetryPolicy::default()
+    };
+    client
+        .resume(&policy, 0xF0)
+        .expect("resume on the promoted follower");
+    let (want, want_final) = reference(&tokens);
+    assert_eq!(
+        client.verdicts(),
+        &want[..],
+        "verdicts after follower churn + promotion must match the reference"
+    );
+    assert_eq!(client.close().expect("close"), want_final);
+}
+
+#[test]
+fn health_degrades_to_503_when_follower_lag_exceeds_the_bound() {
+    let data = data_dir("replica-lag");
+    // 127.0.0.1:1 never answers: every published record is permanently
+    // unacknowledged, so with --repl-lag-max 0 the first durable
+    // append must flip /health to 503.
+    let (_leader, addr) = spawn_server(
+        &data,
+        "127.0.0.1:0",
+        &["--replicate-to", "127.0.0.1:1", "--repl-lag-max", "0"],
+    );
+
+    let (status, body) = http_get(&addr, "/health");
+    assert_eq!(status, 200, "no records, no lag: {body}");
+    assert!(body.contains("\"role\": \"leader\""), "{body}");
+
+    let mut client = ServeClient::hello(&addr, "laggy").expect("hello");
+    for tok in ["b1", "w1(x,1)", "c1"] {
+        client.send_token(tok).expect("stream");
+    }
+    let body = await_health(&addr, "lag to trip the health bound", |status, _| {
+        status == 503
+    });
+    assert!(body.contains("\"healthy\": false"), "{body}");
+    assert!(body.contains("\"connected\": 0"), "{body}");
+}
