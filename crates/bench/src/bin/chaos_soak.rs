@@ -41,7 +41,9 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use adya_bench::{banner, note, report_path_from_args, u64_from_args, verdict, Table};
+use adya_bench::{
+    banner, note, report_header, report_path_from_args, u64_from_args, verdict, Table,
+};
 use adya_core::{classify, IsolationLevel};
 use adya_engine::{
     CertifyLevel, Engine, LockConfig, LockingEngine, MvccEngine, MvccMode, MvtoEngine, OccEngine,
@@ -392,10 +394,12 @@ fn per_mille(p: f64) -> u64 {
 
 fn write_report(path: &str, base_seed: u64, runs: &[SoakRun]) -> std::io::Result<()> {
     let mut w = JsonWriter::new();
-    w.open_object(None);
-    w.str_field("report", "chaos_soak");
-    w.u64_field("base_seed", base_seed);
-    w.u64_field("runs_total", runs.len() as u64);
+    report_header(
+        &mut w,
+        "chaos_soak",
+        base_seed,
+        &[("runs_total", runs.len() as u64)],
+    );
     w.open_array(Some("runs"));
     for r in runs {
         w.open_object(None);

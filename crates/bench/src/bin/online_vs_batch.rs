@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use adya_bench::{banner, note, report_path_from_args, verdict, Table};
+use adya_bench::{banner, note, report_header, report_path_from_args, verdict, Table};
 use adya_core::{g0, g1a, g1b, g1c, g2, g2_item, Dsg, IsolationLevel, PhenomenonKind};
 use adya_history::{Event, History, TxnId};
 use adya_obs::json::JsonWriter;
@@ -158,9 +158,7 @@ fn run_size(txns: usize, seed: u64) -> SizeRun {
 
 fn write_report(path: &str, seed: u64, runs: &[SizeRun]) -> std::io::Result<()> {
     let mut w = JsonWriter::new();
-    w.open_object(None);
-    w.str_field("report", "online_vs_batch");
-    w.u64_field("seed", seed);
+    report_header(&mut w, "online_vs_batch", seed, &[]);
     w.open_array(Some("runs"));
     for r in runs {
         w.open_object(None);

@@ -28,7 +28,9 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
-use adya_bench::{banner, note, report_path_from_args, u64_from_args, verdict, Table};
+use adya_bench::{
+    banner, note, report_header, report_path_from_args, u64_from_args, verdict, Table,
+};
 use adya_history::Event;
 use adya_obs::json::JsonWriter;
 use adya_online::{EventPipeline, OnlineChecker, PipelineConfig};
@@ -142,7 +144,6 @@ fn throughput(events: usize, ns: u128) -> f64 {
 fn write_report(
     path: &str,
     seed: u64,
-    cores: usize,
     events: usize,
     cells: &[Cell],
     scaling_enforced: bool,
@@ -151,12 +152,12 @@ fn write_report(
 ) -> std::io::Result<()> {
     let base = cells[0].pipelined_ns;
     let mut w = JsonWriter::new();
-    w.open_object(None);
-    w.str_field("report", "parallel_ingest");
-    w.u64_field("seed", seed);
-    w.u64_field("reps", REPS as u64);
-    w.u64_field("cores", cores as u64);
-    w.u64_field("events", events as u64);
+    report_header(
+        &mut w,
+        "parallel_ingest",
+        seed,
+        &[("reps", REPS as u64), ("events", events as u64)],
+    );
     w.open_array(Some("runs"));
     for c in cells {
         w.open_object(None);
@@ -276,7 +277,6 @@ fn main() {
         match write_report(
             path,
             seed,
-            cores,
             events.len(),
             &cells,
             scaling_enforced,

@@ -20,7 +20,9 @@
 
 use std::time::Instant;
 
-use adya_bench::{banner, note, report_path_from_args, u64_from_args, verdict, Table};
+use adya_bench::{
+    banner, note, report_header, report_path_from_args, u64_from_args, verdict, Table,
+};
 use adya_forensics::extract_all;
 use adya_history::parse_history_completed;
 use adya_obs::json::JsonWriter;
@@ -88,10 +90,12 @@ fn overhead_pct(on: u128, off: u128) -> f64 {
 
 fn write_report(path: &str, seed: u64, runs: &[SizeRun], extract_ns: u128) -> std::io::Result<()> {
     let mut w = JsonWriter::new();
-    w.open_object(None);
-    w.str_field("report", "provenance_overhead");
-    w.u64_field("seed", seed);
-    w.u64_field("reps", REPS as u64);
+    report_header(
+        &mut w,
+        "provenance_overhead",
+        seed,
+        &[("reps", REPS as u64)],
+    );
     w.open_array(Some("runs"));
     for r in runs {
         w.open_object(None);

@@ -29,7 +29,9 @@ use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use adya_bench::{banner, note, report_path_from_args, u64_from_args, verdict, Table};
+use adya_bench::{
+    banner, note, report_header, report_path_from_args, u64_from_args, verdict, Table,
+};
 use adya_obs::json::JsonWriter;
 use adya_online::{GcConfig, OnlineChecker, StreamParser};
 use adya_workloads::{ClientError, RetryPolicy, ServeClient};
@@ -221,12 +223,16 @@ fn write_report(
     let total_resumes: u64 = runs.iter().map(|r| u64::from(r.resumes)).sum();
     let secs = elapsed.as_secs_f64().max(1e-9);
     let mut w = JsonWriter::new();
-    w.open_object(None);
-    w.str_field("report", "serve_soak");
-    w.u64_field("seed", seed);
-    w.u64_field("sessions", runs.len() as u64);
-    w.u64_field("txns_per_session", txns);
-    w.u64_field("budget_pct", budget_pct);
+    report_header(
+        &mut w,
+        "serve_soak",
+        seed,
+        &[
+            ("sessions", runs.len() as u64),
+            ("txns_per_session", txns),
+            ("budget_pct", budget_pct),
+        ],
+    );
     w.u64_field("events_total", total_events);
     w.u64_field("verdicts_total", total_verdicts);
     w.u64_field("resumes_total", total_resumes);

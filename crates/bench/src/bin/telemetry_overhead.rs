@@ -15,7 +15,9 @@
 
 use std::time::Instant;
 
-use adya_bench::{banner, note, report_path_from_args, u64_from_args, verdict, Table};
+use adya_bench::{
+    banner, note, report_header, report_path_from_args, u64_from_args, verdict, Table,
+};
 use adya_obs::json::JsonWriter;
 use adya_online::{CheckerMonitor, GcConfig, HealthPolicy, OnlineChecker};
 use adya_workloads::histgen::{random_history, HistGenConfig};
@@ -109,11 +111,15 @@ fn overhead_pct(on: u128, off: u128) -> f64 {
 
 fn write_report(path: &str, seed: u64, runs: &[SizeRun]) -> std::io::Result<()> {
     let mut w = JsonWriter::new();
-    w.open_object(None);
-    w.str_field("report", "telemetry_overhead");
-    w.u64_field("seed", seed);
-    w.u64_field("reps", REPS as u64);
-    w.u64_field("sample_every", u64::from(SAMPLE_EVERY));
+    report_header(
+        &mut w,
+        "telemetry_overhead",
+        seed,
+        &[
+            ("reps", REPS as u64),
+            ("sample_every", u64::from(SAMPLE_EVERY)),
+        ],
+    );
     w.open_array(Some("runs"));
     for r in runs {
         w.open_object(None);

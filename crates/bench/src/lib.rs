@@ -148,6 +148,35 @@ pub fn u64_from_args(name: &str, default: u64) -> u64 {
     default
 }
 
+/// The machine's available parallelism, echoed into every report so a
+/// perf number can always be read against the hardware that produced
+/// it.
+pub fn cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+
+/// Opens the uniform report header shared by every committed
+/// `experiments/*.json`: the report name, the RNG seed, the core
+/// count, and then the experiment's own knobs as `(name, value)`
+/// pairs, in order. The writer is left inside the root object so the
+/// caller appends its payload (runs array, totals) and closes it.
+pub fn report_header(
+    w: &mut adya_obs::json::JsonWriter,
+    report: &str,
+    seed: u64,
+    knobs: &[(&str, u64)],
+) {
+    w.open_object(None);
+    w.str_field("report", report);
+    w.u64_field("seed", seed);
+    w.u64_field("cores", cores());
+    for (name, value) in knobs {
+        w.u64_field(name, *value);
+    }
+}
+
 /// Exit helper: prints the verdict and panics on failure so CI-style
 /// invocations notice mismatches.
 pub fn verdict(name: &str, ok: bool) {
@@ -185,5 +214,19 @@ mod tests {
     fn marks() {
         assert_eq!(mark(true), "yes");
         assert_eq!(mark(false), "-");
+    }
+
+    #[test]
+    fn report_header_is_uniform() {
+        let mut w = adya_obs::json::JsonWriter::new();
+        report_header(&mut w, "demo", 7, &[("reps", 3), ("txns", 128)]);
+        w.close_object();
+        let s = w.finish();
+        let want = format!(
+            "{{\n  \"report\": \"demo\",\n  \"seed\": 7,\n  \"cores\": {},\n  \"reps\": 3,\n  \"txns\": 128\n}}",
+            cores()
+        );
+        assert_eq!(s, want);
+        assert!(cores() >= 1);
     }
 }

@@ -11,7 +11,7 @@
 //! request path to a [`Response`]; the handler runs on the
 //! per-connection thread and must therefore be `Send + Sync`.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -146,7 +146,19 @@ impl Drop for ObsServer {
     }
 }
 
-/// Serves exactly one request on `stream` and closes it.
+/// Longest request line answered; anything longer is a 400.
+const MAX_REQUEST_LINE: u64 = 8 * 1024;
+/// Total header bytes drained before the request is refused. Headers
+/// are ignored either way — the bound exists so a hostile peer cannot
+/// pin a connection thread (and the 5s read timeout) behind an
+/// endless header stream.
+const MAX_HEADER_BYTES: usize = 32 * 1024;
+
+/// Serves exactly one request on `stream` and closes it. Malformed
+/// input — no request line, an unterminated or oversized one, header
+/// floods, bodies on non-GET methods — is answered with 400/405 (or a
+/// plain close when the peer sent nothing) rather than trusted; the
+/// socket arrives off the network.
 fn serve_connection(stream: TcpStream, handler: Handler) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
@@ -154,19 +166,42 @@ fn serve_connection(stream: TcpStream, handler: Handler) {
         Ok(s) => s,
         Err(_) => return,
     });
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
-        return;
+    let mut request_line = Vec::new();
+    match (&mut reader)
+        .take(MAX_REQUEST_LINE)
+        .read_until(b'\n', &mut request_line)
+    {
+        // Peer connected and said nothing (or vanished): no request
+        // to answer, close cleanly.
+        Ok(0) | Err(_) => return,
+        Ok(_) if !request_line.ends_with(b"\n") => {
+            return write_response(stream, &Response::status(400, "request line too long\n"));
+        }
+        Ok(_) => {}
     }
+    // Lossy: a mangled method/target routes to the 400/405 arms below
+    // instead of silently dropping the connection.
+    let request_line = String::from_utf8_lossy(&request_line).into_owned();
     // Drain headers so well-behaved clients see a clean close; bodies
-    // on GET are ignored.
+    // on GET are ignored. Bounded: a header flood gets a 400, not an
+    // unbounded read loop.
+    let mut drained = 0usize;
     loop {
-        let mut line = String::new();
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) if line == "\r\n" || line == "\n" => break,
-            Ok(_) => continue,
-            Err(_) => break,
+        let mut line = Vec::new();
+        match (&mut reader)
+            .take(MAX_HEADER_BYTES as u64 + 1)
+            .read_until(b'\n', &mut line)
+        {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if line == b"\r\n" || line == b"\n" {
+                    break;
+                }
+                drained += n;
+                if drained > MAX_HEADER_BYTES {
+                    return write_response(stream, &Response::status(400, "headers too large\n"));
+                }
+            }
         }
     }
     let response = route_request(&request_line, &handler);
@@ -259,6 +294,73 @@ mod tests {
             let out = t.join().unwrap();
             assert!(out.starts_with("HTTP/1.1 200"), "{out}");
         }
+    }
+
+    /// Like [`request`], but tolerant of mid-write resets: a server
+    /// that rejects early and closes may RST before the client
+    /// finishes writing, which is exactly the behavior under test.
+    fn try_request(addr: SocketAddr, raw: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = s.write_all(raw);
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    #[test]
+    fn malformed_requests_get_400_not_a_hang() {
+        let server = ObsServer::bind("127.0.0.1:0", test_handler()).unwrap();
+        let addr = server.local_addr();
+        // A bare CRLF has no method or target.
+        let out = request(addr, "\r\n");
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        // An unterminated request line longer than the bound. The 400
+        // may be lost to a reset if the server answers mid-write; the
+        // load-bearing assertion is the liveness check below.
+        let out = try_request(addr, "A".repeat(9 * 1024).as_bytes());
+        assert!(out.is_empty() || out.starts_with("HTTP/1.1 400"), "{out}");
+        // A header flood past the drain bound.
+        let mut flood = String::from("GET /metrics HTTP/1.1\r\n");
+        for i in 0..4096 {
+            flood.push_str(&format!("X-Pad-{i}: {}\r\n", "y".repeat(64)));
+        }
+        flood.push_str("\r\n");
+        let out = try_request(addr, flood.as_bytes());
+        assert!(out.is_empty() || out.starts_with("HTTP/1.1 400"), "{out}");
+        // Non-UTF-8 garbage still gets an answer instead of a silent
+        // close.
+        let out = try_request(addr, b"\xff\xfe\xfd /x HTTP/1.1\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 4"), "{out}");
+        // The server is still alive and serving after all of that.
+        let out = request(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+    }
+
+    #[test]
+    fn no_request_line_closes_cleanly() {
+        let server = ObsServer::bind("127.0.0.1:0", test_handler()).unwrap();
+        let addr = server.local_addr();
+        // Connect and shut down the write half without sending a byte:
+        // the connection thread must exit (clean close), not hang or
+        // panic, and the server must keep serving.
+        let s = TcpStream::connect(addr).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        drop(s);
+        let out = request(addr, "GET /health HTTP/1.1\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+    }
+
+    #[test]
+    fn non_get_with_body_is_405() {
+        let server = ObsServer::bind("127.0.0.1:0", test_handler()).unwrap();
+        let addr = server.local_addr();
+        let out = request(
+            addr,
+            "POST /metrics HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world",
+        );
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+        let out = request(addr, "PUT /health HTTP/1.1\r\n\r\n{\"x\": 1}");
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
     }
 
     #[test]

@@ -31,12 +31,17 @@ pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod spans;
+pub mod trace;
 
 pub use http::{ObsServer, Response};
 pub use journal::{Event, Field, Journal};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{labeled, Registry, Snapshot, SpanTimer, WideSpan};
 pub use spans::{chrome_trace, spans_json, stable_id, witness_id, SpanRecord, SpanRing};
+pub use trace::{
+    attach_provenance, fmt_trace_id, merge_segments, parse_segment, parse_trace_id, trace_id,
+    Stage, Stamp, StampRing, TracePlane, TraceSegment,
+};
 
 use std::sync::OnceLock;
 

@@ -429,6 +429,15 @@ impl Snapshot {
     /// share one HELP/TYPE header — how the serve fleet exposes
     /// per-session SLIs.
     pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_labeled(&[])
+    }
+
+    /// [`Snapshot::to_prometheus`] with `extra` labels injected into
+    /// *every* sample line (prepended to any per-series label block).
+    /// This is how a fleet node stamps its identity — `node`, `role` —
+    /// onto an exposition so multi-node scrapes stay distinguishable.
+    /// Passing an empty slice is byte-identical to `to_prometheus`.
+    pub fn to_prometheus_labeled(&self, extra: &[(&str, &str)]) -> String {
         fn sanitize(name: &str) -> String {
             let mut s: String = name
                 .chars()
@@ -461,52 +470,50 @@ impl Snapshot {
             let _ = writeln!(out, "# TYPE {n} {kind}");
             *last = n.to_string();
         }
+        // The injected label block, rendered once: `node="a",role="x"`.
+        let mut injected = String::new();
+        for (i, (k, v)) in extra.iter().enumerate() {
+            if i > 0 {
+                injected.push(',');
+            }
+            let _ = write!(injected, "{k}=\"{}\"", esc_label(v));
+        }
+        // Joins the injected block with a series' own label block.
+        let block = |own: Option<&str>| -> String {
+            match (injected.is_empty(), own) {
+                (true, None) => String::new(),
+                (true, Some(l)) => format!("{{{l}}}"),
+                (false, None) => format!("{{{injected}}}"),
+                (false, Some(l)) => format!("{{{injected},{l}}}"),
+            }
+        };
         let mut out = String::new();
         let mut last = String::new();
         for (name, v) in &self.counters {
             let (base, labels) = split_labels(name);
             let n = sanitize(base);
             header(&mut out, &mut last, &n, name, "counter");
-            match labels {
-                Some(l) => {
-                    let _ = writeln!(out, "{n}{{{l}}} {v}");
-                }
-                None => {
-                    let _ = writeln!(out, "{n} {v}");
-                }
-            }
+            let _ = writeln!(out, "{n}{} {v}", block(labels));
         }
         for (name, v) in &self.gauges {
             let (base, labels) = split_labels(name);
             let n = sanitize(base);
             header(&mut out, &mut last, &n, name, "gauge");
-            match labels {
-                Some(l) => {
-                    let _ = writeln!(out, "{n}{{{l}}} {v}");
-                }
-                None => {
-                    let _ = writeln!(out, "{n} {v}");
-                }
-            }
+            let _ = writeln!(out, "{n}{} {v}", block(labels));
         }
         for (name, h) in &self.histograms {
             let (base, labels) = split_labels(name);
             let n = sanitize(base);
             header(&mut out, &mut last, &n, name, "summary");
-            let prefix = labels.map(|l| format!("{l},")).unwrap_or_default();
+            let mut prefix = labels.map(|l| format!("{l},")).unwrap_or_default();
+            if !injected.is_empty() {
+                prefix = format!("{injected},{prefix}");
+            }
             for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
                 let _ = writeln!(out, "{n}{{{prefix}quantile=\"{}\"}} {v}", esc_label(q));
             }
-            match labels {
-                Some(l) => {
-                    let _ = writeln!(out, "{n}_sum{{{l}}} {}", h.sum);
-                    let _ = writeln!(out, "{n}_count{{{l}}} {}", h.count);
-                }
-                None => {
-                    let _ = writeln!(out, "{n}_sum {}", h.sum);
-                    let _ = writeln!(out, "{n}_count {}", h.count);
-                }
-            }
+            let _ = writeln!(out, "{n}_sum{} {}", block(labels), h.sum);
+            let _ = writeln!(out, "{n}_count{} {}", block(labels), h.count);
         }
         for (n, source, v) in [
             (
@@ -526,7 +533,7 @@ impl Snapshot {
             ),
         ] {
             header(&mut out, &mut last, n, source, "counter");
-            let _ = writeln!(out, "{n} {v}");
+            let _ = writeln!(out, "{n}{} {v}", block(None));
         }
         out
     }

@@ -1,0 +1,975 @@
+//! Cross-node per-verdict tracing: every sampled event gets a trace
+//! context at the tap and a monotonic timestamp at each stage it
+//! crosses — tap → ring → sequencer → batch apply → verdict emit →
+//! durable log append → replication publish → follower ack — so "why
+//! was this verdict slow?" decomposes into per-stage deltas instead of
+//! one opaque end-to-end number.
+//!
+//! The design mirrors the span plane ([`SpanRing`](crate::SpanRing)):
+//!
+//! - **Stamping is lock-free.** A [`StampRing`] slot is a fixed set of
+//!   `AtomicU64` words guarded by a sequence word; writers claim a
+//!   ticket with one `fetch_add` and publish with a release store. A
+//!   torn slot is skipped by readers and counted as dropped.
+//! - **Sampling is deterministic.** One in `sample_every` events by
+//!   dense sequence number, so the leader and a follower replaying the
+//!   same durable stream pick the *same* events, and the trace id —
+//!   FNV-1a over `(scope, seq)` — is identical on both nodes. That is
+//!   what lets [`merge_segments`] join per-node segments into one flow
+//!   without any coordination protocol.
+//! - **Per-node clocks stay local.** Every [`TracePlane`] timestamps
+//!   against its own monotonic epoch; the offline merge estimates a
+//!   per-node offset from the replication send/receive pairs of shared
+//!   traces (a zero-delay estimate: the median of `send − receive`
+//!   over shared traces), good enough to render both lanes on one
+//!   timeline.
+//!
+//! A `TracePlane` is deliberately *instantiable* rather than a process
+//! global: each server (and each test) owns its own plane, so two
+//! in-process servers never interleave stamps. Only the per-stage
+//! latency histograms (`trace.stage_ns{stage=…}`) aggregate into the
+//! global registry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// Default 1-in-N sampling cadence for trace stamping.
+pub const DEFAULT_TRACE_SAMPLE: u64 = 32;
+
+/// Default stamp-ring capacity (stamps retained before overwrite).
+pub const DEFAULT_STAMP_CAPACITY: usize = 8192;
+
+/// Bound on the per-trace first/last bookkeeping map; crossing it
+/// clears the map (losing only in-flight delta baselines, never
+/// stamps).
+const LAST_MAP_MAX: usize = 4096;
+
+/// A pipeline stage a traced event is stamped at, in canonical
+/// pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    /// Event parsed at the ingest tap (client line or producer).
+    Tap = 0,
+    /// Event entered the hand-off ring toward the sequencer.
+    Ring = 1,
+    /// Sequencer popped the event in dense order.
+    Seq = 2,
+    /// Batched checker application began for the event's batch.
+    Apply = 3,
+    /// The commit verdict was emitted.
+    Verdict = 4,
+    /// The event's record reached the durable session log.
+    Log = 5,
+    /// The record's replication mutation was written to a follower.
+    Replicate = 6,
+    /// A durability barrier covering the record was acknowledged.
+    Ack = 7,
+}
+
+impl Stage {
+    /// Every stage, in canonical pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Tap,
+        Stage::Ring,
+        Stage::Seq,
+        Stage::Apply,
+        Stage::Verdict,
+        Stage::Log,
+        Stage::Replicate,
+        Stage::Ack,
+    ];
+
+    /// The wire/export name of the stage.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Tap => "tap",
+            Stage::Ring => "ring",
+            Stage::Seq => "seq",
+            Stage::Apply => "apply",
+            Stage::Verdict => "verdict",
+            Stage::Log => "log",
+            Stage::Replicate => "replicate",
+            Stage::Ack => "ack",
+        }
+    }
+
+    /// Parses a wire/export name back into a stage.
+    pub fn parse(s: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|st| st.as_str() == s)
+    }
+
+    fn from_u8(v: u64) -> Option<Stage> {
+        Stage::ALL.get(v as usize).copied()
+    }
+}
+
+/// The trace id of event `seq` within `scope` (a session name or
+/// stream label): 64-bit FNV-1a, never zero. Both ends of a
+/// replication link derive the same id from the same durable sequence
+/// number, which is what joins their segments at merge time.
+pub fn trace_id(scope: &str, seq: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in scope.as_bytes() {
+        eat(*b);
+    }
+    for b in seq.to_le_bytes() {
+        eat(b);
+    }
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// Renders a trace id for the wire: `t` + 16 hex digits.
+pub fn fmt_trace_id(id: u64) -> String {
+    format!("t{id:016x}")
+}
+
+/// Parses a wire trace id (`t` + hex digits).
+pub fn parse_trace_id(s: &str) -> Option<u64> {
+    let hex = s.strip_prefix('t')?;
+    if hex.is_empty() || hex.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// One per-stage timestamp of one traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamp {
+    /// Trace id ([`trace_id`]).
+    pub trace: u64,
+    /// Stage stamped.
+    pub stage: Stage,
+    /// Nanoseconds since the owning plane's epoch.
+    pub t_ns: u64,
+}
+
+/// Words per slot: seq + (trace, stage, t_ns).
+const WORDS: usize = 3;
+
+struct Slot {
+    /// 0 = never written; odd = in progress; even = resident.
+    seq: AtomicU64,
+    data: [AtomicU64; WORDS],
+}
+
+/// The lock-free bounded stamp ring (same seqlock discipline as
+/// [`SpanRing`](crate::SpanRing)).
+pub struct StampRing {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl std::fmt::Debug for StampRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StampRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl StampRing {
+    /// A ring retaining at most `capacity` stamps.
+    pub fn new(capacity: usize) -> StampRing {
+        StampRing {
+            slots: (0..capacity.max(1))
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    data: [const { AtomicU64::new(0) }; WORDS],
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Total stamps ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Stamps no longer retrievable (overwritten or contended away).
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+            + self.contended.load(Ordering::Relaxed)
+    }
+
+    /// Deposits one stamp; lock-free, dropped (never torn) on the rare
+    /// slot contention.
+    pub fn record(&self, trace: u64, stage: Stage, t_ns: u64) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        let stable = (ticket + 1) << 1;
+        let cur = slot.seq.load(Ordering::Acquire);
+        if cur & 1 == 1
+            || slot
+                .seq
+                .compare_exchange(cur, stable | 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        slot.data[0].store(trace, Ordering::Relaxed);
+        slot.data[1].store(stage as u64, Ordering::Relaxed);
+        slot.data[2].store(t_ns, Ordering::Relaxed);
+        slot.seq.store(stable, Ordering::Release);
+    }
+
+    /// Copies out every retained stamp, oldest first; torn slots are
+    /// skipped.
+    pub fn collect(&self) -> Vec<Stamp> {
+        let mut out: Vec<(u64, Stamp)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 & 1 == 1 {
+                continue;
+            }
+            let words: [u64; WORDS] = std::array::from_fn(|i| slot.data[i].load(Ordering::Relaxed));
+            if slot.seq.load(Ordering::Acquire) != s1 {
+                continue;
+            }
+            let Some(stage) = Stage::from_u8(words[1]) else {
+                continue;
+            };
+            out.push((
+                (s1 >> 1) - 1,
+                Stamp {
+                    trace: words[0],
+                    stage,
+                    t_ns: words[2],
+                },
+            ));
+        }
+        out.sort_unstable_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+/// One node's tracing plane: sampling policy, monotonic epoch, the
+/// stamp ring, and the per-stage latency histograms it feeds.
+pub struct TracePlane {
+    node: String,
+    role: Mutex<String>,
+    enabled: AtomicBool,
+    sample_every: AtomicU64,
+    epoch: Instant,
+    ring: StampRing,
+    /// Per-trace `(first, last)` stamp times, for stage deltas and
+    /// end-to-end latency. Bounded by [`LAST_MAP_MAX`].
+    window: Mutex<HashMap<u64, (u64, u64)>>,
+    /// `trace.stage_ns{stage=…}` histograms, indexed by stage.
+    stage_ns: [Arc<Histogram>; 8],
+    /// Tap→ack latency of traces that reached `Ack` on this node.
+    end_to_end_ns: Arc<Histogram>,
+}
+
+impl std::fmt::Debug for TracePlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracePlane")
+            .field("node", &self.node)
+            .field("role", &self.role())
+            .field("enabled", &self.enabled.load(Ordering::Relaxed))
+            .field("sample_every", &self.sample_every.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TracePlane {
+    /// A plane for `node` acting as `role` (`leader`, `follower`,
+    /// `checker`…), sampling 1-in-[`DEFAULT_TRACE_SAMPLE`].
+    pub fn new(node: &str, role: &str) -> TracePlane {
+        let reg = crate::global();
+        TracePlane {
+            node: node.to_string(),
+            role: Mutex::new(role.to_string()),
+            enabled: AtomicBool::new(true),
+            sample_every: AtomicU64::new(DEFAULT_TRACE_SAMPLE),
+            epoch: Instant::now(),
+            ring: StampRing::new(DEFAULT_STAMP_CAPACITY),
+            window: Mutex::new(HashMap::new()),
+            stage_ns: std::array::from_fn(|i| {
+                reg.histogram(&crate::labeled(
+                    "trace.stage_ns",
+                    &[("stage", Stage::ALL[i].as_str())],
+                ))
+            }),
+            end_to_end_ns: reg.histogram("trace.end_to_end_ns"),
+        }
+    }
+
+    /// The node name.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// The current role lane (mutable: promotion flips a follower).
+    pub fn role(&self) -> String {
+        self.role.lock().unwrap().clone()
+    }
+
+    /// Changes the role lane (used at follower promotion).
+    pub fn set_role(&self, role: &str) {
+        *self.role.lock().unwrap() = role.to_string();
+    }
+
+    /// Enables or disables stamping; disabled planes sample nothing.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// `true` when stamping is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Sets the 1-in-N sampling cadence (0 is clamped to 1).
+    pub fn set_sample_every(&self, n: u64) {
+        self.sample_every.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// The sampling cadence.
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
+    /// Deterministic sampling decision for dense event sequence `seq`.
+    pub fn sampled(&self, seq: u64) -> bool {
+        self.enabled() && seq.is_multiple_of(self.sample_every())
+    }
+
+    /// Nanoseconds since this plane's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Stamps `trace` at `stage`, now.
+    pub fn stamp(&self, trace: u64, stage: Stage) {
+        self.stamp_at(trace, stage, self.now_ns());
+    }
+
+    /// Stamps `trace` at `stage` with an explicit plane-epoch time
+    /// (used when the stamp point and the clock read are separated,
+    /// e.g. a batch applied after its arrival times were taken).
+    pub fn stamp_at(&self, trace: u64, stage: Stage, t_ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.ring.record(trace, stage, t_ns);
+        let mut w = self.window.lock().unwrap();
+        if w.len() > LAST_MAP_MAX {
+            w.clear();
+        }
+        match w.entry(trace) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (first, last) = *e.get();
+                self.stage_ns[stage as usize].record(t_ns.saturating_sub(last));
+                if stage == Stage::Ack {
+                    self.end_to_end_ns.record(t_ns.saturating_sub(first));
+                }
+                e.insert((first, last.max(t_ns)));
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.stage_ns[stage as usize].record(0);
+                e.insert((t_ns, t_ns));
+            }
+        }
+    }
+
+    /// Every retained stamp, oldest first.
+    pub fn collect(&self) -> Vec<Stamp> {
+        self.ring.collect()
+    }
+
+    /// Stamps lost to the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Renders this node's trace segment: the document `/trace` serves
+    /// and `adya-check trace-merge` joins.
+    pub fn segment_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"node\": \"{}\", \"role\": \"{}\", \"dropped\": {}, \"stamps\": [",
+            crate::json::esc(&self.node),
+            crate::json::esc(&self.role()),
+            self.dropped()
+        );
+        for (i, st) in self.collect().iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "{{\"trace\": \"{}\", \"stage\": \"{}\", \"t_ns\": {}}}",
+                fmt_trace_id(st.trace),
+                st.stage.as_str(),
+                st.t_ns
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// A parsed per-node trace segment (see
+/// [`TracePlane::segment_json`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSegment {
+    /// Node name.
+    pub node: String,
+    /// Role lane at export time.
+    pub role: String,
+    /// Stamps the ring had already rotated out.
+    pub dropped: u64,
+    /// Retained stamps, oldest first.
+    pub stamps: Vec<Stamp>,
+}
+
+/// Parses a trace segment — either the bare [`segment_json`] document
+/// or a `/trace` response that embeds one under a `"provenance"` key.
+///
+/// [`segment_json`]: TracePlane::segment_json
+pub fn parse_segment(text: &str) -> Result<TraceSegment, String> {
+    let text = match extract_provenance(text) {
+        Some(inner) => inner,
+        None => text,
+    };
+    let str_field = |key: &str| -> Option<&str> {
+        let pat = format!("\"{key}\": \"");
+        let at = text.find(&pat)? + pat.len();
+        let rest = &text[at..];
+        Some(&rest[..rest.find('"')?])
+    };
+    let node = str_field("node")
+        .ok_or("segment has no \"node\" field")?
+        .to_string();
+    let role = str_field("role")
+        .ok_or("segment has no \"role\" field")?
+        .to_string();
+    let dropped = {
+        let pat = "\"dropped\": ";
+        let at = text.find(pat).ok_or("segment has no \"dropped\" field")? + pat.len();
+        let rest = &text[at..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end]
+            .parse::<u64>()
+            .map_err(|_| "bad \"dropped\" value".to_string())?
+    };
+    let mut stamps = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find("{\"trace\": \"") {
+        let obj = &rest[at..];
+        let end = obj.find('}').ok_or("unterminated stamp object")?;
+        let obj = &obj[..=end];
+        let grab = |key: &str| -> Result<&str, String> {
+            let pat = format!("\"{key}\": ");
+            let at = obj
+                .find(&pat)
+                .ok_or_else(|| format!("stamp has no {key:?}"))?
+                + pat.len();
+            Ok(&obj[at..])
+        };
+        let trace_txt = grab("trace")?;
+        let trace_txt = trace_txt
+            .strip_prefix('"')
+            .and_then(|r| r.split('"').next())
+            .ok_or("bad trace value")?;
+        let trace = parse_trace_id(trace_txt).ok_or_else(|| format!("bad id {trace_txt:?}"))?;
+        let stage_txt = grab("stage")?
+            .strip_prefix('"')
+            .and_then(|r| r.split('"').next())
+            .ok_or("bad stage value")?;
+        let stage = Stage::parse(stage_txt).ok_or_else(|| format!("bad stage {stage_txt:?}"))?;
+        let t_txt = grab("t_ns")?;
+        let t_end = t_txt
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(t_txt.len());
+        let t_ns = t_txt[..t_end]
+            .parse::<u64>()
+            .map_err(|_| "bad t_ns value".to_string())?;
+        stamps.push(Stamp { trace, stage, t_ns });
+        rest = &rest[at + end + 1..];
+    }
+    Ok(TraceSegment {
+        node,
+        role,
+        dropped,
+        stamps,
+    })
+}
+
+/// Finds the `"provenance"` object embedded in a `/trace` response and
+/// returns its exact byte range, by brace matching (segment documents
+/// contain no braces inside strings).
+fn extract_provenance(text: &str) -> Option<&str> {
+    let at = text.find("\"provenance\": {")? + "\"provenance\": ".len();
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    for (i, b) in bytes.iter().enumerate().skip(at) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&text[at..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splices a trace segment into a Chrome-trace document as its
+/// `"provenance"` key, so one `/trace` response carries both the span
+/// view and the per-verdict stamp segment.
+pub fn attach_provenance(chrome: &str, segment: &str) -> String {
+    let trimmed = chrome.trim_end();
+    match trimmed.strip_suffix('}') {
+        Some(head) => format!("{head}, \"provenance\": {segment}}}\n"),
+        None => chrome.to_string(),
+    }
+}
+
+/// Merges per-node trace segments into one Chrome/Perfetto document:
+/// one process lane per node (named `node (role)`), one track per
+/// trace, `X` slices between consecutive stamps (named `tap->ring`
+/// etc.), and flow arrows (`s`/`f`) from the reference node's
+/// `replicate` stamp to each other node's first stamp of the same
+/// trace.
+///
+/// Clocks: the segment whose role is `leader` (else the first) is the
+/// reference timeline; every other node's offset is the median of
+/// `reference replicate-send − node's first receive` over shared
+/// traces (a zero-delay estimate, reported under `"clock_offsets"`).
+/// The document also carries a machine-checkable `"traces"` summary:
+/// per trace, the union of stages seen and the nodes that saw it.
+pub fn merge_segments(segs: &[TraceSegment]) -> String {
+    use std::fmt::Write as _;
+    let refi = segs.iter().position(|s| s.role == "leader").unwrap_or(0);
+    // Per-segment, per-trace stamp lists.
+    let by_trace: Vec<HashMap<u64, Vec<Stamp>>> = segs
+        .iter()
+        .map(|seg| {
+            let mut m: HashMap<u64, Vec<Stamp>> = HashMap::new();
+            for st in &seg.stamps {
+                m.entry(st.trace).or_default().push(*st);
+            }
+            for v in m.values_mut() {
+                v.sort_by_key(|s| (s.t_ns, s.stage));
+            }
+            m
+        })
+        .collect();
+    // The reference anchor per trace: its replicate stamp (the send
+    // instant) when present, else its last stamp.
+    let ref_anchor = |trace: u64| -> Option<u64> {
+        let stamps = by_trace.get(refi)?.get(&trace)?;
+        stamps
+            .iter()
+            .find(|s| s.stage == Stage::Replicate)
+            .or(stamps.last())
+            .map(|s| s.t_ns)
+    };
+    let offsets: Vec<i64> = (0..segs.len())
+        .map(|i| {
+            if i == refi {
+                return 0;
+            }
+            let mut deltas: Vec<i64> = by_trace[i]
+                .iter()
+                .filter_map(|(trace, stamps)| {
+                    let anchor = ref_anchor(*trace)?;
+                    let first = stamps.first()?.t_ns;
+                    Some(anchor as i64 - first as i64)
+                })
+                .collect();
+            if deltas.is_empty() {
+                return 0;
+            }
+            deltas.sort_unstable();
+            deltas[deltas.len() / 2]
+        })
+        .collect();
+    // Shift the merged timeline so its earliest adjusted stamp is 0.
+    let mut t_min = i64::MAX;
+    for (i, m) in by_trace.iter().enumerate() {
+        for stamps in m.values() {
+            for s in stamps {
+                t_min = t_min.min(s.t_ns as i64 + offsets[i]);
+            }
+        }
+    }
+    if t_min == i64::MAX {
+        t_min = 0;
+    }
+    let adj = |i: usize, t_ns: u64| -> i64 { t_ns as i64 + offsets[i] - t_min };
+
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first_ev = true;
+    let push = |out: &mut String, first_ev: &mut bool, ev: String| {
+        if !*first_ev {
+            out.push_str(",\n");
+        }
+        *first_ev = false;
+        out.push(' ');
+        out.push_str(&ev);
+    };
+    for (i, seg) in segs.iter().enumerate() {
+        push(
+            &mut out,
+            &mut first_ev,
+            format!(
+                "{{\"ph\": \"M\", \"pid\": {}, \"tid\": 0, \"name\": \"process_name\", \
+                 \"args\": {{\"name\": \"{} ({})\"}}}}",
+                i + 1,
+                crate::json::esc(&seg.node),
+                crate::json::esc(&seg.role)
+            ),
+        );
+        push(
+            &mut out,
+            &mut first_ev,
+            format!(
+                "{{\"ph\": \"M\", \"pid\": {}, \"tid\": 0, \"name\": \"process_sort_index\", \
+                 \"args\": {{\"sort_index\": {}}}}}",
+                i + 1,
+                if i == refi { 0 } else { i + 1 }
+            ),
+        );
+    }
+    // Deterministic track order: traces sorted by id within a node.
+    let mut all_traces: Vec<u64> = by_trace
+        .iter()
+        .flat_map(|m| m.keys().copied())
+        .collect::<std::collections::BTreeSet<u64>>()
+        .into_iter()
+        .collect();
+    all_traces.sort_unstable();
+    for (i, m) in by_trace.iter().enumerate() {
+        for (tid0, trace) in all_traces.iter().enumerate() {
+            let Some(stamps) = m.get(trace) else {
+                continue;
+            };
+            let tid = tid0 + 1;
+            for pair in stamps.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                push(
+                    &mut out,
+                    &mut first_ev,
+                    format!(
+                        "{{\"ph\": \"X\", \"pid\": {}, \"tid\": {tid}, \
+                         \"name\": \"{}->{}\", \"ts\": {}, \"dur\": {}, \
+                         \"args\": {{\"trace\": \"{}\"}}}}",
+                        i + 1,
+                        a.stage.as_str(),
+                        b.stage.as_str(),
+                        adj(i, a.t_ns) / 1000,
+                        ((adj(i, b.t_ns) - adj(i, a.t_ns)) / 1000).max(1),
+                        fmt_trace_id(*trace)
+                    ),
+                );
+            }
+            if let Some(last) = stamps.last() {
+                push(
+                    &mut out,
+                    &mut first_ev,
+                    format!(
+                        "{{\"ph\": \"i\", \"pid\": {}, \"tid\": {tid}, \"s\": \"t\", \
+                         \"name\": \"{}\", \"ts\": {}, \
+                         \"args\": {{\"trace\": \"{}\"}}}}",
+                        i + 1,
+                        last.stage.as_str(),
+                        adj(i, last.t_ns) / 1000,
+                        fmt_trace_id(*trace)
+                    ),
+                );
+            }
+        }
+    }
+    // Flow arrows: reference node's anchor → every other node's first
+    // stamp of the same trace.
+    for (i, m) in by_trace.iter().enumerate() {
+        if i == refi {
+            continue;
+        }
+        for (tid0, trace) in all_traces.iter().enumerate() {
+            let (Some(stamps), Some(anchor)) = (m.get(trace), ref_anchor(*trace)) else {
+                continue;
+            };
+            let Some(first) = stamps.first() else {
+                continue;
+            };
+            let tid = tid0 + 1;
+            let flow_id = (*trace as u32) ^ ((*trace >> 32) as u32);
+            push(
+                &mut out,
+                &mut first_ev,
+                format!(
+                    "{{\"ph\": \"s\", \"pid\": {}, \"tid\": {tid}, \"cat\": \"repl\", \
+                     \"name\": \"verdict-flow\", \"id\": {flow_id}, \"ts\": {}}}",
+                    refi + 1,
+                    adj(refi, anchor) / 1000
+                ),
+            );
+            push(
+                &mut out,
+                &mut first_ev,
+                format!(
+                    "{{\"ph\": \"f\", \"pid\": {}, \"tid\": {tid}, \"cat\": \"repl\", \
+                     \"name\": \"verdict-flow\", \"id\": {flow_id}, \"bp\": \"e\", \
+                     \"ts\": {}}}",
+                    i + 1,
+                    adj(i, first.t_ns) / 1000
+                ),
+            );
+        }
+    }
+    out.push_str("\n],\n\"clock_offsets\": {");
+    for (i, seg) in segs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": {}", crate::json::esc(&seg.node), offsets[i]);
+    }
+    let total_dropped: u64 = segs.iter().map(|s| s.dropped).sum();
+    let _ = write!(out, "}},\n\"dropped\": {total_dropped},\n\"traces\": [");
+    for (k, trace) in all_traces.iter().enumerate() {
+        if k > 0 {
+            out.push_str(", ");
+        }
+        let mut stages: Vec<Stage> = Vec::new();
+        let mut nodes: Vec<&str> = Vec::new();
+        for (i, m) in by_trace.iter().enumerate() {
+            if let Some(stamps) = m.get(trace) {
+                nodes.push(&segs[i].node);
+                for s in stamps {
+                    if !stages.contains(&s.stage) {
+                        stages.push(s.stage);
+                    }
+                }
+            }
+        }
+        stages.sort_unstable();
+        let stages = stages
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+            .join(",");
+        nodes.sort_unstable();
+        nodes.dedup();
+        let nodes = nodes
+            .iter()
+            .map(|n| crate::json::esc(n))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = write!(
+            out,
+            "{{\"trace\": \"{}\", \"nodes\": \"{nodes}\", \"stages\": \"{stages}\"}}",
+            fmt_trace_id(*trace)
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_round_trip() {
+        for st in Stage::ALL {
+            assert_eq!(Stage::parse(st.as_str()), Some(st));
+        }
+        assert_eq!(Stage::parse("nope"), None);
+        // Canonical order is the pipeline order.
+        assert!(Stage::Tap < Stage::Ring && Stage::Replicate < Stage::Ack);
+    }
+
+    #[test]
+    fn trace_ids_are_stable_and_parse() {
+        let a = trace_id("t1", 32);
+        assert_eq!(a, trace_id("t1", 32));
+        assert_ne!(a, trace_id("t1", 64));
+        assert_ne!(a, trace_id("t2", 32));
+        assert_ne!(a, 0);
+        let s = fmt_trace_id(a);
+        assert!(s.starts_with('t') && s.len() == 17, "{s}");
+        assert_eq!(parse_trace_id(&s), Some(a));
+        assert_eq!(parse_trace_id("w1234"), None);
+        assert_eq!(parse_trace_id("t"), None);
+        assert_eq!(parse_trace_id("t12zz"), None);
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let ring = StampRing::new(4);
+        for i in 0..10u64 {
+            ring.record(i + 1, Stage::Tap, i * 100);
+        }
+        let got = ring.collect();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got.last().unwrap().trace, 10);
+        assert_eq!(ring.dropped(), 6);
+    }
+
+    #[test]
+    fn plane_stamps_and_segment_round_trips() {
+        let plane = TracePlane::new("n1", "leader");
+        plane.set_sample_every(8);
+        assert!(plane.sampled(0) && plane.sampled(8) && !plane.sampled(3));
+        let id = trace_id("s", 8);
+        plane.stamp_at(id, Stage::Tap, 100);
+        plane.stamp_at(id, Stage::Apply, 250);
+        plane.stamp_at(id, Stage::Ack, 900);
+        let seg = parse_segment(&plane.segment_json()).unwrap();
+        assert_eq!(seg.node, "n1");
+        assert_eq!(seg.role, "leader");
+        assert_eq!(seg.dropped, 0);
+        assert_eq!(
+            seg.stamps,
+            vec![
+                Stamp {
+                    trace: id,
+                    stage: Stage::Tap,
+                    t_ns: 100
+                },
+                Stamp {
+                    trace: id,
+                    stage: Stage::Apply,
+                    t_ns: 250
+                },
+                Stamp {
+                    trace: id,
+                    stage: Stage::Ack,
+                    t_ns: 900
+                },
+            ]
+        );
+        // Stage deltas landed in the labelled histograms, end-to-end
+        // on ack.
+        let snap = crate::global().snapshot();
+        let h = snap
+            .histogram(&crate::labeled("trace.stage_ns", &[("stage", "apply")]))
+            .unwrap();
+        assert!(h.count >= 1);
+        assert!(snap.histogram("trace.end_to_end_ns").unwrap().count >= 1);
+    }
+
+    #[test]
+    fn disabled_planes_stamp_nothing() {
+        let plane = TracePlane::new("n1", "checker");
+        plane.set_enabled(false);
+        assert!(!plane.sampled(0));
+        plane.stamp(7, Stage::Tap);
+        assert!(plane.collect().is_empty());
+    }
+
+    #[test]
+    fn provenance_extraction_and_attach() {
+        let plane = TracePlane::new("n9", "leader");
+        plane.stamp_at(3, Stage::Tap, 5);
+        let seg = plane.segment_json();
+        let chrome = crate::chrome_trace(&[], 0);
+        let merged = attach_provenance(&chrome, &seg);
+        assert!(merged.contains("\"traceEvents\""));
+        let parsed = parse_segment(&merged).unwrap();
+        assert_eq!(parsed.node, "n9");
+        assert_eq!(parsed.stamps.len(), 1);
+    }
+
+    #[test]
+    fn merge_joins_lanes_and_reports_offsets() {
+        let id = trace_id("t1", 0);
+        let leader = TraceSegment {
+            node: "a".into(),
+            role: "leader".into(),
+            dropped: 0,
+            stamps: [
+                (Stage::Tap, 1000),
+                (Stage::Ring, 1100),
+                (Stage::Seq, 1200),
+                (Stage::Apply, 1300),
+                (Stage::Verdict, 1400),
+                (Stage::Log, 1500),
+                (Stage::Replicate, 2000),
+                (Stage::Ack, 9000),
+            ]
+            .into_iter()
+            .map(|(stage, t_ns)| Stamp {
+                trace: id,
+                stage,
+                t_ns,
+            })
+            .collect(),
+        };
+        // The follower's clock started later: absolute times are
+        // smaller by 500 than the leader's at the same instants.
+        let follower = TraceSegment {
+            node: "b".into(),
+            role: "follower".into(),
+            dropped: 2,
+            stamps: vec![
+                Stamp {
+                    trace: id,
+                    stage: Stage::Replicate,
+                    t_ns: 1500,
+                },
+                Stamp {
+                    trace: id,
+                    stage: Stage::Log,
+                    t_ns: 1600,
+                },
+                Stamp {
+                    trace: id,
+                    stage: Stage::Ack,
+                    t_ns: 1700,
+                },
+            ],
+        };
+        let merged = merge_segments(&[follower, leader]);
+        // Leader is the reference even when listed second.
+        assert!(merged.contains("\"a (leader)\""), "{merged}");
+        assert!(merged.contains("\"b (follower)\""));
+        // Offset maps the follower's 1500 receive onto the leader's
+        // 2000 send.
+        assert!(merged.contains("\"b\": 500"), "{merged}");
+        assert!(merged.contains("\"a\": 0"));
+        assert!(merged.contains("\"verdict-flow\""));
+        assert!(merged.contains("tap->ring"));
+        assert!(merged.contains("\"dropped\": 2"));
+        // The machine-checkable summary shows the full stage set and
+        // both nodes for the shared trace.
+        let all = Stage::ALL
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+            .join(",");
+        assert!(
+            merged.contains(&format!("\"nodes\": \"a,b\", \"stages\": \"{all}\"")),
+            "{merged}"
+        );
+        assert_eq!(merged.matches('{').count(), merged.matches('}').count());
+    }
+}

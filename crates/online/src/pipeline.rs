@@ -33,8 +33,11 @@
 //!
 //! [`IncrementalDag::insert_edges`]: adya_graph::IncrementalDag::insert_edges
 
+use std::sync::Arc;
+
 use adya_engine::{buffering_tap, Engine, RingCloser, RingConsumer, RingProducer};
 use adya_history::Event;
+use adya_obs::{trace::Stage, TracePlane};
 
 use crate::checker::{OnlineChecker, Verdict};
 
@@ -77,6 +80,10 @@ pub struct EventPipeline {
     consumers: Vec<RingConsumer>,
     closers: Vec<RingCloser>,
     cfg: PipelineConfig,
+    /// Per-verdict trace stamping: the plane plus the trace-id scope
+    /// (threaded separately from [`PipelineConfig`], which stays
+    /// `Copy`). `None` = no stamping overhead beyond one branch.
+    trace: Option<(Arc<TracePlane>, String)>,
 }
 
 impl EventPipeline {
@@ -91,6 +98,7 @@ impl EventPipeline {
             consumers,
             closers,
             cfg,
+            trace: None,
         }
     }
 
@@ -115,6 +123,7 @@ impl EventPipeline {
                 consumers,
                 closers,
                 cfg,
+                trace: None,
             },
         )
     }
@@ -137,6 +146,16 @@ impl EventPipeline {
         }
     }
 
+    /// Enables per-verdict trace stamping: sampled events (by the
+    /// plane's cadence, over their dense sequence numbers) are stamped
+    /// at the sequencer pop (`seq`), batch application (`apply`) and
+    /// commit-verdict emission (`verdict`) stages. `scope` seeds the
+    /// trace ids ([`adya_obs::trace_id`]); the producer side stamps
+    /// `tap`/`ring` for the same ids itself.
+    pub fn set_trace(&mut self, plane: Arc<TracePlane>, scope: &str) {
+        self.trace = Some((plane, scope.to_string()));
+    }
+
     /// The application stage: drains rings in dense sequence order,
     /// applies batches through [`OnlineChecker::ingest_batch`], and
     /// invokes `on_verdict` for every commit verdict, in order. Runs
@@ -151,11 +170,20 @@ impl EventPipeline {
         let mut next = 0u64;
         let mut batch: Vec<Event> = Vec::with_capacity(self.cfg.max_batch.max(1));
         let mut stats = PipelineStats::default();
+        // Sampled members of the current batch: (batch index, id).
+        let mut traced: Vec<(usize, u64)> = Vec::new();
         loop {
             while batch.len() < self.cfg.max_batch.max(1) {
                 match self.consumers[(next as usize) % k].try_pop() {
                     Some((seq, ev)) => {
                         debug_assert_eq!(seq, next, "ring delivered out-of-sequence event");
+                        if let Some((plane, scope)) = &self.trace {
+                            if plane.sampled(seq) {
+                                let id = adya_obs::trace_id(scope, seq);
+                                plane.stamp(id, Stage::Seq);
+                                traced.push((batch.len(), id));
+                            }
+                        }
                         batch.push(ev);
                         next += 1;
                     }
@@ -178,10 +206,26 @@ impl EventPipeline {
             adya_obs::histogram!("pipeline.batch_size").record(batch.len() as u64);
             stats.batches += 1;
             stats.events += batch.len() as u64;
-            for v in checker.ingest_batch(&batch) {
+            if let Some((plane, _)) = &self.trace {
+                for &(_, id) in &traced {
+                    plane.stamp(id, Stage::Apply);
+                }
+            }
+            let verdicts = checker.ingest_batch(&batch);
+            if let Some((plane, _)) = &self.trace {
+                // Each commit verdict's source event is a Commit in
+                // this batch; stamp the sampled ones at emission time.
+                for &(i, id) in &traced {
+                    if matches!(batch[i], Event::Commit(_)) {
+                        plane.stamp(id, Stage::Verdict);
+                    }
+                }
+            }
+            for v in verdicts {
                 on_verdict(v);
             }
             batch.clear();
+            traced.clear();
         }
         adya_obs::gauge!("pipeline.queue_depth").set(0);
         stats

@@ -291,6 +291,13 @@ impl SessionLog {
     /// Appends one event durably (reaches the OS before returning),
     /// rotating the segment afterwards when the cadence says so.
     pub fn append(&mut self, ev: &Event) -> io::Result<()> {
+        self.append_traced(ev, None)
+    }
+
+    /// [`append`](SessionLog::append) carrying the event's trace id
+    /// (sampled events only): the replication mutation for this record
+    /// then propagates the id to followers.
+    pub fn append_traced(&mut self, ev: &Event, trace: Option<u64>) -> io::Result<()> {
         let payload = wire::encode_event(ev);
         self.writer.append(ev)?;
         if self.cfg.fsync == FsyncPolicy::Always {
@@ -303,11 +310,12 @@ impl SessionLog {
             rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
             rec.extend_from_slice(&wire::crc32(&payload).to_le_bytes());
             rec.extend_from_slice(&payload);
-            p.append(
+            p.append_traced(
                 &format!("seg-{}.log", self.seg_start),
                 self.seg_bytes,
                 &rec,
                 1,
+                trace,
             );
         }
         self.records += 1;

@@ -18,6 +18,15 @@
 //! {"op": "promote"}
 //! ```
 //!
+//! `hello` and `resume` accept an optional `"trace": "on"` field: a
+//! tracing-enabled server (`--trace-propagate`) then prefixes each
+//! *live* verdict line it sends on that connection with the verdict's
+//! trace id — `{"trace": "t0123…", <canonical verdict fields>}` — so a
+//! client can measure per-verdict round trips. The durable verdict
+//! stream and all replayed lines stay canonical (byte-identical with
+//! tracing on or off); the annotation is a wire-only prefix the client
+//! strips before ledgering.
+//!
 //! Replication frames (leader → follower, same NDJSON transport; the
 //! binary log payloads ride as hex with a CRC-32 the follower verifies
 //! before anything touches disk):
@@ -30,6 +39,13 @@
 //! {"op": "remove", "session": "…", "file": "seg-0.log"}
 //! {"op": "repl_flush", "seq": S}        → {"ack": S} once durable
 //! ```
+//!
+//! An `append` carrying a sampled event record may add
+//! `"trace": "t<16 hex>"` — the event's trace id — which the follower
+//! stamps into its own trace plane (`replicate` at receipt, `ack` at
+//! the next durability barrier) so a merged trace shows both lanes.
+//! Nodes without tracing ignore the field (unknown fields always
+//! parse), keeping mixed-version replica sets compatible.
 //!
 //! The control parser is deliberately tiny: flat objects, string /
 //! unsigned-integer values, no nesting — exactly the vocabulary above,
@@ -46,6 +62,8 @@ pub enum ClientFrame {
     Hello {
         /// Session name (also the on-disk directory name).
         session: String,
+        /// Client opted into per-verdict trace-id annotation.
+        trace: bool,
     },
     /// Re-attach to a durable session. `verdicts` is how many commit
     /// verdict lines the client has already received; the server
@@ -55,6 +73,8 @@ pub enum ClientFrame {
         session: String,
         /// Commit-verdict lines already delivered to this client.
         verdicts: u64,
+        /// Client opted into per-verdict trace-id annotation.
+        trace: bool,
     },
     /// Finish the session: final verdict, then a `closing` frame.
     Close,
@@ -89,6 +109,9 @@ pub enum ClientFrame {
         crc: u32,
         /// The payload.
         data: Vec<u8>,
+        /// Trace id of the sampled event record this append carries,
+        /// for cross-node provenance stamping.
+        trace: Option<u64>,
     },
     /// Atomically replace a whole session file (snapshots, `closed`).
     ReplPut {
@@ -153,9 +176,29 @@ pub fn parse_frame(line: &str) -> Result<ClientFrame, String> {
         let crc = u32::try_from(crc).map_err(|_| "\"crc\" exceeds 32 bits".to_string())?;
         Ok((crc, decode_hex(&str_of("hex")?)?))
     };
+    // Optional `"trace": "on"` opt-in (hello/resume).
+    let trace_opt_in = || -> Result<bool, String> {
+        match get("trace") {
+            None => Ok(false),
+            Some(JsonValue::Str(s)) if s == "on" => Ok(true),
+            Some(JsonValue::Str(s)) if s == "off" => Ok(false),
+            _ => Err("\"trace\" must be \"on\" or \"off\"".into()),
+        }
+    };
+    // Optional `"trace": "t<hex>"` id (replication appends).
+    let trace_id = || -> Result<Option<u64>, String> {
+        match get("trace") {
+            None => Ok(None),
+            Some(JsonValue::Str(s)) => adya_obs::parse_trace_id(s)
+                .map(Some)
+                .ok_or_else(|| format!("bad trace id {s:?}")),
+            _ => Err("\"trace\" must be a t-prefixed hex string".into()),
+        }
+    };
     match op {
         "hello" => Ok(ClientFrame::Hello {
             session: session()?,
+            trace: trace_opt_in()?,
         }),
         "resume" => {
             let verdicts = match get("verdicts") {
@@ -166,6 +209,7 @@ pub fn parse_frame(line: &str) -> Result<ClientFrame, String> {
             Ok(ClientFrame::Resume {
                 session: session()?,
                 verdicts,
+                trace: trace_opt_in()?,
             })
         }
         "close" => Ok(ClientFrame::Close),
@@ -189,6 +233,7 @@ pub fn parse_frame(line: &str) -> Result<ClientFrame, String> {
                 off: num_of("off")?,
                 crc,
                 data,
+                trace: trace_id()?,
             })
         }
         "put" => {
@@ -493,14 +538,16 @@ mod tests {
         assert_eq!(
             parse_frame("{\"op\": \"hello\", \"session\": \"t1\"}").unwrap(),
             ClientFrame::Hello {
-                session: "t1".into()
+                session: "t1".into(),
+                trace: false,
             }
         );
         assert_eq!(
             parse_frame("{\"op\":\"resume\",\"session\":\"t1\",\"verdicts\":12}").unwrap(),
             ClientFrame::Resume {
                 session: "t1".into(),
-                verdicts: 12
+                verdicts: 12,
+                trace: false,
             }
         );
         // verdicts defaults to 0.
@@ -508,7 +555,8 @@ mod tests {
             parse_frame("{\"op\":\"resume\",\"session\":\"x\"}").unwrap(),
             ClientFrame::Resume {
                 session: "x".into(),
-                verdicts: 0
+                verdicts: 0,
+                trace: false,
             }
         );
         assert_eq!(
@@ -585,6 +633,7 @@ mod tests {
                 off: 32,
                 crc: 7,
                 data: b"\x00\xff magic".to_vec(),
+                trace: None,
             }
         );
         assert_eq!(
@@ -612,6 +661,44 @@ mod tests {
             parse_frame("{\"op\": \"repl_flush\", \"seq\": 41}").unwrap(),
             ClientFrame::ReplFlush { seq: 41 }
         );
+    }
+
+    #[test]
+    fn trace_fields_parse_and_reject_garbage() {
+        assert_eq!(
+            parse_frame("{\"op\": \"hello\", \"session\": \"t1\", \"trace\": \"on\"}").unwrap(),
+            ClientFrame::Hello {
+                session: "t1".into(),
+                trace: true,
+            }
+        );
+        assert_eq!(
+            parse_frame("{\"op\": \"resume\", \"session\": \"t1\", \"trace\": \"off\"}").unwrap(),
+            ClientFrame::Resume {
+                session: "t1".into(),
+                verdicts: 0,
+                trace: false,
+            }
+        );
+        let id = adya_obs::trace_id("t1", 32);
+        let append = format!(
+            "{{\"op\": \"append\", \"session\": \"t1\", \"file\": \"seg-0.log\", \
+             \"off\": 8, \"crc\": {}, \"hex\": \"00\", \"trace\": \"{}\"}}",
+            adya_online::wire::crc32(&[0]),
+            adya_obs::fmt_trace_id(id)
+        );
+        match parse_frame(&append).unwrap() {
+            ClientFrame::ReplAppend { trace, .. } => assert_eq!(trace, Some(id)),
+            other => panic!("parsed as {other:?}"),
+        }
+        for bad in [
+            "{\"op\": \"hello\", \"session\": \"t1\", \"trace\": \"loud\"}",
+            "{\"op\": \"hello\", \"session\": \"t1\", \"trace\": 1}",
+            "{\"op\": \"append\", \"session\": \"t1\", \"file\": \"seg-0.log\", \
+             \"off\": 0, \"crc\": 0, \"hex\": \"\", \"trace\": \"zebra\"}",
+        ] {
+            assert!(parse_frame(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

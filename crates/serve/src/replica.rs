@@ -48,7 +48,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use adya_obs::{json::esc, labeled};
+use adya_obs::{json::esc, labeled, trace::Stage, TracePlane};
 use adya_online::{wire, EventLogReader};
 
 use crate::log::{FsyncPolicy, SNAP_MAGIC};
@@ -115,6 +115,10 @@ struct Mutation {
     seq: u64,
     session: Arc<str>,
     kind: MutKind,
+    /// Trace id of the sampled event record an append carries; set
+    /// only when the leader's trace plane propagates contexts, so a
+    /// `Some` always goes on the wire.
+    trace: Option<u64>,
 }
 
 impl Mutation {
@@ -134,11 +138,17 @@ impl Mutation {
                 crc,
                 bytes,
                 ..
-            } => format!(
-                "{{\"op\": \"append\", \"session\": \"{s}\", \"file\": \"{file}\", \
-                 \"off\": {off}, \"crc\": {crc}, \"hex\": \"{}\"}}",
-                proto::encode_hex(bytes)
-            ),
+            } => {
+                let trace = match self.trace {
+                    Some(id) => format!(", \"trace\": \"{}\"", adya_obs::fmt_trace_id(id)),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"op\": \"append\", \"session\": \"{s}\", \"file\": \"{file}\", \
+                     \"off\": {off}, \"crc\": {crc}, \"hex\": \"{}\"{trace}}}",
+                    proto::encode_hex(bytes)
+                )
+            }
             MutKind::Put { file, crc, bytes } => format!(
                 "{{\"op\": \"put\", \"session\": \"{s}\", \"file\": \"{file}\", \
                  \"crc\": {crc}, \"hex\": \"{}\"}}",
@@ -182,19 +192,25 @@ pub struct ReplicationHub {
     connected: AtomicUsize,
     /// Per-follower totals acknowledged at its last durability barrier.
     acked: Mutex<HashMap<String, HashMap<String, Totals>>>,
+    /// Leader trace plane: sender threads stamp `replicate` at frame
+    /// send and `ack` at barrier acknowledgement for traced mutations.
+    trace: Option<Arc<TracePlane>>,
     stop: AtomicBool,
     threads: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl ReplicationHub {
     /// Starts the hub: one sender thread per follower, reconnecting
-    /// forever until [`ReplicationHub::stop`].
+    /// forever until [`ReplicationHub::stop`]. When `trace` is set,
+    /// traced appends carry their trace id on the wire and the sender
+    /// stamps the replication stages against that plane.
     pub fn start(
         data_dir: PathBuf,
         followers: Vec<String>,
         advertise: String,
         node: String,
         lag_max: Option<u64>,
+        trace: Option<Arc<TracePlane>>,
     ) -> Arc<ReplicationHub> {
         let hub = Arc::new(ReplicationHub {
             state: Mutex::new(HubState {
@@ -212,6 +228,7 @@ impl ReplicationHub {
             lag_max,
             connected: AtomicUsize::new(0),
             acked: Mutex::new(HashMap::new()),
+            trace,
             stop: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
         });
@@ -286,12 +303,13 @@ impl ReplicationHub {
         )
     }
 
-    fn publish(&self, session: &Arc<str>, kind: MutKind) {
+    fn publish(&self, session: &Arc<str>, kind: MutKind, trace: Option<u64>) {
         let mut st = self.state.lock().unwrap();
         let m = Mutation {
             seq: st.next_seq,
             session: Arc::clone(session),
             kind,
+            trace,
         };
         st.next_seq += 1;
         let t = st.published.entry(session.to_string()).or_default();
@@ -383,8 +401,12 @@ impl ReplicationHub {
             return Err(bad_reply("repl_hello", &hello));
         }
         let rtt = adya_obs::global().histogram("sli.repl_ack_rtt_us");
+        // Trace ids of traced mutations sent since the last barrier:
+        // their `ack` stamp lands when that barrier is acknowledged.
+        let mut in_flight: Vec<u64> = Vec::new();
         loop {
             let (mut cursor, mut sent) = self.catch_up(w, r, addr)?;
+            in_flight.clear();
             loop {
                 if self.stop.load(Ordering::Relaxed) {
                     return Ok(());
@@ -398,6 +420,10 @@ impl ReplicationHub {
                 };
                 for m in &batch {
                     writeln!(w, "{}", m.frame())?;
+                    if let (Some(plane), Some(id)) = (&self.trace, m.trace) {
+                        plane.stamp(id, Stage::Replicate);
+                        in_flight.push(id);
+                    }
                     let t = sent.entry(m.session.to_string()).or_default();
                     if let MutKind::Append { records, bytes, .. } = &m.kind {
                         t.records += records;
@@ -413,6 +439,11 @@ impl ReplicationHub {
                 let t0 = Instant::now();
                 self.barrier(w, r, cursor)?;
                 rtt.record(t0.elapsed().as_micros() as u64);
+                if let Some(plane) = &self.trace {
+                    for id in in_flight.drain(..) {
+                        plane.stamp(id, Stage::Ack);
+                    }
+                }
                 self.install_acked(addr, &sent);
             }
         }
@@ -686,6 +717,20 @@ impl LogPublisher {
     /// Bytes appended at `off` of `file`; `records` is how many event
     /// records they carry (0 for name side-log bytes).
     pub fn append(&self, file: &str, off: u64, bytes: &[u8], records: u64) {
+        self.append_traced(file, off, bytes, records, None);
+    }
+
+    /// [`append`](LogPublisher::append) carrying the trace id of the
+    /// sampled event record, so the replication stages of that event
+    /// are stamped on both ends of the link.
+    pub fn append_traced(
+        &self,
+        file: &str,
+        off: u64,
+        bytes: &[u8],
+        records: u64,
+        trace: Option<u64>,
+    ) {
         self.hub.publish(
             &self.session,
             MutKind::Append {
@@ -695,6 +740,7 @@ impl LogPublisher {
                 bytes: Arc::from(bytes),
                 records,
             },
+            trace,
         );
     }
 
@@ -707,6 +753,7 @@ impl LogPublisher {
                 crc: wire::crc32(bytes),
                 bytes: Arc::from(bytes),
             },
+            None,
         );
     }
 
@@ -717,6 +764,7 @@ impl LogPublisher {
             MutKind::Remove {
                 file: file.to_string(),
             },
+            None,
         );
     }
 }
@@ -1031,6 +1079,7 @@ mod tests {
             "127.0.0.1:0".into(),
             "test".into(),
             Some(0),
+            None,
         );
         let p = hub.publisher("s1");
         p.append("seg-0.log", 0, b"abcd", 1);
@@ -1068,6 +1117,40 @@ mod tests {
     }
 
     #[test]
+    fn traced_appends_carry_their_id_on_the_wire() {
+        let dir = tmp("hub-trace");
+        let hub = ReplicationHub::start(
+            dir.clone(),
+            Vec::new(),
+            "127.0.0.1:0".into(),
+            "test".into(),
+            None,
+            Some(Arc::new(TracePlane::new("test", "leader"))),
+        );
+        let p = hub.publisher("s1");
+        let id = adya_obs::trace_id("s1", 32);
+        p.append_traced("seg-0.log", 8, b"rec", 1, Some(id));
+        p.append("seg-0.log", 11, b"rec", 1); // untraced
+        match hub.take_from(0) {
+            RingRead::Batch(b) => {
+                let wire_id = format!("\"trace\": \"{}\"", adya_obs::fmt_trace_id(id));
+                assert!(b[0].frame().contains(&wire_id), "{}", b[0].frame());
+                assert!(!b[1].frame().contains("trace"), "{}", b[1].frame());
+                // The annotated frame still parses, id intact.
+                match proto::parse_frame(&b[0].frame()).unwrap() {
+                    crate::proto::ClientFrame::ReplAppend { trace, .. } => {
+                        assert_eq!(trace, Some(id));
+                    }
+                    other => panic!("parsed as {other:?}"),
+                }
+            }
+            RingRead::Evicted => panic!("nothing evicted"),
+        }
+        hub.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn disconnected_follower_counts_published_work_as_lag() {
         let dir = tmp("hub-lag");
         let hub = ReplicationHub::start(
@@ -1076,6 +1159,7 @@ mod tests {
             "127.0.0.1:0".into(),
             "test".into(),
             Some(0),
+            None,
         );
         assert!(!hub.unhealthy(), "no published work, no lag");
         hub.publisher("s1").append("seg-0.log", 0, b"abcdef", 2);

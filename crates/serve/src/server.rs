@@ -35,6 +35,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use adya_faults::{TapCrashConfig, TapCrashPlane};
+use adya_obs::{trace::Stage, TracePlane};
 
 use crate::proto::{self, ClientFrame};
 use crate::replica::{LogPublisher, ReplConfig, ReplicaSink, ReplicationHub, SinkError};
@@ -55,6 +56,16 @@ pub struct ServeConfig {
     pub idle_timeout: Duration,
     /// Replication role and topology.
     pub repl: ReplConfig,
+    /// This node's name in trace lanes and `/metrics` labels.
+    pub node: String,
+    /// Per-verdict latency provenance: stamp sampled events through
+    /// every ingest stage, carry their trace ids on replication
+    /// frames, and offer trace-annotated verdict lines to clients
+    /// that opt in. Off by default — zero stamping work.
+    pub trace_propagate: bool,
+    /// Provenance sampling cadence (1-in-N events by durable record
+    /// number).
+    pub trace_sample: u64,
 }
 
 impl ServeConfig {
@@ -66,6 +77,9 @@ impl ServeConfig {
             tap: TapCrashConfig::default(),
             idle_timeout: Duration::from_secs(60),
             repl: ReplConfig::default(),
+            node: "node0".to_string(),
+            trace_propagate: false,
+            trace_sample: adya_obs::trace::DEFAULT_TRACE_SAMPLE,
         }
     }
 }
@@ -125,6 +139,28 @@ struct Attached {
     session: Box<Session>,
 }
 
+/// Mutable per-connection state threaded through dispatch.
+#[derive(Default)]
+struct ConnState {
+    /// The checked-out session, once this connection sent a
+    /// successful `hello`/`resume`.
+    attached: Option<Attached>,
+    /// The follower-side replication sink, present once this
+    /// connection sent `repl_hello` (it is then a leader's sender,
+    /// not a client).
+    sink: Option<ReplicaSink>,
+    /// The client asked for trace-annotated verdict lines
+    /// (`"trace": "on"` in its hello/resume). Honored only when the
+    /// server itself runs with `--trace-propagate`.
+    client_trace: bool,
+    /// Follower side: trace ids carried by `append` frames since the
+    /// last `repl_flush` barrier; the barrier's fsync stamps them
+    /// `ack` — the moment the write became durable here, which is
+    /// what the leader's own `ack` stamp (barrier reply received)
+    /// brackets from the other side.
+    pending_trace: Vec<u64>,
+}
+
 struct Inner {
     cfg: ServeConfig,
     sessions: Mutex<HashMap<String, Arc<SessionSlot>>>,
@@ -146,6 +182,11 @@ struct Inner {
     /// Leader-side replication fan-out; `None` on followers and on
     /// leaders with no followers configured.
     hub: Option<Arc<ReplicationHub>>,
+    /// Latency-provenance stamping plane, present only under
+    /// `--trace-propagate`. Shared with every session (tap → verdict
+    /// stages), the hub senders (replicate/ack stages) and — on a
+    /// follower — the replica sink path.
+    trace: Option<Arc<TracePlane>>,
 }
 
 impl Inner {
@@ -175,6 +216,16 @@ impl Server {
         let listener = TcpListener::bind(tcp)?;
         listener.set_nonblocking(true)?;
         let tcp_addr = listener.local_addr()?;
+        let trace = cfg.trace_propagate.then(|| {
+            let role = if cfg.repl.follower {
+                "follower"
+            } else {
+                "leader"
+            };
+            let plane = Arc::new(TracePlane::new(&cfg.node, role));
+            plane.set_sample_every(cfg.trace_sample);
+            plane
+        });
         let hub = if !cfg.repl.follower && !cfg.repl.followers.is_empty() {
             let advertise = cfg
                 .repl
@@ -187,6 +238,7 @@ impl Server {
                 advertise.clone(),
                 advertise,
                 cfg.repl.lag_max,
+                trace.clone(),
             ))
         } else {
             None
@@ -202,6 +254,7 @@ impl Server {
             follower,
             leader_hint: Mutex::new(None),
             hub,
+            trace,
         });
         let mut accept_threads = vec![{
             let inner = Arc::clone(&inner);
@@ -362,10 +415,7 @@ fn handle_conn(mut stream: Box<dyn Conn>, inner: &Inner) {
         Ok(r) => BufReader::new(r),
         Err(_) => return,
     };
-    let mut attached: Option<Attached> = None;
-    // The follower-side replication sink, present once this connection
-    // sent `repl_hello` (it is then a leader's sender, not a client).
-    let mut sink: Option<ReplicaSink> = None;
+    let mut conn = ConnState::default();
     // Raw bytes, not read_line: its UTF-8 guard truncates everything a
     // timed-out call appended when the partial line ends mid-codepoint,
     // silently dropping bytes of a multi-byte object name split across
@@ -409,19 +459,12 @@ fn handle_conn(mut stream: Box<dyn Conn>, inner: &Inner) {
                 last_progress = Instant::now();
                 // read_until stops short of the delimiter only at EOF.
                 let at_eof = !buf.ends_with(b"\n");
-                let outcome = dispatch_bytes(
-                    &buf,
-                    &mut stream,
-                    &mut attached,
-                    &mut sink,
-                    inner,
-                    &mut reader,
-                );
+                let outcome = dispatch_bytes(&buf, &mut stream, &mut conn, inner, &mut reader);
                 buf.clear();
                 match outcome {
                     LineOutcome::Continue => {}
                     LineOutcome::End => {
-                        detach(&mut attached);
+                        detach(&mut conn.attached);
                         return;
                     }
                 }
@@ -432,7 +475,7 @@ fn handle_conn(mut stream: Box<dyn Conn>, inner: &Inner) {
             }
         }
     }
-    let (name, events, verdicts) = match &attached {
+    let (name, events, verdicts) = match &conn.attached {
         Some(a) => (
             Some(a.session.name().to_string()),
             a.session.records(),
@@ -446,7 +489,7 @@ fn handle_conn(mut stream: Box<dyn Conn>, inner: &Inner) {
         proto::closing_frame(why_closing, name.as_deref(), events, verdicts)
     );
     let _ = stream.flush();
-    detach(&mut attached);
+    detach(&mut conn.attached);
 }
 
 fn detach(attached: &mut Option<Attached>) {
@@ -466,13 +509,12 @@ enum LineOutcome {
 fn dispatch_bytes(
     raw: &[u8],
     stream: &mut Box<dyn Conn>,
-    attached: &mut Option<Attached>,
-    sink: &mut Option<ReplicaSink>,
+    conn: &mut ConnState,
     inner: &Inner,
     reader: &mut BufReader<Box<dyn Read + Send>>,
 ) -> LineOutcome {
     match std::str::from_utf8(raw) {
-        Ok(line) => dispatch_line(line, stream, attached, sink, inner, reader),
+        Ok(line) => dispatch_line(line, stream, conn, inner, reader),
         Err(_) => {
             adya_obs::counter!("serve.parse_errors").inc();
             let _ = writeln!(
@@ -488,8 +530,7 @@ fn dispatch_bytes(
 fn dispatch_line(
     raw: &str,
     stream: &mut Box<dyn Conn>,
-    attached: &mut Option<Attached>,
-    sink: &mut Option<ReplicaSink>,
+    conn: &mut ConnState,
     inner: &Inner,
     reader: &mut BufReader<Box<dyn Read + Send>>,
 ) -> LineOutcome {
@@ -498,17 +539,17 @@ fn dispatch_line(
         return LineOutcome::Continue;
     }
     // First line of an HTTP scrape: same port, different protocol.
-    if attached.is_none() && (line.starts_with("GET ") || line.starts_with("HEAD ")) {
+    if conn.attached.is_none() && (line.starts_with("GET ") || line.starts_with("HEAD ")) {
         serve_http(line, stream, reader, inner);
         return LineOutcome::End;
     }
     if line.starts_with('{') {
-        return dispatch_frame(line, stream, attached, sink, inner);
+        return dispatch_frame(line, stream, conn, inner);
     }
     // Event tokens. The session is checked out by this thread: the
     // whole apply — log, crash plane, batched checker application —
     // runs with no lock held.
-    let Some(a) = attached else {
+    let Some(a) = conn.attached.as_mut() else {
         let _ = writeln!(
             stream,
             "{}",
@@ -520,8 +561,21 @@ fn dispatch_line(
     a.slot.refresh_health(&a.session);
     match result {
         Ok(verdicts) => {
-            for v in verdicts {
-                if writeln!(stream, "{v}").is_err() {
+            // Wire-only annotation: the canonical verdict bytes are
+            // prefixed with the trace id for opted-in clients; the
+            // durable log and replay window never see the prefix.
+            let annotate = conn.client_trace && inner.trace.is_some();
+            for (tid, v) in verdicts {
+                let wrote = match tid {
+                    Some(id) if annotate => writeln!(
+                        stream,
+                        "{{\"trace\": \"{}\", {}",
+                        adya_obs::fmt_trace_id(id),
+                        &v[1..]
+                    ),
+                    _ => writeln!(stream, "{v}"),
+                };
+                if wrote.is_err() {
                     return LineOutcome::End;
                 }
             }
@@ -550,8 +604,7 @@ fn dispatch_line(
 fn dispatch_frame(
     line: &str,
     stream: &mut Box<dyn Conn>,
-    attached: &mut Option<Attached>,
-    sink: &mut Option<ReplicaSink>,
+    conn: &mut ConnState,
     inner: &Inner,
 ) -> LineOutcome {
     let frame = match proto::parse_frame(line) {
@@ -575,13 +628,11 @@ fn dispatch_frame(
         return LineOutcome::Continue;
     }
     match frame {
-        ClientFrame::Hello { session: name } => {
-            if attached.is_some() {
-                let _ = writeln!(
-                    stream,
-                    "{}",
-                    proto::error_frame("already_attached", "one session per connection")
-                );
+        ClientFrame::Hello {
+            session: name,
+            trace: want_trace,
+        } => {
+            if attached_guard(conn, stream) {
                 return LineOutcome::Continue;
             }
             let mut sessions = inner.sessions.lock().unwrap();
@@ -601,12 +652,16 @@ fn dispatch_frame(
             ) {
                 Ok(mut s) => {
                     s.attached = true;
+                    if let Some(plane) = &inner.trace {
+                        s.set_trace(Arc::clone(plane));
+                    }
+                    conn.client_trace = want_trace;
                     let slot = Arc::new(SessionSlot::new_attached(&s));
                     sessions.insert(name.clone(), Arc::clone(&slot));
                     adya_obs::counter!("serve.hellos").inc();
                     adya_obs::gauge!("serve.sessions").set(sessions.len() as i64);
                     drop(sessions);
-                    *attached = Some(Attached {
+                    conn.attached = Some(Attached {
                         slot,
                         session: Box::new(s),
                     });
@@ -626,13 +681,9 @@ fn dispatch_frame(
         ClientFrame::Resume {
             session: name,
             verdicts: have,
+            trace: want_trace,
         } => {
-            if attached.is_some() {
-                let _ = writeln!(
-                    stream,
-                    "{}",
-                    proto::error_frame("already_attached", "one session per connection")
-                );
+            if attached_guard(conn, stream) {
                 return LineOutcome::Continue;
             }
             let Some(slot) = lookup_or_recover(inner, &name, stream) else {
@@ -657,8 +708,12 @@ fn dispatch_frame(
             match s.resume(have) {
                 Ok((events, verdicts, replay)) => {
                     s.attached = true;
+                    if let Some(plane) = &inner.trace {
+                        s.set_trace(Arc::clone(plane));
+                    }
+                    conn.client_trace = want_trace;
                     slot.refresh_health(&s);
-                    *attached = Some(Attached { slot, session: s });
+                    conn.attached = Some(Attached { slot, session: s });
                     adya_obs::counter!("serve.resumes").inc();
                     let _ = writeln!(
                         stream,
@@ -694,7 +749,7 @@ fn dispatch_frame(
             }
         }
         ClientFrame::Close => {
-            let Some(a) = attached.as_mut() else {
+            let Some(a) = conn.attached.as_mut() else {
                 let _ = writeln!(
                     stream,
                     "{}",
@@ -714,7 +769,7 @@ fn dispatch_frame(
                         proto::closing_frame("close", Some(&name), events, verdicts)
                     );
                     let _ = stream.flush();
-                    let a = attached.take().expect("attached checked above");
+                    let a = conn.attached.take().expect("attached checked above");
                     a.slot.checkin(a.session);
                     LineOutcome::End
                 }
@@ -735,6 +790,9 @@ fn dispatch_frame(
             // exactly like a restart.
             if inner.follower.swap(false, Ordering::Relaxed) {
                 inner.leader_hint.lock().unwrap().take();
+                if let Some(plane) = &inner.trace {
+                    plane.set_role("leader");
+                }
                 adya_obs::counter!("serve.promotions").inc();
             }
             let _ = writeln!(stream, "{{\"ok\": \"promote\"}}");
@@ -752,7 +810,7 @@ fn dispatch_frame(
             if let Some(addr) = advertise {
                 *inner.leader_hint.lock().unwrap() = Some(addr);
             }
-            *sink = Some(ReplicaSink::new(
+            conn.sink = Some(ReplicaSink::new(
                 inner.cfg.data_dir.clone(),
                 inner.cfg.session.log.fsync,
             ));
@@ -765,7 +823,7 @@ fn dispatch_frame(
             LineOutcome::Continue
         }
         ClientFrame::Replicate { session } => {
-            let Some(sink) = sink.as_mut() else {
+            let Some(sink) = conn.sink.as_mut() else {
                 return not_replicating(stream);
             };
             match sink.inventory(&session) {
@@ -789,15 +847,26 @@ fn dispatch_frame(
             off,
             crc,
             data,
+            trace,
         } => {
-            let Some(sink) = sink.as_mut() else {
+            let Some(sink) = conn.sink.as_mut() else {
                 return not_replicating(stream);
             };
             // No per-mutation reply: durability is acknowledged at the
             // next `repl_flush` barrier. A reject makes the leader
             // reconnect and redo catch-up from the real inventory.
             match sink.append(&session, &file, off, crc, &data) {
-                Ok(()) => LineOutcome::Continue,
+                Ok(()) => {
+                    // The leader sampled this record: stamp its
+                    // arrival here and remember it for the barrier's
+                    // `ack` stamp. Ids key off the durable record
+                    // number, so both nodes agree on them.
+                    if let (Some(plane), Some(id)) = (&inner.trace, trace) {
+                        plane.stamp(id, Stage::Replicate);
+                        conn.pending_trace.push(id);
+                    }
+                    LineOutcome::Continue
+                }
                 Err(SinkError::Reject(detail)) => {
                     let _ = writeln!(stream, "{}", proto::error_frame("repl_reject", &detail));
                     LineOutcome::Continue
@@ -818,7 +887,7 @@ fn dispatch_frame(
             crc,
             data,
         } => {
-            let Some(sink) = sink.as_mut() else {
+            let Some(sink) = conn.sink.as_mut() else {
                 return not_replicating(stream);
             };
             match sink.put(&session, &file, crc, &data) {
@@ -838,7 +907,7 @@ fn dispatch_frame(
             }
         }
         ClientFrame::ReplRemove { session, file } => {
-            let Some(sink) = sink.as_mut() else {
+            let Some(sink) = conn.sink.as_mut() else {
                 return not_replicating(stream);
             };
             match sink.remove(&session, &file) {
@@ -854,11 +923,20 @@ fn dispatch_frame(
             }
         }
         ClientFrame::ReplFlush { seq } => {
-            let Some(sink) = sink.as_mut() else {
+            let Some(sink) = conn.sink.as_mut() else {
                 return not_replicating(stream);
             };
             match sink.flush() {
                 Ok(()) => {
+                    // Everything since the last barrier is durable on
+                    // this replica: stamp the follower-side `ack`.
+                    if let Some(plane) = &inner.trace {
+                        for id in conn.pending_trace.drain(..) {
+                            plane.stamp(id, Stage::Ack);
+                        }
+                    } else {
+                        conn.pending_trace.clear();
+                    }
                     let _ = writeln!(stream, "{}", proto::ack_frame(seq));
                     let _ = stream.flush();
                     LineOutcome::Continue
@@ -874,6 +952,20 @@ fn dispatch_frame(
             }
         }
     }
+}
+
+/// Writes `already_attached` and reports whether this connection
+/// already owns a session (one session per connection).
+fn attached_guard(conn: &ConnState, stream: &mut Box<dyn Conn>) -> bool {
+    if conn.attached.is_some() {
+        let _ = writeln!(
+            stream,
+            "{}",
+            proto::error_frame("already_attached", "one session per connection")
+        );
+        return true;
+    }
+    false
 }
 
 /// Rejects a replication mutation on a connection that never sent
@@ -968,11 +1060,32 @@ fn serve_http(
     }
     let target = request_line.split_whitespace().nth(1).unwrap_or("");
     let path = target.split('?').next().unwrap_or(target);
+    let role = if inner.follower.load(Ordering::Relaxed) {
+        "follower"
+    } else {
+        "leader"
+    };
     let resp = match path {
+        // Fleet-wide scrapes aggregate many nodes: every series
+        // carries this node's identity and current role.
         "/metrics" => adya_obs::Response::ok(
             "text/plain; version=0.0.4; charset=utf-8",
-            adya_obs::global().snapshot().to_prometheus(),
+            adya_obs::global()
+                .snapshot()
+                .to_prometheus_labeled(&[("node", &inner.cfg.node), ("role", role)]),
         ),
+        // The span-level Chrome trace, with this node's latency-
+        // provenance segment embedded under `"provenance"` when
+        // tracing is on — `adya-check trace-merge` joins segments
+        // from several nodes into one cross-node timeline.
+        "/trace" => {
+            let reg = adya_obs::global();
+            let chrome = adya_obs::chrome_trace(&reg.span_records(), reg.spans_dropped());
+            adya_obs::Response::json(match &inner.trace {
+                Some(plane) => adya_obs::attach_provenance(&chrome, &plane.segment_json()),
+                None => chrome,
+            })
+        }
         "/health" => {
             let draining = inner.stop.load(Ordering::Relaxed);
             // Acknowledged follower lag past --repl-lag-max is a

@@ -22,7 +22,8 @@ use std::path::Path;
 use std::sync::Arc;
 
 use adya_faults::TapCrashPlane;
-use adya_obs::{labeled, Counter, Gauge};
+use adya_history::Event;
+use adya_obs::{labeled, trace::Stage, Counter, Gauge, TracePlane};
 use adya_online::{GcConfig, OnlineChecker, PipelineConfig, StreamParser};
 
 use crate::log::{LogConfig, RecoverError, SessionLog};
@@ -99,6 +100,11 @@ pub struct Session {
     /// Torn-tail healing notice from recovery, reported once on the
     /// next resume.
     pub truncated: Option<String>,
+    /// Per-verdict latency provenance: sampled events (by dense
+    /// durable record number) are stamped through every stage of
+    /// `apply_line`, and their ids ride the replication frames. Set
+    /// via [`Session::set_trace`] — `SessionConfig` stays `Copy`.
+    trace: Option<Arc<TracePlane>>,
     m_events: Arc<Counter>,
     m_verdicts: Arc<Counter>,
     m_staleness: Arc<Gauge>,
@@ -143,6 +149,7 @@ impl Session {
             closed: None,
             attached: false,
             truncated: None,
+            trace: None,
             m_events,
             m_verdicts,
             m_staleness,
@@ -174,6 +181,7 @@ impl Session {
             closed: r.closed,
             attached: false,
             truncated: r.truncated,
+            trace: None,
             m_events,
             m_verdicts,
             m_staleness,
@@ -201,21 +209,52 @@ impl Session {
         self.closed.as_deref()
     }
 
+    /// Enables latency-provenance stamping: events sampled by the
+    /// plane's cadence (over their dense durable record numbers, so
+    /// leader and follower derive identical ids from the replicated
+    /// stream) are stamped at every `apply_line` stage, and their ids
+    /// are handed to the replication publisher for cross-node joins.
+    pub fn set_trace(&mut self, plane: Arc<TracePlane>) {
+        self.trace = Some(plane);
+    }
+
     /// Applies one line of whitespace-separated event tokens,
-    /// returning the verdict lines it produced, in order. All-or-
+    /// returning the verdict lines it produced, in order, each paired
+    /// with the trace id of its commit event when that event was
+    /// sampled for latency provenance (`None` otherwise — and always
+    /// `None` when tracing is off). Verdict lines themselves stay
+    /// canonical; the id is for wire-level annotation only. All-or-
     /// nothing per line: a parse error applies none of it.
     pub fn apply_line(
         &mut self,
         line: &str,
         tap: &TapCrashPlane,
-    ) -> Result<Vec<String>, ApplyError> {
+    ) -> Result<Vec<(Option<u64>, String)>, ApplyError> {
         if let Some(fin) = &self.closed {
             return Err(ApplyError::Closed(fin.clone()));
         }
         let mut scratch = self.parser.clone();
         let mut events = Vec::new();
+        // One optional trace id per event, parallel to `events`. Ids
+        // key off the dense durable record number, so a follower
+        // replaying the same records derives the same ids.
+        let mut traced: Vec<Option<u64>> = Vec::new();
+        let base = self.log.records();
         for tok in line.split_whitespace() {
             events.push(scratch.parse_token(tok).map_err(ApplyError::Parse)?);
+            traced.push(match &self.trace {
+                Some(plane) => {
+                    let seq = base + (events.len() as u64 - 1);
+                    if plane.sampled(seq) {
+                        let id = adya_obs::trace_id(&self.name, seq);
+                        plane.stamp(id, Stage::Tap);
+                        Some(id)
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            });
         }
         // Names first: recovery re-interns before replaying events.
         let known = self.parser.interned();
@@ -233,9 +272,24 @@ impl Session {
         // application makes it durable-then-observable a whole batch
         // at a time. A crash anywhere still leaves every emitted
         // verdict's event durable, and recovery replays the rest.
+        let mut idx = 0usize;
         for chunk in events.chunks(self.batch) {
-            for ev in chunk {
-                self.log.append(ev).map_err(ApplyError::Io)?;
+            let ids = &traced[idx..idx + chunk.len()];
+            idx += chunk.len();
+            if let Some(plane) = &self.trace {
+                // The serve path has no real ring/sequencer hop — the
+                // line buffer plays both roles — so `ring` and `seq`
+                // bracket batch formation.
+                for id in ids.iter().flatten() {
+                    plane.stamp(*id, Stage::Ring);
+                    plane.stamp(*id, Stage::Seq);
+                }
+            }
+            for (ev, tid) in chunk.iter().zip(ids) {
+                self.log.append_traced(ev, *tid).map_err(ApplyError::Io)?;
+                if let (Some(plane), Some(id)) = (&self.trace, tid) {
+                    plane.stamp(*id, Stage::Log);
+                }
                 // Tap-side crash point: the event is durable, its
                 // effects are not — the exact window recovery must
                 // close.
@@ -244,11 +298,27 @@ impl Session {
                 }
                 self.m_events.inc();
             }
-            for v in self.checker.ingest_batch(chunk) {
+            let verdicts = self.checker.ingest_batch(chunk);
+            if let Some(plane) = &self.trace {
+                for id in ids.iter().flatten() {
+                    plane.stamp(*id, Stage::Apply);
+                }
+            }
+            // Commit verdicts pair 1:1, in order, with the chunk's
+            // non-init commit events — that is `ingest`'s contract.
+            let mut commit_ids = chunk.iter().zip(ids).filter_map(|(ev, tid)| match ev {
+                Event::Commit(t) if !t.is_init() => Some(*tid),
+                _ => None,
+            });
+            for v in verdicts {
+                let tid = commit_ids.next().flatten();
+                if let (Some(plane), Some(id)) = (&self.trace, tid) {
+                    plane.stamp(id, Stage::Verdict);
+                }
                 self.verdicts += 1;
                 let line = v.to_json();
                 self.recent.push(line.clone());
-                out.push(line);
+                out.push((tid, line));
                 self.m_verdicts.inc();
             }
         }

@@ -30,7 +30,7 @@
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::retry::RetryPolicy;
 
@@ -53,6 +53,14 @@ pub struct ServeClient {
     promote_streak: usize,
     /// `truncated_input` notices surfaced by resumes, oldest first.
     pub truncated_notices: Vec<String>,
+    /// Ask the server for trace-annotated verdict lines (`"trace":
+    /// "on"` in hello/resume). The annotation is stripped before
+    /// ledgering — the ledger stays byte-identical either way — and
+    /// each annotated verdict contributes a `(trace id, rtt)` sample.
+    trace: bool,
+    /// Client-observed round trips for trace-annotated commits:
+    /// `(trace id, nanoseconds from token send to verdict receipt)`.
+    rtts: Vec<(u64, u64)>,
 }
 
 /// A client-side protocol failure (transport errors come as
@@ -123,6 +131,18 @@ impl ServeClient {
     /// separated endpoint list; a `not_leader` refusal follows the
     /// redirect (or rotates) until an endpoint accepts.
     pub fn hello(addr: &str, session: &str) -> Result<ServeClient, ClientError> {
+        ServeClient::hello_traced(addr, session, false)
+    }
+
+    /// Like [`hello`](ServeClient::hello), optionally opting into
+    /// trace-annotated verdict lines for latency provenance. Requires
+    /// a server running with `--trace-propagate` to have any effect;
+    /// the verdict ledger is byte-identical either way.
+    pub fn hello_traced(
+        addr: &str,
+        session: &str,
+        trace: bool,
+    ) -> Result<ServeClient, ClientError> {
         let endpoints: Vec<String> = addr
             .split(',')
             .filter(|a| !a.is_empty())
@@ -140,12 +160,15 @@ impl ServeClient {
             verdicts: Vec::new(),
             promote_streak: 0,
             truncated_notices: Vec::new(),
+            trace,
+            rtts: Vec::new(),
         };
+        let opt_in = if trace { ", \"trace\": \"on\"" } else { "" };
         let mut redirects = 0;
         loop {
             client.connect()?;
             client.send_frame(&format!(
-                "{{\"op\": \"hello\", \"session\": \"{session}\"}}"
+                "{{\"op\": \"hello\", \"session\": \"{session}\"{opt_in}}}"
             ))?;
             let ack = client.read_line()?;
             if str_field(&ack, "ok") == Some("hello") {
@@ -228,6 +251,14 @@ impl ServeClient {
         self.tokens.len()
     }
 
+    /// Client-observed `(trace id, rtt ns)` samples for annotated
+    /// commit verdicts — the outermost bracket around the server's
+    /// per-stage provenance. Empty unless the client opted in *and*
+    /// the server propagates traces.
+    pub fn trace_rtts(&self) -> &[(u64, u64)] {
+        &self.rtts
+    }
+
     /// Streams one event token; when it is a commit the verdict line
     /// is read and appended to the ledger (aborts produce no server
     /// response). An [`Err`] leaves the ledgers consistent for a later
@@ -240,11 +271,22 @@ impl ServeClient {
     }
 
     fn push_token_to_wire(&mut self, tok: String) -> Result<(), ClientError> {
+        let is_commit = is_commit_token(&tok);
+        let sent_at = (self.trace && is_commit).then(Instant::now);
         self.send_frame(&tok)?;
-        if is_commit_token(&tok) {
-            let line = self.read_line()?;
+        if is_commit {
+            let mut line = self.read_line()?;
             if line.starts_with("{\"error\"") {
                 return Err(server_error(line));
+            }
+            if self.trace {
+                // Mechanically strip the wire-only annotation so the
+                // ledger keeps the canonical verdict bytes.
+                let (tid, canonical) = strip_trace(&line);
+                if let (Some(id), Some(t0)) = (tid, sent_at) {
+                    self.rtts.push((id, t0.elapsed().as_nanos() as u64));
+                }
+                line = canonical;
             }
             self.verdicts.push(line);
         }
@@ -336,8 +378,13 @@ impl ServeClient {
     fn try_resume(&mut self) -> Result<(), ClientError> {
         self.connect()?;
         adya_obs::counter!("serve_client.resumes").inc();
+        let opt_in = if self.trace {
+            ", \"trace\": \"on\""
+        } else {
+            ""
+        };
         self.send_frame(&format!(
-            "{{\"op\": \"resume\", \"session\": \"{}\", \"verdicts\": {}}}",
+            "{{\"op\": \"resume\", \"session\": \"{}\", \"verdicts\": {}{opt_in}}}",
             self.session,
             self.verdicts.len()
         ))?;
@@ -389,6 +436,25 @@ fn server_error(line: String) -> ClientError {
     ClientError::Server(code, line)
 }
 
+/// Splits a live verdict line into its optional wire-only trace
+/// annotation and the canonical verdict bytes. Lines without the
+/// annotation (server not propagating, or replayed/durable lines,
+/// which are always canonical) pass through untouched.
+fn strip_trace(line: &str) -> (Option<u64>, String) {
+    let Some(rest) = line.strip_prefix("{\"trace\": \"") else {
+        return (None, line.to_string());
+    };
+    let parsed = rest.find('"').and_then(|q| {
+        let id = adya_obs::parse_trace_id(&rest[..q])?;
+        let tail = rest[q + 1..].strip_prefix(", ")?;
+        Some((id, format!("{{{tail}")))
+    });
+    match parsed {
+        Some((id, canonical)) => (Some(id), canonical),
+        None => (None, line.to_string()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +471,22 @@ mod tests {
             "a1", "a107", "b1", "w1(x,1)", "r1(x1)", "c", "a", "cx", "c1x", "xinit",
         ] {
             assert!(!is_commit_token(t), "{t}");
+        }
+    }
+
+    #[test]
+    fn trace_annotation_stripping() {
+        let canonical = "{\"txn\": 7, \"decision\": \"commit\"}";
+        let id = adya_obs::trace_id("s", 32);
+        let annotated = format!(
+            "{{\"trace\": \"{}\", {}",
+            adya_obs::fmt_trace_id(id),
+            &canonical[1..]
+        );
+        assert_eq!(strip_trace(&annotated), (Some(id), canonical.to_string()));
+        // Unannotated lines — and near-misses — pass through verbatim.
+        for line in [canonical, "{\"trace\": \"zebra\", \"x\": 1}", "plain"] {
+            assert_eq!(strip_trace(line), (None, line.to_string()), "{line}");
         }
     }
 

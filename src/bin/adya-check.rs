@@ -34,7 +34,7 @@ use adya::online::{
     CheckerMonitor, EventLogReader, EventPipeline, HealthPolicy, LogError, OnlineChecker,
     PipelineConfig, StreamParser, Verdict,
 };
-use adya_obs::{ObsServer, Response};
+use adya_obs::{trace::Stage, ObsServer, Response, TracePlane};
 
 /// Where and how `--metrics` output is rendered.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -69,6 +69,10 @@ struct Args {
     /// pipeline over N event rings, with the checker on a dedicated
     /// application thread. 0 = classic in-thread sequential ingest.
     pipeline_threads: usize,
+    /// `--trace-propagate`: stamp sampled events with per-stage
+    /// latency provenance (tap → ring → seq → apply → verdict); the
+    /// `/trace` route then embeds the segment for `trace-merge`.
+    trace_propagate: bool,
 }
 
 /// Minimal JSON string escaping (the only dynamic content is names and
@@ -192,6 +196,7 @@ fn parse_args() -> Result<Args, String> {
         obs_lag_ms: 1_000,
         delay_event_ms: 0,
         pipeline_threads: 0,
+        trace_propagate: false,
     };
     let parse_ms = |flag: &str, v: Option<String>| -> Result<u64, String> {
         let v = v.ok_or_else(|| format!("{flag} needs a millisecond value"))?;
@@ -240,6 +245,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--pipeline-threads: not a count: {v:?}"))?;
             }
+            "--trace-propagate" => args.trace_propagate = true,
             "--obs-stale-ms" => args.obs_stale_ms = parse_ms("--obs-stale-ms", it.next())?,
             "--obs-lag-ms" => args.obs_lag_ms = parse_ms("--obs-lag-ms", it.next())?,
             "--delay-event-ms" => args.delay_event_ms = parse_ms("--delay-event-ms", it.next())?,
@@ -263,7 +269,8 @@ fn parse_args() -> Result<Args, String> {
 const USAGE: &str = "usage: adya-check [explain] [--dot] [--json] [--metrics [prom]] [--stream]
                   [--pipeline-threads N] [--trace-out FILE] [--level PL-3]
                   [--obs-listen ADDR] [--obs-stale-ms MS] [--obs-lag-ms MS]
-                  [--delay-event-ms MS] [FILE]
+                  [--delay-event-ms MS] [--trace-propagate] [FILE]
+       adya-check trace-merge FILE... [--out FILE]
 Reads a history (paper notation) from FILE or stdin and analyzes it.
   explain        forensic mode: shrink the history to a minimal
                  sub-history per detected phenomenon and print a
@@ -312,7 +319,15 @@ Reads a history (paper notation) from FILE or stdin and analyzes it.
                  applied) exceeds this many ms (default 1000)
   --delay-event-ms
                  fault injection: sleep this long before applying each
-                 event — induces ingest lag the obs plane must report";
+                 event — induces ingest lag the obs plane must report
+  --trace-propagate
+                 stream only: stamp sampled events with per-stage
+                 latency provenance; /trace then embeds this node's
+                 segment under \"provenance\" for trace-merge
+  trace-merge    join /trace captures from several nodes into one
+                 cross-node Chrome/Perfetto timeline: each verdict's
+                 provenance renders as one flow across per-node lanes
+                 (clock offsets estimated from replication stamps)";
 
 /// Exit code for a cleanly detected torn tail (distinct from level
 /// violations = 1 and hard errors = 2).
@@ -411,8 +426,14 @@ struct StreamObs {
 
 impl StreamObs {
     /// Builds the plane from the flags and arms the checker's sampled
-    /// telemetry when any of it is on.
-    fn start(args: &Args, checker: &mut OnlineChecker) -> Result<StreamObs, String> {
+    /// telemetry when any of it is on. `plane` is the latency-
+    /// provenance plane (`--trace-propagate`), embedded in `/trace`
+    /// responses so `trace-merge` can pick the segment up.
+    fn start(
+        args: &Args,
+        checker: &mut OnlineChecker,
+        plane: Option<Arc<TracePlane>>,
+    ) -> Result<StreamObs, String> {
         let mut obs = StreamObs {
             monitor: None,
             server: None,
@@ -428,6 +449,7 @@ impl StreamObs {
                 lag_ms: args.obs_lag_ms,
             }));
             let handler_monitor = Arc::clone(&monitor);
+            let handler_plane = plane.clone();
             let server = ObsServer::bind(
                 addr,
                 Arc::new(move |path: &str| match path {
@@ -450,10 +472,12 @@ impl StreamObs {
                     }
                     "/trace" => {
                         let reg = adya_obs::global();
-                        Response::json(adya_obs::chrome_trace(
-                            &reg.span_records(),
-                            reg.spans_dropped(),
-                        ))
+                        let chrome =
+                            adya_obs::chrome_trace(&reg.span_records(), reg.spans_dropped());
+                        Response::json(match &handler_plane {
+                            Some(p) => adya_obs::attach_provenance(&chrome, &p.segment_json()),
+                            None => chrome,
+                        })
                     }
                     _ => Response::status(404, "routes: /metrics /health /trace\n"),
                 }),
@@ -571,35 +595,53 @@ enum StreamSink {
         obs: StreamObs,
         emitted: u64,
         dot: bool,
+        /// Latency-provenance plane (`--trace-propagate`) plus the
+        /// dense event sequence its sampling keys off.
+        plane: Option<Arc<TracePlane>>,
+        seq: u64,
     },
     Pipelined {
         producers: Vec<RingProducer>,
         next: u64,
         handle: std::thread::JoinHandle<(OnlineChecker, u64)>,
+        /// Producer-side stamping (`tap`/`ring`); the pipeline's
+        /// application thread stamps `seq`/`apply`/`verdict`.
+        plane: Option<Arc<TracePlane>>,
     },
 }
 
+/// Trace-id scope for `adya-check --stream` provenance.
+const STREAM_TRACE_SCOPE: &str = "stream";
+
 impl StreamSink {
     fn start(args: &Args) -> Result<StreamSink, String> {
+        let plane = args
+            .trace_propagate
+            .then(|| Arc::new(TracePlane::new("check", "leader")));
         if args.pipeline_threads == 0 {
             let mut checker = OnlineChecker::new();
             // This tool exists to explain violations, so it pays for
             // the per-edge provenance the library leaves off by
             // default.
             checker.set_provenance(true);
-            let obs = StreamObs::start(args, &mut checker)?;
+            let obs = StreamObs::start(args, &mut checker, plane.clone())?;
             return Ok(StreamSink::Sequential {
                 checker: Box::new(checker),
                 obs,
                 emitted: 0,
                 dot: args.dot,
+                plane,
+                seq: 0,
             });
         }
         let cfg = PipelineConfig {
             rings: args.pipeline_threads,
             ..PipelineConfig::default()
         };
-        let (producers, pipe) = EventPipeline::manual(cfg);
+        let (producers, mut pipe) = EventPipeline::manual(cfg);
+        if let Some(p) = &plane {
+            pipe.set_trace(Arc::clone(p), STREAM_TRACE_SCOPE);
+        }
         let dot = args.dot;
         let handle = std::thread::Builder::new()
             .name("adya-check-apply".into())
@@ -623,6 +665,7 @@ impl StreamSink {
             producers,
             next: 0,
             handle,
+            plane,
         })
     }
 
@@ -635,9 +678,30 @@ impl StreamSink {
                 obs,
                 emitted,
                 dot,
+                plane,
+                seq,
             } => {
+                // In-thread ingest plays every pre-apply stage itself:
+                // arrival (`tap`), line buffer (`ring`), sequencing.
+                let tid = plane.as_ref().and_then(|p| {
+                    let s = *seq;
+                    *seq += 1;
+                    p.sampled(s).then(|| {
+                        let id = adya_obs::trace_id(STREAM_TRACE_SCOPE, s);
+                        p.stamp(id, Stage::Tap);
+                        p.stamp(id, Stage::Ring);
+                        p.stamp(id, Stage::Seq);
+                        id
+                    })
+                });
                 let arrived = obs.event_arrived();
                 let v = checker.ingest(&ev);
+                if let (Some(p), Some(id)) = (plane.as_ref(), tid) {
+                    p.stamp(id, Stage::Apply);
+                    if v.is_some() {
+                        p.stamp(id, Stage::Verdict);
+                    }
+                }
                 obs.event_applied(checker, arrived, v.as_ref());
                 if let Some(v) = v {
                     *emitted += 1;
@@ -650,8 +714,18 @@ impl StreamSink {
                 }
             }
             StreamSink::Pipelined {
-                producers, next, ..
+                producers,
+                next,
+                plane,
+                ..
             } => {
+                if let Some(p) = plane {
+                    if p.sampled(*next) {
+                        let id = adya_obs::trace_id(STREAM_TRACE_SCOPE, *next);
+                        p.stamp(id, Stage::Tap);
+                        p.stamp(id, Stage::Ring);
+                    }
+                }
                 producers[(*next as usize) % producers.len()].push(*next, ev);
                 *next += 1;
             }
@@ -945,7 +1019,74 @@ fn run_explain(history: &adya::history::History, args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `adya-check trace-merge A.json B.json [--out F]`: joins `/trace`
+/// captures from several nodes into one cross-node Chrome/Perfetto
+/// timeline. Each input is either a bare trace segment or a full
+/// `/trace` response with the segment embedded under `"provenance"`.
+fn run_trace_merge() -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(2);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = Some(v),
+                None => {
+                    eprintln!("adya-check: --out needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: adya-check trace-merge FILE... [--out FILE]");
+                return ExitCode::SUCCESS;
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => {
+                eprintln!("adya-check: unknown trace-merge flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: adya-check trace-merge FILE... [--out FILE]");
+        return ExitCode::from(2);
+    }
+    let mut segments = Vec::with_capacity(files.len());
+    for f in &files {
+        let raw = match std::fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("adya-check: cannot read {f}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match adya_obs::parse_segment(&raw) {
+            Ok(seg) => segments.push(seg),
+            Err(e) => {
+                eprintln!("adya-check: {f}: {e} (was the node running with --trace-propagate?)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let merged = adya_obs::merge_segments(&segments);
+    match out {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, &merged) {
+                eprintln!("adya-check: cannot write {p}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("adya-check: merged {} segment(s) into {p}", segments.len());
+        }
+        None => println!("{merged}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    // `trace-merge` is a standalone subcommand with its own flags.
+    if std::env::args().nth(1).as_deref() == Some("trace-merge") {
+        return run_trace_merge();
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -953,8 +1094,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if !args.stream && (args.obs_listen.is_some() || args.delay_event_ms > 0) {
-        eprintln!("adya-check: --obs-listen and --delay-event-ms need --stream");
+    if !args.stream
+        && (args.obs_listen.is_some() || args.delay_event_ms > 0 || args.trace_propagate)
+    {
+        eprintln!("adya-check: --obs-listen, --delay-event-ms and --trace-propagate need --stream");
         return ExitCode::from(2);
     }
     if args.stream {

@@ -20,6 +20,16 @@
 //! → {"op": "close"}                  finish: final verdict + closing
 //! ```
 //!
+//! With `--trace-propagate`, a client may add `"trace": "on"` to
+//! `hello`/`resume`; each verdict of a sampled commit then arrives
+//! prefixed with its latency-provenance id — `{"trace": "t<16 hex>",
+//! ...canonical verdict...}` — while the durable log, replay window
+//! and final verdict stay canonical. Replication append frames carry
+//! the same ids in a `trace` field so follower stamps join the
+//! leader's trace; each node serves its stamp segment under `/trace`
+//! (merge with `adya-check trace-merge`). Unknown frame fields are
+//! ignored, so traced and untraced peers interoperate.
+//!
 //! SIGTERM/ctrl-c drains gracefully: connections get a
 //! `{"closing": "shutdown"}` frame, every session parks with a final
 //! snapshot, sockets close, exit 0.
@@ -37,6 +47,7 @@ const USAGE: &str = "usage: adya-serve --data DIR [--listen ADDR] [--unix PATH]
                   [--fsync always|interval|never]
                   [--replicate-to ADDR[,ADDR...]] [--follower]
                   [--advertise ADDR] [--repl-lag-max N]
+                  [--trace-propagate] [--trace-sample N] [--node NAME]
 
   --data DIR        session store root (one subdirectory per session)
   --listen ADDR     TCP listen address (default 127.0.0.1:0; the bound
@@ -68,6 +79,15 @@ const USAGE: &str = "usage: adya-serve --data DIR [--listen ADDR] [--unix PATH]
                     not_leader redirects (default: the bound address)
   --repl-lag-max N  /health turns 503 when the worst acknowledged
                     follower lag exceeds N records (default: never)
+  --trace-propagate stamp sampled events with per-stage latency
+                    provenance (tap through replicated ack), carry
+                    their trace ids on replication frames, serve the
+                    node's segment under /trace, and annotate verdict
+                    lines for clients that send \"trace\": \"on\"
+  --trace-sample N  provenance sampling cadence, 1-in-N events by
+                    durable record number (default 32)
+  --node NAME       this node's name in trace lanes and /metrics
+                    labels (default node0)
 ";
 
 struct Args {
@@ -128,6 +148,9 @@ fn parse_args() -> Result<Args, String> {
             "--repl-lag-max" => {
                 cfg.repl.lag_max = Some(parse_u64(&need(&mut it, "--repl-lag-max")?)?)
             }
+            "--trace-propagate" => cfg.trace_propagate = true,
+            "--trace-sample" => cfg.trace_sample = parse_u64(&need(&mut it, "--trace-sample")?)?,
+            "--node" => cfg.node = need(&mut it, "--node")?,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -143,6 +166,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if cfg.repl.follower && !cfg.repl.followers.is_empty() {
         return Err("--follower and --replicate-to are mutually exclusive".into());
+    }
+    if cfg.trace_sample == 0 {
+        return Err("--trace-sample must be at least 1".into());
     }
     let data = data.ok_or("--data is required")?;
     cfg.data_dir = data.clone().into();
@@ -175,6 +201,11 @@ fn main() -> ExitCode {
     } else {
         format!("leader of {} follower(s)", args.cfg.repl.followers.len())
     };
+    let (trace_propagate, trace_sample, node) = (
+        args.cfg.trace_propagate,
+        args.cfg.trace_sample,
+        args.cfg.node.clone(),
+    );
     let mut server = match Server::bind(
         &args.listen,
         args.unix.as_ref().map(std::path::Path::new),
@@ -192,6 +223,9 @@ fn main() -> ExitCode {
     }
     eprintln!("adya-serve: sessions under {}", args.data);
     eprintln!("adya-serve: role: {role}");
+    if trace_propagate {
+        eprintln!("adya-serve: trace propagation on (node {node}, 1-in-{trace_sample})");
+    }
 
     while !shutdown::requested() {
         std::thread::sleep(Duration::from_millis(50));

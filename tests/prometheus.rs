@@ -73,6 +73,20 @@ fn lint_prometheus(text: &str) {
                     labels.starts_with('{') && labels.ends_with('}'),
                     "malformed labels: {line}"
                 );
+                for pair in labels[1..labels.len() - 1].split(',') {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .unwrap_or_else(|| panic!("label without '=': {line}"));
+                    assert!(name_ok(k), "bad label name: {line}");
+                    assert!(
+                        v.len() >= 2 && v.starts_with('"') && v.ends_with('"'),
+                        "unquoted label value: {line}"
+                    );
+                    assert!(
+                        !v[1..v.len() - 1].contains(['"', '\\', '\n']),
+                        "unescaped label value: {line}"
+                    );
+                }
             }
         }
         assert!(name_ok(name), "bad sample name: {line}");
@@ -222,6 +236,84 @@ fn http_get(addr: &str, path: &str) -> (u16, String) {
         .map(|(_, b)| b.to_string())
         .unwrap_or_default();
     (status, body)
+}
+
+/// Asserts every sample line in `text` carries `key="value"` for each
+/// required fleet label — a scrape that cannot be told apart from
+/// another node's is a lint failure, not a dashboard surprise.
+fn assert_fleet_labels(text: &str, labels: &[(&str, &str)]) {
+    let mut samples = 0;
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples += 1;
+        for (k, v) in labels {
+            assert!(
+                line.contains(&format!("{k}=\"{v}\"")),
+                "sample without {k}=\"{v}\": {line}"
+            );
+        }
+    }
+    assert!(samples > 0, "no samples to check: {text}");
+}
+
+/// Spawns `adya-serve` with `extra` flags over a scratch data dir,
+/// returning the process and bound address (its obs plane shares the
+/// service port).
+fn spawn_serve(extra: &[&str]) -> (StreamingChild, String, std::path::PathBuf) {
+    let data = std::env::temp_dir().join(format!(
+        "adya-prom-labels-{}-{}",
+        std::process::id(),
+        extra.len()
+    ));
+    let _ = std::fs::remove_dir_all(&data);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_adya-serve"))
+        .arg("--data")
+        .arg(&data)
+        .args(["--listen", "127.0.0.1:0"])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn adya-serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = BufReader::new(stderr);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read listen line");
+    let addr = line
+        .rsplit_once("listening on ")
+        .unwrap_or_else(|| panic!("unexpected stderr line: {line:?}"))
+        .1
+        .trim()
+        .to_string();
+    // Keep draining stderr: dropping the pipe would make the server's
+    // own connection logging fail mid-request.
+    std::thread::spawn(move || {
+        let _ = std::io::copy(&mut reader, &mut std::io::sink());
+    });
+    (StreamingChild(child), addr, data)
+}
+
+#[test]
+fn serve_metrics_carry_node_and_role_labels() {
+    let (_leader, addr, data) = spawn_serve(&["--node", "n-lead"]);
+    let (status, body) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    lint_prometheus(&body);
+    assert_fleet_labels(&body, &[("node", "n-lead"), ("role", "leader")]);
+    let _ = std::fs::remove_dir_all(data);
+}
+
+#[test]
+fn serve_metrics_follower_role_label() {
+    let (_follower, addr, data) = spawn_serve(&["--node", "n-foll", "--follower"]);
+    let (status, body) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    lint_prometheus(&body);
+    assert_fleet_labels(&body, &[("node", "n-foll"), ("role", "follower")]);
+    let _ = std::fs::remove_dir_all(data);
 }
 
 #[test]

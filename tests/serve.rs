@@ -497,3 +497,103 @@ fn sigterm_drains_gracefully_and_sessions_survive() {
     assert_eq!(client.verdicts(), &want[..]);
     assert_eq!(client.close().expect("close"), want_final);
 }
+
+#[test]
+fn trace_propagation_annotates_wire_but_ledger_stays_canonical() {
+    let data = data_dir("serve-trace-on");
+    let (_server, addr) = spawn_server(
+        &data,
+        "127.0.0.1:0",
+        &["--trace-propagate", "--trace-sample", "1", "--node", "n0"],
+    );
+    let tokens = session_tokens(0, 24);
+    let (want, want_final) = reference(&tokens);
+
+    // An opted-in client: verdict lines arrive annotated with a trace
+    // id, the client strips the annotation into per-verdict RTTs, and
+    // what lands in the ledger is byte-identical to the untraced
+    // reference.
+    let mut traced = ServeClient::hello_traced(&addr, "traced", true).expect("hello traced");
+    for tok in &tokens {
+        traced.send_token(tok).expect("send");
+    }
+    assert_eq!(traced.verdicts(), &want[..]);
+    assert_eq!(
+        traced.trace_rtts().len(),
+        want.len(),
+        "1-in-1 sampling must annotate every commit verdict"
+    );
+    assert!(traced.trace_rtts().iter().all(|&(id, _)| id != 0));
+    assert_eq!(traced.close().expect("close"), want_final);
+
+    // A client that does not opt in sees plain canonical lines even
+    // though the server's plane is on.
+    let mut plain = ServeClient::hello(&addr, "plain").expect("hello plain");
+    for tok in &tokens {
+        plain.send_token(tok).expect("send");
+    }
+    assert_eq!(plain.verdicts(), &want[..]);
+    assert!(plain.trace_rtts().is_empty());
+    assert_eq!(plain.close().expect("close"), want_final);
+
+    // The node serves its stamp segment under /trace, parseable by
+    // the merge tooling, with stamps from the streams above.
+    let (status, body) = http_get(&addr, "/trace");
+    assert_eq!(status, 200);
+    let seg = adya_obs::parse_segment(&body).expect("/trace parses as a segment");
+    assert_eq!((seg.node.as_str(), seg.role.as_str()), ("n0", "leader"));
+    assert!(!seg.stamps.is_empty(), "1-in-1 sampling must stamp");
+}
+
+#[test]
+fn trace_opt_in_without_server_plane_is_a_no_op() {
+    let data = data_dir("serve-trace-off");
+    let (_server, addr) = spawn_server(&data, "127.0.0.1:0", &[]);
+    let tokens = session_tokens(1, 16);
+    let (want, want_final) = reference(&tokens);
+    let mut client = ServeClient::hello_traced(&addr, "opt-in", true).expect("hello");
+    for tok in &tokens {
+        client.send_token(tok).expect("send");
+    }
+    assert_eq!(client.verdicts(), &want[..]);
+    assert!(
+        client.trace_rtts().is_empty(),
+        "no plane, no annotations, no RTTs"
+    );
+    assert_eq!(client.close().expect("close"), want_final);
+}
+
+#[test]
+fn trace_merge_subcommand_merges_captured_segments() {
+    let data = data_dir("serve-trace-merge");
+    let (_server, addr) = spawn_server(
+        &data,
+        "127.0.0.1:0",
+        &["--trace-propagate", "--trace-sample", "1", "--node", "m0"],
+    );
+    let tokens = session_tokens(2, 16);
+    let mut client = ServeClient::hello_traced(&addr, "merge", true).expect("hello");
+    for tok in &tokens {
+        client.send_token(tok).expect("send");
+    }
+    client.close().expect("close");
+    let (status, body) = http_get(&addr, "/trace");
+    assert_eq!(status, 200);
+
+    let capture = data.join("m0.json");
+    let out = data.join("merged.json");
+    std::fs::write(&capture, &body).expect("write capture");
+    let ok = Command::new(env!("CARGO_BIN_EXE_adya-check"))
+        .arg("trace-merge")
+        .arg(&capture)
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("run trace-merge")
+        .success();
+    assert!(ok, "trace-merge must exit 0");
+    let merged = std::fs::read_to_string(&out).expect("read merged");
+    assert!(merged.contains("\"traceEvents\""), "{merged}");
+    assert!(merged.contains("\"clock_offsets\""), "{merged}");
+    assert!(merged.contains("\"traces\""), "{merged}");
+}
